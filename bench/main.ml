@@ -1,0 +1,319 @@
+(* Benchmark harness for the DSN'01 reproduction.
+
+   Two parts:
+
+   1. Bechamel micro-benchmarks — one per reproduced table/figure (plus the
+      hot kernels behind them), measuring the computational cost of the
+      corresponding machinery: Table 1 rendering, the Figure 4
+      fault-tolerance snapshot evaluator, the Figure 5 scenario-replay
+      step, each routing scheme's route computation, the bounded flood, the
+      APLV/CV bookkeeping, and the recovery path.
+
+   2. Full regeneration of every table and figure (Table 1, Figures 4a/4b,
+      5a/5b, the claims check, ablations A1-A3, the routing-overhead table
+      and the recovery extension) with the same rows the paper reports.
+
+   Set DRTP_BENCH_QUICK=1 to shrink part 2 (smoke-test mode). *)
+
+open Bechamel
+open Toolkit
+module Config = Dr_exp.Config
+module Runner = Dr_exp.Runner
+module Routing = Drtp.Routing
+module Net_state = Drtp.Net_state
+module Path = Dr_topo.Path
+
+let quick = Sys.getenv_opt "DRTP_BENCH_QUICK" <> None
+
+(* --- shared fixtures ----------------------------------------------------- *)
+
+let cfg = Config.default
+
+let fixture degree =
+  (* A loaded network at mid sweep: replay the lambda = 0.5 scenario up to
+     the warmup point and keep the state. *)
+  let graph = Config.make_graph cfg ~avg_degree:degree in
+  let scenario = Config.make_scenario cfg Config.UT ~lambda:0.5 in
+  let manager =
+    Drtp.Manager.create ~graph ~capacity:cfg.Config.capacity
+      ~spare_policy:Net_state.Multiplexed
+      ~route:(Routing.link_state_route_fn Routing.Dlsr ~with_backup:true)
+  in
+  let items = Dr_sim.Scenario.items scenario in
+  Array.iter
+    (fun item ->
+      if item.Dr_sim.Scenario.time <= cfg.Config.warmup then
+        Drtp.Manager.apply manager item)
+    items;
+  (graph, Drtp.Manager.state manager)
+
+let graph3, state3 = fixture 3.0
+let _graph4, state4 = fixture 4.0
+let hop_matrix3 = Dr_topo.Shortest_path.hop_matrix graph3
+
+(* Round-robin over a fixed pool of node pairs so each run routes a
+   different request without RNG in the hot loop. *)
+let pairs3 =
+  let n = Dr_topo.Graph.node_count graph3 in
+  let rng = Dr_rng.Splitmix64.create 99 in
+  Array.init 64 (fun _ -> Dr_rng.Dist.pick_distinct_pair rng n)
+
+let pair_idx = ref 0
+
+let next_pair () =
+  let p = pairs3.(!pair_idx mod Array.length pairs3) in
+  incr pair_idx;
+  p
+
+let some_primary =
+  match
+    Routing.find_primary state3 ~src:(fst pairs3.(0)) ~dst:(snd pairs3.(0)) ~bw:1
+  with
+  | Some p -> p
+  | None -> failwith "fixture: no primary route"
+
+(* --- the benchmarks ------------------------------------------------------ *)
+
+let test_table1 =
+  Test.make ~name:"table1/render"
+    (Staged.stage (fun () -> ignore (Format.asprintf "%a" Config.pp_table1 cfg)))
+
+let ft_snapshot state name =
+  Test.make ~name
+    (Staged.stage (fun () -> ignore (Drtp.Failure_eval.evaluate state)))
+
+let test_fig4_e3 = ft_snapshot state3 "fig4/ft-snapshot-E3"
+let test_fig4_e4 = ft_snapshot state4 "fig4/ft-snapshot-E4"
+
+(* Figure 5's kernel: one admit+release cycle through the manager-level
+   machinery (route, reserve, register backup, release, reclaim). *)
+let replay_ids = ref 1_000_000
+
+let test_fig5_replay =
+  Test.make ~name:"fig5/admit-release-D-LSR"
+    (Staged.stage (fun () ->
+         let src, dst = next_pair () in
+         match
+           Routing.link_state_route_fn Routing.Dlsr ~with_backup:true state3 ~src
+             ~dst ~bw:1
+         with
+         | Error _ -> ()
+         | Ok { Routing.primary; backups } ->
+             incr replay_ids;
+             ignore (Net_state.admit state3 ~id:!replay_ids ~bw:1 ~primary ~backups);
+             Net_state.release state3 ~id:!replay_ids))
+
+let test_primary_routing =
+  Test.make ~name:"routing/primary-minhop"
+    (Staged.stage (fun () ->
+         let src, dst = next_pair () in
+         ignore (Routing.find_primary state3 ~src ~dst ~bw:1)))
+
+let backup_bench scheme name =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore (Routing.find_backup scheme state3 ~primary:some_primary ~bw:1)))
+
+let test_backup_plsr = backup_bench Routing.Plsr "routing/backup-P-LSR"
+let test_backup_dlsr = backup_bench Routing.Dlsr "routing/backup-D-LSR"
+let test_backup_spf = backup_bench Routing.Spf "routing/backup-SPF"
+
+let test_flood =
+  Test.make ~name:"flooding/discover"
+    (Staged.stage (fun () ->
+         let src, dst = next_pair () in
+         ignore
+           (Dr_flood.Bounded_flood.discover Dr_flood.Bounded_flood.default_config
+              state3 ~hop_matrix:hop_matrix3 ~src ~dst ~bw:1)))
+
+let test_flood_route =
+  let fn = Dr_flood.Bounded_flood.route_fn ~hop_matrix:hop_matrix3 () in
+  Test.make ~name:"flooding/route-BF"
+    (Staged.stage (fun () ->
+         let src, dst = next_pair () in
+         ignore (fn state3 ~src ~dst ~bw:1)))
+
+let test_aplv =
+  let lset = [ 3; 17; 42; 55 ] in
+  let aplv = Drtp.Aplv.create () in
+  Test.make ~name:"aplv/register-unregister"
+    (Staged.stage (fun () ->
+         Drtp.Aplv.register aplv ~edge_lset:lset;
+         Drtp.Aplv.unregister aplv ~edge_lset:lset))
+
+let test_cv_pack =
+  (* D-LSR's advertisement payload: pack one link's conflict vector. *)
+  let link = ref 0 in
+  Test.make ~name:"overhead/cv-advertisement"
+    (Staged.stage (fun () ->
+         link := (!link + 1) mod Dr_topo.Graph.link_count graph3;
+         ignore (Net_state.conflict_vector state3 !link)))
+
+let test_mux_requirement =
+  let link = ref 0 in
+  Test.make ~name:"ablation/spare-requirement"
+    (Staged.stage (fun () ->
+         link := (!link + 1) mod Dr_topo.Graph.link_count graph3;
+         ignore (Net_state.spare_required state3 ~link:!link)))
+
+let test_recovery_eval =
+  let edge = ref 0 in
+  Test.make ~name:"extension/failure-evaluate-edge"
+    (Staged.stage (fun () ->
+         edge := (!edge + 1) mod Dr_topo.Graph.edge_count graph3;
+         ignore (Drtp.Failure_eval.evaluate_edge state3 ~edge:!edge)))
+
+let test_constrained =
+  Test.make ~name:"extension/bounded-backup-dp"
+    (Staged.stage (fun () ->
+         ignore
+           (Routing.find_backup ~max_hops:(Path.hops some_primary + 2) Routing.Dlsr
+              state3 ~primary:some_primary ~bw:1)))
+
+let view3 = Dr_proto.Advertised_view.create state3
+
+let test_view_route =
+  Test.make ~name:"extension/view-backup-D-LSR"
+    (Staged.stage (fun () ->
+         ignore
+           (Dr_proto.Advertised_view.find_backups view3 state3
+              ~scheme:Routing.Dlsr ~primary:some_primary ~bw:1 ~count:1)))
+
+let test_node_eval =
+  let node = ref 0 in
+  Test.make ~name:"extension/node-failure-evaluate"
+    (Staged.stage (fun () ->
+         node := (!node + 1) mod Dr_topo.Graph.node_count graph3;
+         ignore (Drtp.Failure_eval.evaluate_node state3 ~node:!node)))
+
+let test_double_eval =
+  let k = ref 0 in
+  Test.make ~name:"extension/double-failure-evaluate"
+    (Staged.stage (fun () ->
+         incr k;
+         let n = Dr_topo.Graph.edge_count graph3 in
+         let e1 = !k mod n and e2 = (!k * 7 mod (n - 1)) + 1 in
+         let e2 = if e2 = e1 then (e2 + 1) mod n else e2 in
+         ignore (Drtp.Failure_eval.evaluate_edge_pair state3 ~edges:(e1, e2))))
+
+let test_scenario_parse =
+  let text =
+    Dr_sim.Scenario.to_string (Config.make_scenario cfg Config.UT ~lambda:0.2)
+  in
+  Test.make ~name:"scenario/parse"
+    (Staged.stage (fun () ->
+         match Dr_sim.Scenario.of_string text with
+         | Ok _ -> ()
+         | Error e -> failwith e))
+
+let all_tests =
+  [
+    test_table1;
+    test_fig4_e3;
+    test_fig4_e4;
+    test_fig5_replay;
+    test_primary_routing;
+    test_backup_plsr;
+    test_backup_dlsr;
+    test_backup_spf;
+    test_flood;
+    test_flood_route;
+    test_aplv;
+    test_cv_pack;
+    test_mux_requirement;
+    test_recovery_eval;
+    test_constrained;
+    test_view_route;
+    test_node_eval;
+    test_double_eval;
+    test_scenario_parse;
+  ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let quota = Time.second (if quick then 0.25 else 1.0) in
+  let config = Benchmark.cfg ~limit:2000 ~quota ~stabilize:false () in
+  print_endline "# Micro-benchmarks (one per reproduced table/figure + kernels)";
+  Printf.printf "%-36s %14s\n" "benchmark" "time/run";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all config instances test in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let nanos =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> est
+            | Some _ | None -> nan
+          in
+          if nanos < 1_000.0 then Printf.printf "%-36s %11.1f ns\n" name nanos
+          else if nanos < 1_000_000.0 then
+            Printf.printf "%-36s %11.2f us\n" name (nanos /. 1_000.0)
+          else Printf.printf "%-36s %11.2f ms\n" name (nanos /. 1_000_000.0))
+        analysis)
+    all_tests;
+  print_newline ()
+
+(* --- full table/figure regeneration --------------------------------------- *)
+
+let progress line =
+  prerr_string line;
+  prerr_newline ()
+
+let regenerate () =
+  let cfg =
+    if quick then { cfg with Config.warmup = 2400.0; horizon = 4800.0 } else cfg
+  in
+  let lambdas degree =
+    let all = Config.lambdas_for_degree degree in
+    if quick then (match all with a :: _ :: c :: _ -> [ a; c ] | o -> o) else all
+  in
+  Format.printf "%a@.@." Config.pp_table1 cfg;
+  let sweep degree =
+    Dr_exp.Sweep.run ~progress cfg ~avg_degree:degree ~lambdas:(lambdas degree) ()
+  in
+  let e3 = sweep 3.0 in
+  let e4 = sweep 4.0 in
+  Format.printf "%a@.@.%a@.@." Dr_exp.Report.print_figure4 e3
+    Dr_exp.Report.print_figure4 e4;
+  Format.printf "%a@.@.%a@.@." Dr_exp.Report.print_figure5 e3
+    Dr_exp.Report.print_figure5 e4;
+  Format.printf "%a@.@.%a@.@." Dr_exp.Report.print_details e3
+    Dr_exp.Report.print_details e4;
+  Format.printf "%a@.@." Dr_exp.Report.print_claims
+    (Dr_exp.Report.check_claims ~e3 ~e4);
+  Format.printf "%a@.@." Dr_exp.Ablation.pp_mux
+    (Dr_exp.Ablation.no_multiplexing cfg ~avg_degree:3.0 ~traffic:Config.UT
+       ~lambda:0.5);
+  Format.printf "%a@.@." Dr_exp.Ablation.pp_flood
+    (Dr_exp.Ablation.flood_scope cfg ~avg_degree:3.0 ~traffic:Config.UT
+       ~lambda:0.5 ());
+  Format.printf "%a@.@." Dr_exp.Ablation.pp_blind
+    (Dr_exp.Ablation.conflict_blind cfg ~traffic:Config.UT ~lambda:0.5);
+  Format.printf "%a@.@." Dr_exp.Ablation.pp_backup_count
+    (Dr_exp.Ablation.backup_count cfg ~avg_degree:3.0 ~traffic:Config.UT
+       ~lambda:0.4 ());
+  Format.printf "%a@.@." Dr_exp.Ablation.pp_qos
+    (Dr_exp.Ablation.qos_bound cfg ~avg_degree:3.0 ~traffic:Config.UT
+       ~lambda:0.4 ());
+  Format.printf "%a@.@." Dr_exp.Overhead.pp
+    (Dr_exp.Overhead.measure cfg ~avg_degree:3.0 ~traffic:Config.UT ~lambda:0.5);
+  Format.printf "%a@.@." Dr_exp.Recovery_exp.pp
+    (Dr_exp.Recovery_exp.run cfg ~avg_degree:3.0 ~traffic:Config.UT ~lambda:0.5
+       ~failures:(if quick then 10 else 40) ());
+  Format.printf "%a@.@." Dr_exp.Staleness_exp.pp
+    (Dr_exp.Staleness_exp.run cfg ~avg_degree:3.0 ~traffic:Config.UT ~lambda:0.5
+       ~intervals:(if quick then [ 0.0; 30.0 ] else [ 0.0; 1.0; 5.0; 30.0; 120.0 ])
+       ());
+  Format.printf "%a@." Dr_exp.Availability_exp.pp
+    (Dr_exp.Availability_exp.run cfg ~avg_degree:3.0 ~traffic:Config.UT
+       ~lambda:0.5 ())
+
+let () =
+  run_benchmarks ();
+  print_endline "# Reproduction of every table and figure";
+  print_newline ();
+  regenerate ()

@@ -1,0 +1,420 @@
+(* drtp_sim — command-line driver for the DSN'01 reproduction.
+
+   One subcommand per reproduced artifact: Table 1, Figures 4 and 5, the
+   §6.2 claims check, the ablations, the routing-overhead table and the
+   recovery extension, plus scenario-file and topology tooling. *)
+
+open Cmdliner
+
+let stderr_progress line =
+  prerr_string line;
+  prerr_newline ()
+
+(* ---- shared options ---------------------------------------------------- *)
+
+let degree_t =
+  let doc = "Average node degree E of the Waxman topology (3 or 4)." in
+  Arg.(value & opt float 3.0 & info [ "degree"; "E" ] ~docv:"E" ~doc)
+
+let lambda_t ~default =
+  let doc = "Connection arrival rate lambda (requests/second)." in
+  Arg.(value & opt float default & info [ "lambda" ] ~docv:"LAMBDA" ~doc)
+
+let traffic_t =
+  let doc = "Traffic pattern: UT (uniform) or NT (hotspots)." in
+  let parse s = Result.map_error (fun e -> `Msg e) (Dr_exp.Config.traffic_of_string s) in
+  let print ppf t = Format.pp_print_string ppf (Dr_exp.Config.traffic_name t) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Dr_exp.Config.UT
+    & info [ "traffic" ] ~docv:"PATTERN" ~doc)
+
+let quick_t =
+  let doc =
+    "Quick mode: shorter horizon and fewer load points (for smoke tests)."
+  in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let seed_t =
+  let doc = "Base seed for topology and workload generation." in
+  Arg.(value & opt int Dr_exp.Config.default.Dr_exp.Config.topology_seed
+       & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let config_of ~quick ~seed =
+  let cfg = Dr_exp.Config.default in
+  let cfg = { cfg with Dr_exp.Config.topology_seed = seed; workload_seed = seed * 101 } in
+  if quick then
+    { cfg with Dr_exp.Config.warmup = 2400.0; horizon = 4800.0; sample_every = 300.0 }
+  else cfg
+
+let lambdas_for ~quick degree =
+  let all = Dr_exp.Config.lambdas_for_degree degree in
+  if quick then
+    match all with a :: _ :: c :: _ -> [ a; c ] | other -> other
+  else all
+
+(* ---- subcommands ------------------------------------------------------- *)
+
+let table1_cmd =
+  let run quick seed =
+    Format.printf "%a@." Dr_exp.Config.pp_table1 (config_of ~quick ~seed)
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Print the simulation parameters (paper Table 1).")
+    Term.(const run $ quick_t $ seed_t)
+
+let csv_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Also dump the sweep as CSV to this file.")
+
+let sweep_and_print ~print degree quick seed csv =
+  let cfg = config_of ~quick ~seed in
+  let sweep =
+    Dr_exp.Sweep.run ~progress:stderr_progress cfg ~avg_degree:degree
+      ~lambdas:(lambdas_for ~quick degree) ()
+  in
+  Format.printf "%a@." print sweep;
+  match csv with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Dr_exp.Report.to_csv sweep));
+      Format.eprintf "wrote %s@." file
+
+let fig4_cmd =
+  let run degree quick seed csv =
+    sweep_and_print ~print:Dr_exp.Report.print_figure4 degree quick seed csv
+  in
+  Cmd.v
+    (Cmd.info "fig4"
+       ~doc:"Reproduce Figure 4: fault-tolerance P_act-bk vs lambda.")
+    Term.(const run $ degree_t $ quick_t $ seed_t $ csv_t)
+
+let fig5_cmd =
+  let run degree quick seed csv =
+    sweep_and_print ~print:Dr_exp.Report.print_figure5 degree quick seed csv
+  in
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Reproduce Figure 5: capacity overhead vs lambda.")
+    Term.(const run $ degree_t $ quick_t $ seed_t $ csv_t)
+
+let details_cmd =
+  let run degree quick seed csv =
+    sweep_and_print ~print:Dr_exp.Report.print_details degree quick seed csv
+  in
+  Cmd.v
+    (Cmd.info "details" ~doc:"Per-cell diagnostics for one sweep.")
+    Term.(const run $ degree_t $ quick_t $ seed_t $ csv_t)
+
+let claims_cmd =
+  let run quick seed =
+    let cfg = config_of ~quick ~seed in
+    let sweep degree =
+      Dr_exp.Sweep.run ~progress:stderr_progress cfg ~avg_degree:degree
+        ~lambdas:(lambdas_for ~quick degree) ()
+    in
+    let e3 = sweep 3.0 in
+    let e4 = sweep 4.0 in
+    Format.printf "%a@.@.%a@.@.%a@.@.%a@.@." Dr_exp.Report.print_figure4 e3
+      Dr_exp.Report.print_figure4 e4 Dr_exp.Report.print_figure5 e3
+      Dr_exp.Report.print_figure5 e4;
+    Format.printf "%a@." Dr_exp.Report.print_claims
+      (Dr_exp.Report.check_claims ~e3 ~e4)
+  in
+  Cmd.v
+    (Cmd.info "claims"
+       ~doc:"Run both sweeps and check the paper's summary claims (§6.2).")
+    Term.(const run $ quick_t $ seed_t)
+
+let ablate_mux_cmd =
+  let run degree traffic lambda quick seed =
+    let cfg = config_of ~quick ~seed in
+    Format.printf "%a@." Dr_exp.Ablation.pp_mux
+      (Dr_exp.Ablation.no_multiplexing cfg ~avg_degree:degree ~traffic ~lambda)
+  in
+  Cmd.v
+    (Cmd.info "ablate-mux"
+       ~doc:"Ablation A1: multiplexed vs dedicated spare reservations.")
+    Term.(const run $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
+
+let ablate_flood_cmd =
+  let run degree traffic lambda quick seed =
+    let cfg = config_of ~quick ~seed in
+    Format.printf "%a@." Dr_exp.Ablation.pp_flood
+      (Dr_exp.Ablation.flood_scope cfg ~avg_degree:degree ~traffic ~lambda ())
+  in
+  Cmd.v
+    (Cmd.info "ablate-flood"
+       ~doc:"Ablation A2: bounded-flooding scope parameters.")
+    Term.(const run $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
+
+let ablate_spf_cmd =
+  let run traffic lambda quick seed =
+    let cfg = config_of ~quick ~seed in
+    Format.printf "%a@." Dr_exp.Ablation.pp_blind
+      (Dr_exp.Ablation.conflict_blind cfg ~traffic ~lambda)
+  in
+  Cmd.v
+    (Cmd.info "ablate-spf"
+       ~doc:"Ablation A3: conflict-aware vs conflict-blind backup routing.")
+    Term.(const run $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
+
+let ablate_backups_cmd =
+  let run degree traffic lambda quick seed =
+    let cfg = config_of ~quick ~seed in
+    Format.printf "%a@." Dr_exp.Ablation.pp_backup_count
+      (Dr_exp.Ablation.backup_count cfg ~avg_degree:degree ~traffic ~lambda ())
+  in
+  Cmd.v
+    (Cmd.info "ablate-backups"
+       ~doc:
+         "Extension E2: zero, one or two backups per DR-connection (edge and \
+          node fault-tolerance vs capacity).")
+    Term.(const run $ degree_t $ traffic_t $ lambda_t ~default:0.4 $ quick_t $ seed_t)
+
+let replicate_cmd =
+  let seeds_t =
+    Arg.(
+      value & opt int 3
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of independent replications.")
+  in
+  let run degree seeds quick seed =
+    let cfg = config_of ~quick ~seed in
+    let t =
+      Dr_exp.Replicate.run ~progress:stderr_progress cfg ~avg_degree:degree
+        ~seeds:(List.init seeds (fun i -> i))
+        ~lambdas:(lambdas_for ~quick degree) ()
+    in
+    Format.printf "%a@.@.%a@." Dr_exp.Replicate.print_figure4 t
+      Dr_exp.Replicate.print_figure5 t
+  in
+  Cmd.v
+    (Cmd.info "replicate"
+       ~doc:
+         "Figures 4/5 with multi-seed replication and confidence intervals.")
+    Term.(const run $ degree_t $ seeds_t $ quick_t $ seed_t)
+
+let ablate_qos_cmd =
+  let run degree traffic lambda quick seed =
+    let cfg = config_of ~quick ~seed in
+    Format.printf "%a@." Dr_exp.Ablation.pp_qos
+      (Dr_exp.Ablation.qos_bound cfg ~avg_degree:degree ~traffic ~lambda ())
+  in
+  Cmd.v
+    (Cmd.info "ablate-qos"
+       ~doc:
+         "Extension E5: hop (delay) budget on backup routes — tight QoS \
+          forfeits protection.")
+    Term.(const run $ degree_t $ traffic_t $ lambda_t ~default:0.4 $ quick_t $ seed_t)
+
+let ablate_classes_cmd =
+  let run degree traffic lambda quick seed =
+    let cfg = config_of ~quick ~seed in
+    Format.printf "%a@." Dr_exp.Ablation.pp_classes
+      (Dr_exp.Ablation.traffic_classes cfg ~avg_degree:degree ~traffic ~lambda ())
+  in
+  Cmd.v
+    (Cmd.info "ablate-classes"
+       ~doc:
+         "Heterogeneous bandwidth classes (audio/video mixes) through the \
+          weighted multiplexing rule.")
+    Term.(const run $ degree_t $ traffic_t $ lambda_t ~default:0.3 $ quick_t $ seed_t)
+
+let availability_cmd =
+  let mtbf_t =
+    Arg.(value & opt float 600.0
+         & info [ "mtbf" ] ~docv:"S" ~doc:"Mean time between failures (seconds).")
+  in
+  let mttr_t =
+    Arg.(value & opt float 120.0
+         & info [ "mttr" ] ~docv:"S" ~doc:"Mean time to repair (seconds).")
+  in
+  let run degree traffic lambda mtbf mttr quick seed =
+    let cfg = config_of ~quick ~seed in
+    Format.printf "%a@." Dr_exp.Availability_exp.pp
+      (Dr_exp.Availability_exp.run cfg ~avg_degree:degree ~traffic ~lambda ~mtbf
+         ~mttr ())
+  in
+  Cmd.v
+    (Cmd.info "availability"
+       ~doc:
+         "Extension E6: service availability under a continuous \
+          failure/repair process, DRTP vs reactive.")
+    Term.(
+      const run $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ mtbf_t $ mttr_t
+      $ quick_t $ seed_t)
+
+let staleness_cmd =
+  let run degree traffic lambda quick seed =
+    let cfg = config_of ~quick ~seed in
+    Format.printf "%a@." Dr_exp.Staleness_exp.pp
+      (Dr_exp.Staleness_exp.run cfg ~avg_degree:degree ~traffic ~lambda ())
+  in
+  Cmd.v
+    (Cmd.info "staleness"
+       ~doc:
+         "Extension E4: distributed protocol with damped link-state \
+          advertisements (setup failures vs advertisement traffic).")
+    Term.(const run $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
+
+let overhead_cmd =
+  let run degree traffic lambda quick seed =
+    let cfg = config_of ~quick ~seed in
+    Format.printf "%a@." Dr_exp.Overhead.pp
+      (Dr_exp.Overhead.measure cfg ~avg_degree:degree ~traffic ~lambda)
+  in
+  Cmd.v
+    (Cmd.info "overhead" ~doc:"Routing-overhead comparison of the schemes.")
+    Term.(const run $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
+
+let recovery_cmd =
+  let failures_t =
+    Arg.(value & opt int 40 & info [ "failures" ] ~docv:"N" ~doc:"Failures to inject.")
+  in
+  let run degree traffic lambda failures quick seed =
+    let cfg = config_of ~quick ~seed in
+    Format.printf "%a@." Dr_exp.Recovery_exp.pp
+      (Dr_exp.Recovery_exp.run cfg ~avg_degree:degree ~traffic ~lambda ~failures ())
+  in
+  Cmd.v
+    (Cmd.info "recovery"
+       ~doc:"Extension E1: dynamic failure recovery, DRTP vs reactive.")
+    Term.(
+      const run $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ failures_t
+      $ quick_t $ seed_t)
+
+let topo_cmd =
+  let dot_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Also write a Graphviz rendering.")
+  in
+  let save_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Also save the edge list.")
+  in
+  let run degree dot save quick seed =
+    let cfg = config_of ~quick ~seed in
+    let g = Dr_exp.Config.make_graph cfg ~avg_degree:degree in
+    (match save with
+    | None -> ()
+    | Some file ->
+        Dr_topo.Graph.save g file;
+        Format.printf "saved %s@." file);
+    Format.printf "%a@." Dr_topo.Topo_metrics.pp (Dr_topo.Topo_metrics.compute g);
+    Format.printf "degree histogram: %a@."
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun ppf (d, c) ->
+           Format.fprintf ppf "%d:%d" d c))
+      (Dr_topo.Topo_metrics.degree_histogram g);
+    match dot with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Dr_topo.Dot.to_dot g));
+        Format.printf "wrote %s@." file
+  in
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Describe the generated evaluation topology.")
+    Term.(const run $ degree_t $ dot_t $ save_t $ quick_t $ seed_t)
+
+let scenario_cmd =
+  let out_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output scenario file.")
+  in
+  let run traffic lambda out quick seed =
+    let cfg = config_of ~quick ~seed in
+    let s = Dr_exp.Config.make_scenario cfg traffic ~lambda in
+    Dr_sim.Scenario.save s out;
+    Format.printf "wrote %d events (%d requests) to %s@."
+      (Dr_sim.Scenario.length s)
+      (Dr_sim.Scenario.request_count s)
+      out
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:"Generate and save a scenario file (the paper's Matlab step).")
+    Term.(const run $ traffic_t $ lambda_t ~default:0.5 $ out_t $ quick_t $ seed_t)
+
+let replay_cmd =
+  let file_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"FILE" ~doc:"Scenario file to replay.")
+  in
+  let scheme_t =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "bf" -> Ok `Bf
+      | "none" | "no-backup" -> Ok `None
+      | other ->
+          Result.map_error (fun e -> `Msg e)
+            (Result.map (fun x -> `Lsr x) (Drtp.Routing.scheme_of_string other))
+    in
+    let print ppf = function
+      | `Bf -> Format.pp_print_string ppf "bf"
+      | `None -> Format.pp_print_string ppf "none"
+      | `Lsr x -> Format.pp_print_string ppf (Drtp.Routing.scheme_name x)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) (`Lsr Drtp.Routing.Dlsr)
+      & info [ "scheme" ] ~docv:"SCHEME"
+          ~doc:"Routing scheme: d-lsr, p-lsr, spf, bf or none.")
+  in
+  let run degree file scheme quick seed =
+    let cfg = config_of ~quick ~seed in
+    match Dr_sim.Scenario.load file with
+    | Error msg ->
+        Format.eprintf "cannot load %s: %s@." file msg;
+        exit 1
+    | Ok scenario ->
+        let graph = Dr_exp.Config.make_graph cfg ~avg_degree:degree in
+        let spec =
+          match scheme with
+          | `Bf -> Dr_exp.Runner.Bf Dr_flood.Bounded_flood.default_config
+          | `None -> Dr_exp.Runner.No_backup
+          | `Lsr x -> Dr_exp.Runner.Lsr x
+        in
+        let m = Dr_exp.Runner.run cfg ~graph ~scenario ~scheme:spec in
+        Format.printf
+          "%s: %d requests, acceptance %.3f, ft %.4f, node-ft %.4f, avg \
+           active %.1f, degraded %d@."
+          m.Dr_exp.Runner.label m.Dr_exp.Runner.requests m.Dr_exp.Runner.acceptance
+          m.Dr_exp.Runner.ft_overall m.Dr_exp.Runner.node_ft_overall
+          m.Dr_exp.Runner.avg_active m.Dr_exp.Runner.degraded
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay a saved scenario file under a chosen routing scheme.")
+    Term.(const run $ degree_t $ file_t $ scheme_t $ quick_t $ seed_t)
+
+let default_info =
+  Cmd.info "drtp_sim" ~version:"1.0.0"
+    ~doc:
+      "Reproduction of 'Design and Evaluation of Routing Schemes for \
+       Dependable Real-Time Connections' (DSN 2001)."
+
+let () =
+  let cmds =
+    [
+      table1_cmd; fig4_cmd; fig5_cmd; details_cmd; claims_cmd; ablate_mux_cmd;
+      ablate_flood_cmd; ablate_spf_cmd; ablate_backups_cmd; ablate_qos_cmd;
+      ablate_classes_cmd; replicate_cmd; staleness_cmd; availability_cmd;
+      overhead_cmd;
+      recovery_cmd; topo_cmd; scenario_cmd; replay_cmd;
+    ]
+  in
+  exit (Cmd.eval (Cmd.group default_info cmds))

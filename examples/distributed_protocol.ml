@@ -1,0 +1,46 @@
+(* The distributed protocol in action: the same workload routed on fresh
+   vs damped link-state advertisements.  With stale advertisements the
+   source still *thinks* bandwidth is there — the setup message finds out
+   otherwise, cranks back, and retries on a refreshed view.
+
+   Run with: dune exec examples/distributed_protocol.exe *)
+
+module Config = Dr_exp.Config
+module Sim = Dr_proto.Protocol_sim
+
+let () =
+  let cfg =
+    { Config.default with Config.warmup = 2400.0; horizon = 6000.0 }
+  in
+  let graph = Config.make_graph cfg ~avg_degree:3.0 in
+  let scenario = Config.make_scenario cfg Config.UT ~lambda:0.5 in
+  Format.printf
+    "60-node Waxman network, lambda = 0.5/s, D-LSR routed on *advertised* \
+     link-state@.@.";
+  Format.printf
+    "%-18s %-8s %-16s %-6s %-8s %-8s@." "LSA damping" "accept"
+    "setup-fail/req" "lost" "LSA/s" "stale links";
+  List.iter
+    (fun interval ->
+      let config =
+        { Sim.default_config with Sim.min_lsa_interval = interval }
+      in
+      let r =
+        Sim.run ~config ~graph ~capacity:cfg.Config.capacity ~scenario
+          ~warmup:cfg.Config.warmup ~horizon:cfg.Config.horizon
+          ~sample_every:cfg.Config.sample_every ()
+      in
+      let fail_rate =
+        float_of_int r.Sim.stats.Sim.setup_failures
+        /. float_of_int (max 1 r.Sim.stats.Sim.requests)
+      in
+      Format.printf "%15.0f s  %-8.3f %-16.4f %-6d %-8.1f %-8.1f@." interval
+        r.Sim.acceptance fail_rate r.Sim.stats.Sim.lost_after_retries
+        r.Sim.lsa_per_second r.Sim.avg_staleness)
+    [ 0.0; 5.0; 60.0; 300.0 ];
+  Format.printf
+    "@.Reading: damping advertisements saves control traffic (LSA/s) but \
+     routers increasingly race in-flight setups against reality — wasted \
+     signalling round-trips (setup failures), recovered by crankback \
+     retries.  Admission always double-checks ground truth, so safety \
+     (fault-tolerance) is unaffected; only efficiency pays.@."

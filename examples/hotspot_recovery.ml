@@ -1,0 +1,39 @@
+(* Hotspot workload under failures: the paper's NT traffic pattern (half of
+   all connections target ten pre-selected servers) on a 60-node Waxman
+   network, with live edge failures injected while the workload runs.
+   Compares DRTP (prepared backups, D-LSR routed) against reactive
+   re-establishment.
+
+   Run with: dune exec examples/hotspot_recovery.exe *)
+
+module Config = Dr_exp.Config
+
+let () =
+  let cfg =
+    {
+      Config.default with
+      Config.warmup = 2400.0;
+      horizon = 7200.0;
+      workload_seed = 2026;
+    }
+  in
+  let lambda = 0.4 in
+  Format.printf
+    "60-node Waxman network (E = 3), NT traffic (10 hotspots draw 50%% of \
+     connections), lambda = %.1f/s@."
+    lambda;
+  let rows =
+    Dr_exp.Recovery_exp.run cfg ~avg_degree:3.0 ~traffic:Config.NT ~lambda
+      ~failures:25 ()
+  in
+  Format.printf "%a@." Dr_exp.Recovery_exp.pp rows;
+  match rows with
+  | [ dlsr; _; _; reactive ] ->
+      Format.printf
+        "DRTP recovered %.1f%% of hit connections in %.1f ms on average; the \
+         reactive baseline managed %.1f%% in %.1f ms.@."
+        (100.0 *. dlsr.Dr_exp.Recovery_exp.recovery_ratio)
+        dlsr.Dr_exp.Recovery_exp.latency_mean_ms
+        (100.0 *. reactive.Dr_exp.Recovery_exp.recovery_ratio)
+        reactive.Dr_exp.Recovery_exp.latency_mean_ms
+  | _ -> ()

@@ -1,0 +1,231 @@
+module Graph = Dr_topo.Graph
+module Path = Dr_topo.Path
+
+type edge_outcome = { edge : int; affected : int; activated : int }
+
+type result = {
+  attempts : int;
+  successes : int;
+  edges_evaluated : int;
+  per_edge : edge_outcome list;
+}
+
+let fault_tolerance r =
+  if r.attempts = 0 then 1.0
+  else float_of_int r.successes /. float_of_int r.attempts
+
+let evaluate_edge ?(spare_only = true) state ~edge =
+  let resources = Net_state.resources state in
+  let victims = Net_state.primaries_crossing_edge state edge in
+  let affected = List.length victims in
+  if affected = 0 then { edge; affected = 0; activated = 0 }
+  else begin
+    (* Per-link budget of simultaneous activation grants, in bandwidth
+       units.  Only links appearing in some victim's backup matter; keep
+       the budgets sparse. *)
+    let budget = Hashtbl.create 32 in
+    let budget_of l =
+      match Hashtbl.find_opt budget l with
+      | Some b -> b
+      | None ->
+          let b =
+            Resources.spare_bw resources l
+            + if spare_only then 0 else Resources.free resources l
+          in
+          Hashtbl.replace budget l b;
+          b
+    in
+    let activated = ref 0 in
+    (* Try a victim's backups in priority order; the first one that avoids
+       the failed edge and finds spare on every link wins. *)
+    let try_backup conn b =
+      if Path.crosses_edge b edge then false
+      else begin
+        let links = Path.links b in
+        if List.for_all (fun l -> budget_of l >= conn.Net_state.bw) links then begin
+          List.iter
+            (fun l -> Hashtbl.replace budget l (budget_of l - conn.Net_state.bw))
+            links;
+          true
+        end
+        else false
+      end
+    in
+    List.iter
+      (fun (conn : Net_state.conn) ->
+        if List.exists (try_backup conn) conn.backups then incr activated)
+      victims;
+    { edge; affected; activated = !activated }
+  end
+
+type node_outcome = {
+  node : int;
+  transit_affected : int;
+  transit_activated : int;
+  endpoint_lost : int;
+}
+
+let evaluate_node ?(spare_only = true) state ~node =
+  let graph = Net_state.graph state in
+  let resources = Net_state.resources state in
+  let failed_edges =
+    Array.to_list (Graph.out_links graph node) |> List.map Graph.edge_of_link
+  in
+  let crosses_any p = List.exists (fun e -> Path.crosses_edge p e) failed_edges in
+  (* Victims: distinct connections whose primary crosses any incident
+     edge. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun (c : Net_state.conn) -> Hashtbl.replace seen c.id c)
+        (Net_state.primaries_crossing_edge state e))
+    failed_edges;
+  let victims =
+    Hashtbl.fold (fun _ c acc -> c :: acc) seen []
+    |> List.sort (fun (a : Net_state.conn) b -> compare a.id b.id)
+  in
+  let budget = Hashtbl.create 32 in
+  let budget_of l =
+    match Hashtbl.find_opt budget l with
+    | Some b -> b
+    | None ->
+        let b =
+          Resources.spare_bw resources l
+          + if spare_only then 0 else Resources.free resources l
+        in
+        Hashtbl.replace budget l b;
+        b
+  in
+  let transit_affected = ref 0 and transit_activated = ref 0 in
+  let endpoint_lost = ref 0 in
+  let try_backup (conn : Net_state.conn) b =
+    if crosses_any b then false
+    else begin
+      let links = Path.links b in
+      if List.for_all (fun l -> budget_of l >= conn.bw) links then begin
+        List.iter (fun l -> Hashtbl.replace budget l (budget_of l - conn.bw)) links;
+        true
+      end
+      else false
+    end
+  in
+  List.iter
+    (fun (conn : Net_state.conn) ->
+      if conn.src = node || conn.dst = node then incr endpoint_lost
+      else begin
+        incr transit_affected;
+        if List.exists (try_backup conn) conn.backups then incr transit_activated
+      end)
+    victims;
+  {
+    node;
+    transit_affected = !transit_affected;
+    transit_activated = !transit_activated;
+    endpoint_lost = !endpoint_lost;
+  }
+
+let evaluate_nodes ?spare_only state =
+  let graph = Net_state.graph state in
+  let attempts = ref 0 and successes = ref 0 and evaluated = ref 0 in
+  for node = 0 to Graph.node_count graph - 1 do
+    let o = evaluate_node ?spare_only state ~node in
+    if o.transit_affected > 0 then begin
+      incr evaluated;
+      attempts := !attempts + o.transit_affected;
+      successes := !successes + o.transit_activated
+    end
+  done;
+  {
+    attempts = !attempts;
+    successes = !successes;
+    edges_evaluated = !evaluated;
+    per_edge = [];
+  }
+
+type pair_outcome = { edges : int * int; affected : int; activated : int }
+
+let evaluate_edge_pair ?(spare_only = true) state ~edges:(e1, e2) =
+  let resources = Net_state.resources state in
+  let crosses p = Path.crosses_edge p e1 || Path.crosses_edge p e2 in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun (c : Net_state.conn) -> Hashtbl.replace seen c.id c)
+        (Net_state.primaries_crossing_edge state e))
+    [ e1; e2 ];
+  let victims =
+    Hashtbl.fold (fun _ c acc -> c :: acc) seen []
+    |> List.sort (fun (a : Net_state.conn) b -> compare a.id b.id)
+  in
+  let budget = Hashtbl.create 32 in
+  let budget_of l =
+    match Hashtbl.find_opt budget l with
+    | Some b -> b
+    | None ->
+        let b =
+          Resources.spare_bw resources l
+          + if spare_only then 0 else Resources.free resources l
+        in
+        Hashtbl.replace budget l b;
+        b
+  in
+  let activated = ref 0 in
+  let try_backup (conn : Net_state.conn) b =
+    if crosses b then false
+    else begin
+      let links = Path.links b in
+      if List.for_all (fun l -> budget_of l >= conn.bw) links then begin
+        List.iter (fun l -> Hashtbl.replace budget l (budget_of l - conn.bw)) links;
+        true
+      end
+      else false
+    end
+  in
+  List.iter
+    (fun (conn : Net_state.conn) ->
+      if List.exists (try_backup conn) conn.backups then incr activated)
+    victims;
+  { edges = (e1, e2); affected = List.length victims; activated = !activated }
+
+let evaluate_double ?spare_only ?(samples = 200) ?(seed = 1) state =
+  let graph = Net_state.graph state in
+  let edge_count = Graph.edge_count graph in
+  if edge_count < 2 then invalid_arg "Failure_eval.evaluate_double: need >= 2 edges";
+  let rng = Dr_rng.Splitmix64.create seed in
+  let attempts = ref 0 and successes = ref 0 and evaluated = ref 0 in
+  for _ = 1 to samples do
+    let e1, e2 = Dr_rng.Dist.pick_distinct_pair rng edge_count in
+    let o = evaluate_edge_pair ?spare_only state ~edges:(e1, e2) in
+    if o.affected > 0 then begin
+      incr evaluated;
+      attempts := !attempts + o.affected;
+      successes := !successes + o.activated
+    end
+  done;
+  {
+    attempts = !attempts;
+    successes = !successes;
+    edges_evaluated = !evaluated;
+    per_edge = [];
+  }
+
+let evaluate ?spare_only state =
+  let graph = Net_state.graph state in
+  let attempts = ref 0 and successes = ref 0 and evaluated = ref 0 in
+  let per_edge = ref [] in
+  Graph.iter_edges graph (fun e ->
+      let outcome = evaluate_edge ?spare_only state ~edge:e in
+      if outcome.affected > 0 then begin
+        incr evaluated;
+        attempts := !attempts + outcome.affected;
+        successes := !successes + outcome.activated;
+        per_edge := outcome :: !per_edge
+      end);
+  {
+    attempts = !attempts;
+    successes = !successes;
+    edges_evaluated = !evaluated;
+    per_edge = List.rev !per_edge;
+  }

@@ -1,0 +1,97 @@
+(** Snapshot fault-tolerance evaluation — the paper's [P_act-bk] metric.
+
+    "[P_act-bk] is the probability of activating a backup channel when the
+    corresponding primary channel is disabled by a single link failure"
+    (§6.2).  For every undirected edge carrying at least one primary we
+    hypothetically fail it and ask how many of the affected connections
+    could activate their backups {e simultaneously} out of the spare
+    bandwidth reserved on the backups' links:
+
+    - a backup that itself crosses the failed edge cannot activate;
+    - a connection tries its backups in priority order and activates the
+      first that fits (the paper's "one of its backups is promoted");
+    - activating connections draw [bw] units from each backup link's spare
+      pool ([SC_i] in the paper counts how many such grants a link can
+      make); grants are made greedily in connection-id order — when
+      conflicting backups were multiplexed over the same spare (§5's
+      fallback), the later ones lose, exactly the contention the routing
+      schemes try to design away.
+
+    The evaluation is hypothetical: it never mutates the state, so it can
+    be run on periodic snapshots during a scenario replay. *)
+
+type edge_outcome = {
+  edge : int;
+  affected : int;  (** primaries disabled by this edge's failure *)
+  activated : int;  (** backups that got spare on all their links *)
+}
+
+type result = {
+  attempts : int;  (** Σ affected over evaluated edges *)
+  successes : int;  (** Σ activated *)
+  edges_evaluated : int;  (** edges that carried at least one primary *)
+  per_edge : edge_outcome list;
+}
+
+val fault_tolerance : result -> float
+(** [successes / attempts]; 1.0 when nothing was at risk (no attempts). *)
+
+val evaluate : ?spare_only:bool -> Net_state.t -> result
+(** Evaluate all single-edge failures on the current state.
+    [spare_only] (default [true]) restricts activation to the reserved
+    spare pool, matching the paper's [SC_i]; with [false], activation may
+    also consume free bandwidth (an optimistic variant used in
+    sensitivity checks). *)
+
+val evaluate_edge : ?spare_only:bool -> Net_state.t -> edge:int -> edge_outcome
+(** The same evaluation for one edge. *)
+
+(** {1 Node failures (extension E3)}
+
+    A router breakdown takes out every incident edge at once — the other
+    persistent-failure class of §1.  The DRTP machinery handles it with
+    the same backups, but the single-failure spare sizing of §5 no longer
+    guarantees coverage, so node-failure tolerance is strictly harder.
+    Connections terminating {e at} the failed node are unrecoverable by
+    any routing scheme and are reported separately, not counted as
+    attempts. *)
+
+type node_outcome = {
+  node : int;
+  transit_affected : int;
+      (** primaries crossing the node without terminating there *)
+  transit_activated : int;
+  endpoint_lost : int;  (** connections whose src or dst is the node *)
+}
+
+val evaluate_node : ?spare_only:bool -> Net_state.t -> node:int -> node_outcome
+
+val evaluate_nodes : ?spare_only:bool -> Net_state.t -> result
+(** Aggregate over all nodes with at least one affected transit primary
+    ([attempts]/[successes] count transit connections; [per_edge] is empty
+    in this variant). *)
+
+(** {1 Simultaneous double failures}
+
+    The §5 spare rule sizes each link's pool for the worst {e single}
+    failure; two near-simultaneous edge failures can activate conflicting
+    backups beyond it, and a backup may lose both its primary and itself.
+    This quantifies the paper's single-failure assumption ("we assume that
+    only a single link can fail between two successive recovery
+    actions"). *)
+
+type pair_outcome = { edges : int * int; affected : int; activated : int }
+
+val evaluate_edge_pair :
+  ?spare_only:bool -> Net_state.t -> edges:int * int -> pair_outcome
+(** Fail two edges at once: victims are primaries crossing either; a
+    backup must avoid both and win spare on all its links. *)
+
+val evaluate_double :
+  ?spare_only:bool ->
+  ?samples:int ->
+  ?seed:int ->
+  Net_state.t ->
+  result
+(** Monte-Carlo over random distinct edge pairs ([samples], default 200):
+    the double-failure analogue of {!evaluate} ([per_edge] left empty). *)

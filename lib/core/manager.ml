@@ -1,0 +1,58 @@
+type stats = {
+  mutable requests : int;
+  mutable accepted : int;
+  mutable rejected_no_primary : int;
+  mutable rejected_no_backup : int;
+  mutable released : int;
+  mutable degraded : int;
+  mutable unprotected : int;
+}
+
+type t = { state : Net_state.t; route : Routing.route_fn; stats : stats }
+
+let create ~graph ~capacity ~spare_policy ~route =
+  {
+    state = Net_state.create ~graph ~capacity ~spare_policy;
+    route;
+    stats =
+      {
+        requests = 0;
+        accepted = 0;
+        rejected_no_primary = 0;
+        rejected_no_backup = 0;
+        released = 0;
+        degraded = 0;
+        unprotected = 0;
+      };
+  }
+
+let state t = t.state
+let stats t = t.stats
+
+let apply t (item : Dr_sim.Scenario.item) =
+  match item.event with
+  | Dr_sim.Scenario.Request { conn; src; dst; bw; duration = _ } -> (
+      t.stats.requests <- t.stats.requests + 1;
+      match t.route t.state ~src ~dst ~bw with
+      | Error Routing.No_primary ->
+          t.stats.rejected_no_primary <- t.stats.rejected_no_primary + 1
+      | Error Routing.No_backup ->
+          t.stats.rejected_no_backup <- t.stats.rejected_no_backup + 1
+      | Ok { Routing.primary; backups } ->
+          let c = Net_state.admit t.state ~id:conn ~bw ~primary ~backups in
+          t.stats.accepted <- t.stats.accepted + 1;
+          if backups = [] then t.stats.unprotected <- t.stats.unprotected + 1;
+          if c.degraded then t.stats.degraded <- t.stats.degraded + 1)
+  | Dr_sim.Scenario.Release { conn } -> (
+      (* Rejected connections have no state to tear down. *)
+      match Net_state.find t.state conn with
+      | None -> ()
+      | Some _ ->
+          Net_state.release t.state ~id:conn;
+          t.stats.released <- t.stats.released + 1)
+
+let run t scenario = Dr_sim.Scenario.iter scenario (fun item -> apply t item)
+
+let acceptance_ratio t =
+  if t.stats.requests = 0 then 1.0
+  else float_of_int t.stats.accepted /. float_of_int t.stats.requests

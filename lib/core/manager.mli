@@ -1,0 +1,50 @@
+(** DR-connection manager: drives a {!Dr_sim.Scenario} against a routing
+    scheme over a {!Net_state}.
+
+    This is the per-router "DR-connection manager" of §2.2, executed
+    network-wide: it performs the four management steps — select and
+    reserve a primary route, find a backup route, register the backup along
+    its path (APLV updates and spare adjustment happen inside
+    {!Net_state.admit}), and release both on termination.
+
+    Requests that cannot be routed are rejected whole (a DR-connection
+    without its backup provides no dependability, so a failed backup search
+    releases the primary), and the rejection reason is recorded.  Releases
+    of rejected connections are ignored. *)
+
+type stats = {
+  mutable requests : int;
+  mutable accepted : int;
+  mutable rejected_no_primary : int;
+  mutable rejected_no_backup : int;
+  mutable released : int;
+  mutable degraded : int;
+      (** admissions whose backup could not get its full spare reservation
+          somewhere (conflicting backups multiplexed, §5 fallback). *)
+  mutable unprotected : int;
+      (** admissions that went through with no backup at all (possible for
+          route functions that allow it, e.g. bounded flooding with
+          [allow_unprotected]). *)
+}
+
+type t
+
+val create :
+  graph:Dr_topo.Graph.t ->
+  capacity:int ->
+  spare_policy:Net_state.spare_policy ->
+  route:Routing.route_fn ->
+  t
+
+val state : t -> Net_state.t
+val stats : t -> stats
+
+val apply : t -> Dr_sim.Scenario.item -> unit
+(** Process one request or release event. *)
+
+val run : t -> Dr_sim.Scenario.t -> unit
+(** Replay a whole scenario (no sampling hooks; see
+    {!Dr_exp.Runner} for measured runs). *)
+
+val acceptance_ratio : t -> float
+(** accepted / requests; 1.0 before any request. *)

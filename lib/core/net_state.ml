@@ -1,0 +1,437 @@
+module Graph = Dr_topo.Graph
+module Path = Dr_topo.Path
+
+type spare_policy = Multiplexed | Dedicated
+
+type conn = {
+  id : int;
+  src : int;
+  dst : int;
+  bw : int;
+  mutable primary : Path.t;
+  mutable backups : Path.t list;
+  mutable degraded : bool;
+}
+
+type t = {
+  graph : Graph.t;
+  resources : Resources.t;
+  aplv : Aplv.t array; (* per directed link *)
+  spare_weight : (int, int) Hashtbl.t array;
+      (* per directed link: failure edge -> total backup bandwidth that a
+         failure there would activate here *)
+  backup_total : int array; (* per directed link: sum of backup bandwidths *)
+  conns : (int, conn) Hashtbl.t;
+  edge_primaries : (int, conn) Hashtbl.t array; (* per edge: id -> conn *)
+  failed : bool array; (* per edge *)
+  spare_policy : spare_policy;
+  mutable aplv_updates : int;
+}
+
+let create ~graph ~capacity ~spare_policy =
+  let links = Graph.link_count graph in
+  {
+    graph;
+    resources = Resources.create ~link_count:links ~capacity;
+    aplv = Array.init links (fun _ -> Aplv.create ());
+    spare_weight = Array.init links (fun _ -> Hashtbl.create 8);
+    backup_total = Array.make links 0;
+    conns = Hashtbl.create 256;
+    edge_primaries = Array.init (Graph.edge_count graph) (fun _ -> Hashtbl.create 8);
+    failed = Array.make (Graph.edge_count graph) false;
+    spare_policy;
+    aplv_updates = 0;
+  }
+
+let graph t = t.graph
+let resources t = t.resources
+let spare_policy t = t.spare_policy
+let aplv t l = t.aplv.(l)
+let aplv_updates t = t.aplv_updates
+
+let conflict_vector t l =
+  Conflict_vector.of_aplv t.aplv.(l) ~domains:(Graph.edge_count t.graph)
+
+let edge_lset_of_path p = Path.Link_set.elements (Path.edge_set p)
+
+let spare_required t ~link =
+  match t.spare_policy with
+  | Dedicated -> t.backup_total.(link)
+  | Multiplexed -> Hashtbl.fold (fun _ w acc -> max w acc) t.spare_weight.(link) 0
+
+let spare_deficit t ~link =
+  max 0 (spare_required t ~link - Resources.spare_bw t.resources link)
+
+let total_spare_deficit t =
+  let total = ref 0 in
+  for l = 0 to Graph.link_count t.graph - 1 do
+    total := !total + spare_deficit t ~link:l
+  done;
+  !total
+
+let backup_count_on_link t ~link = Aplv.backup_count t.aplv.(link)
+
+(* Try to lift any spare deficit on [link] out of the free pool. *)
+let reclaim_spare t link =
+  let d = spare_deficit t ~link in
+  if d > 0 then ignore (Resources.grow_spare t.resources ~link ~want:d)
+
+let adjust_spare_after_register t link =
+  let req = spare_required t ~link in
+  let have = Resources.spare_bw t.resources link in
+  if req > have then
+    let granted = Resources.grow_spare t.resources ~link ~want:(req - have) in
+    granted = req - have
+  else true
+
+let adjust_spare_after_unregister t link =
+  let req = spare_required t ~link in
+  let have = Resources.spare_bw t.resources link in
+  if have > req then Resources.shrink_spare t.resources ~link ~amount:(have - req)
+
+(* Register one backup on every link of its route, carrying the edge-LSET of
+   its primary (the backup-path register packet of §2.2).  Returns false if
+   some link could not reserve the full spare requirement. *)
+let register_backup t ~bw ~primary_edges ~backup_path =
+  let fully_reserved = ref true in
+  List.iter
+    (fun l ->
+      Aplv.register t.aplv.(l) ~edge_lset:primary_edges;
+      t.aplv_updates <- t.aplv_updates + 1;
+      List.iter
+        (fun e ->
+          let w = Option.value ~default:0 (Hashtbl.find_opt t.spare_weight.(l) e) in
+          Hashtbl.replace t.spare_weight.(l) e (w + bw))
+        primary_edges;
+      t.backup_total.(l) <- t.backup_total.(l) + bw;
+      if not (adjust_spare_after_register t l) then fully_reserved := false)
+    (Path.links backup_path);
+  !fully_reserved
+
+let unregister_backup t ~bw ~primary_edges ~backup_path =
+  List.iter
+    (fun l ->
+      Aplv.unregister t.aplv.(l) ~edge_lset:primary_edges;
+      t.aplv_updates <- t.aplv_updates + 1;
+      List.iter
+        (fun e ->
+          match Hashtbl.find_opt t.spare_weight.(l) e with
+          | None -> invalid_arg "Net_state: spare-weight underflow"
+          | Some w ->
+              if w < bw then invalid_arg "Net_state: spare-weight underflow"
+              else if w = bw then Hashtbl.remove t.spare_weight.(l) e
+              else Hashtbl.replace t.spare_weight.(l) e (w - bw))
+        primary_edges;
+      t.backup_total.(l) <- t.backup_total.(l) - bw;
+      adjust_spare_after_unregister t l)
+    (Path.links backup_path)
+
+(* How many extra units link [l] must still be able to host for [backup],
+   given reservations the same connection makes on that link with its
+   primary and with backups registered before this one. *)
+let occurrences l links =
+  List.fold_left (fun n x -> if x = l then n + 1 else n) 0 links
+
+let backup_admissible t ~bw ~primary ~earlier_backups backup =
+  let primary_links = Path.links primary in
+  List.for_all
+    (fun l ->
+      let own_primary = occurrences l primary_links in
+      let own_backups =
+        List.fold_left
+          (fun n b -> n + occurrences l (Path.links b))
+          0 earlier_backups
+      in
+      Resources.available_for_backup t.resources l
+      >= bw * (1 + own_primary + own_backups))
+    (Path.links backup)
+
+let admit t ~id ~bw ~primary ~backups =
+  if Hashtbl.mem t.conns id then invalid_arg "Net_state.admit: connection id in use";
+  if bw <= 0 then invalid_arg "Net_state.admit: bandwidth must be positive";
+  let primary_links = Path.links primary in
+  List.iter
+    (fun l ->
+      if not (Resources.primary_feasible t.resources ~link:l ~bw) then
+        invalid_arg "Net_state.admit: primary link lacks free bandwidth")
+    primary_links;
+  let rec check_backups earlier = function
+    | [] -> ()
+    | b :: rest ->
+        if not (backup_admissible t ~bw ~primary ~earlier_backups:earlier b) then
+          invalid_arg "Net_state.admit: backup link cannot host backup";
+        check_backups (b :: earlier) rest
+  in
+  check_backups [] backups;
+  List.iter (fun l -> Resources.reserve_primary t.resources ~link:l ~bw) primary_links;
+  let conn =
+    { id; src = Path.src primary; dst = Path.dst primary; bw; primary; backups; degraded = false }
+  in
+  let primary_edges = edge_lset_of_path primary in
+  List.iter
+    (fun b ->
+      if not (register_backup t ~bw ~primary_edges ~backup_path:b) then
+        conn.degraded <- true)
+    backups;
+  List.iter (fun e -> Hashtbl.replace t.edge_primaries.(e) id conn) primary_edges;
+  Hashtbl.add t.conns id conn;
+  conn
+
+let find t id = Hashtbl.find_opt t.conns id
+let active_count t = Hashtbl.length t.conns
+let iter_conns t f = Hashtbl.iter (fun _ c -> f c) t.conns
+
+let primaries_crossing_edge t e =
+  Hashtbl.fold (fun _ c acc -> c :: acc) t.edge_primaries.(e) []
+  |> List.sort (fun a b -> compare a.id b.id)
+
+let remove_primary_index t conn =
+  List.iter
+    (fun e -> Hashtbl.remove t.edge_primaries.(e) conn.id)
+    (edge_lset_of_path conn.primary)
+
+let touched_links conn =
+  Path.links conn.primary @ List.concat_map Path.links conn.backups
+
+let unregister_all_backups t conn =
+  let primary_edges = edge_lset_of_path conn.primary in
+  List.iter
+    (fun b -> unregister_backup t ~bw:conn.bw ~primary_edges ~backup_path:b)
+    conn.backups
+
+let release t ~id =
+  match Hashtbl.find_opt t.conns id with
+  | None -> invalid_arg "Net_state.release: unknown connection"
+  | Some conn ->
+      let links = touched_links conn in
+      List.iter
+        (fun l -> Resources.release_primary t.resources ~link:l ~bw:conn.bw)
+        (Path.links conn.primary);
+      unregister_all_backups t conn;
+      remove_primary_index t conn;
+      Hashtbl.remove t.conns id;
+      (* §5: freed resources flow to spare pools still in deficit. *)
+      List.iter (fun l -> reclaim_spare t l) links
+
+let drop t ~id =
+  (* Same resource motions as a release; kept separate so callers (and
+     statistics) distinguish voluntary teardown from failure-induced loss. *)
+  release t ~id
+
+let nth_backup conn index =
+  match List.nth_opt conn.backups index with
+  | Some b -> b
+  | None -> invalid_arg "Net_state: backup index out of range"
+
+let activation_feasible t ~id ?(index = 0) () =
+  match Hashtbl.find_opt t.conns id with
+  | None -> false
+  | Some conn -> (
+      match List.nth_opt conn.backups index with
+      | None -> false
+      | Some b ->
+          List.for_all
+            (fun l -> Resources.backup_feasible t.resources ~link:l ~bw:conn.bw)
+            (Path.links b))
+
+let promote_backup t ~id ?(index = 0) () =
+  match Hashtbl.find_opt t.conns id with
+  | None -> invalid_arg "Net_state.promote_backup: unknown connection"
+  | Some conn ->
+      let chosen = nth_backup conn index in
+      if not (activation_feasible t ~id ~index ()) then
+        invalid_arg "Net_state.promote_backup: activation infeasible";
+      List.iter
+        (fun l -> Resources.release_primary t.resources ~link:l ~bw:conn.bw)
+        (Path.links conn.primary);
+      unregister_all_backups t conn;
+      (* The activated channel's bandwidth comes from free first, then from
+         the shared spare pool — stealing spare is exactly the conflict the
+         routing schemes try to avoid. *)
+      List.iter
+        (fun l ->
+          let free = Resources.free t.resources l in
+          if free >= conn.bw then Resources.reserve_primary t.resources ~link:l ~bw:conn.bw
+          else begin
+            let from_spare = conn.bw - free in
+            Resources.spare_to_prime t.resources ~link:l ~bw:from_spare;
+            if free > 0 then Resources.reserve_primary t.resources ~link:l ~bw:free
+          end)
+        (Path.links chosen);
+      remove_primary_index t conn;
+      let remaining = List.filteri (fun i _ -> i <> index) conn.backups in
+      conn.primary <- chosen;
+      conn.backups <- [];
+      List.iter
+        (fun e -> Hashtbl.replace t.edge_primaries.(e) id conn)
+        (edge_lset_of_path chosen);
+      (* Re-register the surviving backups against the new primary's LSET;
+         ones the network can no longer host are dropped from the list (the
+         recovery driver's step 4 may find replacements). *)
+      let primary_edges = edge_lset_of_path chosen in
+      List.iter
+        (fun b ->
+          if
+            backup_admissible t ~bw:conn.bw ~primary:chosen
+              ~earlier_backups:conn.backups b
+          then begin
+            if not (register_backup t ~bw:conn.bw ~primary_edges ~backup_path:b)
+            then conn.degraded <- true;
+            conn.backups <- conn.backups @ [ b ]
+          end)
+        remaining
+
+let reroute_primary t ~id ~primary =
+  match Hashtbl.find_opt t.conns id with
+  | None -> invalid_arg "Net_state.reroute_primary: unknown connection"
+  | Some conn ->
+      if Path.src primary <> conn.src || Path.dst primary <> conn.dst then
+        invalid_arg "Net_state.reroute_primary: endpoint mismatch";
+      let old_links = Path.links conn.primary in
+      unregister_all_backups t conn;
+      List.iter
+        (fun l -> Resources.release_primary t.resources ~link:l ~bw:conn.bw)
+        old_links;
+      (* All-or-nothing reservation of the new route. *)
+      let new_links = Path.links primary in
+      let feasible =
+        (* Count repeated links in the new route (spliced detours may cross
+           a link twice before simplification). *)
+        let needed = Hashtbl.create 8 in
+        List.iter
+          (fun l ->
+            Hashtbl.replace needed l
+              (conn.bw + Option.value ~default:0 (Hashtbl.find_opt needed l)))
+          new_links;
+        Hashtbl.fold
+          (fun l need acc -> acc && Resources.free t.resources l >= need)
+          needed true
+      in
+      if not feasible then begin
+        (* Roll back: re-reserve the old primary (its bandwidth was just
+           freed, so this cannot fail) and re-register the backups. *)
+        List.iter
+          (fun l -> Resources.reserve_primary t.resources ~link:l ~bw:conn.bw)
+          old_links;
+        let primary_edges = edge_lset_of_path conn.primary in
+        List.iter
+          (fun b -> ignore (register_backup t ~bw:conn.bw ~primary_edges ~backup_path:b))
+          conn.backups;
+        invalid_arg "Net_state.reroute_primary: insufficient free bandwidth"
+      end;
+      List.iter
+        (fun l -> Resources.reserve_primary t.resources ~link:l ~bw:conn.bw)
+        new_links;
+      remove_primary_index t conn;
+      let backups = conn.backups in
+      conn.primary <- primary;
+      conn.backups <- [];
+      List.iter
+        (fun e -> Hashtbl.replace t.edge_primaries.(e) id conn)
+        (edge_lset_of_path primary);
+      let primary_edges = edge_lset_of_path primary in
+      List.iter
+        (fun b ->
+          if
+            backup_admissible t ~bw:conn.bw ~primary ~earlier_backups:conn.backups b
+          then begin
+            if not (register_backup t ~bw:conn.bw ~primary_edges ~backup_path:b)
+            then conn.degraded <- true;
+            conn.backups <- conn.backups @ [ b ]
+          end)
+        backups
+
+let replace_backups t ~id ~backups =
+  match Hashtbl.find_opt t.conns id with
+  | None -> invalid_arg "Net_state.replace_backups: unknown connection"
+  | Some conn ->
+      let primary_edges = edge_lset_of_path conn.primary in
+      unregister_all_backups t conn;
+      conn.backups <- [];
+      let rec check earlier = function
+        | [] -> ()
+        | b :: rest ->
+            if not (backup_admissible t ~bw:conn.bw ~primary:conn.primary ~earlier_backups:earlier b)
+            then invalid_arg "Net_state.replace_backups: backup link cannot host backup";
+            check (b :: earlier) rest
+      in
+      check [] backups;
+      List.iter
+        (fun b ->
+          if not (register_backup t ~bw:conn.bw ~primary_edges ~backup_path:b) then
+            conn.degraded <- true)
+        backups;
+      conn.backups <- backups
+
+let fail_edge t ~edge = t.failed.(edge) <- true
+let edge_failed t ~edge = t.failed.(edge)
+let restore_edge t ~edge = t.failed.(edge) <- false
+
+let incident_edges t node =
+  Array.to_list (Graph.out_links t.graph node) |> List.map Graph.edge_of_link
+
+let fail_node t ~node =
+  List.iter (fun e -> fail_edge t ~edge:e) (incident_edges t node)
+
+let restore_node t ~node =
+  List.iter (fun e -> restore_edge t ~edge:e) (incident_edges t node)
+
+let check_invariants t =
+  match Resources.check_invariants t.resources with
+  | Error _ as e -> e
+  | Ok () -> (
+      let links = Graph.link_count t.graph in
+      (* Rebuild expected per-link state from the connection table. *)
+      let expect_prime = Array.make links 0 in
+      let expect_weight = Array.init links (fun _ -> Hashtbl.create 8) in
+      let expect_backups = Array.make links 0 in
+      let expect_total = Array.make links 0 in
+      Hashtbl.iter
+        (fun _ conn ->
+          List.iter
+            (fun l -> expect_prime.(l) <- expect_prime.(l) + conn.bw)
+            (Path.links conn.primary);
+          let edges = edge_lset_of_path conn.primary in
+          List.iter
+            (fun b ->
+              List.iter
+                (fun l ->
+                  expect_backups.(l) <- expect_backups.(l) + 1;
+                  expect_total.(l) <- expect_total.(l) + conn.bw;
+                  List.iter
+                    (fun e ->
+                      let w =
+                        Option.value ~default:0 (Hashtbl.find_opt expect_weight.(l) e)
+                      in
+                      Hashtbl.replace expect_weight.(l) e (w + conn.bw))
+                    edges)
+                (Path.links b))
+            conn.backups)
+        t.conns;
+      let issue = ref None in
+      let fail fmt = Printf.ksprintf (fun s -> if !issue = None then issue := Some s) fmt in
+      for l = 0 to links - 1 do
+        if Resources.prime_bw t.resources l <> expect_prime.(l) then
+          fail "link %d: prime_bw %d, expected %d" l
+            (Resources.prime_bw t.resources l) expect_prime.(l);
+        if Aplv.backup_count t.aplv.(l) <> expect_backups.(l) then
+          fail "link %d: %d backups registered, expected %d" l
+            (Aplv.backup_count t.aplv.(l)) expect_backups.(l);
+        if t.backup_total.(l) <> expect_total.(l) then
+          fail "link %d: backup_total %d, expected %d" l t.backup_total.(l)
+            expect_total.(l);
+        Hashtbl.iter
+          (fun e w ->
+            let got = Option.value ~default:0 (Hashtbl.find_opt t.spare_weight.(l) e) in
+            if got <> w then fail "link %d edge %d: spare weight %d, expected %d" l e got w)
+          expect_weight.(l);
+        Hashtbl.iter
+          (fun e w ->
+            if Option.value ~default:0 (Hashtbl.find_opt expect_weight.(l) e) <> w then
+              fail "link %d edge %d: stale spare weight %d" l e w)
+          t.spare_weight.(l);
+        let req = spare_required t ~link:l in
+        let have = Resources.spare_bw t.resources l in
+        if have > req then fail "link %d: spare %d exceeds requirement %d" l have req
+      done;
+      match !issue with None -> Ok () | Some msg -> Error msg)

@@ -1,0 +1,167 @@
+(** Network-wide DR-connection state: the authoritative book-keeping that
+    the paper's per-router "DR-connection managers" maintain collectively.
+
+    One value of this type holds, for a given topology:
+    - per-link bandwidth pools ({!Resources});
+    - per-link APLVs, updated from the primary-route LSETs carried by
+      backup-path register/release packets (paper §2.2);
+    - the connection table (primary route, backup routes, bandwidth) — a
+      DR-connection has one primary and {e one or more} backup channels
+      (paper §2), held in priority order;
+    - the spare-reservation policy of §5 (grow spare to cover the worst
+      single failure; if free bandwidth is short, multiplex conflicting
+      backups anyway and remember the deficit; reclaim freed primary
+      bandwidth into deficient spare pools).
+
+    The simulator is centralised, but every routing decision made on top of
+    this state is restricted to the information the paper's schemes
+    distribute (see {!Routing} and the flooding library). *)
+
+type spare_policy =
+  | Multiplexed
+      (** Paper §5: per link, reserve [max_j a_{i,j}] connections' worth of
+          spare — enough for the worst single failure domain. *)
+  | Dedicated
+      (** No multiplexing: spare equals the sum of all backup bandwidths on
+          the link (the "too expensive to be practically useful" strawman
+          of §2, used as ablation A1). *)
+
+type conn = {
+  id : int;
+  src : int;
+  dst : int;
+  bw : int;
+  mutable primary : Dr_topo.Path.t;
+      (** mutated only by {!promote_backup} (DRTP step 3). *)
+  mutable backups : Dr_topo.Path.t list;
+      (** in priority order; mutated by {!promote_backup} and
+          {!replace_backups}. *)
+  mutable degraded : bool;
+      (** true if, at some point while registered, a link of some backup
+          could not reserve the spare the policy asked for (conflicting
+          backups share spare there — §5's fallback). *)
+}
+
+type t
+
+val create :
+  graph:Dr_topo.Graph.t -> capacity:int -> spare_policy:spare_policy -> t
+
+val graph : t -> Dr_topo.Graph.t
+val resources : t -> Resources.t
+val spare_policy : t -> spare_policy
+
+val aplv : t -> int -> Aplv.t
+(** The APLV of a directed link (do not mutate). *)
+
+val conflict_vector : t -> int -> Conflict_vector.t
+(** Packed CV snapshot of a link (D-LSR's advertisement payload). *)
+
+val aplv_updates : t -> int
+(** Number of per-link APLV mutations (register/release packet link visits)
+    so far — the advertisement-traffic driver measured by the overhead
+    experiment. *)
+
+(** {1 Connection lifecycle} *)
+
+val admit :
+  t ->
+  id:int ->
+  bw:int ->
+  primary:Dr_topo.Path.t ->
+  backups:Dr_topo.Path.t list ->
+  conn
+(** Reserve primary bandwidth on every primary link and register each
+    backup (APLV update + spare adjustment per the policy).  Raises
+    [Invalid_argument] if the id is in use, a primary link lacks free
+    bandwidth, or a backup link cannot host its backup at all (available
+    bandwidth below the backup's requirement given the primary and the
+    connection's other backups crossing the same link).  Callers are
+    expected to have routed with the matching feasibility predicates. *)
+
+val release : t -> id:int -> unit
+(** Tear down: free primary bandwidth, unregister every backup (APLV
+    decrement, spare shrink to the new requirement), then re-assign freed
+    bandwidth to spare pools still in deficit (§5 last paragraph).
+    Raises [Invalid_argument] for an unknown id. *)
+
+val find : t -> int -> conn option
+val active_count : t -> int
+val iter_conns : t -> (conn -> unit) -> unit
+
+(** {1 Failure-domain queries} *)
+
+val primaries_crossing_edge : t -> int -> conn list
+(** Connections whose primary route crosses the given undirected edge —
+    the set that must switch over when that edge fails.  Sorted by id. *)
+
+val spare_required : t -> link:int -> int
+(** Spare the policy wants on the link, in bandwidth units: [Multiplexed]
+    → worst single-edge activation burst; [Dedicated] → total backup
+    bandwidth. *)
+
+val spare_deficit : t -> link:int -> int
+(** [max 0 (spare_required - spare_bw)]: positive iff conflicting backups
+    currently share spare on this link. *)
+
+val total_spare_deficit : t -> int
+
+val backup_count_on_link : t -> link:int -> int
+
+(** {1 Promotions (failure recovery)} *)
+
+val promote_backup : t -> id:int -> ?index:int -> unit -> unit
+(** Activate backup [index] (default 0) of connection [id] (DRTP step 3):
+    the old primary's bandwidth is released, the chosen backup becomes the
+    new primary — consuming spare (or free) bandwidth on its links — and
+    the remaining backups are re-registered against the new primary's
+    LSET; any that no longer fit are silently dropped from the backup
+    list.  Raises [Invalid_argument] if [index] is out of range or the
+    chosen backup's links lack spare+free bandwidth; callers must first
+    check feasibility with {!activation_feasible}. *)
+
+val activation_feasible : t -> id:int -> ?index:int -> unit -> bool
+(** True if every link of backup [index] (default 0) can currently supply
+    the connection's bandwidth from spare plus free pools. *)
+
+val drop : t -> id:int -> unit
+(** Remove a connection whose primary has failed without switching (the
+    failed primary's reservations on surviving links are returned; all
+    backups are unregistered). *)
+
+val reroute_primary : t -> id:int -> primary:Dr_topo.Path.t -> unit
+(** Move the connection's primary onto a new route (local-detour
+    restoration): release the old primary's bandwidth, reserve the new
+    route (raises [Invalid_argument] if some new link lacks free
+    bandwidth — check first), and re-register every backup against the
+    new primary's LSET, silently dropping backups that no longer fit.
+    The new route must share the connection's endpoints. *)
+
+val replace_backups : t -> id:int -> backups:Dr_topo.Path.t list -> unit
+(** Resource reconfiguration (DRTP step 4): unregister the current backups
+    and register the given set.  [[]] leaves the connection unprotected.
+    Raises [Invalid_argument] if a new backup link cannot host it. *)
+
+val fail_edge : t -> edge:int -> unit
+(** Mark both directions of an edge as failed.  Failed links are excluded
+    by the routing layers' feasibility predicates; existing reservations on
+    them are untouched (the recovery driver decides what happens to the
+    affected connections).  Used by the dynamic recovery simulation. *)
+
+val edge_failed : t -> edge:int -> bool
+
+val restore_edge : t -> edge:int -> unit
+
+val fail_node : t -> node:int -> unit
+(** Fail every edge incident to the node (router breakdown, the other
+    persistent-failure class of §1).  Restore with {!restore_node}. *)
+
+val restore_node : t -> node:int -> unit
+
+(** {1 Integrity} *)
+
+val check_invariants : t -> (unit, string) result
+(** Deep check: resource invariants, APLV consistency against the
+    connection table, spare levels not above policy requirement plus
+    deficit bookkeeping coherent.  O(connections × path length); test and
+    debug use. *)

@@ -1,0 +1,274 @@
+module Graph = Dr_topo.Graph
+module Path = Dr_topo.Path
+
+type timing = {
+  detection_delay : float;
+  link_delay : float;
+  route_computation : float;
+  retry_backoff : float;
+  max_retries : int;
+}
+
+let default_timing =
+  {
+    detection_delay = 0.010;
+    link_delay = 0.001;
+    route_computation = 0.005;
+    retry_backoff = 0.100;
+    max_retries = 3;
+  }
+
+type outcome =
+  | Switched of { latency : float; reprotected : bool }
+  | Rerouted of { latency : float; retries : int }
+  | Lost of { latency : float }
+
+let outcome_is_recovered = function
+  | Switched _ | Rerouted _ -> true
+  | Lost _ -> false
+
+type report = {
+  edge : int;
+  outcomes : (int * outcome) list;
+  backups_rerouted : int;
+  backups_unprotected : int;
+}
+
+let recovered_fraction r =
+  match r.outcomes with
+  | [] -> 1.0
+  | outcomes ->
+      let recovered =
+        List.length (List.filter (fun (_, o) -> outcome_is_recovered o) outcomes)
+      in
+      float_of_int recovered /. float_of_int (List.length outcomes)
+
+(* Hops from the connection's source to the node that detects the failure
+   (the upstream endpoint of the failed edge on the primary). *)
+let report_hops conn edge =
+  let rec scan i = function
+    | [] -> invalid_arg "Recovery.report_hops: primary does not cross the edge"
+    | l :: rest -> if Graph.edge_of_link l = edge then i else scan (i + 1) rest
+  in
+  scan 0 (Path.links conn.Net_state.primary)
+
+(* The backup a victim activates: first in priority order that survives the
+   failure and can get its bandwidth. *)
+let usable_backup_index state (conn : Net_state.conn) edge =
+  let rec scan i = function
+    | [] -> None
+    | b :: rest ->
+        if
+          (not (Path.crosses_edge b edge))
+          && Net_state.activation_feasible state ~id:conn.id ~index:i ()
+        then Some (i, b)
+        else scan (i + 1) rest
+  in
+  scan 0 conn.backups
+
+let fail_edge_drtp state ~scheme ?(timing = default_timing) ?(reconfigure = true)
+    ?(backup_count = 1) ~edge () =
+  Net_state.fail_edge state ~edge;
+  let victims = Net_state.primaries_crossing_edge state edge in
+  (* Connections whose backups (not primary) die with this edge: collect
+     before any promotion changes the tables. *)
+  let broken_backups = ref [] in
+  Net_state.iter_conns state (fun c ->
+      if
+        (not (Path.crosses_edge c.primary edge))
+        && List.exists (fun b -> Path.crosses_edge b edge) c.backups
+      then broken_backups := c.id :: !broken_backups);
+  let switched = ref [] in
+  let outcomes =
+    List.map
+      (fun (conn : Net_state.conn) ->
+        let notify =
+          timing.detection_delay
+          +. (timing.link_delay *. float_of_int (report_hops conn edge))
+        in
+        match usable_backup_index state conn edge with
+        | Some (index, b) ->
+            let latency = notify +. (timing.link_delay *. float_of_int (Path.hops b)) in
+            Net_state.promote_backup state ~id:conn.id ~index ();
+            switched := (conn.id, latency) :: !switched;
+            (conn.id, latency)
+        | None ->
+            Net_state.drop state ~id:conn.id;
+            (conn.id, -.notify) (* negative marks a loss *))
+      victims
+  in
+  (* DRTP step 4: re-protect the promoted connections and re-route the
+     backups the failure destroyed. *)
+  let reprotected = Hashtbl.create 8 in
+  let rerouted = ref 0 and unprotected = ref 0 in
+  if reconfigure then begin
+    let top_up id =
+      match Net_state.find state id with
+      | None -> `Gone (* also a victim, and it was dropped *)
+      | Some conn ->
+          let surviving =
+            List.filter (fun b -> not (Path.crosses_edge b edge)) conn.backups
+          in
+          let fresh =
+            Routing.additional_backups scheme state ~primary:conn.primary
+              ~bw:conn.bw ~existing:surviving
+              ~count:(max 0 (backup_count - List.length surviving))
+          in
+          Net_state.replace_backups state ~id ~backups:(surviving @ fresh);
+          if surviving @ fresh = [] then `Unprotected
+          else if fresh <> [] then `Rerouted
+          else `Kept
+    in
+    List.iter
+      (fun (id, _) ->
+        match top_up id with
+        | `Gone -> ()
+        | `Unprotected -> ()
+        | `Rerouted | `Kept -> Hashtbl.replace reprotected id ())
+      !switched;
+    List.iter
+      (fun id ->
+        match top_up id with
+        | `Gone | `Kept -> ()
+        | `Rerouted -> incr rerouted
+        | `Unprotected -> incr unprotected)
+      !broken_backups
+  end;
+  let outcomes =
+    List.map
+      (fun (id, latency) ->
+        if latency < 0.0 then (id, Lost { latency = -.latency })
+        else (id, Switched { latency; reprotected = Hashtbl.mem reprotected id }))
+      outcomes
+  in
+  {
+    edge;
+    outcomes;
+    backups_rerouted = !rerouted;
+    backups_unprotected = !unprotected;
+  }
+
+(* Remove loops from a node walk: when a node repeats, cut the cycle back
+   to its first occurrence (the neighbour that followed the repeat in the
+   original walk is also adjacent to the first occurrence). *)
+let simplify_walk nodes =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | v :: rest ->
+        if List.mem v acc then begin
+          let rec cut = function
+            | w :: _ as acc' when w = v -> acc'
+            | _ :: tl -> cut tl
+            | [] -> [ v ]
+          in
+          go (cut acc) rest
+        end
+        else go (v :: acc) rest
+  in
+  go [] nodes
+
+let fail_edge_local_detour state ?(timing = default_timing) ~edge () =
+  Net_state.fail_edge state ~edge;
+  let graph = Net_state.graph state in
+  let victims = Net_state.primaries_crossing_edge state edge in
+  let outcomes =
+    List.map
+      (fun (conn : Net_state.conn) ->
+        (* The upstream endpoint of the failed link detects and repairs
+           locally — no report to the source. *)
+        let primary_nodes = Path.nodes graph conn.primary in
+        let rec find_failed prefix = function
+          | l :: rest when Graph.edge_of_link l <> edge ->
+              find_failed (Graph.link_dst graph l :: prefix) rest
+          | l :: _ -> (List.rev prefix, Graph.link_src graph l, Graph.link_dst graph l)
+          | [] -> invalid_arg "local_detour: primary does not cross the edge"
+        in
+        let _, u, v =
+          find_failed [ List.hd primary_nodes ] (Path.links conn.primary)
+        in
+        let resources = Net_state.resources state in
+        let usable l =
+          (not (Net_state.edge_failed state ~edge:(Graph.edge_of_link l)))
+          && Resources.free resources l >= conn.bw
+        in
+        let detour = Dr_topo.Shortest_path.min_hop_path graph ~usable ~src:u ~dst:v () in
+        match detour with
+        | None ->
+            let latency = timing.detection_delay +. timing.route_computation in
+            Net_state.drop state ~id:conn.id;
+            (conn.id, Lost { latency })
+        | Some d ->
+            (* Splice the detour in place of the failed hop and drop any
+               loops the splice created: prefix(..u) @ detour(u..v) @
+               suffix(v..). *)
+            let rec splice acc = function
+              | [] -> List.rev acc
+              | n :: rest when n = u ->
+                  List.rev acc @ Path.nodes graph d @ skip_until_v rest
+              | n :: rest -> splice (n :: acc) rest
+            and skip_until_v = function
+              | n :: rest when n = v -> rest
+              | _ :: rest -> skip_until_v rest
+              | [] -> []
+            in
+            let new_nodes = simplify_walk (splice [] primary_nodes) in
+            let new_primary = Path.of_nodes graph new_nodes in
+            (try
+               Net_state.reroute_primary state ~id:conn.id ~primary:new_primary;
+               let latency =
+                 timing.detection_delay +. timing.route_computation
+                 +. (timing.link_delay *. float_of_int (Path.hops d))
+               in
+               (conn.id, Rerouted { latency; retries = 0 })
+             with Invalid_argument _ ->
+               let latency = timing.detection_delay +. timing.route_computation in
+               Net_state.drop state ~id:conn.id;
+               (conn.id, Lost { latency })))
+      victims
+  in
+  { edge; outcomes; backups_rerouted = 0; backups_unprotected = 0 }
+
+let fail_edge_reactive state ?(timing = default_timing) ~edge () =
+  Net_state.fail_edge state ~edge;
+  let victims = Net_state.primaries_crossing_edge state edge in
+  (* Everyone loses their channel first (the failed route is torn down),
+     then re-establishment attempts proceed. *)
+  let notify_of = Hashtbl.create 8 in
+  List.iter
+    (fun (conn : Net_state.conn) ->
+      let notify =
+        timing.detection_delay
+        +. (timing.link_delay *. float_of_int (report_hops conn edge))
+      in
+      Hashtbl.replace notify_of conn.id (notify, conn.src, conn.dst, conn.bw);
+      Net_state.drop state ~id:conn.id)
+    victims;
+  let backoff_until attempt =
+    (* Total backoff slept before attempt number [attempt] (0-based):
+       sum of retry_backoff * 2^i for i < attempt. *)
+    timing.retry_backoff *. (Float.pow 2.0 (float_of_int attempt) -. 1.0)
+  in
+  let outcomes =
+    List.map
+      (fun (conn : Net_state.conn) ->
+        let notify, src, dst, bw = Hashtbl.find notify_of conn.id in
+        let rec attempt n =
+          let spent =
+            notify +. backoff_until n
+            +. (timing.route_computation *. float_of_int (n + 1))
+          in
+          match Routing.find_primary state ~src ~dst ~bw with
+          | Some p ->
+              let latency =
+                spent +. (timing.link_delay *. float_of_int (Path.hops p))
+              in
+              ignore (Net_state.admit state ~id:conn.id ~bw ~primary:p ~backups:[]);
+              (conn.id, Rerouted { latency; retries = n })
+          | None ->
+              if n >= timing.max_retries then (conn.id, Lost { latency = spent })
+              else attempt (n + 1)
+        in
+        attempt 0)
+      victims
+  in
+  { edge; outcomes; backups_rerouted = 0; backups_unprotected = 0 }

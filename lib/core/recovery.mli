@@ -1,0 +1,95 @@
+(** Dynamic failure handling — DRTP steps 2–4 (detection, reporting &
+    switching, resource reconfiguration) plus the reactive baseline the
+    paper argues against (§1).
+
+    The snapshot metric ({!Failure_eval}) asks {e whether} backups can
+    activate; this module plays an actual failure forward and also answers
+    {e how fast}, with an explicit signalling-latency model:
+
+    - the node adjacent to the failed edge detects the failure after
+      [detection_delay];
+    - the failure report travels hop-by-hop up the primary towards the
+      source ([link_delay] per hop);
+    - {b DRTP}: the source activates the prepared backup by signalling
+      along it ([link_delay] per backup hop) — no route computation, no
+      admission test races; activation fails only on spare contention;
+    - {b reactive}: the source computes a fresh route
+      ([route_computation]), then signals along it; if no feasible route
+      exists it backs off exponentially and retries (Banerjea's delayed
+      retries) — but each retry only helps if resources have been freed
+      meanwhile, so persistent shortage ends in connection loss.
+
+    After switching, DRTP step 4 re-establishes dependability: promoted
+    connections get a fresh backup, and surviving connections whose backup
+    crossed the failed edge get their backup re-routed. *)
+
+type timing = {
+  detection_delay : float;  (** seconds until the adjacent node notices *)
+  link_delay : float;  (** per-hop signalling delay, seconds *)
+  route_computation : float;  (** reactive route computation time, seconds *)
+  retry_backoff : float;  (** reactive first-retry backoff, seconds; doubles *)
+  max_retries : int;
+}
+
+val default_timing : timing
+(** 10 ms detection, 1 ms per hop, 5 ms route computation, 100 ms initial
+    backoff, 3 retries. *)
+
+type outcome =
+  | Switched of { latency : float; reprotected : bool }
+      (** Backup activated; [reprotected] = the connection still has at
+          least one backup after the reconfiguration step. *)
+  | Rerouted of { latency : float; retries : int }  (** reactive success *)
+  | Lost of { latency : float }
+      (** Connection dropped; [latency] is the time wasted discovering
+          that. *)
+
+val outcome_is_recovered : outcome -> bool
+
+type report = {
+  edge : int;
+  outcomes : (int * outcome) list;  (** per affected connection id *)
+  backups_rerouted : int;
+      (** unaffected connections whose backup crossed the failed edge and
+          was re-routed (step 4) *)
+  backups_unprotected : int;
+      (** ... for which no replacement backup could be found *)
+}
+
+val recovered_fraction : report -> float
+(** Recovered / affected; 1.0 when no connection was affected. *)
+
+val fail_edge_drtp :
+  Net_state.t ->
+  scheme:Routing.scheme ->
+  ?timing:timing ->
+  ?reconfigure:bool ->
+  ?backup_count:int ->
+  edge:int ->
+  unit ->
+  report
+(** Fail an edge under DRTP: detect, report, switch every affected
+    connection to its highest-priority usable backup (in connection-id
+    order — concurrent activations contend for spare bandwidth exactly as
+    in {!Failure_eval}), then reconfigure ([reconfigure] defaults to
+    [true]): promoted connections and connections whose backups died are
+    topped back up to [backup_count] (default 1) backups where routes
+    exist.  The edge is left marked failed; call
+    {!Net_state.restore_edge} to repair it. *)
+
+val fail_edge_reactive :
+  Net_state.t -> ?timing:timing -> edge:int -> unit -> report
+(** Fail an edge under the reactive baseline: affected connections release
+    their routes and sequentially attempt re-establishment over min-hop
+    feasible paths, with exponential-backoff retries on shortage. *)
+
+val fail_edge_local_detour :
+  Net_state.t -> ?timing:timing -> edge:int -> unit -> report
+(** Fail an edge under SFI-style local restoration (the Zheng & Shin line
+    of work the paper's §1 surveys): the router upstream of the failure
+    splices a min-hop detour around the failed edge into the existing
+    primary, drawing on {e free} bandwidth only (nothing was reserved in
+    advance).  No failure report travels to the source, so the latency is
+    detection + local route computation + detour signalling.  Loops the
+    splice would create are removed.  Connections whose detour cannot be
+    found or funded are dropped.  Reported as [Rerouted] outcomes. *)

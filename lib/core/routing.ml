@@ -1,0 +1,153 @@
+module Graph = Dr_topo.Graph
+module Path = Dr_topo.Path
+module Shortest_path = Dr_topo.Shortest_path
+
+type scheme = Plsr | Dlsr | Spf
+
+let scheme_name = function Plsr -> "P-LSR" | Dlsr -> "D-LSR" | Spf -> "SPF"
+
+let scheme_of_string s =
+  match String.lowercase_ascii s with
+  | "p-lsr" | "plsr" -> Ok Plsr
+  | "d-lsr" | "dlsr" -> Ok Dlsr
+  | "spf" -> Ok Spf
+  | other -> Error (Printf.sprintf "unknown scheme %S (want p-lsr, d-lsr or spf)" other)
+
+let epsilon = 1e-3
+let q_constant = 1.0e6
+
+let link_alive state l =
+  not (Net_state.edge_failed state ~edge:(Graph.edge_of_link l))
+
+let find_primary state ~src ~dst ~bw =
+  let resources = Net_state.resources state in
+  let usable l =
+    link_alive state l && Resources.primary_feasible resources ~link:l ~bw
+  in
+  Shortest_path.min_hop_path (Net_state.graph state) ~usable ~src ~dst ()
+
+let backup_link_cost_general scheme state ~primary ~earlier_backups ~bw =
+  let resources = Net_state.resources state in
+  let primary_edges = Path.edge_set primary in
+  let primary_edge_list = Path.Link_set.elements primary_edges in
+  let primary_links = Path.lset primary in
+  let earlier_links =
+    List.fold_left
+      (fun acc b -> Path.Link_set.union acc (Path.lset b))
+      Path.Link_set.empty earlier_backups
+  in
+  let earlier_edges =
+    List.fold_left
+      (fun acc b -> Path.Link_set.union acc (Path.edge_set b))
+      Path.Link_set.empty earlier_backups
+  in
+  fun l ->
+    (* A backup sharing a directed link with routes of its own connection
+       must fit on top of their reservations there. *)
+    let own_shares =
+      (if Path.Link_set.mem l primary_links then 1 else 0)
+      + if Path.Link_set.mem l earlier_links then 1 else 0
+    in
+    let required = bw * (1 + own_shares) in
+    if not (link_alive state l) then infinity
+    else if not (Resources.backup_feasible resources ~link:l ~bw:required) then
+      infinity
+    else
+      let q =
+        (* The paper's large constant Q: sharing a failure domain with the
+           primary is heavily penalised but not forbidden — a source whose
+           only attachment edge carries the primary has no disjoint
+           alternative, and the paper only requires *minimal* overlap.
+           Subsequent backups get the same penalty on earlier backups'
+           edges: a second backup matters exactly when the first cannot
+           activate. *)
+        let e = Graph.edge_of_link l in
+        (if Path.Link_set.mem e primary_edges then q_constant else 0.0)
+        +. if Path.Link_set.mem e earlier_edges then q_constant else 0.0
+      in
+      match scheme with
+      | Spf -> q +. 1.0
+      | Plsr -> q +. float_of_int (Aplv.norm1 (Net_state.aplv state l)) +. epsilon
+      | Dlsr ->
+          q
+          +. float_of_int
+               (Aplv.conflict_count_with (Net_state.aplv state l)
+                  ~edge_lset:primary_edge_list)
+          +. epsilon
+
+let backup_link_cost scheme state ~primary ~bw =
+  backup_link_cost_general scheme state ~primary ~earlier_backups:[] ~bw
+
+let find_backup_general ?max_hops scheme state ~primary ~earlier_backups ~bw =
+  let cost = backup_link_cost_general scheme state ~primary ~earlier_backups ~bw in
+  let graph = Net_state.graph state in
+  let src = Path.src primary and dst = Path.dst primary in
+  match max_hops with
+  | None -> (
+      match Shortest_path.dijkstra_path graph ~cost ~src ~dst with
+      | None -> None
+      | Some (_, p) -> Some p)
+  | Some h -> (
+      (* QoS-bounded backup (paper §2: a backup longer than the delay
+         budget allows is useless): cheapest conflict cost within the hop
+         budget. *)
+      match Dr_topo.Constrained_path.cheapest_within_hops graph ~cost ~src ~dst
+              ~max_hops:h
+      with
+      | None -> None
+      | Some (_, p) -> Some p)
+
+let find_backup ?max_hops scheme state ~primary ~bw =
+  find_backup_general ?max_hops scheme state ~primary ~earlier_backups:[] ~bw
+
+let collect_backups ?max_hops scheme state ~primary ~bw ~count ~existing =
+  let rec collect earlier fresh k =
+    if k = 0 then List.rev fresh
+    else
+      match
+        find_backup_general ?max_hops scheme state ~primary
+          ~earlier_backups:earlier ~bw
+      with
+      | None -> List.rev fresh
+      | Some b ->
+          (* A repeat of the primary or of an already-chosen route adds no
+             protection; the search is exhausted. *)
+          if
+            Path.links b = Path.links primary
+            || List.exists (fun b' -> Path.links b' = Path.links b) earlier
+          then List.rev fresh
+          else collect (b :: earlier) (b :: fresh) (k - 1)
+  in
+  collect (List.rev existing) [] count
+
+let find_backups ?max_hops scheme state ~primary ~bw ~count =
+  collect_backups ?max_hops scheme state ~primary ~bw ~count ~existing:[]
+
+let additional_backups ?max_hops scheme state ~primary ~bw ~existing ~count =
+  collect_backups ?max_hops scheme state ~primary ~bw ~count ~existing
+
+type reject_reason = No_primary | No_backup
+
+let reject_reason_name = function
+  | No_primary -> "no-primary"
+  | No_backup -> "no-backup"
+
+type route_pair = { primary : Path.t; backups : Path.t list }
+
+type route_fn =
+  Net_state.t -> src:int -> dst:int -> bw:int -> (route_pair, reject_reason) result
+
+let link_state_route_fn ?(backup_count = 1) ?backup_hop_slack scheme ~with_backup
+    : route_fn =
+ fun state ~src ~dst ~bw ->
+  match find_primary state ~src ~dst ~bw with
+  | None -> Error No_primary
+  | Some primary ->
+      if not with_backup then Ok { primary; backups = [] }
+      else (
+        let max_hops =
+          Option.map (fun slack -> Path.hops primary + slack) backup_hop_slack
+        in
+        match find_backups ?max_hops scheme state ~primary ~bw ~count:backup_count with
+        | [] -> Error No_backup
+        | backups -> Ok { primary; backups })

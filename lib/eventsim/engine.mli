@@ -1,0 +1,36 @@
+(** Discrete-event simulation engine.
+
+    A minimal but complete DES core: a simulation clock and a time-ordered
+    event queue with stable FIFO ordering for simultaneous events.  The
+    connection-workload replay, the failure/recovery dynamics and the
+    flooding message propagation all run on this engine.
+
+    The handler may schedule further events (at or after the current time).
+    Scheduling in the past raises [Invalid_argument]. *)
+
+type 'e t
+
+val create : ?start:float -> unit -> 'e t
+(** Fresh engine; the clock starts at [start] (default 0.). *)
+
+val now : _ t -> float
+
+val pending : _ t -> int
+(** Number of events still queued. *)
+
+val schedule : 'e t -> at:float -> 'e -> unit
+(** Enqueue an event at absolute time [at >= now]. *)
+
+val schedule_after : 'e t -> delay:float -> 'e -> unit
+(** Enqueue an event [delay >= 0.] after the current time. *)
+
+val step : 'e t -> handler:('e t -> 'e -> unit) -> bool
+(** Process the earliest event; returns [false] when the queue is empty. *)
+
+val run : 'e t -> handler:('e t -> 'e -> unit) -> unit
+(** Process events until the queue empties. *)
+
+val run_until : 'e t -> stop:float -> handler:('e t -> 'e -> unit) -> unit
+(** Process events with time [<= stop]; on return the clock reads [stop]
+    (or later if an event fired exactly at [stop]), and later events remain
+    queued. *)

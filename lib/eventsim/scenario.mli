@@ -1,0 +1,45 @@
+(** Connection request/release scenarios.
+
+    The paper records "the connection request and release events under
+    various [bw_req] and λ values" into scenario files (generated there with
+    Matlab) and replays the {e same} file against every routing scheme
+    (§6.1), so scheme comparisons share identical stochastic input.  This
+    module is that file format: a time-sorted sequence of request and
+    release events with text (de)serialisation. *)
+
+type event =
+  | Request of { conn : int; src : int; dst : int; bw : int; duration : float }
+      (** A DR-connection request: [duration] is the holding time [t_req];
+          the matching [Release] appears [duration] later. *)
+  | Release of { conn : int }
+
+type item = { time : float; event : event }
+
+type t = private item array
+(** Events sorted by time; requests precede releases at equal times. *)
+
+val of_items : item list -> t
+(** Sort (stably, requests first at ties) and validate: connection ids must
+    be requested before released and at most once each. *)
+
+val items : t -> item array
+val length : t -> int
+
+val request_count : t -> int
+
+val horizon : t -> float
+(** Time of the last event ([0.] when empty). *)
+
+val iter : t -> (item -> unit) -> unit
+
+(** {1 Persistence} *)
+
+val save : t -> string -> unit
+(** Write to a file; format: a header line, then one event per line
+    ([R time conn src dst bw duration] / [L time conn]). *)
+
+val load : string -> (t, string) result
+(** Parse a scenario file; [Error] describes the first bad line. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result

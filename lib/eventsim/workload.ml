@@ -1,0 +1,97 @@
+module Rng = Dr_rng.Splitmix64
+module Dist = Dr_rng.Dist
+
+type pattern =
+  | Uniform
+  | Hotspot of { destinations : int array; fraction : float }
+
+type bandwidth_mix = Constant of int | Classes of (int * float) list
+
+let constant_bw n = Constant n
+
+type spec = {
+  arrival_rate : float;
+  horizon : float;
+  lifetime_lo : float;
+  lifetime_hi : float;
+  bw : bandwidth_mix;
+  pattern : pattern;
+}
+
+let draw_bw rng = function
+  | Constant n -> n
+  | Classes classes ->
+      let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 classes in
+      let target = Rng.float rng total in
+      let rec pick acc = function
+        | [] -> invalid_arg "Workload: empty bandwidth class list"
+        | [ (bw, _) ] -> bw
+        | (bw, w) :: rest -> if acc +. w >= target then bw else pick (acc +. w) rest
+      in
+      pick 0.0 classes
+
+let default_lifetime_lo = 20.0 *. 60.0
+let default_lifetime_hi = 60.0 *. 60.0
+
+let hotspot_pattern rng ~node_count ~hotspots ~fraction =
+  if hotspots <= 0 || hotspots > node_count then
+    invalid_arg "Workload.hotspot_pattern: bad hotspot count";
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Workload.hotspot_pattern: fraction out of range";
+  let destinations = Dist.sample_without_replacement rng ~k:hotspots ~n:node_count in
+  Hotspot { destinations; fraction }
+
+let draw_endpoints rng node_count pattern =
+  match pattern with
+  | Uniform -> Dist.pick_distinct_pair rng node_count
+  | Hotspot { destinations; fraction } ->
+      if Rng.float rng 1.0 < fraction then begin
+        let dst = Dist.pick rng destinations in
+        let rec draw_src () =
+          let s = Rng.int rng node_count in
+          if s = dst then draw_src () else s
+        in
+        (draw_src (), dst)
+      end
+      else Dist.pick_distinct_pair rng node_count
+
+let generate rng ~node_count spec =
+  if node_count < 2 then invalid_arg "Workload.generate: need at least 2 nodes";
+  if spec.arrival_rate <= 0.0 then invalid_arg "Workload.generate: rate must be positive";
+  if spec.horizon <= 0.0 then invalid_arg "Workload.generate: horizon must be positive";
+  if spec.lifetime_lo <= 0.0 || spec.lifetime_hi < spec.lifetime_lo then
+    invalid_arg "Workload.generate: bad lifetime range";
+  (match spec.bw with
+  | Constant n -> if n <= 0 then invalid_arg "Workload.generate: bandwidth must be positive"
+  | Classes [] -> invalid_arg "Workload.generate: empty bandwidth class list"
+  | Classes classes ->
+      List.iter
+        (fun (bw, w) ->
+          if bw <= 0 then invalid_arg "Workload.generate: bandwidth must be positive";
+          if w < 0.0 then invalid_arg "Workload.generate: negative class weight")
+        classes);
+  (match spec.pattern with
+  | Uniform -> ()
+  | Hotspot { destinations; _ } ->
+      Array.iter
+        (fun d ->
+          if d < 0 || d >= node_count then
+            invalid_arg "Workload.generate: hotspot out of range")
+        destinations);
+  let items = ref [] in
+  let conn = ref 0 in
+  let t = ref (Dist.exponential rng ~rate:spec.arrival_rate) in
+  while !t < spec.horizon do
+    let src, dst = draw_endpoints rng node_count spec.pattern in
+    let duration =
+      Dist.uniform_float rng ~lo:spec.lifetime_lo ~hi:spec.lifetime_hi
+    in
+    let bw = draw_bw rng spec.bw in
+    items :=
+      { Scenario.time = !t; event = Scenario.Request { conn = !conn; src; dst; bw; duration } }
+      :: { Scenario.time = !t +. duration; event = Scenario.Release { conn = !conn } }
+      :: !items;
+    incr conn;
+    t := !t +. Dist.exponential rng ~rate:spec.arrival_rate
+  done;
+  Scenario.of_items !items

@@ -1,0 +1,54 @@
+(** Workload (traffic) generation — the paper's §6.1 traffic model.
+
+    DR-connection requests arrive as a Poisson process with rate λ; each
+    request asks for a constant bandwidth [bw_req] and holds it for a
+    lifetime drawn uniformly from [t_req_lo, t_req_hi].  Two source/
+    destination patterns are evaluated:
+
+    - {b UT}: source and destination drawn uniformly at random (distinct);
+    - {b NT}: 10 pre-selected hotspot nodes receive 50% of all connections
+      (destination is a uniformly chosen hotspot with probability 1/2, and
+      uniform over all nodes otherwise; the source is always uniform and
+      distinct from the destination). *)
+
+type pattern =
+  | Uniform
+  | Hotspot of { destinations : int array; fraction : float }
+      (** [fraction] of requests target a uniformly chosen member of
+          [destinations]. *)
+
+type bandwidth_mix =
+  | Constant of int  (** the paper's model: every connection asks the same *)
+  | Classes of (int * float) list
+      (** traffic classes, e.g. [[(1, 0.7); (4, 0.3)]] = 70% audio-sized,
+          30% video-sized requests (Table 1 is "selected while keeping in
+          mind the bandwidth and time constraints of typical video and
+          audio applications"); weights need not sum to 1, they are
+          normalised *)
+
+type spec = {
+  arrival_rate : float;  (** λ, requests per second network-wide *)
+  horizon : float;  (** generate arrivals in [0, horizon) seconds *)
+  lifetime_lo : float;  (** shortest holding time, seconds *)
+  lifetime_hi : float;  (** longest holding time, seconds *)
+  bw : bandwidth_mix;  (** bandwidth units requested per connection *)
+  pattern : pattern;
+}
+
+val constant_bw : int -> bandwidth_mix
+
+val default_lifetime_lo : float
+(** 20 minutes, per Table 1. *)
+
+val default_lifetime_hi : float
+(** 60 minutes, per Table 1. *)
+
+val hotspot_pattern :
+  Dr_rng.Splitmix64.t -> node_count:int -> hotspots:int -> fraction:float -> pattern
+(** Pre-select [hotspots] distinct destination nodes (the paper's NT uses
+    10 nodes and fraction 0.5). *)
+
+val generate : Dr_rng.Splitmix64.t -> node_count:int -> spec -> Scenario.t
+(** Draw a scenario: Poisson arrivals over [0, horizon), each with a
+    matching release at [arrival + lifetime].  Connection ids are dense from
+    0 in arrival order.  Deterministic for a given generator state. *)

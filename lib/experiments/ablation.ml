@@ -1,0 +1,311 @@
+module Bounded_flood = Dr_flood.Bounded_flood
+module Routing = Drtp.Routing
+
+type mux_row = {
+  label : string;
+  ft : float;
+  avg_active : float;
+  overhead_pct : float;
+  spare_fraction : float;
+}
+
+let no_multiplexing (cfg : Config.t) ~avg_degree ~traffic ~lambda =
+  let graph = Config.make_graph cfg ~avg_degree in
+  let scenario = Config.make_scenario cfg traffic ~lambda in
+  let baseline = Runner.run cfg ~graph ~scenario ~scheme:Runner.No_backup in
+  let base_active = baseline.Runner.avg_active in
+  let overhead m =
+    if base_active <= 0.0 then 0.0
+    else 100.0 *. (base_active -. m.Runner.avg_active) /. base_active
+  in
+  let row scheme =
+    let m = Runner.run cfg ~graph ~scenario ~scheme in
+    {
+      label = m.Runner.label;
+      ft = m.Runner.ft_overall;
+      avg_active = m.Runner.avg_active;
+      overhead_pct = overhead m;
+      spare_fraction = m.Runner.avg_spare_fraction;
+    }
+  in
+  [
+    {
+      label = "no-backup";
+      ft = 0.0;
+      avg_active = base_active;
+      overhead_pct = 0.0;
+      spare_fraction = 0.0;
+    };
+    row (Runner.Lsr Routing.Dlsr);
+    row (Runner.Lsr_dedicated Routing.Dlsr);
+  ]
+
+type flood_row = {
+  rho : float;
+  beta0 : int;
+  beta1 : int;
+  ft : float;
+  acceptance : float;
+  messages_per_request : float;
+}
+
+let default_flood_points =
+  [
+    (1.0, 0, 0);
+    (1.0, 2, 0);
+    (1.0, 2, 1);
+    (1.0, 2, 2);
+    (1.0, 3, 1);
+    (1.5, 2, 1);
+    (1.5, 3, 2);
+  ]
+
+let flood_scope (cfg : Config.t) ~avg_degree ~traffic ~lambda
+    ?(points = default_flood_points) () =
+  let graph = Config.make_graph cfg ~avg_degree in
+  let scenario = Config.make_scenario cfg traffic ~lambda in
+  List.map
+    (fun (rho, beta0, beta1) ->
+      let flood_cfg = { Bounded_flood.default_config with rho; beta0; beta1 } in
+      let m = Runner.run cfg ~graph ~scenario ~scheme:(Runner.Bf flood_cfg) in
+      {
+        rho;
+        beta0;
+        beta1;
+        ft = m.Runner.ft_overall;
+        acceptance = m.Runner.acceptance;
+        messages_per_request =
+          Option.value ~default:0.0 m.Runner.flood_messages_per_request;
+      })
+    points
+
+type blind_row = {
+  avg_degree : float;
+  scheme : string;
+  ft : float;
+  spare_fraction : float;
+  avg_active : float;
+  degraded : int;
+}
+
+let conflict_blind (cfg : Config.t) ~traffic ~lambda =
+  List.concat_map
+    (fun avg_degree ->
+      let graph = Config.make_graph cfg ~avg_degree in
+      let scenario = Config.make_scenario cfg traffic ~lambda in
+      List.map
+        (fun scheme ->
+          let m = Runner.run cfg ~graph ~scenario ~scheme in
+          {
+            avg_degree;
+            scheme = m.Runner.label;
+            ft = m.Runner.ft_overall;
+            spare_fraction = m.Runner.avg_spare_fraction;
+            avg_active = m.Runner.avg_active;
+            degraded = m.Runner.degraded;
+          })
+        [
+          Runner.Lsr Routing.Dlsr; Runner.Lsr Routing.Plsr; Runner.Lsr Routing.Spf;
+        ])
+    [ 3.0; 4.0 ]
+
+type backup_count_row = {
+  backups : int;
+  ft : float;
+  overhead_pct : float;
+  acceptance : float;
+  node_ft : float;
+  double_ft : float;
+}
+
+let backup_count (cfg : Config.t) ~avg_degree ~traffic ~lambda
+    ?(counts = [ 0; 1; 2 ]) () =
+  let graph = Config.make_graph cfg ~avg_degree in
+  let scenario = Config.make_scenario cfg traffic ~lambda in
+  let baseline = Runner.run cfg ~graph ~scenario ~scheme:Runner.No_backup in
+  let base_active = baseline.Runner.avg_active in
+  List.map
+    (fun k ->
+      let scheme =
+        if k = 0 then Runner.No_backup else Runner.Lsr_k (Routing.Dlsr, k)
+      in
+      let m = Runner.run cfg ~graph ~scenario ~scheme in
+      let double_ft =
+        if k = 0 then 0.0
+        else
+          let state =
+            Runner.load_state cfg ~graph ~scenario ~scheme ~until:cfg.Config.horizon
+          in
+          Drtp.Failure_eval.fault_tolerance
+            (Drtp.Failure_eval.evaluate_double ~samples:400 state)
+      in
+      {
+        backups = k;
+        ft = (if k = 0 then 0.0 else m.Runner.ft_overall);
+        overhead_pct =
+          (if base_active <= 0.0 then 0.0
+           else 100.0 *. (base_active -. m.Runner.avg_active) /. base_active);
+        acceptance = m.Runner.acceptance;
+        node_ft = (if k = 0 then 0.0 else m.Runner.node_ft_overall);
+        double_ft;
+      })
+    counts
+
+type qos_row = {
+  slack : int option;
+  ft : float;
+  acceptance : float;
+  rejected_no_backup : int;
+  avg_backup_hops : float;
+}
+
+let qos_bound (cfg : Config.t) ~avg_degree ~traffic ~lambda
+    ?(slacks = [ Some 0; Some 1; Some 2; Some 4; None ]) () =
+  let graph = Config.make_graph cfg ~avg_degree in
+  let scenario = Config.make_scenario cfg traffic ~lambda in
+  List.map
+    (fun slack ->
+      let scheme =
+        match slack with
+        | Some s -> Runner.Lsr_bounded (Routing.Dlsr, s)
+        | None -> Runner.Lsr Routing.Dlsr
+      in
+      let m = Runner.run cfg ~graph ~scenario ~scheme in
+      {
+        slack;
+        ft = m.Runner.ft_overall;
+        acceptance = m.Runner.acceptance;
+        rejected_no_backup = m.Runner.rejected_no_backup;
+        avg_backup_hops = m.Runner.avg_backup_hops;
+      })
+    slacks
+
+type class_row = {
+  mix : string;
+  ft : float;
+  acceptance : float;
+  avg_active : float;
+  spare_fraction : float;
+  degraded : int;
+}
+
+let traffic_classes (cfg : Config.t) ~avg_degree ~traffic ~lambda () =
+  let graph = Config.make_graph cfg ~avg_degree in
+  let mixes =
+    [
+      ("audio (1u)", Dr_sim.Workload.constant_bw 1);
+      ("mixed 70/30", Dr_sim.Workload.Classes [ (1, 0.7); (4, 0.3) ]);
+      ("video (4u)", Dr_sim.Workload.constant_bw 4);
+    ]
+  in
+  List.map
+    (fun (mix, bw) ->
+      (* Regenerate the scenario with the same seeds but this bandwidth
+         mix. *)
+      let seed =
+        cfg.Config.workload_seed
+        + int_of_float (lambda *. 1000.0)
+        + match traffic with Config.UT -> 0 | Config.NT -> 500_000
+      in
+      let rng = Dr_rng.Splitmix64.create seed in
+      let pattern =
+        match traffic with
+        | Config.UT -> Dr_sim.Workload.Uniform
+        | Config.NT ->
+            Dr_sim.Workload.hotspot_pattern rng ~node_count:cfg.Config.nodes
+              ~hotspots:cfg.Config.hotspot_count
+              ~fraction:cfg.Config.hotspot_fraction
+      in
+      let spec =
+        {
+          Dr_sim.Workload.arrival_rate = lambda;
+          horizon = cfg.Config.horizon;
+          lifetime_lo = cfg.Config.lifetime_lo;
+          lifetime_hi = cfg.Config.lifetime_hi;
+          bw;
+          pattern;
+        }
+      in
+      let scenario = Dr_sim.Workload.generate rng ~node_count:cfg.Config.nodes spec in
+      let m = Runner.run cfg ~graph ~scenario ~scheme:(Runner.Lsr Routing.Dlsr) in
+      {
+        mix;
+        ft = m.Runner.ft_overall;
+        acceptance = m.Runner.acceptance;
+        avg_active = m.Runner.avg_active;
+        spare_fraction = m.Runner.avg_spare_fraction;
+        degraded = m.Runner.degraded;
+      })
+    mixes
+
+let pp_mux ppf rows =
+  Format.fprintf ppf
+    "@[<v># Ablation A1: backup multiplexing vs dedicated spare@,\
+     scheme            ft      active   overhead%%  spare%%@,";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-16s %.4f  %7.1f  %8.1f  %5.1f@," r.label r.ft
+        r.avg_active r.overhead_pct
+        (100.0 *. r.spare_fraction))
+    rows;
+  Format.fprintf ppf "@]"
+
+let pp_flood ppf rows =
+  Format.fprintf ppf
+    "@[<v># Ablation A2: flooding scope (rho, beta0, beta1)@,\
+     rho  beta0 beta1   ft      accept  msgs/request@,";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%.1f  %5d %5d   %.4f  %.3f  %8.1f@," r.rho r.beta0
+        r.beta1 r.ft r.acceptance r.messages_per_request)
+    rows;
+  Format.fprintf ppf "@]"
+
+let pp_blind ppf rows =
+  Format.fprintf ppf
+    "@[<v># Ablation A3: conflict-aware vs conflict-blind backup routing@,\
+     E    scheme   ft      spare%%  active  degraded@,";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%.0f    %-7s %.4f  %5.1f  %7.1f  %8d@," r.avg_degree
+        r.scheme r.ft
+        (100.0 *. r.spare_fraction)
+        r.avg_active r.degraded)
+    rows;
+  Format.fprintf ppf "@]"
+
+let pp_qos ppf rows =
+  Format.fprintf ppf
+    "@[<v># Extension E5: QoS (delay) budget on backups, D-LSR@,\
+     slack      ft      accept  rej-no-backup  backup-hops@,";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-9s  %.4f  %.3f  %13d  %11.2f@,"
+        (match r.slack with None -> "unbounded" | Some s -> string_of_int s)
+        r.ft r.acceptance r.rejected_no_backup r.avg_backup_hops)
+    rows;
+  Format.fprintf ppf "@]"
+
+let pp_classes ppf rows =
+  Format.fprintf ppf
+    "@[<v># Traffic classes (D-LSR): heterogeneous bandwidths@,\
+     mix          ft      accept  active   spare%%  degraded@,";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-11s  %.4f  %.3f  %7.1f  %5.1f  %8d@," r.mix r.ft
+        r.acceptance r.avg_active
+        (100.0 *. r.spare_fraction)
+        r.degraded)
+    rows;
+  Format.fprintf ppf "@]"
+
+let pp_backup_count ppf rows =
+  Format.fprintf ppf
+    "@[<v># Extension E2: backups per DR-connection (D-LSR routing)@,\
+     k    edge-ft  node-ft  double-ft  overhead%%  accept@,";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%d    %.4f   %.4f   %.4f    %7.1f   %.3f@," r.backups
+        r.ft r.node_ft r.double_ft r.overhead_pct r.acceptance)
+    rows;
+  Format.fprintf ppf "@]"

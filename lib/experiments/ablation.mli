@@ -1,0 +1,135 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    - {b A1, no multiplexing}: reserve dedicated spare per backup instead
+      of §5's shared pool.  Reproduces the paper's §2 argument that a
+      dedicated disjoint backup "reduces the network capacity by at least
+      50%", i.e. multiplexing is what makes DR-connections affordable.
+    - {b A2, flooding scope}: sweep (ρ, β₀, β₁) to expose the routing
+      overhead ↔ acceptance/fault-tolerance trade-off behind the paper's
+      chosen operating point (§4.1, §6.2).
+    - {b A3, conflict-blind routing}: replace the conflict-aware link costs
+      with plain shortest-path backup selection; the gap quantifies "the
+      lower the network connectivity, the more sophisticated routing
+      algorithm is necessary" (§6.2). *)
+
+type mux_row = {
+  label : string;
+  ft : float;
+  avg_active : float;
+  overhead_pct : float;
+  spare_fraction : float;
+}
+
+val no_multiplexing :
+  Config.t -> avg_degree:float -> traffic:Config.traffic -> lambda:float -> mux_row list
+(** D-LSR with multiplexed vs dedicated spare, plus the no-backup baseline
+    reference. *)
+
+type flood_row = {
+  rho : float;
+  beta0 : int;
+  beta1 : int;
+  ft : float;
+  acceptance : float;
+  messages_per_request : float;
+}
+
+val flood_scope :
+  Config.t ->
+  avg_degree:float ->
+  traffic:Config.traffic ->
+  lambda:float ->
+  ?points:(float * int * int) list ->
+  unit ->
+  flood_row list
+
+type blind_row = {
+  avg_degree : float;
+  scheme : string;
+  ft : float;
+  spare_fraction : float;
+      (** conflict-blind routing pays in spare bandwidth even when the
+          §5 spare-growth rule keeps fault-tolerance up *)
+  avg_active : float;
+  degraded : int;
+}
+
+val conflict_blind :
+  Config.t -> traffic:Config.traffic -> lambda:float -> blind_row list
+(** D-LSR / P-LSR / SPF at E = 3 and E = 4: fault-tolerance plus the
+    capacity price of ignoring conflicts. *)
+
+type backup_count_row = {
+  backups : int;
+  ft : float;
+  overhead_pct : float;
+  acceptance : float;
+  node_ft : float;
+      (** fault-tolerance under single-node failures (extension E3) *)
+  double_ft : float;
+      (** fault-tolerance under simultaneous double-edge failures (sampled
+          on the loaded network at the horizon) — the regime §5's
+          single-failure spare sizing does not cover *)
+}
+
+val backup_count :
+  Config.t ->
+  avg_degree:float ->
+  traffic:Config.traffic ->
+  lambda:float ->
+  ?counts:int list ->
+  unit ->
+  backup_count_row list
+(** Extension E2: D-LSR with k = 0, 1, 2 backups per DR-connection — the
+    paper's "one or more backup channels".  More backups buy edge- and
+    especially node-failure tolerance at a capacity cost. *)
+
+type qos_row = {
+  slack : int option;  (** [None] = unbounded *)
+  ft : float;
+  acceptance : float;
+  rejected_no_backup : int;
+  avg_backup_hops : float;
+}
+
+val qos_bound :
+  Config.t ->
+  avg_degree:float ->
+  traffic:Config.traffic ->
+  lambda:float ->
+  ?slacks:int option list ->
+  unit ->
+  qos_row list
+(** Extension E5: bound every backup to [hops(primary) + slack] links —
+    the paper's delay-budget remark in §2.  Tight budgets forfeit
+    protection (rejections) and force conflictful short backups;
+    loose ones recover the unbounded behaviour. *)
+
+type class_row = {
+  mix : string;
+  ft : float;
+  acceptance : float;
+  avg_active : float;
+  spare_fraction : float;
+  degraded : int;
+}
+
+val traffic_classes :
+  Config.t ->
+  avg_degree:float ->
+  traffic:Config.traffic ->
+  lambda:float ->
+  unit ->
+  class_row list
+(** Heterogeneous bandwidth classes (Table 1's "video and audio"
+    motivation): audio-only (1 unit), mixed 70/30 audio/video (4 units),
+    video-only — at the same request rate.  Exercises the
+    bandwidth-weighted multiplexing rule; bigger flows are harder to pack
+    and to protect. *)
+
+val pp_mux : Format.formatter -> mux_row list -> unit
+val pp_flood : Format.formatter -> flood_row list -> unit
+val pp_blind : Format.formatter -> blind_row list -> unit
+val pp_backup_count : Format.formatter -> backup_count_row list -> unit
+val pp_qos : Format.formatter -> qos_row list -> unit
+val pp_classes : Format.formatter -> class_row list -> unit

@@ -1,0 +1,47 @@
+(** Extension E6: service availability under continuous failure/repair.
+
+    The paper's metrics are snapshots; what a subscriber of a "dependable"
+    connection ultimately buys is {e availability} — the fraction of its
+    lifetime the connection actually carried traffic.  This experiment
+    runs the workload with an ongoing failure process (edge failures
+    arriving as a Poisson process, each repaired after an exponential
+    time) and charges every affected connection its real downtime:
+
+    - a DRTP switchover costs its detection + reporting + activation
+      latency (milliseconds);
+    - a reactive re-establishment costs its route computation, signalling
+      and backoff retries;
+    - a connection that cannot be recovered is {e dropped} and charged the
+      rest of its committed lifetime.
+
+    Availability = 1 − Σ downtime / Σ delivered service time, across all
+    admitted connections. *)
+
+type row = {
+  label : string;
+  mtbf : float;  (** mean time between (network-wide) failures, seconds *)
+  failures : int;
+  switchovers : int;
+  reroutes : int;
+  drops : int;
+  downtime_s : float;
+  service_s : float;
+  availability : float;
+  nines : float;  (** −log₁₀(1 − availability); 3.0 = "three nines" *)
+}
+
+val run :
+  Config.t ->
+  avg_degree:float ->
+  traffic:Config.traffic ->
+  lambda:float ->
+  ?mtbf:float ->
+  ?mttr:float ->
+  ?failure_seed:int ->
+  unit ->
+  row list
+(** One row per approach (DRTP/D-LSR, DRTP/P-LSR, reactive), identical
+    workload and failure timeline.  Defaults: one failure every 600 s on
+    average, repaired after 120 s on average. *)
+
+val pp : Format.formatter -> row list -> unit

@@ -1,0 +1,80 @@
+module Bounded_flood = Dr_flood.Bounded_flood
+
+type t = {
+  links : int;
+  domains : int;
+  plsr_bytes_per_link : int;
+  dlsr_bytes_per_link : int;
+  plsr_lsdb_bytes : int;
+  dlsr_lsdb_bytes : int;
+  full_aplv_lsdb_bytes : int;
+  bf_messages_per_request : float;
+  bf_truncated_floods : int;
+  requests : int;
+  aplv_updates_per_second : float;
+  plsr_adv_bytes_per_second : float;
+  dlsr_adv_bytes_per_second : float;
+}
+
+let measure (cfg : Config.t) ~avg_degree ~traffic ~lambda =
+  let graph = Config.make_graph cfg ~avg_degree in
+  let scenario = Config.make_scenario cfg traffic ~lambda in
+  let m =
+    Runner.run cfg ~graph ~scenario ~scheme:(Runner.Bf Bounded_flood.default_config)
+  in
+  (* Replay once more under D-LSR to count how often per-link APLVs change:
+     every backup-path register/release packet touches each link it crosses,
+     and a link-state scheme must re-advertise the changed entry. *)
+  let manager =
+    Drtp.Manager.create ~graph ~capacity:cfg.Config.capacity
+      ~spare_policy:Drtp.Net_state.Multiplexed
+      ~route:(Drtp.Routing.link_state_route_fn Drtp.Routing.Dlsr ~with_backup:true)
+  in
+  let replay_end = ref 0.0 in
+  Dr_sim.Scenario.iter scenario (fun item ->
+      if item.Dr_sim.Scenario.time <= cfg.Config.horizon then begin
+        replay_end := item.Dr_sim.Scenario.time;
+        Drtp.Manager.apply manager item
+      end);
+  let updates = Drtp.Net_state.aplv_updates (Drtp.Manager.state manager) in
+  let update_rate =
+    if !replay_end > 0.0 then float_of_int updates /. !replay_end else 0.0
+  in
+  let links = Dr_topo.Graph.link_count graph in
+  let domains = Dr_topo.Graph.edge_count graph in
+  (* Per-link advertisement payloads: 4-byte available-bandwidth field plus
+     the scheme's conflict information. *)
+  let plsr_bytes_per_link = 4 + 4 in
+  let dlsr_bytes_per_link = 4 + ((domains + 7) / 8) in
+  {
+    links;
+    domains;
+    plsr_bytes_per_link;
+    dlsr_bytes_per_link;
+    plsr_lsdb_bytes = links * plsr_bytes_per_link;
+    dlsr_lsdb_bytes = links * dlsr_bytes_per_link;
+    full_aplv_lsdb_bytes = links * (4 + (4 * domains));
+    bf_messages_per_request =
+      Option.value ~default:0.0 m.Runner.flood_messages_per_request;
+    bf_truncated_floods = 0;
+    requests = m.Runner.requests;
+    aplv_updates_per_second = update_rate;
+    plsr_adv_bytes_per_second = update_rate *. float_of_int plsr_bytes_per_link;
+    dlsr_adv_bytes_per_second = update_rate *. float_of_int dlsr_bytes_per_link;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v># Routing overhead (links=%d, failure domains=%d, %d requests)@,\
+     scheme   per-link LSDB entry  whole-network LSDB  adverts (bytes/s)  on-demand msgs/request@,\
+     P-LSR    %8d bytes       %10d bytes  %10.1f        0@,\
+     D-LSR    %8d bytes       %10d bytes  %10.1f        0@,\
+     full-APLV%8d bytes       %10d bytes           -        0   (rejected by the paper as too costly)@,\
+     BF       %8d bytes       %10d bytes           0        %.1f@,\
+     (APLV update rate during D-LSR replay: %.1f link entries/s)@]"
+    t.links t.domains t.requests t.plsr_bytes_per_link t.plsr_lsdb_bytes
+    t.plsr_adv_bytes_per_second t.dlsr_bytes_per_link t.dlsr_lsdb_bytes
+    t.dlsr_adv_bytes_per_second
+    (4 + (4 * t.domains))
+    t.full_aplv_lsdb_bytes 0 0 t.bf_messages_per_request
+    t.aplv_updates_per_second

@@ -1,0 +1,39 @@
+(** Routing-overhead comparison (§6's "overhead of discovering backup
+    routes" and §3/§4's cost discussion).
+
+    The three schemes pay in different currencies:
+    - {b P-LSR} distributes one extra integer per link (the ‖APLV‖₁
+      scalar) with each link-state advertisement;
+    - {b D-LSR} distributes a Conflict Vector — N bits per link, where N is
+      the number of failure domains;
+    - {b BF} distributes nothing but floods CDPs on demand, paying per
+      request. *)
+
+type t = {
+  links : int;
+  domains : int;
+  plsr_bytes_per_link : int;  (** scalar + available bandwidth *)
+  dlsr_bytes_per_link : int;  (** packed CV + available bandwidth *)
+  plsr_lsdb_bytes : int;  (** whole-network database size *)
+  dlsr_lsdb_bytes : int;
+  full_aplv_lsdb_bytes : int;
+      (** the O(N²) cost of distributing complete APLVs — the option §3
+          rejects as "too costly" *)
+  bf_messages_per_request : float;
+  bf_truncated_floods : int;
+  requests : int;
+  aplv_updates_per_second : float;
+      (** rate of per-link APLV changes during a D-LSR replay — each one
+          obsoletes that link's advertised entry *)
+  plsr_adv_bytes_per_second : float;
+      (** advertisement traffic if every APLV change re-floods the link's
+          P-LSR entry *)
+  dlsr_adv_bytes_per_second : float;  (** same for D-LSR's CV entries *)
+}
+
+val measure : Config.t -> avg_degree:float -> traffic:Config.traffic -> lambda:float -> t
+(** Replay the (traffic, λ) scenario under BF to count discovery messages,
+    and size the link-state payloads the LSR schemes would distribute for
+    the same network. *)
+
+val pp : Format.formatter -> t -> unit

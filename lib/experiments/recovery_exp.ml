@@ -1,0 +1,126 @@
+module Scenario = Dr_sim.Scenario
+module Manager = Drtp.Manager
+module Net_state = Drtp.Net_state
+module Recovery = Drtp.Recovery
+module Routing = Drtp.Routing
+
+type row = {
+  label : string;
+  failures_injected : int;
+  affected : int;
+  recovered : int;
+  recovery_ratio : float;
+  latency_mean_ms : float;
+  latency_p99_ms : float;
+  reprotected : int;
+  retries_total : int;
+}
+
+type approach = Drtp_scheme of Routing.scheme | Local_detour | Reactive
+
+let approach_label = function
+  | Drtp_scheme s -> "DRTP/" ^ Routing.scheme_name s
+  | Local_detour -> "local-detour"
+  | Reactive -> "reactive"
+
+let run (cfg : Config.t) ~avg_degree ~traffic ~lambda ?(failures = 40) ?(seed = 7)
+    () =
+  let graph = Config.make_graph cfg ~avg_degree in
+  let scenario = Config.make_scenario cfg traffic ~lambda in
+  let items = Scenario.items scenario in
+  (* One shared failure plan: (time, edge) pairs spread after warmup. *)
+  let rng = Dr_rng.Splitmix64.create seed in
+  let gap = (cfg.horizon -. cfg.warmup) /. float_of_int (failures + 1) in
+  let plan =
+    List.init failures (fun i ->
+        ( cfg.warmup +. (gap *. float_of_int (i + 1)),
+          Dr_rng.Splitmix64.int rng (Dr_topo.Graph.edge_count graph) ))
+  in
+  let run_approach approach =
+    let route =
+      match approach with
+      | Drtp_scheme s -> Routing.link_state_route_fn s ~with_backup:true
+      | Local_detour | Reactive ->
+          Routing.link_state_route_fn Routing.Plsr ~with_backup:false
+    in
+    let manager =
+      Manager.create ~graph ~capacity:cfg.capacity
+        ~spare_policy:Net_state.Multiplexed ~route
+    in
+    let state = Manager.state manager in
+    let idx = ref 0 in
+    let replay_until t =
+      while
+        !idx < Array.length items
+        && items.(!idx).Scenario.time <= t
+      do
+        Manager.apply manager items.(!idx);
+        incr idx
+      done
+    in
+    let affected = ref 0 and recovered = ref 0 and reprotected = ref 0 in
+    let retries_total = ref 0 in
+    let latencies = ref [] in
+    List.iter
+      (fun (t, edge) ->
+        replay_until t;
+        let report =
+          match approach with
+          | Drtp_scheme s -> Recovery.fail_edge_drtp state ~scheme:s ~edge ()
+          | Local_detour -> Recovery.fail_edge_local_detour state ~edge ()
+          | Reactive -> Recovery.fail_edge_reactive state ~edge ()
+        in
+        List.iter
+          (fun (_, outcome) ->
+            incr affected;
+            match outcome with
+            | Recovery.Switched { latency; reprotected = r } ->
+                incr recovered;
+                if r then incr reprotected;
+                latencies := latency :: !latencies
+            | Recovery.Rerouted { latency; retries } ->
+                incr recovered;
+                retries_total := !retries_total + retries;
+                latencies := latency :: !latencies
+            | Recovery.Lost _ -> ())
+          report.Recovery.outcomes;
+        (* Single-failure assumption: repair before the next failure. *)
+        Net_state.restore_edge state ~edge)
+      plan;
+    let lat_ms = Array.of_list (List.map (fun l -> 1000.0 *. l) !latencies) in
+    let mean =
+      if Array.length lat_ms = 0 then 0.0
+      else Array.fold_left ( +. ) 0.0 lat_ms /. float_of_int (Array.length lat_ms)
+    in
+    let p99 =
+      if Array.length lat_ms = 0 then 0.0
+      else Dr_stats.Histogram.quantile lat_ms 0.99
+    in
+    {
+      label = approach_label approach;
+      failures_injected = failures;
+      affected = !affected;
+      recovered = !recovered;
+      recovery_ratio =
+        (if !affected = 0 then 1.0
+         else float_of_int !recovered /. float_of_int !affected);
+      latency_mean_ms = mean;
+      latency_p99_ms = p99;
+      reprotected = !reprotected;
+      retries_total = !retries_total;
+    }
+  in
+  List.map run_approach
+    [ Drtp_scheme Routing.Dlsr; Drtp_scheme Routing.Plsr; Local_detour; Reactive ]
+
+let pp ppf rows =
+  Format.fprintf ppf
+    "@[<v># Extension E1: failure recovery, DRTP vs reactive@,\
+     approach      failures affected recovered ratio   lat-mean(ms) lat-p99(ms) reprotected retries@,";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-12s  %8d %8d %9d %.4f  %11.2f %11.2f %11d %7d@,"
+        r.label r.failures_injected r.affected r.recovered r.recovery_ratio
+        r.latency_mean_ms r.latency_p99_ms r.reprotected r.retries_total)
+    rows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,41 @@
+(** Extension E1: dynamic failure recovery — DRTP vs reactive restoration.
+
+    The paper motivates DRTP by the weaknesses of reactive restoration
+    (§1): no recovery guarantee under resource contention and multi-second
+    restoration latencies.  This experiment loads the network to a target
+    λ, then injects a series of single-edge failures (repairing each before
+    the next, per the paper's single-failure assumption) and measures, for
+    DRTP with each routing scheme and for the reactive baseline:
+
+    - recovery success ratio;
+    - recovery latency (detection + reporting + switch/re-establishment);
+    - for DRTP, how often step 4 managed to re-protect the survivors. *)
+
+type row = {
+  label : string;
+  failures_injected : int;
+  affected : int;
+  recovered : int;
+  recovery_ratio : float;
+  latency_mean_ms : float;
+  latency_p99_ms : float;
+  reprotected : int;  (** DRTP: promoted connections that got a new backup *)
+  retries_total : int;  (** reactive: total retry attempts *)
+}
+
+val run :
+  Config.t ->
+  avg_degree:float ->
+  traffic:Config.traffic ->
+  lambda:float ->
+  ?failures:int ->
+  ?seed:int ->
+  unit ->
+  row list
+(** One row per approach: DRTP/D-LSR, DRTP/P-LSR, SFI-style local detour
+    (splice a min-hop detour around the failure at the detecting router —
+    the §1 related-work alternative), and reactive end-to-end
+    re-establishment.  Each approach replays the same scenario and suffers
+    the same failure sequence. *)
+
+val pp : Format.formatter -> row list -> unit

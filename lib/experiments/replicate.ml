@@ -1,0 +1,89 @@
+module Summary = Dr_stats.Summary
+
+type cell = {
+  traffic : Config.traffic;
+  lambda : float;
+  label : string;
+  ft : Summary.t;
+  node_ft : Summary.t;
+  overhead_pct : Summary.t;
+  acceptance : Summary.t;
+}
+
+type t = { avg_degree : float; seeds : int list; cells : cell list }
+
+let run ?(progress = fun _ -> ()) (cfg : Config.t) ~avg_degree ~seeds ?traffics
+    ?lambdas ?schemes () =
+  if seeds = [] then invalid_arg "Replicate.run: need at least one seed";
+  let table : (Config.traffic * float * string, cell) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let order = ref [] in
+  let cell_for key =
+    match Hashtbl.find_opt table key with
+    | Some c -> c
+    | None ->
+        let traffic, lambda, label = key in
+        let c =
+          {
+            traffic;
+            lambda;
+            label;
+            ft = Summary.create ();
+            node_ft = Summary.create ();
+            overhead_pct = Summary.create ();
+            acceptance = Summary.create ();
+          }
+        in
+        Hashtbl.add table key c;
+        order := key :: !order;
+        c
+  in
+  List.iter
+    (fun seed ->
+      let cfg =
+        {
+          cfg with
+          Config.topology_seed = cfg.Config.topology_seed + (7919 * seed);
+          workload_seed = cfg.Config.workload_seed + (104729 * seed);
+        }
+      in
+      let sweep =
+        Sweep.run ~progress cfg ~avg_degree ?traffics ?lambdas ?schemes ()
+      in
+      List.iter
+        (fun (c : Sweep.cell) ->
+          let m = c.Sweep.measurement in
+          let cell = cell_for (c.Sweep.traffic, c.Sweep.lambda, m.Runner.label) in
+          Summary.add cell.ft m.Runner.ft_overall;
+          Summary.add cell.node_ft m.Runner.node_ft_overall;
+          Summary.add cell.overhead_pct (Sweep.capacity_overhead_pct c);
+          Summary.add cell.acceptance m.Runner.acceptance)
+        sweep.Sweep.cells)
+    seeds;
+  {
+    avg_degree;
+    seeds;
+    cells = List.rev_map (fun key -> Hashtbl.find table key) !order;
+  }
+
+let print_aggregate ppf (t : t) ~title ~select =
+  Format.fprintf ppf "@[<v># %s (E = %.0f, %d seeds)@," title t.avg_degree
+    (List.length t.seeds);
+  Format.fprintf ppf "# traffic lambda scheme        mean      ci95@,";
+  List.iter
+    (fun c ->
+      let s = select c in
+      Format.fprintf ppf "%-4s %.2f %-12s %9.4f  ±%.4f@,"
+        (Config.traffic_name c.traffic) c.lambda c.label (Summary.mean s)
+        (Summary.ci95_halfwidth s))
+    t.cells;
+  Format.fprintf ppf "@]"
+
+let print_figure4 ppf t =
+  print_aggregate ppf t ~title:"Figure 4 (replicated): fault-tolerance"
+    ~select:(fun c -> c.ft)
+
+let print_figure5 ppf t =
+  print_aggregate ppf t ~title:"Figure 5 (replicated): capacity overhead %"
+    ~select:(fun c -> c.overhead_pct)

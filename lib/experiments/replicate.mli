@@ -1,0 +1,44 @@
+(** Multi-seed replication of the Figure 4/5 sweeps.
+
+    The paper reports single curves; with a simulator we can do better and
+    quantify run-to-run variation.  Each replication re-generates the
+    topology {e and} the workload under a different base seed and re-runs
+    the whole grid; the per-cell fault-tolerance and capacity-overhead
+    values are then summarised with mean and a 95% normal-approximation
+    confidence interval.  This is what separates a real D-LSR/P-LSR gap
+    from seed noise. *)
+
+type cell = {
+  traffic : Config.traffic;
+  lambda : float;
+  label : string;
+  ft : Dr_stats.Summary.t;
+  node_ft : Dr_stats.Summary.t;
+  overhead_pct : Dr_stats.Summary.t;
+  acceptance : Dr_stats.Summary.t;
+}
+
+type t = {
+  avg_degree : float;
+  seeds : int list;
+  cells : cell list;
+}
+
+val run :
+  ?progress:(string -> unit) ->
+  Config.t ->
+  avg_degree:float ->
+  seeds:int list ->
+  ?traffics:Config.traffic list ->
+  ?lambdas:float list ->
+  ?schemes:Runner.scheme_spec list ->
+  unit ->
+  t
+(** Run the sweep once per seed (the base config's topology and workload
+    seeds are offset by each seed) and aggregate. *)
+
+val print_figure4 : Format.formatter -> t -> unit
+(** Fault-tolerance with ±CI95 columns. *)
+
+val print_figure5 : Format.formatter -> t -> unit
+(** Capacity overhead with ±CI95 columns. *)

@@ -1,0 +1,30 @@
+(** Rendering sweeps as the paper's figures, plus automatic checks of the
+    paper's summary claims (§6.2). *)
+
+val print_figure4 : Format.formatter -> Sweep.t -> unit
+(** Fault-tolerance [P_act-bk] vs λ — one column per (scheme, traffic)
+    series, matching Fig. 4(a)/(b). *)
+
+val print_figure5 : Format.formatter -> Sweep.t -> unit
+(** Capacity overhead (%) vs λ, matching Fig. 5(a)/(b). *)
+
+val print_details : Format.formatter -> Sweep.t -> unit
+(** Per-cell diagnostics: acceptance, rejects by cause, backup hops, spare
+    fraction, multiplexing deficits, flood messages. *)
+
+val to_csv : Sweep.t -> string
+(** Machine-readable dump of every cell (one row per traffic × λ × scheme
+    with fault-tolerance, node fault-tolerance, overhead, acceptance,
+    rejects, hops, spare share, deficit and flood messages) for plotting
+    with external tools. *)
+
+type claim = { description : string; holds : bool; evidence : string }
+
+val check_claims : e3:Sweep.t -> e4:Sweep.t -> claim list
+(** Evaluate the paper's §6.2 statements against measured sweeps:
+    D-LSR ≥ P-LSR ≥ BF on fault-tolerance (in most cases); fault-tolerance
+    ≥ 0.87; overhead ≤ 25% (UT) / ≤ 20% (NT) at and below saturation;
+    fault-tolerance degrades with load for the LSR schemes; E = 4
+    dominates E = 3 per scheme; the D-LSR/P-LSR gap widens under NT. *)
+
+val print_claims : Format.formatter -> claim list -> unit

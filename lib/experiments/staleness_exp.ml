@@ -1,0 +1,52 @@
+module Protocol_sim = Dr_proto.Protocol_sim
+
+type row = {
+  min_lsa_interval : float;
+  acceptance : float;
+  setup_failure_rate : float;
+  lost_after_retries : int;
+  ft : float;
+  lsa_per_second : float;
+  avg_stale_links : float;
+}
+
+let run (cfg : Config.t) ~avg_degree ~traffic ~lambda
+    ?(intervals = [ 0.0; 1.0; 5.0; 30.0; 120.0 ]) () =
+  let graph = Config.make_graph cfg ~avg_degree in
+  let scenario = Config.make_scenario cfg traffic ~lambda in
+  List.map
+    (fun interval ->
+      let config =
+        { Protocol_sim.default_config with Protocol_sim.min_lsa_interval = interval }
+      in
+      let r =
+        Protocol_sim.run ~config ~graph ~capacity:cfg.Config.capacity ~scenario
+          ~warmup:cfg.Config.warmup ~horizon:cfg.Config.horizon
+          ~sample_every:cfg.Config.sample_every ()
+      in
+      {
+        min_lsa_interval = interval;
+        acceptance = r.Protocol_sim.acceptance;
+        setup_failure_rate =
+          (if r.Protocol_sim.stats.Protocol_sim.requests = 0 then 0.0
+           else
+             float_of_int r.Protocol_sim.stats.Protocol_sim.setup_failures
+             /. float_of_int r.Protocol_sim.stats.Protocol_sim.requests);
+        lost_after_retries = r.Protocol_sim.stats.Protocol_sim.lost_after_retries;
+        ft = r.Protocol_sim.ft_overall;
+        lsa_per_second = r.Protocol_sim.lsa_per_second;
+        avg_stale_links = r.Protocol_sim.avg_staleness;
+      })
+    intervals
+
+let pp ppf rows =
+  Format.fprintf ppf
+    "@[<v># Extension E4: link-state staleness (distributed protocol)@,\
+     lsa-interval(s)  accept  setup-fail/req  lost  ft      lsa/s  stale-links@,";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%15.0f  %.3f  %14.4f  %4d  %.4f  %5.1f  %11.1f@,"
+        r.min_lsa_interval r.acceptance r.setup_failure_rate r.lost_after_retries
+        r.ft r.lsa_per_second r.avg_stale_links)
+    rows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,33 @@
+(** Extension E4: link-state staleness ablation.
+
+    The centralised harness gives routing perfect information; the
+    distributed protocol of {!Dr_proto.Protocol_sim} routes on
+    advertisements damped by a per-link minimum origination interval.
+    This experiment sweeps that interval and measures what staleness
+    costs: setup failures (bandwidth promised by an old advertisement but
+    gone on arrival), acceptance, fault-tolerance and advertisement
+    traffic — the freshness/overhead trade-off implied by §3's remark
+    that extended link-state packets "introduce additional routing
+    traffic". *)
+
+type row = {
+  min_lsa_interval : float;
+  acceptance : float;
+  setup_failure_rate : float;  (** setup failures per request *)
+  lost_after_retries : int;
+  ft : float;
+  lsa_per_second : float;
+  avg_stale_links : float;
+}
+
+val run :
+  Config.t ->
+  avg_degree:float ->
+  traffic:Config.traffic ->
+  lambda:float ->
+  ?intervals:float list ->
+  unit ->
+  row list
+(** Default intervals: 0 (fresh), 1, 5, 30, 120 seconds. *)
+
+val pp : Format.formatter -> row list -> unit

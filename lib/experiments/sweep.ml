@@ -1,0 +1,100 @@
+type cell = {
+  traffic : Config.traffic;
+  lambda : float;
+  measurement : Runner.measurement;
+  baseline_active : float;
+}
+
+let capacity_overhead_pct cell =
+  if cell.baseline_active <= 0.0 then 0.0
+  else
+    100.0
+    *. (cell.baseline_active -. cell.measurement.Runner.avg_active)
+    /. cell.baseline_active
+
+type t = {
+  avg_degree : float;
+  schemes : Runner.scheme_spec list;
+  cells : cell list;
+  baselines : (Config.traffic * float * Runner.measurement) list;
+}
+
+let run ?(progress = fun _ -> ()) (cfg : Config.t) ~avg_degree
+    ?(traffics = [ Config.UT; Config.NT ]) ?lambdas ?(schemes = Runner.paper_schemes)
+    () =
+  let lambdas =
+    match lambdas with Some ls -> ls | None -> Config.lambdas_for_degree avg_degree
+  in
+  let graph = Config.make_graph cfg ~avg_degree in
+  let cells = ref [] and baselines = ref [] in
+  List.iter
+    (fun traffic ->
+      List.iter
+        (fun lambda ->
+          let scenario = Config.make_scenario cfg traffic ~lambda in
+          let run_baseline scheme =
+            let b = Runner.run cfg ~graph ~scenario ~scheme in
+            progress
+              (Printf.sprintf "degree=%.0f %s lambda=%.1f %s: active=%.1f"
+                 avg_degree (Config.traffic_name traffic) lambda b.Runner.label
+                 b.Runner.avg_active);
+            baselines := (traffic, lambda, b) :: !baselines;
+            b
+          in
+          let minhop_baseline = run_baseline Runner.No_backup in
+          (* BF is compared against flooding-routed primaries without
+             backups, so the overhead metric isolates the backups' cost
+             rather than the primary-routing difference. *)
+          let bf_baseline =
+            if List.exists (function Runner.Bf _ -> true | _ -> false) schemes
+            then
+              Some
+                (run_baseline
+                   (Runner.Bf_no_backup
+                      (match
+                         List.find
+                           (function Runner.Bf _ -> true | _ -> false)
+                           schemes
+                       with
+                      | Runner.Bf c -> c
+                      | _ -> assert false)))
+            else None
+          in
+          List.iter
+            (fun scheme ->
+              let m = Runner.run cfg ~graph ~scenario ~scheme in
+              progress
+                (Printf.sprintf
+                   "degree=%.0f %s lambda=%.1f %s: ft=%.4f active=%.1f acc=%.3f"
+                   avg_degree (Config.traffic_name traffic) lambda m.Runner.label
+                   m.Runner.ft_overall m.Runner.avg_active m.Runner.acceptance);
+              let baseline =
+                match (scheme, bf_baseline) with
+                | Runner.Bf _, Some b -> b
+                | _ -> minhop_baseline
+              in
+              cells :=
+                {
+                  traffic;
+                  lambda;
+                  measurement = m;
+                  baseline_active = baseline.Runner.avg_active;
+                }
+                :: !cells)
+            schemes)
+        lambdas)
+    traffics;
+  {
+    avg_degree;
+    schemes;
+    cells = List.rev !cells;
+    baselines = List.rev !baselines;
+  }
+
+let find t ~traffic ~lambda ~label =
+  List.find_opt
+    (fun c ->
+      c.traffic = traffic
+      && Float.abs (c.lambda -. lambda) < 1e-9
+      && c.measurement.Runner.label = label)
+    t.cells

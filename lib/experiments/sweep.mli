@@ -1,0 +1,41 @@
+(** Full evaluation sweeps: the grid behind Figures 4 and 5.
+
+    For a given average degree, every (traffic, λ) cell generates {e one}
+    scenario that is replayed under each scheme {e and} under the
+    no-backup baseline, mirroring the paper's replay of one scenario file
+    per load point.  Capacity overhead is then
+    [100 · (N_nobackup − N_scheme) / N_nobackup] on time-averaged active
+    connection counts (§6.2's "percentage of decreased number of
+    connections"). *)
+
+type cell = {
+  traffic : Config.traffic;
+  lambda : float;
+  measurement : Runner.measurement;
+  baseline_active : float;  (** avg active connections without backups *)
+}
+
+val capacity_overhead_pct : cell -> float
+
+type t = {
+  avg_degree : float;
+  schemes : Runner.scheme_spec list;
+  cells : cell list;  (** ordered by (traffic, λ, scheme list order) *)
+  baselines : (Config.traffic * float * Runner.measurement) list;
+}
+
+val run :
+  ?progress:(string -> unit) ->
+  Config.t ->
+  avg_degree:float ->
+  ?traffics:Config.traffic list ->
+  ?lambdas:float list ->
+  ?schemes:Runner.scheme_spec list ->
+  unit ->
+  t
+(** Run the grid.  Defaults: both traffics, the paper's λ sweep for the
+    degree, the paper's three schemes.  [progress] receives one line per
+    completed run. *)
+
+val find :
+  t -> traffic:Config.traffic -> lambda:float -> label:string -> cell option

@@ -1,0 +1,113 @@
+(** Routing with bounded flooding (paper §4).
+
+    On a connection request the source floods a channel-discovery packet
+    (CDP) towards the destination.  A CDP carries the hop count so far, a
+    [primary_flag] that stays 1 only while every traversed link has enough
+    {e free} bandwidth for a primary, and the list of nodes visited.
+    Flooding is bounded three ways:
+
+    - {b distance test}: a CDP is forwarded to neighbour [k] only if it can
+      still reach the destination within [hc_limit = ρ·D + β₀] hops, where
+      [D] is the min-hop distance from source to destination known from the
+      per-node distance tables (Eq. 8/10);
+    - {b loop-freedom test}: never forward to a node already on the CDP's
+      node list (Eq. 11);
+    - {b bandwidth test}: only cross links with
+      [total_bw - prime_bw >= bw_req] — a backup may share the spare pool
+      (Eq. 9/12);
+    - {b valid-detour test}: once a node has seen the connection (it has a
+      Pending-Connection-Table entry), further copies must satisfy
+      [hc_curr <= α·min_dist + β₁] (Eq. 13).
+
+    The destination accumulates the surviving CDPs in a Candidate-Route
+    Table, picks the shortest [primary_flag = 1] route as primary, and the
+    shortest minimally-overlapping remaining route as backup (§4.4).
+
+    The simulation is message-accurate: every CDP forward is counted, which
+    is the scheme's routing overhead (there is no link-state distribution
+    at all). *)
+
+type config = {
+  rho : float;  (** hop-limit slope ρ ≥ 1 *)
+  beta0 : int;  (** hop-limit offset β₀ ≥ 0 *)
+  alpha : float;  (** valid-detour slope α ≥ 1 *)
+  beta1 : int;  (** valid-detour offset β₁ ≥ 0 *)
+  crt_cap : int;  (** max candidate routes kept by the destination *)
+  cdp_cap : int;  (** safety cap on CDP forwards per request *)
+  allow_unprotected : bool;
+      (** accept a connection whose CRT held only one usable route without a
+          backup instead of rejecting it; such connections cannot recover
+          from a primary failure, which is precisely why BF's
+          fault-tolerance curve sits below the link-state schemes' *)
+  backup_count : int;
+      (** backups the destination tries to select from the CRT (the
+          paper's "one or more"); default 1 *)
+}
+
+val default_config : config
+(** The paper's §6.2 operating point — "ρ = α = 1, β = 2, β = 0" in the
+    (OCR-garbled) text: ρ = α = 1, β₀ = 2, and β₁ = 2, the valid-detour
+    slack that best reproduces Fig. 4's BF curves (the scan is ambiguous
+    about which β is which; ablation A2 sweeps the alternatives, and the
+    paper's own remark that "increasing the flooding area beyond this
+    barely improves the performance" holds at this point too).
+    Unprotected acceptance is on.  Table caps are generous. *)
+
+type candidate = {
+  path : Dr_topo.Path.t;
+  primary_ok : bool;  (** the CDP's primary_flag on arrival *)
+  hops : int;
+}
+
+type flood_result = {
+  candidates : candidate list;  (** in arrival (hop-count) order *)
+  messages : int;  (** CDP forwards performed *)
+  truncated : bool;  (** true if [cdp_cap] stopped the flood early *)
+}
+
+val discover :
+  config ->
+  Drtp.Net_state.t ->
+  hop_matrix:int array array ->
+  src:int ->
+  dst:int ->
+  bw:int ->
+  flood_result
+(** Run one bounded flood.  [hop_matrix] is the network's distance tables
+    (precomputed once per topology; they only change on topology changes,
+    §4.1). *)
+
+val select :
+  ?with_backup:bool ->
+  ?allow_unprotected:bool ->
+  ?backup_count:int ->
+  Drtp.Net_state.t ->
+  bw:int ->
+  candidate list ->
+  (Drtp.Routing.route_pair, Drtp.Routing.reject_reason) result
+(** The destination's route-selection process (§4.4): primary = shortest
+    candidate with [primary_ok]; backup = shortest remaining candidate with
+    minimum edge overlap against the chosen primary, subject to remaining
+    feasible once the primary is reserved (shared links need bandwidth for
+    both).  [Error No_primary] if no candidate can host a primary,
+    [Error No_backup] if no backup candidate survives.
+    [with_backup:false] (default [true]) skips the backup — the
+    flooding-routed no-backup baseline for the capacity-overhead metric. *)
+
+type stats = {
+  mutable floods : int;
+  mutable total_messages : int;
+  mutable truncated_floods : int;
+}
+
+val fresh_stats : unit -> stats
+
+val route_fn :
+  ?config:config ->
+  ?stats:stats ->
+  ?with_backup:bool ->
+  hop_matrix:int array array ->
+  unit ->
+  Drtp.Routing.route_fn
+(** The BF scheme packaged for the connection {!Manager}.  Message counts
+    accumulate into [stats] when provided. *)

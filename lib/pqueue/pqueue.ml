@@ -1,0 +1,103 @@
+type 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let length q = q.size
+let is_empty q = q.size = 0
+
+let entry_lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow q =
+  let cap = Array.length q.heap in
+  let new_cap = if cap = 0 then 16 else 2 * cap in
+  (* The dummy entry is never read below q.size. *)
+  let dummy = q.heap.(0) in
+  let bigger = Array.make new_cap dummy in
+  Array.blit q.heap 0 bigger 0 q.size;
+  q.heap <- bigger
+
+let sift_up q i0 =
+  let e = q.heap.(i0) in
+  let i = ref i0 in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if entry_lt e q.heap.(parent) then begin
+      q.heap.(!i) <- q.heap.(parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  q.heap.(!i) <- e
+
+let sift_down q i0 =
+  let e = q.heap.(i0) in
+  let i = ref i0 in
+  let continue = ref true in
+  while !continue do
+    let left = (2 * !i) + 1 in
+    if left >= q.size then continue := false
+    else begin
+      let right = left + 1 in
+      let child =
+        if right < q.size && entry_lt q.heap.(right) q.heap.(left) then right
+        else left
+      in
+      if entry_lt q.heap.(child) e then begin
+        q.heap.(!i) <- q.heap.(child);
+        i := child
+      end
+      else continue := false
+    end
+  done;
+  q.heap.(!i) <- e
+
+let add q ~key value =
+  let e = { key; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  if q.size = 0 && Array.length q.heap = 0 then q.heap <- Array.make 16 e;
+  if q.size = Array.length q.heap then grow q;
+  q.heap.(q.size) <- e;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let peek q =
+  if q.size = 0 then None
+  else
+    let e = q.heap.(0) in
+    Some (e.key, e.value)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (top.key, top.value)
+  end
+
+let clear q =
+  q.size <- 0;
+  q.heap <- [||]
+
+let to_sorted_list q =
+  let copy =
+    {
+      heap = Array.sub q.heap 0 (max q.size (min 1 (Array.length q.heap)));
+      size = q.size;
+      next_seq = q.next_seq;
+    }
+  in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some kv -> drain (kv :: acc)
+  in
+  drain []

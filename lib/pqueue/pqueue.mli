@@ -1,0 +1,28 @@
+(** Array-based binary min-heap with stable tie-breaking.
+
+    Elements are ordered by a float key; equal keys pop in insertion order
+    (a monotone sequence number breaks ties).  Determinism under equal keys
+    matters here: both the discrete-event engine and the routing algorithms
+    must behave identically across runs for scenario replay to be exact. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:float -> 'a -> unit
+(** Insert an element with the given priority key. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-key element, or [None] when empty. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Return the minimum-key element without removing it. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Drain a copy of the heap in pop order (the heap itself is unchanged). *)

@@ -1,0 +1,247 @@
+module Graph = Dr_topo.Graph
+module Path = Dr_topo.Path
+module Scenario = Dr_sim.Scenario
+module Engine = Dr_sim.Engine
+module Net_state = Drtp.Net_state
+module Routing = Drtp.Routing
+module Resources = Drtp.Resources
+
+type config = {
+  scheme : Drtp.Routing.scheme;
+  backup_count : int;
+  min_lsa_interval : float;
+  lsa_flood_delay : float;
+  hop_delay : float;
+  max_retries : int;
+}
+
+let default_config =
+  {
+    scheme = Routing.Dlsr;
+    backup_count = 1;
+    min_lsa_interval = 5.0;
+    lsa_flood_delay = 0.050;
+    hop_delay = 0.001;
+    max_retries = 1;
+  }
+
+type stats = {
+  mutable requests : int;
+  mutable accepted : int;
+  mutable rejected_no_route : int;
+  mutable setup_failures : int;
+  mutable retries : int;
+  mutable lost_after_retries : int;
+  mutable lsa_originated : int;
+  mutable released : int;
+}
+
+type result = {
+  stats : stats;
+  ft_overall : float;
+  avg_active : float;
+  acceptance : float;
+  lsa_per_second : float;
+  avg_staleness : float;
+}
+
+type event =
+  | Workload of Scenario.item
+  | Setup_arrival of {
+      conn : int;
+      bw : int;
+      attempt : int;
+      pair : Routing.route_pair;
+    }
+  | Lsa_originate of int  (* directed link *)
+  | Lsa_deliver of int
+  | Sample
+
+(* The admission checks of Net_state.admit, evaluated without committing,
+   against the current ground truth. *)
+let admissible state ~bw (pair : Routing.route_pair) =
+  let resources = Net_state.resources state in
+  let primary_links = Path.links pair.Routing.primary in
+  let primary_ok =
+    List.for_all
+      (fun l -> Resources.primary_feasible resources ~link:l ~bw)
+      primary_links
+  in
+  let occurrences l links =
+    List.fold_left (fun n x -> if x = l then n + 1 else n) 0 links
+  in
+  let rec backups_ok earlier = function
+    | [] -> true
+    | b :: rest ->
+        List.for_all
+          (fun l ->
+            let own =
+              occurrences l primary_links
+              + List.fold_left (fun n e -> n + occurrences l (Path.links e)) 0 earlier
+            in
+            Resources.available_for_backup resources l >= bw * (1 + own))
+          (Path.links b)
+        && backups_ok (b :: earlier) rest
+  in
+  primary_ok && backups_ok [] pair.Routing.backups
+
+let setup_hops (pair : Routing.route_pair) =
+  (* Primary and backup confirmations run simultaneously (§4.4); the setup
+     completes when the longest one lands. *)
+  List.fold_left
+    (fun acc b -> max acc (Path.hops b))
+    (Path.hops pair.Routing.primary)
+    pair.Routing.backups
+
+let run ?(config = default_config) ~graph ~capacity ~scenario ~warmup ~horizon
+    ~sample_every () =
+  let state = Net_state.create ~graph ~capacity ~spare_policy:Net_state.Multiplexed in
+  let view = Advertised_view.create state in
+  let engine : event Engine.t = Engine.create () in
+  let stats =
+    {
+      requests = 0;
+      accepted = 0;
+      rejected_no_route = 0;
+      setup_failures = 0;
+      retries = 0;
+      lost_after_retries = 0;
+      lsa_originated = 0;
+      released = 0;
+    }
+  in
+  let links = Graph.link_count graph in
+  let lsa_next_ok = Array.make links 0.0 in
+  let lsa_scheduled = Array.make links false in
+  (* Releases that arrived while the connection's setup was in flight. *)
+  let released_early = Hashtbl.create 16 in
+  (* Measurement accumulators. *)
+  let attempts = ref 0 and successes = ref 0 in
+  let samples = ref 0 in
+  let staleness = Dr_stats.Summary.create () in
+  let cursor = ref warmup in
+  let active_time = ref 0.0 in
+  let integrate_to t =
+    let t = min t horizon in
+    if t > !cursor then begin
+      active_time :=
+        !active_time +. (float_of_int (Net_state.active_count state) *. (t -. !cursor));
+      cursor := t
+    end
+  in
+  let trigger_lsa now l =
+    if not lsa_scheduled.(l) then begin
+      lsa_scheduled.(l) <- true;
+      Engine.schedule engine ~at:(max now lsa_next_ok.(l)) (Lsa_originate l)
+    end
+  in
+  let trigger_path_lsas now (p : Path.t) =
+    List.iter (fun l -> trigger_lsa now l) (Path.links p)
+  in
+  let trigger_pair_lsas now (pair : Routing.route_pair) =
+    trigger_path_lsas now pair.Routing.primary;
+    List.iter (trigger_path_lsas now) pair.Routing.backups
+  in
+  let route_from_view ~src ~dst ~bw =
+    Advertised_view.route view state ~scheme:config.scheme
+      ~backup_count:config.backup_count ~src ~dst ~bw
+  in
+  let launch_setup now ~conn ~bw ~attempt pair =
+    Engine.schedule engine
+      ~at:(now +. (config.hop_delay *. float_of_int (setup_hops pair)))
+      (Setup_arrival { conn; bw; attempt; pair })
+  in
+  let handler engine event =
+    let now = Engine.now engine in
+    integrate_to now;
+    match event with
+    | Workload { event = Scenario.Request { conn; src; dst; bw; duration = _ }; _ }
+      -> (
+        stats.requests <- stats.requests + 1;
+        match route_from_view ~src ~dst ~bw with
+        | Error _ -> stats.rejected_no_route <- stats.rejected_no_route + 1
+        | Ok pair -> launch_setup now ~conn ~bw ~attempt:0 pair)
+    | Workload { event = Scenario.Release { conn }; _ } -> (
+        match Net_state.find state conn with
+        | Some c ->
+            let touched =
+              Path.links c.Net_state.primary
+              @ List.concat_map Path.links c.Net_state.backups
+            in
+            Net_state.release state ~id:conn;
+            stats.released <- stats.released + 1;
+            List.iter (fun l -> trigger_lsa now l) touched
+        | None ->
+            (* Setup still in flight (or the request was rejected): remember
+               so an eventual admission is immediately torn down. *)
+            Hashtbl.replace released_early conn ())
+    | Setup_arrival { conn; bw; attempt; pair } ->
+        if admissible state ~bw pair then begin
+          ignore
+            (Net_state.admit state ~id:conn ~bw ~primary:pair.Routing.primary
+               ~backups:pair.Routing.backups);
+          stats.accepted <- stats.accepted + 1;
+          trigger_pair_lsas now pair;
+          if Hashtbl.mem released_early conn then begin
+            Hashtbl.remove released_early conn;
+            Net_state.release state ~id:conn;
+            stats.released <- stats.released + 1
+          end
+        end
+        else begin
+          stats.setup_failures <- stats.setup_failures + 1;
+          (* Crankback: the failure notice travels back and the source
+             re-routes on whatever the view says by then. *)
+          if attempt < config.max_retries then begin
+            stats.retries <- stats.retries + 1;
+            match
+              route_from_view ~src:(Path.src pair.Routing.primary)
+                ~dst:(Path.dst pair.Routing.primary) ~bw
+            with
+            | Error _ -> stats.lost_after_retries <- stats.lost_after_retries + 1
+            | Ok pair' -> launch_setup now ~conn ~bw ~attempt:(attempt + 1) pair'
+          end
+          else stats.lost_after_retries <- stats.lost_after_retries + 1
+        end
+    | Lsa_originate l ->
+        lsa_scheduled.(l) <- false;
+        lsa_next_ok.(l) <- now +. config.min_lsa_interval;
+        stats.lsa_originated <- stats.lsa_originated + 1;
+        Engine.schedule engine ~at:(now +. config.lsa_flood_delay) (Lsa_deliver l)
+    | Lsa_deliver l -> Advertised_view.refresh_link view state l
+    | Sample ->
+        incr samples;
+        let r = Drtp.Failure_eval.evaluate state in
+        attempts := !attempts + r.Drtp.Failure_eval.attempts;
+        successes := !successes + r.Drtp.Failure_eval.successes;
+        Dr_stats.Summary.add staleness
+          (float_of_int (Advertised_view.staleness_count view state))
+  in
+  Scenario.iter scenario (fun item ->
+      if item.Scenario.time <= horizon then
+        Engine.schedule engine ~at:item.Scenario.time (Workload item));
+  let rec schedule_samples t =
+    if t <= horizon then begin
+      Engine.schedule engine ~at:t Sample;
+      schedule_samples (t +. sample_every)
+    end
+  in
+  schedule_samples warmup;
+  Engine.run engine ~handler;
+  integrate_to horizon;
+  let window = horizon -. warmup in
+  {
+    stats;
+    ft_overall =
+      (if !attempts = 0 then 1.0
+       else float_of_int !successes /. float_of_int !attempts);
+    avg_active = (if window > 0.0 then !active_time /. window else 0.0);
+    acceptance =
+      (if stats.requests = 0 then 1.0
+       else float_of_int stats.accepted /. float_of_int stats.requests);
+    lsa_per_second =
+      (if horizon > 0.0 then float_of_int stats.lsa_originated /. horizon else 0.0);
+    avg_staleness =
+      (if Dr_stats.Summary.count staleness = 0 then 0.0
+       else Dr_stats.Summary.mean staleness);
+  }

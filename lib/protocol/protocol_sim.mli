@@ -1,0 +1,77 @@
+(** Distributed-protocol simulation of DR-connection management.
+
+    The centralised {!Drtp.Manager} routes on ground truth; this simulator
+    runs the protocol the paper actually describes, on the discrete-event
+    engine:
+
+    - {b link-state advertisements}: routers route on the
+      {!Advertised_view}, which is refreshed per link only when an LSA is
+      delivered.  LSAs are {e triggered} by state changes on a link but
+      damped by a per-link minimum origination interval
+      ([min_lsa_interval], OSPF's MinLSInterval), and take
+      [lsa_flood_delay] to reach the network;
+    - {b signalling}: a connection request computes routes at the source
+      from the advertised view, then a setup message travels the primary
+      and backup paths hop by hop ([hop_delay] each).  Admission is
+      checked against ground truth {e when the setup arrives} — by which
+      time other in-flight setups may have taken the bandwidth the view
+      promised.  Such a {e setup failure} is the cost of staleness;
+    - {b crankback retries}: a failed setup returns to the source, which
+      re-routes on the (possibly refreshed) view up to [max_retries]
+      times.
+
+    With [min_lsa_interval = 0], [lsa_flood_delay = 0] and
+    [hop_delay = 0] the protocol collapses to the centralised behaviour,
+    which the tests verify; growing the damping interval trades
+    advertisement traffic for setup failures and lost acceptance —
+    extension E4's staleness ablation. *)
+
+type config = {
+  scheme : Drtp.Routing.scheme;
+  backup_count : int;
+  min_lsa_interval : float;  (** seconds between LSAs of one link; 0 = immediate *)
+  lsa_flood_delay : float;  (** origination -> everyone's database, seconds *)
+  hop_delay : float;  (** per-hop signalling delay, seconds *)
+  max_retries : int;  (** crankback attempts after a setup failure *)
+}
+
+val default_config : config
+(** D-LSR, one backup, 5 s damping, 50 ms flood delay, 1 ms per hop,
+    1 retry. *)
+
+type stats = {
+  mutable requests : int;
+  mutable accepted : int;
+  mutable rejected_no_route : int;
+      (** the advertised view offered no primary or no backup *)
+  mutable setup_failures : int;
+      (** arrived setups that found less bandwidth than advertised *)
+  mutable retries : int;
+  mutable lost_after_retries : int;
+  mutable lsa_originated : int;
+  mutable released : int;
+}
+
+type result = {
+  stats : stats;
+  ft_overall : float;  (** ground-truth snapshot fault-tolerance *)
+  avg_active : float;
+  acceptance : float;
+  lsa_per_second : float;
+  avg_staleness : float;
+      (** mean number of links whose advertised free bandwidth disagreed
+          with ground truth, sampled with the fault-tolerance snapshots *)
+}
+
+val run :
+  ?config:config ->
+  graph:Dr_topo.Graph.t ->
+  capacity:int ->
+  scenario:Dr_sim.Scenario.t ->
+  warmup:float ->
+  horizon:float ->
+  sample_every:float ->
+  unit ->
+  result
+(** Drive the scenario through the distributed protocol and measure over
+    [warmup, horizon] like {!Dr_exp.Runner}. *)

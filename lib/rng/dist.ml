@@ -1,0 +1,47 @@
+let uniform_int g ~lo ~hi =
+  if hi < lo then invalid_arg "Dist.uniform_int: empty range";
+  lo + Splitmix64.int g (hi - lo + 1)
+
+let uniform_float g ~lo ~hi =
+  if hi < lo then invalid_arg "Dist.uniform_float: empty range";
+  lo +. Splitmix64.float g (hi -. lo +. min_float)
+
+let exponential g ~rate =
+  if rate <= 0.0 then invalid_arg "Dist.exponential: rate must be positive";
+  (* Inverse-CDF; guard the log argument away from 0. *)
+  let u = 1.0 -. Splitmix64.float g 1.0 in
+  -.log u /. rate
+
+let poisson g ~mean =
+  if mean < 0.0 then invalid_arg "Dist.poisson: negative mean";
+  let limit = exp (-.mean) in
+  let rec loop k p =
+    let p = p *. Splitmix64.float g 1.0 in
+    if p <= limit then k else loop (k + 1) p
+  in
+  loop 0 1.0
+
+let pick g arr =
+  if Array.length arr = 0 then invalid_arg "Dist.pick: empty array";
+  arr.(Splitmix64.int g (Array.length arr))
+
+let pick_distinct_pair g n =
+  if n < 2 then invalid_arg "Dist.pick_distinct_pair: need at least 2 values";
+  let a = Splitmix64.int g n in
+  let b = Splitmix64.int g (n - 1) in
+  let b = if b >= a then b + 1 else b in
+  (a, b)
+
+let shuffle g arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Splitmix64.int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement g ~k ~n =
+  if k < 0 || k > n then invalid_arg "Dist.sample_without_replacement";
+  let all = Array.init n (fun i -> i) in
+  shuffle g all;
+  Array.sub all 0 k

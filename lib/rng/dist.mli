@@ -1,0 +1,35 @@
+(** Random distributions on top of {!Splitmix64}.
+
+    These are the stochastic primitives of the paper's traffic model
+    (§6.1): Poisson connection arrivals, uniformly distributed holding
+    times, and uniform node selection. *)
+
+val uniform_int : Splitmix64.t -> lo:int -> hi:int -> int
+(** [uniform_int g ~lo ~hi] is uniform on the inclusive range [lo, hi]. *)
+
+val uniform_float : Splitmix64.t -> lo:float -> hi:float -> float
+(** [uniform_float g ~lo ~hi] is uniform on [lo, hi). *)
+
+val exponential : Splitmix64.t -> rate:float -> float
+(** [exponential g ~rate] draws an exponential inter-arrival time with the
+    given rate (mean [1 /. rate]).  Used to generate the Poisson request
+    process.  [rate] must be positive. *)
+
+val poisson : Splitmix64.t -> mean:float -> int
+(** [poisson g ~mean] draws a Poisson-distributed count (Knuth's method;
+    fine for the small means used here). *)
+
+val pick : Splitmix64.t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val pick_distinct_pair : Splitmix64.t -> int -> int * int
+(** [pick_distinct_pair g n] picks an ordered pair of distinct values in
+    [0, n-1], uniformly.  [n >= 2]. *)
+
+val shuffle : Splitmix64.t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_without_replacement : Splitmix64.t -> k:int -> n:int -> int array
+(** [sample_without_replacement g ~k ~n] draws [k] distinct values from
+    [0, n-1].  Used to pre-select the hotspot destinations of the NT traffic
+    pattern. *)

@@ -1,0 +1,43 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* The standard SplitMix64 output function: advance by the golden-ratio
+   increment, then apply two xor-shift-multiply mixing rounds. *)
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g =
+  let child_seed = next_int64 g in
+  { state = child_seed }
+
+(* 53 random bits, as a float in [0,1). *)
+let unit_float g =
+  let bits = Int64.shift_right_logical (next_int64 g) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Splitmix64.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (next_int64 g) 1 in
+    let v = Int64.rem raw bound64 in
+    if Int64.sub (Int64.add raw (Int64.sub bound64 1L)) v < 0L then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let float g bound =
+  if bound <= 0.0 then invalid_arg "Splitmix64.float: bound must be positive";
+  unit_float g *. bound
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L

@@ -1,0 +1,35 @@
+(** SplitMix64: a fast, high-quality, splittable 64-bit PRNG.
+
+    This is the generator from Steele, Lea & Flood, "Fast Splittable
+    Pseudorandom Number Generators" (OOPSLA 2014), as used to seed
+    xoshiro-family generators.  It is deterministic, portable across
+    platforms, and cheap to split into independent streams, which is what the
+    simulation layer needs: every experiment is reproducible from a single
+    integer seed, and sub-streams (topology, workload, failure injection)
+    never interfere with one another. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an arbitrary integer seed. *)
+
+val copy : t -> t
+(** [copy g] duplicates the state so the copy and original evolve
+    independently. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a statistically independent child
+    generator.  Use one child per simulation concern. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform on [0, bound-1].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform on [0, bound).  [bound] must be positive. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)

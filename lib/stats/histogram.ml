@@ -1,0 +1,62 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if lo >= hi then invalid_arg "Histogram.create: lo must be < hi";
+  if bins < 1 then invalid_arg "Histogram.create: need at least one bin";
+  { lo; hi; counts = Array.make bins 0; under = 0; over = 0; total = 0 }
+
+let add h x =
+  h.total <- h.total + 1;
+  if x < h.lo then h.under <- h.under + 1
+  else if x >= h.hi then h.over <- h.over + 1
+  else begin
+    let bins = Array.length h.counts in
+    let idx = int_of_float ((x -. h.lo) /. (h.hi -. h.lo) *. float_of_int bins) in
+    let idx = min idx (bins - 1) in
+    h.counts.(idx) <- h.counts.(idx) + 1
+  end
+
+let count h = h.total
+let bin_counts h = Array.copy h.counts
+let underflow h = h.under
+let overflow h = h.over
+
+let bin_bounds h i =
+  let bins = Array.length h.counts in
+  if i < 0 || i >= bins then invalid_arg "Histogram.bin_bounds";
+  let width = (h.hi -. h.lo) /. float_of_int bins in
+  (h.lo +. (float_of_int i *. width), h.lo +. (float_of_int (i + 1) *. width))
+
+let pp ppf h =
+  let max_count = Array.fold_left max 1 h.counts in
+  Format.fprintf ppf "@[<v>";
+  if h.under > 0 then Format.fprintf ppf "< %8.3f : %d@," h.lo h.under;
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bin_bounds h i in
+      let bar_len = c * 40 / max_count in
+      Format.fprintf ppf "[%8.3f, %8.3f) %6d %s@," lo hi c (String.make bar_len '#'))
+    h.counts;
+  if h.over > 0 then Format.fprintf ppf ">= %8.3f : %d@," h.hi h.over;
+  Format.fprintf ppf "@]"
+
+let quantile samples q =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Histogram.quantile: empty sample";
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q out of range";
+  Array.sort compare samples;
+  if n = 1 then samples.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    samples.(lo) +. (frac *. (samples.(hi) -. samples.(lo)))
+  end

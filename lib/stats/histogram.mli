@@ -1,0 +1,31 @@
+(** Fixed-bin histograms and empirical quantiles.
+
+    The recovery-latency experiment (extension E1 in DESIGN.md) reports
+    latency distributions; the routing-overhead experiment reports CDP
+    message-count distributions. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Histogram over [lo, hi) with [bins] equal-width bins plus underflow and
+    overflow counters.  Requires [lo < hi] and [bins >= 1]. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val bin_counts : t -> int array
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_bounds : t -> int -> float * float
+(** Inclusive-exclusive bounds of a bin. *)
+
+val pp : Format.formatter -> t -> unit
+(** Text rendering with proportional bars. *)
+
+val quantile : float array -> float -> float
+(** [quantile samples q] is the empirical [q]-quantile (linear
+    interpolation) of the array, which is sorted in place.
+    Requires a non-empty array and [0. <= q <= 1.]. *)

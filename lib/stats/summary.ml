@@ -1,0 +1,67 @@
+type t = {
+  mutable count : int;
+  mutable weight : float;
+  mutable mean : float;
+  mutable m2 : float; (* weighted sum of squared deviations *)
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  { count = 0; weight = 0.0; mean = 0.0; m2 = 0.0; min_v = infinity; max_v = neg_infinity }
+
+let add_weighted s ~weight x =
+  if weight < 0.0 then invalid_arg "Summary.add_weighted: negative weight";
+  if weight > 0.0 then begin
+    s.count <- s.count + 1;
+    let new_weight = s.weight +. weight in
+    let delta = x -. s.mean in
+    let r = delta *. weight /. new_weight in
+    s.mean <- s.mean +. r;
+    s.m2 <- s.m2 +. (s.weight *. delta *. r);
+    s.weight <- new_weight;
+    if x < s.min_v then s.min_v <- x;
+    if x > s.max_v then s.max_v <- x
+  end
+
+let add s x = add_weighted s ~weight:1.0 x
+
+let count s = s.count
+let total_weight s = s.weight
+let mean s = if s.count = 0 then nan else s.mean
+
+let variance s =
+  if s.count < 2 || s.weight <= 0.0 then 0.0
+  else s.m2 /. s.weight *. (float_of_int s.count /. float_of_int (s.count - 1))
+
+let stddev s = sqrt (variance s)
+
+let min_value s = if s.count = 0 then nan else s.min_v
+let max_value s = if s.count = 0 then nan else s.max_v
+
+let ci95_halfwidth s =
+  if s.count < 2 then 0.0 else 1.96 *. stddev s /. sqrt (float_of_int s.count)
+
+let merge a b =
+  if a.count = 0 then { b with count = b.count }
+  else if b.count = 0 then { a with count = a.count }
+  else begin
+    let weight = a.weight +. b.weight in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. b.weight /. weight) in
+    let m2 = a.m2 +. b.m2 +. (delta *. delta *. a.weight *. b.weight /. weight) in
+    {
+      count = a.count + b.count;
+      weight;
+      mean;
+      m2;
+      min_v = min a.min_v b.min_v;
+      max_v = max a.max_v b.max_v;
+    }
+  end
+
+let pp ppf s =
+  if s.count = 0 then Format.pp_print_string ppf "(empty)"
+  else
+    Format.fprintf ppf "mean=%.4f sd=%.4f n=%d range=[%.4f, %.4f]" (mean s)
+      (stddev s) s.count s.min_v s.max_v

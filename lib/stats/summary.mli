@@ -1,0 +1,41 @@
+(** Streaming summary statistics (Welford's online algorithm).
+
+    Used by the measurement layer: fault-tolerance samples are accumulated
+    per snapshot, active-connection counts are time-averaged, and the
+    harness reports means with confidence intervals. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val add_weighted : t -> weight:float -> float -> unit
+(** Weighted observation (used for time-weighted averages: the weight is the
+    duration a value was held). *)
+
+val count : t -> int
+(** Number of [add]/[add_weighted] calls. *)
+
+val total_weight : t -> float
+
+val mean : t -> float
+(** Mean of the observations ([nan] when empty). *)
+
+val variance : t -> float
+(** Unbiased (frequency-weighted) sample variance; [0.] with fewer than two
+    observations. *)
+
+val stddev : t -> float
+
+val min_value : t -> float
+val max_value : t -> float
+
+val ci95_halfwidth : t -> float
+(** Half-width of a normal-approximation 95% confidence interval for the
+    mean ([1.96 * stddev / sqrt count]); [0.] with fewer than two samples. *)
+
+val merge : t -> t -> t
+(** Combine two summaries as if all observations went into one. *)
+
+val pp : Format.formatter -> t -> unit

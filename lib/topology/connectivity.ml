@@ -1,0 +1,74 @@
+(* Iterative Tarjan low-link computation over the undirected view.  The DFS
+   tracks the edge used to enter each node so the parent edge (one edge, not
+   one direction) is skipped rather than any parallel path back. *)
+
+type dfs_state = {
+  disc : int array; (* discovery time, -1 = unvisited *)
+  low : int array;
+  parent_edge : int array; (* edge used to reach the node, -1 at roots *)
+}
+
+let dfs g =
+  let n = Graph.node_count g in
+  let st =
+    { disc = Array.make n (-1); low = Array.make n 0; parent_edge = Array.make n (-1) }
+  in
+  let time = ref 0 in
+  let bridges = ref [] in
+  let articulation = Array.make n false in
+  for root = 0 to n - 1 do
+    if st.disc.(root) = -1 then begin
+      let root_children = ref 0 in
+      (* Stack entries: (node, out-link index to try next). *)
+      let stack = Stack.create () in
+      st.disc.(root) <- !time;
+      st.low.(root) <- !time;
+      incr time;
+      Stack.push (root, ref 0) stack;
+      while not (Stack.is_empty stack) do
+        let v, next = Stack.top stack in
+        let links = Graph.out_links g v in
+        if !next < Array.length links then begin
+          let l = links.(!next) in
+          incr next;
+          let e = Graph.edge_of_link l in
+          if e <> st.parent_edge.(v) then begin
+            let w = Graph.link_dst g l in
+            if st.disc.(w) = -1 then begin
+              st.disc.(w) <- !time;
+              st.low.(w) <- !time;
+              incr time;
+              st.parent_edge.(w) <- e;
+              if v = root then incr root_children;
+              Stack.push (w, ref 0) stack
+            end
+            else st.low.(v) <- min st.low.(v) st.disc.(w)
+          end
+        end
+        else begin
+          ignore (Stack.pop stack);
+          if not (Stack.is_empty stack) then begin
+            let u, _ = Stack.top stack in
+            st.low.(u) <- min st.low.(u) st.low.(v);
+            if st.low.(v) > st.disc.(u) then
+              bridges := st.parent_edge.(v) :: !bridges;
+            if u <> root && st.low.(v) >= st.disc.(u) then articulation.(u) <- true
+          end
+        end
+      done;
+      if !root_children > 1 then articulation.(root) <- true
+    end
+  done;
+  (List.sort compare !bridges, articulation)
+
+let bridges g = fst (dfs g)
+
+let is_two_edge_connected g = Graph.is_connected g && bridges g = []
+
+let articulation_points g =
+  let _, arts = dfs g in
+  let out = ref [] in
+  for v = Graph.node_count g - 1 downto 0 do
+    if arts.(v) then out := v :: !out
+  done;
+  !out

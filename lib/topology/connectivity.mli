@@ -1,0 +1,18 @@
+(** Edge-connectivity analysis (Tarjan bridge finding).
+
+    A {e bridge} is an edge whose removal disconnects the graph.  Every
+    source–destination pair separated by a bridge is structurally unable to
+    host a primary plus an edge-disjoint backup, putting a hard ceiling on
+    the fault-tolerance any routing scheme can reach.  The Waxman generator
+    uses this module to deliver 2-edge-connected evaluation topologies
+    (see DESIGN.md §3). *)
+
+val bridges : Graph.t -> int list
+(** Undirected edge ids of all bridges, ascending. *)
+
+val is_two_edge_connected : Graph.t -> bool
+(** Connected and bridge-free: every node pair has at least two
+    edge-disjoint paths (Menger). *)
+
+val articulation_points : Graph.t -> int list
+(** Nodes whose removal disconnects the graph, ascending. *)

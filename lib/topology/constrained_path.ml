@@ -1,0 +1,67 @@
+let cheapest_within_hops g ~cost ~src ~dst ~max_hops =
+  if max_hops < 1 then invalid_arg "Constrained_path: max_hops must be >= 1";
+  let n = Graph.node_count g in
+  (* prev.(h).(v) = incoming link of the cheapest <=h-hop path to v. *)
+  let dist = Array.make_matrix (max_hops + 1) n infinity in
+  let prev = Array.make_matrix (max_hops + 1) n (-1) in
+  dist.(0).(src) <- 0.0;
+  for h = 1 to max_hops do
+    for v = 0 to n - 1 do
+      dist.(h).(v) <- dist.(h - 1).(v);
+      prev.(h).(v) <- prev.(h - 1).(v)
+    done;
+    Graph.iter_links g (fun l ->
+        let c = cost l in
+        if c < 0.0 then invalid_arg "Constrained_path: negative cost";
+        if c < infinity then begin
+          let u = Graph.link_src g l and v = Graph.link_dst g l in
+          if dist.(h - 1).(u) < infinity && dist.(h - 1).(u) +. c < dist.(h).(v)
+          then begin
+            dist.(h).(v) <- dist.(h - 1).(u) +. c;
+            prev.(h).(v) <- l
+          end
+        end)
+  done;
+  if dist.(max_hops).(dst) = infinity then None
+  else begin
+    (* Rebuild by walking back through the layers: at layer h, node v was
+       reached over prev.(h).(v); find the layer where that link entered. *)
+    let rec rebuild h v acc =
+      if v = src && (h = 0 || prev.(h).(v) = -1) then acc
+      else begin
+        let l = prev.(h).(v) in
+        assert (l >= 0);
+        let u = Graph.link_src g l in
+        (* The predecessor state is the cheapest <=h-1-hop path to u. *)
+        rebuild (h - 1) u (l :: acc)
+      end
+    in
+    let links = rebuild max_hops dst [] in
+    Some (dist.(max_hops).(dst), Path.of_links g links)
+  end
+
+let reachable_within_hops g ~usable ~src ~max_hops =
+  let n = Graph.node_count g in
+  let reach = Array.make n false in
+  reach.(src) <- true;
+  let frontier = ref [ src ] in
+  let hops = ref 0 in
+  while !frontier <> [] && !hops < max_hops do
+    incr hops;
+    let next = ref [] in
+    List.iter
+      (fun v ->
+        Array.iter
+          (fun l ->
+            if usable l then begin
+              let w = Graph.link_dst g l in
+              if not reach.(w) then begin
+                reach.(w) <- true;
+                next := w :: !next
+              end
+            end)
+          (Graph.out_links g v))
+      !frontier;
+    frontier := !next
+  done;
+  reach

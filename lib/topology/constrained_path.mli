@@ -1,0 +1,27 @@
+(** Hop-constrained cheapest paths.
+
+    Dijkstra minimises cost with no length control; a QoS-bounded backup
+    (paper §2: a backup whose path is too long cannot meet the
+    connection's end-to-end delay requirement) needs the cheapest path
+    {e among those within a hop budget}.  This is the classic layered
+    (Bellman–Ford-style) dynamic program: [best.(h).(v)] = cheapest way to
+    reach [v] in at most [h] hops, O(H·E) time. *)
+
+val cheapest_within_hops :
+  Graph.t ->
+  cost:(int -> float) ->
+  src:int ->
+  dst:int ->
+  max_hops:int ->
+  (float * Path.t) option
+(** Cheapest [src]→[dst] path using at most [max_hops] links; [None] when
+    no such path exists.  Link costs must be non-negative ([infinity]
+    excludes a link); raises [Invalid_argument] on negative costs or
+    [max_hops < 1].  The returned path can contain repeated nodes only if
+    that is genuinely cheaper within the budget (with non-negative costs a
+    cheapest bounded walk that revisits a node can always be shortened, so
+    the result is loop-free). *)
+
+val reachable_within_hops :
+  Graph.t -> usable:(int -> bool) -> src:int -> max_hops:int -> bool array
+(** Nodes reachable from [src] over usable links within the hop budget. *)

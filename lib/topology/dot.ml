@@ -1,0 +1,43 @@
+let to_dot ?(highlight = []) ?(name = "topology") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %S {\n" name);
+  Buffer.add_string buf "  node [shape=circle, fontsize=10, width=0.3];\n";
+  (match Graph.coords g with
+  | None ->
+      for v = 0 to Graph.node_count g - 1 do
+        Buffer.add_string buf (Printf.sprintf "  %d;\n" v)
+      done
+  | Some coords ->
+      Array.iteri
+        (fun v (x, y) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %d [pos=\"%.3f,%.3f!\"];\n" v (10.0 *. x) (10.0 *. y)))
+        coords);
+  let colour_of = Hashtbl.create 8 in
+  List.iter (fun (e, c) -> Hashtbl.replace colour_of e c) highlight;
+  Graph.iter_edges g (fun e ->
+      let u, v = Graph.edge_endpoints g e in
+      match Hashtbl.find_opt colour_of e with
+      | Some colour ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %d -- %d [color=%S, penwidth=2];\n" u v colour)
+      | None -> Buffer.add_string buf (Printf.sprintf "  %d -- %d [color=\"grey70\"];\n" u v));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let backup_palette = [| "blue"; "darkgreen"; "purple"; "orange" |]
+
+let routes_to_dot ?(name = "dr-connection") g ~primary ~backups =
+  let highlight = ref [] in
+  List.iteri
+    (fun i b ->
+      let colour = backup_palette.(i mod Array.length backup_palette) in
+      Path.Link_set.iter
+        (fun e -> highlight := (e, colour) :: !highlight)
+        (Path.edge_set b))
+    backups;
+  (* Primary last so it wins where routes overlap. *)
+  Path.Link_set.iter
+    (fun e -> highlight := (e, "red") :: !highlight)
+    (Path.edge_set primary);
+  to_dot ~highlight:(List.rev !highlight) ~name g

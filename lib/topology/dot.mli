@@ -1,0 +1,24 @@
+(** Graphviz export of topologies and routes.
+
+    Produces a [graph { ... }] document for quick visual inspection of
+    generated topologies and of a connection's primary/backup layout
+    ([dot -Tsvg] renders it).  Waxman coordinates, when present, become
+    fixed node positions so the plotted layout matches the generator's
+    geometry. *)
+
+val to_dot :
+  ?highlight:(int * string) list ->
+  ?name:string ->
+  Graph.t ->
+  string
+(** [to_dot g] renders the graph; [highlight] colours specific undirected
+    edges, e.g. [(edge_id, "red")].  Later entries win on conflict. *)
+
+val routes_to_dot :
+  ?name:string ->
+  Graph.t ->
+  primary:Path.t ->
+  backups:Path.t list ->
+  string
+(** Render a DR-connection: primary edges red, backups blue/green/…,
+    everything else grey. *)

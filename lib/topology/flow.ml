@@ -1,0 +1,107 @@
+(* Ford–Fulkerson with BFS augmentation (Edmonds–Karp).  Capacities are 0/1
+   per directed link; the residual of link [l] is "flow l = false", and
+   pushing on a residual arc of a used link cancels that link's flow. *)
+
+let bfs_augment g usable flow ~src ~dst =
+  let n = Graph.node_count g in
+  (* parent.(v) = (link, forward?) used to reach v *)
+  let parent = Array.make n None in
+  let visited = Array.make n false in
+  visited.(src) <- true;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    (* Forward residual arcs: unused usable out-links. *)
+    Array.iter
+      (fun l ->
+        let w = Graph.link_dst g l in
+        if (not visited.(w)) && usable l && not flow.(l) then begin
+          visited.(w) <- true;
+          parent.(w) <- Some (l, true);
+          Queue.add w queue
+        end)
+      (Graph.out_links g v);
+    (* Backward residual arcs: used in-links can be cancelled. *)
+    Array.iter
+      (fun l ->
+        let w = Graph.link_src g l in
+        if (not visited.(w)) && flow.(l) then begin
+          visited.(w) <- true;
+          parent.(w) <- Some (l, false);
+          Queue.add w queue
+        end)
+      (Graph.in_links g v);
+    if visited.(dst) then found := true
+  done;
+  if not visited.(dst) then false
+  else begin
+    (* Apply the augmenting path. *)
+    let rec walk v =
+      if v = src then ()
+      else
+        match parent.(v) with
+        | None -> assert false
+        | Some (l, true) ->
+            flow.(l) <- true;
+            walk (Graph.link_src g l)
+        | Some (l, false) ->
+            flow.(l) <- false;
+            walk (Graph.link_dst g l)
+    in
+    walk dst;
+    true
+  end
+
+(* Decompose a 0/1 flow into link-disjoint paths by walking used links from
+   the source. *)
+let decompose g flow ~src ~dst =
+  let used = Array.copy flow in
+  let next_from v =
+    let links = Graph.out_links g v in
+    let n = Array.length links in
+    let rec scan i =
+      if i >= n then None
+      else if used.(links.(i)) then Some links.(i)
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  let rec one_path v acc =
+    if v = dst then Some (List.rev acc)
+    else
+      match next_from v with
+      | None -> None
+      | Some l ->
+          used.(l) <- false;
+          one_path (Graph.link_dst g l) (l :: acc)
+  in
+  let rec collect acc =
+    match one_path src [] with
+    | None -> List.rev acc
+    | Some links -> collect (Path.of_links g links :: acc)
+  in
+  collect []
+
+let max_disjoint_paths g ?(usable = fun _ -> true) ~src ~dst () =
+  if src = dst then invalid_arg "Flow.max_disjoint_paths: src = dst";
+  let flow = Array.make (Graph.link_count g) false in
+  let count = ref 0 in
+  while bfs_augment g usable flow ~src ~dst do
+    incr count
+  done;
+  (!count, decompose g flow ~src ~dst)
+
+let edge_disjoint_paths g ~src ~dst =
+  if src = dst then invalid_arg "Flow.edge_disjoint_paths: src = dst";
+  (* Standard reduction: a directed max flow over the two anti-parallel
+     unit-capacity links of each edge equals the undirected min edge cut;
+     anti-parallel flow pairs cancel, so the value is the number of
+     edge-disjoint undirected paths (Menger). *)
+  let flow = Array.make (Graph.link_count g) false in
+  let count = ref 0 in
+  while bfs_augment g (fun _ -> true) flow ~src ~dst do
+    incr count
+  done;
+  !count

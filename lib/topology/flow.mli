@@ -1,0 +1,20 @@
+(** Unit-capacity max-flow (edge-disjoint path computation).
+
+    Each directed link carries capacity 1, so the max flow from [src] to
+    [dst] equals the number of link-disjoint paths between them (Menger).
+    The DRTP substrate uses this to (a) verify that a topology can support a
+    primary plus a disjoint backup at all, and (b) compute the
+    disjoint-path diagnostics reported by {!Topo_metrics}. *)
+
+val max_disjoint_paths :
+  Graph.t -> ?usable:(int -> bool) -> src:int -> dst:int -> unit -> int * Path.t list
+(** Maximum number of pairwise link-disjoint simple paths from [src] to
+    [dst] (restricted to [usable] links) and one such family of paths.
+    Raises [Invalid_argument] if [src = dst]. *)
+
+val edge_disjoint_paths :
+  Graph.t -> src:int -> dst:int -> int
+(** Like {!max_disjoint_paths} but disjoint in {e undirected edges}: using a
+    link forbids its twin, which is the notion of disjointness that matters
+    for single-edge failures.  Implemented by capacity sharing between twin
+    links. *)

@@ -1,0 +1,243 @@
+module Rng = Dr_rng.Splitmix64
+
+let mesh ~rows ~cols =
+  if rows < 1 || cols < 1 || rows * cols < 2 then invalid_arg "Gen.mesh: too small";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.create ~node_count:(rows * cols) ~edges:(List.rev !edges)
+
+let ring n =
+  if n < 3 then invalid_arg "Gen.ring: need at least 3 nodes";
+  let edges = List.init n (fun i -> (i, (i + 1) mod n)) in
+  Graph.create ~node_count:n ~edges
+
+let line n =
+  if n < 2 then invalid_arg "Gen.line: need at least 2 nodes";
+  Graph.create ~node_count:n ~edges:(List.init (n - 1) (fun i -> (i, i + 1)))
+
+let torus ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Gen.torus: need at least 3x3";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      edges := (id r c, id r ((c + 1) mod cols)) :: !edges;
+      edges := (id r c, id ((r + 1) mod rows) c) :: !edges
+    done
+  done;
+  Graph.create ~node_count:(rows * cols) ~edges:(List.rev !edges)
+
+let complete n =
+  if n < 2 then invalid_arg "Gen.complete: need at least 2 nodes";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create ~node_count:n ~edges:(List.rev !edges)
+
+let star n =
+  if n < 2 then invalid_arg "Gen.star: need at least 2 nodes";
+  Graph.create ~node_count:n ~edges:(List.init (n - 1) (fun i -> (0, i + 1)))
+
+let double_ring n =
+  if n < 6 || n mod 2 <> 0 then invalid_arg "Gen.double_ring: need even n >= 6";
+  let ring_edges = List.init n (fun i -> (i, (i + 1) mod n)) in
+  let chords = List.init (n / 2) (fun i -> (i, i + (n / 2))) in
+  Graph.create ~node_count:n ~edges:(ring_edges @ chords)
+
+(* --- random graphs ------------------------------------------------------ *)
+
+let target_edge_count n avg_degree =
+  let m = int_of_float (Float.round (float_of_int n *. avg_degree /. 2.0)) in
+  if m < n - 1 then
+    invalid_arg "Gen: average degree too low for a connected graph";
+  if m > n * (n - 1) / 2 then invalid_arg "Gen: average degree exceeds complete graph";
+  m
+
+(* Weighted spanning tree + weighted fill.  [weight u v] gives the relative
+   probability of picking edge (u,v); the Erdős–Rényi case uses a constant
+   weight.  With [min_degree_two], tree leaves get their second edge before
+   the free fill phase, which makes 2-edge-connected outcomes likely. *)
+let random_connected ?(min_degree_two = false) ~rng ~n ~m ~weight () =
+  let in_tree = Array.make n false in
+  let edges = ref [] in
+  let chosen = Hashtbl.create (2 * m) in
+  let add_edge u v =
+    let key = (min u v, max u v) in
+    Hashtbl.replace chosen key ();
+    edges := (u, v) :: !edges
+  in
+  let is_chosen u v = Hashtbl.mem chosen (min u v, max u v) in
+  (* Grow a biased spanning tree (Prim-flavoured: pick a weighted random
+     frontier edge each step). *)
+  let first = Rng.int rng n in
+  in_tree.(first) <- true;
+  let tree_nodes = ref [ first ] in
+  for _ = 1 to n - 1 do
+    let total = ref 0.0 in
+    List.iter
+      (fun u ->
+        for v = 0 to n - 1 do
+          if not in_tree.(v) then total := !total +. weight u v
+        done)
+      !tree_nodes;
+    if !total <= 0.0 then invalid_arg "Gen: degenerate edge weights";
+    let target = Rng.float rng !total in
+    let acc = ref 0.0 in
+    let picked = ref None in
+    List.iter
+      (fun u ->
+        for v = 0 to n - 1 do
+          if (not in_tree.(v)) && !picked = None then begin
+            acc := !acc +. weight u v;
+            if !acc >= target then picked := Some (u, v)
+          end
+        done)
+      !tree_nodes;
+    match !picked with
+    | None ->
+        (* Float round-off can leave the last candidate unpicked; fall back
+           to the final frontier pair. *)
+        let u = List.hd !tree_nodes in
+        let rec last_free v = if in_tree.(v) then last_free (v - 1) else v in
+        let v = last_free (n - 1) in
+        in_tree.(v) <- true;
+        tree_nodes := v :: !tree_nodes;
+        add_edge u v
+    | Some (u, v) ->
+        in_tree.(v) <- true;
+        tree_nodes := v :: !tree_nodes;
+        add_edge u v
+  done;
+  (* Give every degree-1 node its second edge first, if requested. *)
+  let degree = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      degree.(u) <- degree.(u) + 1;
+      degree.(v) <- degree.(v) + 1)
+    !edges;
+  let budget = ref (m - List.length !edges) in
+  if min_degree_two then
+    for v = 0 to n - 1 do
+      if degree.(v) < 2 && !budget > 0 then begin
+        let total = ref 0.0 in
+        for u = 0 to n - 1 do
+          if u <> v && not (is_chosen u v) then total := !total +. weight u v
+        done;
+        if !total > 0.0 then begin
+          let target = Rng.float rng !total in
+          let acc = ref 0.0 in
+          let picked = ref None in
+          for u = 0 to n - 1 do
+            if u <> v && (not (is_chosen u v)) && !picked = None then begin
+              acc := !acc +. weight u v;
+              if !acc >= target then picked := Some u
+            end
+          done;
+          let u = match !picked with Some u -> u | None -> (v + 1) mod n in
+          if u <> v && not (is_chosen u v) then begin
+            add_edge u v;
+            degree.(u) <- degree.(u) + 1;
+            degree.(v) <- degree.(v) + 1;
+            decr budget
+          end
+        end
+      end
+    done;
+  (* Fill the remaining edges by weighted sampling without replacement over
+     the unchosen pairs. *)
+  let remaining = ref !budget in
+  while !remaining > 0 do
+    let total = ref 0.0 in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if not (is_chosen u v) then total := !total +. weight u v
+      done
+    done;
+    if !total <= 0.0 then invalid_arg "Gen: not enough candidate edges";
+    let target = Rng.float rng !total in
+    let acc = ref 0.0 in
+    let picked = ref None in
+    (try
+       for u = 0 to n - 1 do
+         for v = u + 1 to n - 1 do
+           if not (is_chosen u v) then begin
+             acc := !acc +. weight u v;
+             if !acc >= target then begin
+               picked := Some (u, v);
+               raise Exit
+             end
+           end
+         done
+       done
+     with Exit -> ());
+    (match !picked with
+    | Some (u, v) -> add_edge u v
+    | None ->
+        (* Round-off fallback: first unchosen pair. *)
+        (try
+           for u = 0 to n - 1 do
+             for v = u + 1 to n - 1 do
+               if not (is_chosen u v) then begin
+                 add_edge u v;
+                 raise Exit
+               end
+             done
+           done
+         with Exit -> ()));
+    decr remaining
+  done;
+  List.rev !edges
+
+let waxman_once ~rng ~n ~m ~alpha ~beta ~min_degree_two =
+  let coords = Array.init n (fun _ -> (Rng.float rng 1.0, Rng.float rng 1.0)) in
+  let dist u v =
+    let xu, yu = coords.(u) and xv, yv = coords.(v) in
+    sqrt (((xu -. xv) ** 2.0) +. ((yu -. yv) ** 2.0))
+  in
+  let l_max = ref 0.0 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if dist u v > !l_max then l_max := dist u v
+    done
+  done;
+  let l_max = if !l_max <= 0.0 then 1.0 else !l_max in
+  let weight u v = beta *. exp (-.dist u v /. (alpha *. l_max)) in
+  let edges = random_connected ~min_degree_two ~rng ~n ~m ~weight () in
+  Graph.with_coords (Graph.create ~node_count:n ~edges) coords
+
+let waxman ~rng ~n ~avg_degree ?(alpha = 0.25) ?(beta = 0.4)
+    ?(two_edge_connected = true) () =
+  if n < 2 then invalid_arg "Gen.waxman: need at least 2 nodes";
+  if alpha <= 0.0 || beta <= 0.0 then invalid_arg "Gen.waxman: alpha, beta > 0";
+  let m = target_edge_count n avg_degree in
+  if not two_edge_connected then
+    waxman_once ~rng ~n ~m ~alpha ~beta ~min_degree_two:false
+  else begin
+    (* Rejection-sample until bridge-free; the min-degree-two fill makes
+       acceptance fast at the degrees used here. *)
+    let max_attempts = 500 in
+    let rec attempt k =
+      if k >= max_attempts then
+        invalid_arg "Gen.waxman: could not reach 2-edge-connectivity (degree too low?)"
+      else begin
+        let g = waxman_once ~rng ~n ~m ~alpha ~beta ~min_degree_two:true in
+        if Connectivity.is_two_edge_connected g then g else attempt (k + 1)
+      end
+    in
+    attempt 0
+  end
+
+let erdos_renyi ~rng ~n ~avg_degree =
+  if n < 2 then invalid_arg "Gen.erdos_renyi: need at least 2 nodes";
+  let m = target_edge_count n avg_degree in
+  let edges = random_connected ~rng ~n ~m ~weight:(fun _ _ -> 1.0) () in
+  Graph.create ~node_count:n ~edges

@@ -1,0 +1,59 @@
+(** Topology generators.
+
+    The paper evaluates on 60-node networks produced by the Waxman
+    generator [Waxman 1988] with average node degrees 3 and 4 (§6.1), and
+    illustrates the protocol on a 3×3 mesh (Fig. 1).  The other generators
+    are standard substrates used by tests and examples. *)
+
+val waxman :
+  rng:Dr_rng.Splitmix64.t ->
+  n:int ->
+  avg_degree:float ->
+  ?alpha:float ->
+  ?beta:float ->
+  ?two_edge_connected:bool ->
+  unit ->
+  Graph.t
+(** [waxman ~rng ~n ~avg_degree ()] places [n] nodes uniformly in the unit
+    square and connects them with [round (n * avg_degree / 2)] edges.
+    Construction follows the Waxman model: an edge {i (u,v)} is chosen with
+    probability proportional to [beta * exp (-d(u,v) / (alpha * l_max))]
+    where [l_max] is the maximum inter-node distance.  A spanning tree drawn
+    with the same bias is built first so the result is always connected.
+    Defaults: [alpha = 0.25], [beta = 0.4] (common Waxman settings).
+
+    With [two_edge_connected] (the default), generation is repeated until
+    the graph has no bridges, so every node pair can host a primary plus an
+    edge-disjoint backup — without this, fault-tolerance has a structural
+    ceiling no routing scheme can pass (DESIGN.md §3 records the
+    calibration argument).  Raises [Invalid_argument] if the requested
+    degree is infeasible ([< 2(n-1)/n] or more than a complete graph), or
+    if 2-edge-connectivity is unreachable at this degree. *)
+
+val mesh : rows:int -> cols:int -> Graph.t
+(** Grid topology; node [(r,c)] has id [r * cols + c].  [mesh ~rows:3
+    ~cols:3] is the paper's Fig. 1 network. *)
+
+val ring : int -> Graph.t
+(** Cycle on [n >= 3] nodes. *)
+
+val torus : rows:int -> cols:int -> Graph.t
+(** Wrap-around grid, [rows, cols >= 3] to avoid duplicate edges. *)
+
+val line : int -> Graph.t
+(** Path graph on [n >= 2] nodes. *)
+
+val complete : int -> Graph.t
+(** Complete graph on [n >= 2] nodes. *)
+
+val star : int -> Graph.t
+(** Node 0 connected to each of the other [n - 1 >= 1] nodes. *)
+
+val erdos_renyi :
+  rng:Dr_rng.Splitmix64.t -> n:int -> avg_degree:float -> Graph.t
+(** Connected G(n, m) graph with [m = round (n * avg_degree / 2)] uniformly
+    random edges (spanning tree first, then uniform fill). *)
+
+val double_ring : int -> Graph.t
+(** Ring plus chords to the diametrically opposite node — a cheap
+    well-connected test topology with edge connectivity 3 for even [n >= 6]. *)

@@ -1,0 +1,214 @@
+type t = {
+  node_count : int;
+  (* link l goes link_srcs.(l) -> link_dsts.(l); links 2e and 2e+1 are the
+     two directions of undirected edge e. *)
+  link_srcs : int array;
+  link_dsts : int array;
+  out : int array array;
+  inc : int array array;
+  coords : (float * float) array option;
+}
+
+let twin l = l lxor 1
+let edge_of_link l = l / 2
+let links_of_edge e = (2 * e, (2 * e) + 1)
+
+let create ~node_count ~edges =
+  if node_count <= 0 then invalid_arg "Graph.create: node_count must be positive";
+  let edge_count = List.length edges in
+  let link_srcs = Array.make (2 * edge_count) 0 in
+  let link_dsts = Array.make (2 * edge_count) 0 in
+  let seen = Hashtbl.create (2 * edge_count) in
+  List.iteri
+    (fun e (u, v) ->
+      if u < 0 || u >= node_count || v < 0 || v >= node_count then
+        invalid_arg "Graph.create: endpoint out of range";
+      if u = v then invalid_arg "Graph.create: self-loop";
+      let key = (min u v, max u v) in
+      if Hashtbl.mem seen key then invalid_arg "Graph.create: duplicate edge";
+      Hashtbl.add seen key ();
+      link_srcs.(2 * e) <- u;
+      link_dsts.(2 * e) <- v;
+      link_srcs.((2 * e) + 1) <- v;
+      link_dsts.((2 * e) + 1) <- u)
+    edges;
+  let out_deg = Array.make node_count 0 in
+  let in_deg = Array.make node_count 0 in
+  Array.iteri (fun l s -> out_deg.(s) <- out_deg.(s) + 1; ignore l) link_srcs;
+  Array.iteri (fun l d -> in_deg.(d) <- in_deg.(d) + 1; ignore l) link_dsts;
+  let out = Array.init node_count (fun v -> Array.make out_deg.(v) 0) in
+  let inc = Array.init node_count (fun v -> Array.make in_deg.(v) 0) in
+  let out_fill = Array.make node_count 0 in
+  let in_fill = Array.make node_count 0 in
+  for l = 0 to (2 * edge_count) - 1 do
+    let s = link_srcs.(l) and d = link_dsts.(l) in
+    out.(s).(out_fill.(s)) <- l;
+    out_fill.(s) <- out_fill.(s) + 1;
+    inc.(d).(in_fill.(d)) <- l;
+    in_fill.(d) <- in_fill.(d) + 1
+  done;
+  { node_count; link_srcs; link_dsts; out; inc; coords = None }
+
+let with_coords g coords =
+  if Array.length coords <> g.node_count then
+    invalid_arg "Graph.with_coords: wrong coordinate count";
+  { g with coords = Some coords }
+
+let node_count g = g.node_count
+let link_count g = Array.length g.link_srcs
+let edge_count g = link_count g / 2
+let link_src g l = g.link_srcs.(l)
+let link_dst g l = g.link_dsts.(l)
+let edge_endpoints g e = (g.link_srcs.(2 * e), g.link_dsts.(2 * e))
+
+let out_links g v = g.out.(v)
+let in_links g v = g.inc.(v)
+let neighbors g v = Array.map (fun l -> g.link_dsts.(l)) g.out.(v)
+let degree g v = Array.length g.out.(v)
+
+let average_degree g =
+  if g.node_count = 0 then 0.0
+  else float_of_int (link_count g) /. float_of_int g.node_count
+
+let coords g = g.coords
+
+let find_link g ~src ~dst =
+  let links = g.out.(src) in
+  let n = Array.length links in
+  let rec scan i =
+    if i >= n then None
+    else if g.link_dsts.(links.(i)) = dst then Some links.(i)
+    else scan (i + 1)
+  in
+  scan 0
+
+let iter_links g f =
+  for l = 0 to link_count g - 1 do
+    f l
+  done
+
+let iter_edges g f =
+  for e = 0 to edge_count g - 1 do
+    f e
+  done
+
+let fold_links g ~init ~f =
+  let acc = ref init in
+  iter_links g (fun l -> acc := f !acc l);
+  !acc
+
+let components g =
+  let visited = Array.make g.node_count false in
+  let comps = ref [] in
+  for start = 0 to g.node_count - 1 do
+    if not visited.(start) then begin
+      let comp = ref [] in
+      let stack = Stack.create () in
+      Stack.push start stack;
+      visited.(start) <- true;
+      while not (Stack.is_empty stack) do
+        let v = Stack.pop stack in
+        comp := v :: !comp;
+        Array.iter
+          (fun l ->
+            let w = g.link_dsts.(l) in
+            if not visited.(w) then begin
+              visited.(w) <- true;
+              Stack.push w stack
+            end)
+          g.out.(v)
+      done;
+      comps := List.rev !comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let is_connected g =
+  match components g with [ _ ] -> true | [] | _ :: _ :: _ -> false
+
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %d %d\n" g.node_count (edge_count g));
+  (match g.coords with
+  | None -> ()
+  | Some coords ->
+      Array.iteri
+        (fun v (x, y) -> Buffer.add_string buf (Printf.sprintf "coord %d %.6f %.6f\n" v x y))
+        coords);
+  iter_edges g (fun e ->
+      let u, v = edge_endpoints g e in
+      Buffer.add_string buf (Printf.sprintf "edge %d %d\n" u v));
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let parse () =
+    match lines with
+    | [] -> Error "empty graph file"
+    | header :: rest -> (
+        match String.split_on_char ' ' (String.trim header) with
+        | [ "graph"; n; m ] -> (
+            match (int_of_string_opt n, int_of_string_opt m) with
+            | Some n, Some m ->
+                let coords = Array.make (max n 1) (0.0, 0.0) in
+                let has_coords = ref false in
+                let edges = ref [] in
+                let error = ref None in
+                List.iteri
+                  (fun i line ->
+                    if !error = None then
+                      let line = String.trim line in
+                      if line <> "" && line.[0] <> '#' then
+                        match String.split_on_char ' ' line with
+                        | [ "edge"; u; v ] -> (
+                            match (int_of_string_opt u, int_of_string_opt v) with
+                            | Some u, Some v -> edges := (u, v) :: !edges
+                            | _ -> error := Some (Printf.sprintf "line %d: bad edge" (i + 2)))
+                        | [ "coord"; v; x; y ] -> (
+                            match
+                              (int_of_string_opt v, float_of_string_opt x, float_of_string_opt y)
+                            with
+                            | Some v, Some x, Some y when v >= 0 && v < n ->
+                                has_coords := true;
+                                coords.(v) <- (x, y)
+                            | _ -> error := Some (Printf.sprintf "line %d: bad coord" (i + 2)))
+                        | _ -> error := Some (Printf.sprintf "line %d: unrecognised" (i + 2)))
+                  rest;
+                (match !error with
+                | Some e -> Error e
+                | None ->
+                    let edges = List.rev !edges in
+                    if List.length edges <> m then
+                      Error
+                        (Printf.sprintf "expected %d edges, found %d" m
+                           (List.length edges))
+                    else
+                      (try
+                         let g = create ~node_count:n ~edges in
+                         Ok (if !has_coords then with_coords g (Array.sub coords 0 n) else g)
+                       with Invalid_argument msg -> Error msg))
+            | _ -> Error "bad graph header")
+        | _ -> Error "missing graph header")
+  in
+  parse ()
+
+let save g file =
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string g))
+
+let load file =
+  match open_in file with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          of_string (really_input_string ic len))
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph: %d nodes, %d edges" g.node_count (edge_count g);
+  iter_edges g (fun e ->
+      let u, v = edge_endpoints g e in
+      Format.fprintf ppf "@,edge %d: %d -- %d (links %d, %d)" e u v (2 * e) ((2 * e) + 1));
+  Format.fprintf ppf "@]"

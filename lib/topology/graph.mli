@@ -1,0 +1,100 @@
+(** Network graph substrate.
+
+    The paper models a network of bi-directional connections: every
+    undirected {e edge} between two routers is realised as two unidirectional
+    {e links}, one per direction (paper §6.1: "links are assumed to be
+    bi-directional, with an identical bandwidth capacity in both
+    directions").  Channels are routed over directed links; failures take
+    out a whole edge (both directions).
+
+    Links of edge [e] have ids [2*e] and [2*e+1], so the reverse ("twin")
+    of link [l] is [l lxor 1].  All ids are dense, starting at 0, which lets
+    higher layers use plain arrays indexed by link id — exactly the shape of
+    the paper's APLV vectors. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create : node_count:int -> edges:(int * int) list -> t
+(** [create ~node_count ~edges] builds a graph from undirected node pairs.
+    Edge [i] in list order gets links [2i] (from first to second node) and
+    [2i+1] (reverse).  Raises [Invalid_argument] on out-of-range endpoints,
+    self-loops, or duplicate edges. *)
+
+val with_coords : t -> (float * float) array -> t
+(** Attach 2-D coordinates (used by the Waxman generator and for
+    diagnostics).  Array length must equal [node_count]. *)
+
+(** {1 Sizes} *)
+
+val node_count : t -> int
+val edge_count : t -> int
+
+val link_count : t -> int
+(** [link_count g = 2 * edge_count g]. *)
+
+(** {1 Links and edges} *)
+
+val link_src : t -> int -> int
+val link_dst : t -> int -> int
+
+val twin : int -> int
+(** [twin l] is the opposite-direction link of the same edge. *)
+
+val edge_of_link : int -> int
+(** The undirected edge a link belongs to. *)
+
+val links_of_edge : int -> int * int
+(** Both directed links of an edge. *)
+
+val edge_endpoints : t -> int -> int * int
+(** Endpoints of an undirected edge, in creation order. *)
+
+val find_link : t -> src:int -> dst:int -> int option
+(** The directed link from [src] to [dst], if the edge exists. *)
+
+val out_links : t -> int -> int array
+(** Links leaving a node.  The returned array must not be mutated. *)
+
+val in_links : t -> int -> int array
+(** Links entering a node.  The returned array must not be mutated. *)
+
+val neighbors : t -> int -> int array
+(** Adjacent nodes, in out-link order. *)
+
+val degree : t -> int -> int
+val average_degree : t -> float
+
+val coords : t -> (float * float) array option
+
+(** {1 Traversal} *)
+
+val iter_links : t -> (int -> unit) -> unit
+val iter_edges : t -> (int -> unit) -> unit
+val fold_links : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+(** {1 Global properties} *)
+
+val is_connected : t -> bool
+
+val components : t -> int list list
+(** Connected components as node lists (treating edges as undirected). *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer: size line plus one line per edge. *)
+
+(** {1 Persistence}
+
+    Text edge-list format for sharing evaluation topologies between runs
+    and with external tools: a header [graph <nodes> <edges>], optional
+    [coord <node> <x> <y>] lines, then one [edge <u> <v>] line per edge in
+    id order. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parse; [Error] describes the first offending line. *)
+
+val save : t -> string -> unit
+val load : string -> (t, string) result

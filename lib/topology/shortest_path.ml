@@ -1,0 +1,144 @@
+module Pqueue = Dr_pqueue.Pqueue
+
+let unreachable = max_int
+
+let bfs_generic links_of other_end g start =
+  let n = Graph.node_count g in
+  let dist = Array.make n unreachable in
+  dist.(start) <- 0;
+  let queue = Queue.create () in
+  Queue.add start queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun l ->
+        let w = other_end l in
+        if dist.(w) = unreachable then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.add w queue
+        end)
+      (links_of v)
+  done;
+  dist
+
+let bfs_hops g ~src =
+  bfs_generic (Graph.out_links g) (fun l -> Graph.link_dst g l) g src
+
+let bfs_hops_rev g ~dst =
+  bfs_generic (Graph.in_links g) (fun l -> Graph.link_src g l) g dst
+
+let hop_matrix g =
+  Array.init (Graph.node_count g) (fun src -> bfs_hops g ~src)
+
+let min_hop_path g ?(usable = fun _ -> true) ~src ~dst () =
+  let n = Graph.node_count g in
+  if src = dst then invalid_arg "Shortest_path.min_hop_path: src = dst";
+  let dist = Array.make n unreachable in
+  let prev = Array.make n (-1) in
+  dist.(src) <- 0;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    if v = dst then found := true
+    else
+      Array.iter
+        (fun l ->
+          if usable l then begin
+            let w = Graph.link_dst g l in
+            if dist.(w) = unreachable then begin
+              dist.(w) <- dist.(v) + 1;
+              prev.(w) <- l;
+              Queue.add w queue
+            end
+          end)
+        (Graph.out_links g v)
+  done;
+  if dist.(dst) = unreachable then None
+  else begin
+    let rec rebuild v acc =
+      if v = src then acc
+      else
+        let l = prev.(v) in
+        rebuild (Graph.link_src g l) (l :: acc)
+    in
+    Some (Path.of_links g (rebuild dst []))
+  end
+
+type dijkstra_result = { dist : float array; prev_link : int array }
+
+let dijkstra g ~cost ~src =
+  let n = Graph.node_count g in
+  let dist = Array.make n infinity in
+  let prev_link = Array.make n (-1) in
+  let settled = Array.make n false in
+  dist.(src) <- 0.0;
+  let queue = Pqueue.create () in
+  Pqueue.add queue ~key:0.0 src;
+  let rec drain () =
+    match Pqueue.pop queue with
+    | None -> ()
+    | Some (d, v) ->
+        if not settled.(v) then begin
+          settled.(v) <- true;
+          Array.iter
+            (fun l ->
+              let c = cost l in
+              if c < 0.0 then invalid_arg "Shortest_path.dijkstra: negative cost";
+              if c < infinity then begin
+                let w = Graph.link_dst g l in
+                let nd = d +. c in
+                if nd < dist.(w) then begin
+                  dist.(w) <- nd;
+                  prev_link.(w) <- l;
+                  Pqueue.add queue ~key:nd w
+                end
+              end)
+            (Graph.out_links g v)
+        end;
+        drain ()
+  in
+  drain ();
+  { dist; prev_link }
+
+let extract_path g result ~dst =
+  if result.dist.(dst) = infinity then None
+  else if result.prev_link.(dst) = -1 then None (* dst is the source itself *)
+  else begin
+    let rec rebuild v acc =
+      let l = result.prev_link.(v) in
+      if l = -1 then acc else rebuild (Graph.link_src g l) (l :: acc)
+    in
+    Some (Path.of_links g (rebuild dst []))
+  end
+
+let dijkstra_path g ~cost ~src ~dst =
+  let result = dijkstra g ~cost ~src in
+  match extract_path g result ~dst with
+  | None -> None
+  | Some p -> Some (result.dist.(dst), p)
+
+let bellman_ford g ~cost ~src =
+  let n = Graph.node_count g in
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  dist.(src) <- 0.0;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < n do
+    changed := false;
+    incr rounds;
+    Graph.iter_links g (fun l ->
+        let c = cost l in
+        if c < infinity then begin
+          let u = Graph.link_src g l and v = Graph.link_dst g l in
+          if dist.(u) < infinity && dist.(u) +. c < dist.(v) then begin
+            dist.(v) <- dist.(u) +. c;
+            prev.(v) <- l;
+            changed := true
+          end
+        end);
+  done;
+  if !changed then Error "negative-cost cycle reachable from source"
+  else Ok (dist, prev)

@@ -1,0 +1,54 @@
+(** Shortest-path algorithms over {!Graph}.
+
+    Three variants are needed by the paper:
+    - plain hop counts (BFS) for the bounded-flooding distance tables
+      (paper §4.1) and for min-hop primary routing;
+    - Dijkstra with arbitrary non-negative link costs for the P-LSR and
+      D-LSR backup-route selection (paper §3.1–3.2), where the cost of a
+      link encodes its conflict count;
+    - Bellman–Ford, the distance-vector alternative the paper mentions for
+      building distance tables; also usable as a cross-check oracle.
+
+    A cost of [infinity] excludes a link entirely (our realisation of the
+    paper's large constant [Q]). *)
+
+val unreachable : int
+(** Sentinel hop count ([max_int]) for unreachable nodes. *)
+
+val bfs_hops : Graph.t -> src:int -> int array
+(** Minimum hop count from [src] to every node. *)
+
+val bfs_hops_rev : Graph.t -> dst:int -> int array
+(** Minimum hop count from every node {e to} [dst] (follows links
+    backwards; equals [bfs_hops] on our symmetric graphs but is what the
+    flooding distance test actually needs). *)
+
+val hop_matrix : Graph.t -> int array array
+(** All-pairs minimum hop counts; [m.(i).(j)] is the distance from [i] to
+    [j].  This is the distance table every node keeps in §4.1. *)
+
+val min_hop_path :
+  Graph.t -> ?usable:(int -> bool) -> src:int -> dst:int -> unit -> Path.t option
+(** Min-hop path using only links for which [usable] holds (default: all).
+    Deterministic tie-breaking by link id. *)
+
+type dijkstra_result = {
+  dist : float array;  (** cost from the source; [infinity] = unreachable *)
+  prev_link : int array;  (** incoming link on a shortest path; -1 at source/unreachable *)
+}
+
+val dijkstra : Graph.t -> cost:(int -> float) -> src:int -> dijkstra_result
+(** Single-source Dijkstra.  [cost l] must be [>= 0.] or [infinity]; raises
+    [Invalid_argument] on a negative cost. *)
+
+val dijkstra_path :
+  Graph.t -> cost:(int -> float) -> src:int -> dst:int -> (float * Path.t) option
+(** Cheapest path and its cost, or [None] if unreachable. *)
+
+val extract_path : Graph.t -> dijkstra_result -> dst:int -> Path.t option
+(** Rebuild the path to [dst] from a Dijkstra run. *)
+
+val bellman_ford :
+  Graph.t -> cost:(int -> float) -> src:int -> (float array * int array, string) result
+(** Bellman–Ford distances and predecessor links.  Returns [Error] when a
+    negative-cost cycle is reachable. *)

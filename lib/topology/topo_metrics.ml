@@ -1,0 +1,87 @@
+type t = {
+  nodes : int;
+  edges : int;
+  avg_degree : float;
+  min_degree : int;
+  max_degree : int;
+  diameter : int;
+  avg_path_hops : float;
+  connected : bool;
+  min_edge_disjoint : int;
+}
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 16 in
+  for v = 0 to Graph.node_count g - 1 do
+    let d = Graph.degree g v in
+    Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+  done;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let compute ?(pair_sample = 200) ?rng g =
+  let n = Graph.node_count g in
+  let rng =
+    match rng with Some r -> r | None -> Dr_rng.Splitmix64.create 0x7f4a7c15
+  in
+  let matrix = Shortest_path.hop_matrix g in
+  let diameter = ref 0 and hop_sum = ref 0 and pair_count = ref 0 in
+  let connected = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let d = matrix.(i).(j) in
+        if d = Shortest_path.unreachable then connected := false
+        else begin
+          if d > !diameter then diameter := d;
+          hop_sum := !hop_sum + d;
+          incr pair_count
+        end
+      end
+    done
+  done;
+  let min_deg = ref max_int and max_deg = ref 0 in
+  for v = 0 to n - 1 do
+    let d = Graph.degree g v in
+    if d < !min_deg then min_deg := d;
+    if d > !max_deg then max_deg := d
+  done;
+  let all_pairs = n * (n - 1) / 2 in
+  let pairs =
+    if all_pairs <= pair_sample then begin
+      let acc = ref [] in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          acc := (i, j) :: !acc
+        done
+      done;
+      !acc
+    end
+    else
+      List.init pair_sample (fun _ -> Dr_rng.Dist.pick_distinct_pair rng n)
+  in
+  let min_disjoint =
+    List.fold_left
+      (fun acc (i, j) -> min acc (Flow.edge_disjoint_paths g ~src:i ~dst:j))
+      max_int pairs
+  in
+  {
+    nodes = n;
+    edges = Graph.edge_count g;
+    avg_degree = Graph.average_degree g;
+    min_degree = (if n = 0 then 0 else !min_deg);
+    max_degree = !max_deg;
+    diameter = !diameter;
+    avg_path_hops =
+      (if !pair_count = 0 then 0.0
+       else float_of_int !hop_sum /. float_of_int !pair_count);
+    connected = !connected;
+    min_edge_disjoint = (if min_disjoint = max_int then 0 else min_disjoint);
+  }
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<v>nodes=%d edges=%d avg_degree=%.2f degree=[%d..%d]@,\
+     diameter=%d avg_hops=%.2f connected=%b min_edge_disjoint=%d@]"
+    m.nodes m.edges m.avg_degree m.min_degree m.max_degree m.diameter
+    m.avg_path_hops m.connected m.min_edge_disjoint

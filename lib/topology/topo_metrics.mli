@@ -1,0 +1,33 @@
+(** Diagnostics describing a topology.
+
+    These quantities drive the interpretation of the paper's results:
+    fault-tolerance rises with connectivity (§6.2, "all three routing
+    schemes provided higher fault-tolerance when the network connectivity E
+    is high"), and the capacity calibration depends on the mean path
+    length. *)
+
+type t = {
+  nodes : int;
+  edges : int;
+  avg_degree : float;
+  min_degree : int;
+  max_degree : int;
+  diameter : int;  (** max finite hop distance *)
+  avg_path_hops : float;  (** mean over ordered reachable pairs *)
+  connected : bool;
+  min_edge_disjoint : int;
+      (** minimum over sampled node pairs of the number of edge-disjoint
+          paths; 2 or more means every sampled pair can host a primary plus
+          a fully disjoint backup *)
+}
+
+val compute : ?pair_sample:int -> ?rng:Dr_rng.Splitmix64.t -> Graph.t -> t
+(** [compute g] summarises the graph.  Disjoint-path counts are evaluated on
+    all pairs when the graph has at most [pair_sample] (default 200) pairs,
+    otherwise on a random sample of that size (seeded [rng] defaults to a
+    fixed seed for determinism). *)
+
+val degree_histogram : Graph.t -> (int * int) list
+(** [(degree, node count)] pairs in increasing degree order. *)
+
+val pp : Format.formatter -> t -> unit

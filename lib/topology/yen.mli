@@ -1,0 +1,18 @@
+(** Yen's algorithm for k shortest loopless paths.
+
+    Not part of the paper's three schemes, but a natural substrate utility:
+    it provides candidate-route enumeration for diagnostics, lets tests
+    cross-check the flooding scheme's candidate discovery (every route BF
+    finds within the hop bound must appear in the k-shortest list for large
+    enough k), and powers the disjoint-path diagnostics in
+    {!Topo_metrics}. *)
+
+val k_shortest :
+  Graph.t ->
+  cost:(int -> float) ->
+  src:int ->
+  dst:int ->
+  k:int ->
+  (float * Path.t) list
+(** Up to [k] cheapest loopless paths in non-decreasing cost order.
+    A link with cost [infinity] is unusable.  Deterministic. *)

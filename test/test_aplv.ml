@@ -1,0 +1,90 @@
+module Aplv = Drtp.Aplv
+
+let test_empty () =
+  let a = Aplv.create () in
+  Alcotest.(check int) "norm1" 0 (Aplv.norm1 a);
+  Alcotest.(check int) "max" 0 (Aplv.max_element a);
+  Alcotest.(check int) "backups" 0 (Aplv.backup_count a);
+  Alcotest.(check (list int)) "support" [] (Aplv.support a);
+  Alcotest.(check int) "get absent" 0 (Aplv.get a 7)
+
+let test_register () =
+  let a = Aplv.create () in
+  Aplv.register a ~edge_lset:[ 1; 3; 5 ];
+  Alcotest.(check int) "counts set" 1 (Aplv.get a 3);
+  Alcotest.(check int) "norm1" 3 (Aplv.norm1 a);
+  Alcotest.(check int) "max" 1 (Aplv.max_element a);
+  Alcotest.(check int) "one backup" 1 (Aplv.backup_count a);
+  Alcotest.(check (list int)) "support sorted" [ 1; 3; 5 ] (Aplv.support a)
+
+let test_overlapping_registrations () =
+  let a = Aplv.create () in
+  Aplv.register a ~edge_lset:[ 1; 2 ];
+  Aplv.register a ~edge_lset:[ 2; 3 ];
+  Aplv.register a ~edge_lset:[ 2 ];
+  Alcotest.(check int) "a_2 accumulated" 3 (Aplv.get a 2);
+  Alcotest.(check int) "norm1" 5 (Aplv.norm1 a);
+  Alcotest.(check int) "max element" 3 (Aplv.max_element a);
+  Alcotest.(check int) "three backups" 3 (Aplv.backup_count a)
+
+let test_unregister () =
+  let a = Aplv.create () in
+  Aplv.register a ~edge_lset:[ 1; 2 ];
+  Aplv.register a ~edge_lset:[ 2; 3 ];
+  Aplv.unregister a ~edge_lset:[ 1; 2 ];
+  Alcotest.(check int) "1 removed" 0 (Aplv.get a 1);
+  Alcotest.(check int) "2 decremented" 1 (Aplv.get a 2);
+  Alcotest.(check int) "norm1" 2 (Aplv.norm1 a);
+  Alcotest.(check int) "one backup left" 1 (Aplv.backup_count a);
+  Aplv.unregister a ~edge_lset:[ 2; 3 ];
+  Alcotest.(check int) "empty again" 0 (Aplv.norm1 a);
+  Alcotest.(check (list int)) "no support" [] (Aplv.support a)
+
+let test_unregister_underflow () =
+  let a = Aplv.create () in
+  Aplv.register a ~edge_lset:[ 1 ];
+  Alcotest.(check bool) "unknown edge raises" true
+    (try Aplv.unregister a ~edge_lset:[ 9 ]; false with Invalid_argument _ -> true)
+
+let test_duplicate_lset_rejected () =
+  let a = Aplv.create () in
+  Alcotest.(check bool) "duplicate edge in one LSET" true
+    (try Aplv.register a ~edge_lset:[ 1; 1 ]; false with Invalid_argument _ -> true)
+
+let test_conflict_count () =
+  let a = Aplv.create () in
+  Aplv.register a ~edge_lset:[ 1; 2; 3 ];
+  Aplv.register a ~edge_lset:[ 3; 4 ];
+  (* New primary crossing edges {2, 3, 9}: conflicts at 2 and 3. *)
+  Alcotest.(check int) "distinct conflicting positions" 2
+    (Aplv.conflict_count_with a ~edge_lset:[ 2; 3; 9 ]);
+  (* Weighted variant counts multiplicity at 3. *)
+  Alcotest.(check int) "overlap weight" 3
+    (Aplv.overlap_weight_with a ~edge_lset:[ 2; 3; 9 ])
+
+let test_paper_example_values () =
+  (* Mirrors the paper's APLV_7 example (§3): PSET_7 = {P1, P3} with
+     LSET(P1) = {8, 12, 13} and LSET(P3) = {11, 13}; then
+     a_{7,13} = 2 and ||APLV_7||_1 = 5. *)
+  let a = Aplv.create () in
+  Aplv.register a ~edge_lset:[ 8; 12; 13 ];
+  Aplv.register a ~edge_lset:[ 11; 13 ];
+  Alcotest.(check int) "a_13 = 2" 2 (Aplv.get a 13);
+  Alcotest.(check int) "a_8 = 1" 1 (Aplv.get a 8);
+  Alcotest.(check int) "norm = 5" 5 (Aplv.norm1 a);
+  Alcotest.(check int) "spare requirement = 2 connections" 2 (Aplv.max_element a)
+
+let suite =
+  [
+    ( "drtp.aplv",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "register" `Quick test_register;
+        Alcotest.test_case "overlapping registrations" `Quick test_overlapping_registrations;
+        Alcotest.test_case "unregister" `Quick test_unregister;
+        Alcotest.test_case "unregister underflow" `Quick test_unregister_underflow;
+        Alcotest.test_case "duplicate LSET rejected" `Quick test_duplicate_lset_rejected;
+        Alcotest.test_case "conflict counting" `Quick test_conflict_count;
+        Alcotest.test_case "paper APLV_7 example" `Quick test_paper_example_values;
+      ] );
+  ]

@@ -1,0 +1,79 @@
+module Graph = Dr_topo.Graph
+module C = Dr_topo.Connectivity
+
+let test_ring_no_bridges () =
+  let g = Dr_topo.Gen.ring 5 in
+  Alcotest.(check (list int)) "no bridges" [] (C.bridges g);
+  Alcotest.(check bool) "2-edge-connected" true (C.is_two_edge_connected g);
+  Alcotest.(check (list int)) "no articulation points" [] (C.articulation_points g)
+
+let test_line_all_bridges () =
+  let g = Dr_topo.Gen.line 4 in
+  Alcotest.(check (list int)) "all edges are bridges" [ 0; 1; 2 ] (C.bridges g);
+  Alcotest.(check bool) "not 2-edge-connected" false (C.is_two_edge_connected g);
+  Alcotest.(check (list int)) "inner nodes articulate" [ 1; 2 ] (C.articulation_points g)
+
+let test_two_triangles_bridge () =
+  (* Triangles 0-1-2 and 3-4-5 joined by edge (2,3) = edge id 3. *)
+  let g =
+    Graph.create ~node_count:6
+      ~edges:[ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 5); (5, 3) ]
+  in
+  Alcotest.(check (list int)) "the joining edge" [ 3 ] (C.bridges g);
+  Alcotest.(check (list int)) "bridge endpoints articulate" [ 2; 3 ]
+    (C.articulation_points g)
+
+let test_barbell_articulation () =
+  (* Two triangles sharing node 2: no bridges, but node 2 articulates. *)
+  let g =
+    Graph.create ~node_count:5
+      ~edges:[ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 2) ]
+  in
+  Alcotest.(check (list int)) "no bridges" [] (C.bridges g);
+  Alcotest.(check (list int)) "shared node articulates" [ 2 ] (C.articulation_points g)
+
+let test_disconnected_not_2ec () =
+  let g = Graph.create ~node_count:6 ~edges:[ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3) ] in
+  Alcotest.(check (list int)) "no bridges in either triangle" [] (C.bridges g);
+  Alcotest.(check bool) "disconnected is not 2-edge-connected" false
+    (C.is_two_edge_connected g)
+
+let test_mesh_no_bridges () =
+  let g = Dr_topo.Gen.mesh ~rows:3 ~cols:3 in
+  Alcotest.(check (list int)) "grid has no bridges" [] (C.bridges g)
+
+let test_pendant_edge () =
+  (* Ring of 4 plus a pendant node. *)
+  let g = Graph.create ~node_count:5 ~edges:[ (0, 1); (1, 2); (2, 3); (3, 0); (2, 4) ] in
+  Alcotest.(check (list int)) "pendant edge is a bridge" [ 4 ] (C.bridges g);
+  Alcotest.(check (list int)) "its attachment articulates" [ 2 ] (C.articulation_points g)
+
+let test_bridges_match_flow () =
+  (* Cross-check: an edge is a bridge iff some pair it separates has
+     edge-disjoint-path count 1.  Sample a small random graph. *)
+  let rng = Dr_rng.Splitmix64.create 5 in
+  let g = Dr_topo.Gen.erdos_renyi ~rng ~n:12 ~avg_degree:2.2 in
+  let bridges = C.bridges g in
+  let has_bridge = bridges <> [] in
+  let min_flow = ref max_int in
+  for i = 0 to 11 do
+    for j = i + 1 to 11 do
+      min_flow := min !min_flow (Dr_topo.Flow.edge_disjoint_paths g ~src:i ~dst:j)
+    done
+  done;
+  Alcotest.(check bool) "bridges <=> some pair has min cut 1" has_bridge (!min_flow <= 1)
+
+let suite =
+  [
+    ( "topology.connectivity",
+      [
+        Alcotest.test_case "ring has no bridges" `Quick test_ring_no_bridges;
+        Alcotest.test_case "line is all bridges" `Quick test_line_all_bridges;
+        Alcotest.test_case "two triangles + bridge" `Quick test_two_triangles_bridge;
+        Alcotest.test_case "barbell articulation" `Quick test_barbell_articulation;
+        Alcotest.test_case "disconnected graph" `Quick test_disconnected_not_2ec;
+        Alcotest.test_case "mesh bridge-free" `Quick test_mesh_no_bridges;
+        Alcotest.test_case "pendant edge" `Quick test_pendant_edge;
+        Alcotest.test_case "bridges agree with max-flow" `Quick test_bridges_match_flow;
+      ] );
+  ]

@@ -1,0 +1,134 @@
+module Rng = Dr_rng.Splitmix64
+module Dist = Dr_rng.Dist
+
+let g () = Rng.create 2024
+
+let test_uniform_int_range () =
+  let g = g () in
+  for _ = 1 to 1000 do
+    let v = Dist.uniform_int g ~lo:3 ~hi:9 in
+    Alcotest.(check bool) "in [3,9]" true (v >= 3 && v <= 9)
+  done
+
+let test_uniform_int_point () =
+  let g = g () in
+  Alcotest.(check int) "degenerate range" 5 (Dist.uniform_int g ~lo:5 ~hi:5)
+
+let test_uniform_int_bad_range () =
+  let g = g () in
+  Alcotest.check_raises "inverted range"
+    (Invalid_argument "Dist.uniform_int: empty range") (fun () ->
+      ignore (Dist.uniform_int g ~lo:2 ~hi:1))
+
+let test_uniform_float_range () =
+  let g = g () in
+  for _ = 1 to 1000 do
+    let v = Dist.uniform_float g ~lo:1.5 ~hi:2.5 in
+    Alcotest.(check bool) "in [1.5,2.5]" true (v >= 1.5 && v <= 2.5)
+  done
+
+let test_exponential_positive () =
+  let g = g () in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "positive" true (Dist.exponential g ~rate:0.5 > 0.0)
+  done
+
+let test_exponential_mean () =
+  let g = g () in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Dist.exponential g ~rate:2.0
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f close to 0.5" mean)
+    true
+    (Float.abs (mean -. 0.5) < 0.02)
+
+let test_exponential_bad_rate () =
+  let g = g () in
+  Alcotest.check_raises "rate 0"
+    (Invalid_argument "Dist.exponential: rate must be positive") (fun () ->
+      ignore (Dist.exponential g ~rate:0.0))
+
+let test_poisson_mean () =
+  let g = g () in
+  let n = 20_000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Dist.poisson g ~mean:3.0
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f close to 3" mean)
+    true
+    (Float.abs (mean -. 3.0) < 0.1)
+
+let test_poisson_zero_mean () =
+  let g = g () in
+  Alcotest.(check int) "mean 0 gives 0" 0 (Dist.poisson g ~mean:0.0)
+
+let test_pick_distinct_pair () =
+  let g = g () in
+  for _ = 1 to 1000 do
+    let a, b = Dist.pick_distinct_pair g 5 in
+    Alcotest.(check bool) "distinct and in range" true
+      (a <> b && a >= 0 && a < 5 && b >= 0 && b < 5)
+  done
+
+let test_pick_distinct_pair_covers_all () =
+  let g = g () in
+  let seen = Hashtbl.create 16 in
+  for _ = 1 to 2000 do
+    Hashtbl.replace seen (Dist.pick_distinct_pair g 3) ()
+  done;
+  Alcotest.(check int) "all 6 ordered pairs of 3 values" 6 (Hashtbl.length seen)
+
+let test_shuffle_permutation () =
+  let g = g () in
+  let arr = Array.init 20 (fun i -> i) in
+  Dist.shuffle g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 20 (fun i -> i)) sorted
+
+let test_sample_without_replacement () =
+  let g = g () in
+  let s = Dist.sample_without_replacement g ~k:5 ~n:10 in
+  Alcotest.(check int) "k values" 5 (Array.length s);
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "in range" true (v >= 0 && v < 10);
+      Alcotest.(check bool) "distinct" false (Hashtbl.mem tbl v);
+      Hashtbl.add tbl v ())
+    s
+
+let test_sample_all () =
+  let g = g () in
+  let s = Dist.sample_without_replacement g ~k:4 ~n:4 in
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "whole population" [| 0; 1; 2; 3 |] sorted
+
+let suite =
+  [
+    ( "rng.dist",
+      [
+        Alcotest.test_case "uniform_int range" `Quick test_uniform_int_range;
+        Alcotest.test_case "uniform_int degenerate" `Quick test_uniform_int_point;
+        Alcotest.test_case "uniform_int bad range" `Quick test_uniform_int_bad_range;
+        Alcotest.test_case "uniform_float range" `Quick test_uniform_float_range;
+        Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+        Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+        Alcotest.test_case "exponential bad rate" `Quick test_exponential_bad_rate;
+        Alcotest.test_case "poisson mean" `Slow test_poisson_mean;
+        Alcotest.test_case "poisson zero mean" `Quick test_poisson_zero_mean;
+        Alcotest.test_case "distinct pair" `Quick test_pick_distinct_pair;
+        Alcotest.test_case "distinct pair coverage" `Quick test_pick_distinct_pair_covers_all;
+        Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutation;
+        Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+        Alcotest.test_case "sample whole population" `Quick test_sample_all;
+      ] );
+  ]

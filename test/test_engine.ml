@@ -1,0 +1,76 @@
+module Engine = Dr_sim.Engine
+
+let test_clock_starts () =
+  let e = Engine.create () in
+  Alcotest.(check (float 1e-9)) "starts at 0" 0.0 (Engine.now e);
+  let e2 = Engine.create ~start:5.0 () in
+  Alcotest.(check (float 1e-9)) "custom start" 5.0 (Engine.now e2)
+
+let test_events_in_order () =
+  let e = Engine.create () in
+  Engine.schedule e ~at:3.0 "c";
+  Engine.schedule e ~at:1.0 "a";
+  Engine.schedule e ~at:2.0 "b";
+  let log = ref [] in
+  Engine.run e ~handler:(fun e ev -> log := (Engine.now e, ev) :: !log);
+  Alcotest.(check (list (pair (float 1e-9) string)))
+    "time order" [ (1.0, "a"); (2.0, "b"); (3.0, "c") ] (List.rev !log)
+
+let test_fifo_simultaneous () =
+  let e = Engine.create () in
+  Engine.schedule e ~at:1.0 "first";
+  Engine.schedule e ~at:1.0 "second";
+  let log = ref [] in
+  Engine.run e ~handler:(fun _ ev -> log := ev :: !log);
+  Alcotest.(check (list string)) "insertion order" [ "first"; "second" ] (List.rev !log)
+
+let test_handler_schedules () =
+  let e = Engine.create () in
+  Engine.schedule e ~at:1.0 `Tick;
+  let count = ref 0 in
+  Engine.run e ~handler:(fun e `Tick ->
+      incr count;
+      if !count < 5 then Engine.schedule_after e ~delay:1.0 `Tick);
+  Alcotest.(check int) "cascade of 5" 5 !count;
+  Alcotest.(check (float 1e-9)) "final clock" 5.0 (Engine.now e)
+
+let test_past_rejected () =
+  let e = Engine.create ~start:10.0 () in
+  Alcotest.(check bool) "past scheduling raises" true
+    (try Engine.schedule e ~at:9.0 (); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative delay raises" true
+    (try Engine.schedule_after e ~delay:(-1.0) (); false
+     with Invalid_argument _ -> true)
+
+let test_run_until () =
+  let e = Engine.create () in
+  List.iter (fun t -> Engine.schedule e ~at:t t) [ 1.0; 2.0; 3.0; 4.0 ];
+  let log = ref [] in
+  Engine.run_until e ~stop:2.5 ~handler:(fun _ t -> log := t :: !log);
+  Alcotest.(check (list (float 1e-9))) "only events <= stop" [ 1.0; 2.0 ] (List.rev !log);
+  Alcotest.(check int) "rest still pending" 2 (Engine.pending e);
+  Alcotest.(check (float 1e-9)) "clock advanced to stop" 2.5 (Engine.now e);
+  (* Resume. *)
+  Engine.run e ~handler:(fun _ t -> log := t :: !log);
+  Alcotest.(check int) "all processed eventually" 4 (List.length !log)
+
+let test_step () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "step on empty" false (Engine.step e ~handler:(fun _ _ -> ()));
+  Engine.schedule e ~at:1.0 ();
+  Alcotest.(check bool) "step consumes" true (Engine.step e ~handler:(fun _ _ -> ()));
+  Alcotest.(check int) "nothing pending" 0 (Engine.pending e)
+
+let suite =
+  [
+    ( "eventsim.engine",
+      [
+        Alcotest.test_case "clock start" `Quick test_clock_starts;
+        Alcotest.test_case "time ordering" `Quick test_events_in_order;
+        Alcotest.test_case "FIFO at equal times" `Quick test_fifo_simultaneous;
+        Alcotest.test_case "handler schedules more" `Quick test_handler_schedules;
+        Alcotest.test_case "past events rejected" `Quick test_past_rejected;
+        Alcotest.test_case "run_until" `Quick test_run_until;
+        Alcotest.test_case "single step" `Quick test_step;
+      ] );
+  ]

@@ -1,0 +1,258 @@
+module Config = Dr_exp.Config
+module Runner = Dr_exp.Runner
+module Sweep = Dr_exp.Sweep
+
+(* A miniature configuration so experiment plumbing tests stay fast. *)
+let tiny_cfg =
+  {
+    Config.default with
+    Config.warmup = 600.0;
+    horizon = 1800.0;
+    sample_every = 300.0;
+    lifetime_lo = 300.0;
+    lifetime_hi = 600.0;
+  }
+
+let tiny_graph = lazy (Config.make_graph tiny_cfg ~avg_degree:3.0)
+
+let run_tiny scheme ~lambda =
+  let graph = Lazy.force tiny_graph in
+  let scenario = Config.make_scenario tiny_cfg Config.UT ~lambda in
+  Runner.run tiny_cfg ~graph ~scenario ~scheme
+
+let test_traffic_parsing () =
+  Alcotest.(check bool) "UT" true (Config.traffic_of_string "ut" = Ok Config.UT);
+  Alcotest.(check bool) "NT" true (Config.traffic_of_string "NT" = Ok Config.NT);
+  Alcotest.(check bool) "junk" true
+    (match Config.traffic_of_string "xx" with Error _ -> true | Ok _ -> false)
+
+let test_lambda_sweeps () =
+  Alcotest.(check (list (float 1e-9))) "E=3 sweep" [ 0.2; 0.3; 0.4; 0.5; 0.6; 0.7 ]
+    (Config.lambdas_for_degree 3.0);
+  Alcotest.(check bool) "E=4 sweep reaches 1.0" true
+    (List.mem 1.0 (Config.lambdas_for_degree 4.0))
+
+let test_graph_determinism () =
+  let g1 = Config.make_graph tiny_cfg ~avg_degree:3.0 in
+  let g2 = Config.make_graph tiny_cfg ~avg_degree:3.0 in
+  Alcotest.(check int) "same edge count" (Dr_topo.Graph.edge_count g1)
+    (Dr_topo.Graph.edge_count g2);
+  Alcotest.(check int) "60 nodes" 60 (Dr_topo.Graph.node_count g1);
+  Alcotest.(check bool) "2-edge-connected" true
+    (Dr_topo.Connectivity.is_two_edge_connected g1)
+
+let test_scenario_determinism () =
+  let s1 = Config.make_scenario tiny_cfg Config.UT ~lambda:0.3 in
+  let s2 = Config.make_scenario tiny_cfg Config.UT ~lambda:0.3 in
+  Alcotest.(check string) "identical scenario files" (Dr_sim.Scenario.to_string s1)
+    (Dr_sim.Scenario.to_string s2);
+  let s3 = Config.make_scenario tiny_cfg Config.NT ~lambda:0.3 in
+  Alcotest.(check bool) "NT differs" false
+    (Dr_sim.Scenario.to_string s1 = Dr_sim.Scenario.to_string s3)
+
+let test_runner_measurement_sanity () =
+  let m = run_tiny (Runner.Lsr Drtp.Routing.Dlsr) ~lambda:0.3 in
+  Alcotest.(check bool) "requests seen" true (m.Runner.requests > 0);
+  Alcotest.(check bool) "snapshots taken" true (m.Runner.snapshots >= 4);
+  Alcotest.(check bool) "ft in [0,1]" true
+    (m.Runner.ft_overall >= 0.0 && m.Runner.ft_overall <= 1.0);
+  Alcotest.(check bool) "active connections positive" true (m.Runner.avg_active > 0.0);
+  Alcotest.(check bool) "acceptance in (0,1]" true
+    (m.Runner.acceptance > 0.0 && m.Runner.acceptance <= 1.0);
+  Alcotest.(check bool) "hops sane" true
+    (m.Runner.avg_primary_hops >= 1.0 && m.Runner.avg_backup_hops >= m.Runner.avg_primary_hops)
+
+let test_runner_deterministic () =
+  let m1 = run_tiny (Runner.Lsr Drtp.Routing.Plsr) ~lambda:0.3 in
+  let m2 = run_tiny (Runner.Lsr Drtp.Routing.Plsr) ~lambda:0.3 in
+  Alcotest.(check (float 1e-12)) "same ft" m1.Runner.ft_overall m2.Runner.ft_overall;
+  Alcotest.(check (float 1e-9)) "same active" m1.Runner.avg_active m2.Runner.avg_active
+
+let test_no_backup_baseline () =
+  let m = run_tiny Runner.No_backup ~lambda:0.3 in
+  Alcotest.(check int) "never rejected for backup" 0 m.Runner.rejected_no_backup;
+  Alcotest.(check (float 1e-9)) "no spare" 0.0 m.Runner.avg_spare_fraction;
+  Alcotest.(check (float 1e-9)) "no backup hops" 0.0 m.Runner.avg_backup_hops
+
+let test_backup_scheme_uses_more_capacity () =
+  let base = run_tiny Runner.No_backup ~lambda:0.3 in
+  let dlsr = run_tiny (Runner.Lsr Drtp.Routing.Dlsr) ~lambda:0.3 in
+  Alcotest.(check bool) "spare reserved" true (dlsr.Runner.avg_spare_fraction > 0.0);
+  Alcotest.(check bool) "active count not higher than baseline" true
+    (dlsr.Runner.avg_active <= base.Runner.avg_active +. 1e-9)
+
+let test_bf_counts_messages () =
+  let m = run_tiny (Runner.Bf Dr_flood.Bounded_flood.default_config) ~lambda:0.2 in
+  (match m.Runner.flood_messages_per_request with
+  | Some v -> Alcotest.(check bool) "positive message count" true (v > 0.0)
+  | None -> Alcotest.fail "BF must report message counts");
+  Alcotest.(check bool) "BF admits some unprotected connections" true
+    (m.Runner.unprotected > 0);
+  let lsr_m = run_tiny (Runner.Lsr Drtp.Routing.Dlsr) ~lambda:0.2 in
+  Alcotest.(check int) "LSR never unprotected" 0 lsr_m.Runner.unprotected
+
+let test_dedicated_reserves_more () =
+  let mux = run_tiny (Runner.Lsr Drtp.Routing.Dlsr) ~lambda:0.3 in
+  let ded = run_tiny (Runner.Lsr_dedicated Drtp.Routing.Dlsr) ~lambda:0.3 in
+  Alcotest.(check bool) "dedicated spare exceeds multiplexed" true
+    (ded.Runner.avg_spare_fraction > mux.Runner.avg_spare_fraction)
+
+let test_backup_count_ablation () =
+  let rows =
+    Dr_exp.Ablation.backup_count tiny_cfg ~avg_degree:3.0 ~traffic:Config.UT
+      ~lambda:0.3 ~counts:[ 0; 1; 2 ] ()
+  in
+  Alcotest.(check int) "three rows" 3 (List.length rows);
+  match rows with
+  | [ k0; k1; k2 ] ->
+      Alcotest.(check int) "ordered" 0 k0.Dr_exp.Ablation.backups;
+      Alcotest.(check bool) "k1 protects" true (k1.Dr_exp.Ablation.ft > 0.9);
+      Alcotest.(check bool) "k2 edge-ft >= k1" true
+        (k2.Dr_exp.Ablation.ft >= k1.Dr_exp.Ablation.ft -. 0.01);
+      Alcotest.(check bool) "k2 node-ft >= k1" true
+        (k2.Dr_exp.Ablation.node_ft >= k1.Dr_exp.Ablation.node_ft -. 0.01);
+      Alcotest.(check bool) "k2 costs more" true
+        (k2.Dr_exp.Ablation.overhead_pct >= k1.Dr_exp.Ablation.overhead_pct -. 1.0)
+  | _ -> Alcotest.fail "unexpected rows"
+
+let test_node_ft_measured () =
+  let m = run_tiny (Runner.Lsr Drtp.Routing.Dlsr) ~lambda:0.3 in
+  Alcotest.(check bool) "node ft in [0,1]" true
+    (m.Runner.node_ft_overall >= 0.0 && m.Runner.node_ft_overall <= 1.0);
+  Alcotest.(check bool) "node ft <= edge ft" true
+    (m.Runner.node_ft_overall <= m.Runner.ft_overall +. 1e-9)
+
+let test_replicate_aggregates () =
+  let t =
+    Dr_exp.Replicate.run tiny_cfg ~avg_degree:3.0 ~seeds:[ 0; 1 ]
+      ~traffics:[ Config.UT ] ~lambdas:[ 0.3 ]
+      ~schemes:[ Runner.Lsr Drtp.Routing.Dlsr ] ()
+  in
+  Alcotest.(check int) "one aggregated cell" 1 (List.length t.Dr_exp.Replicate.cells);
+  let c = List.hd t.Dr_exp.Replicate.cells in
+  Alcotest.(check int) "two observations" 2 (Dr_stats.Summary.count c.Dr_exp.Replicate.ft);
+  let out = Format.asprintf "%a" Dr_exp.Replicate.print_figure4 t in
+  Alcotest.(check bool) "renders with seeds count" true
+    (Astring.String.is_infix ~affix:"2 seeds" out)
+
+let test_scheme_labels () =
+  Alcotest.(check string) "dlsr" "D-LSR" (Runner.scheme_label (Runner.Lsr Drtp.Routing.Dlsr));
+  Alcotest.(check string) "bf" "BF"
+    (Runner.scheme_label (Runner.Bf Dr_flood.Bounded_flood.default_config));
+  Alcotest.(check string) "baseline" "no-backup" (Runner.scheme_label Runner.No_backup);
+  Alcotest.(check string) "k-backup" "D-LSR-k2"
+    (Runner.scheme_label (Runner.Lsr_k (Drtp.Routing.Dlsr, 2)));
+  Alcotest.(check int) "paper has three schemes" 3 (List.length Runner.paper_schemes)
+
+let test_sweep_and_reports () =
+  let sweep =
+    Sweep.run tiny_cfg ~avg_degree:3.0 ~traffics:[ Config.UT ] ~lambdas:[ 0.3 ]
+      ~schemes:[ Runner.Lsr Drtp.Routing.Dlsr; Runner.Bf Dr_flood.Bounded_flood.default_config ]
+      ()
+  in
+  Alcotest.(check int) "two cells" 2 (List.length sweep.Sweep.cells);
+  Alcotest.(check int) "min-hop + BF baselines" 2 (List.length sweep.Sweep.baselines);
+  (match Sweep.find sweep ~traffic:Config.UT ~lambda:0.3 ~label:"D-LSR" with
+  | None -> Alcotest.fail "cell lookup failed"
+  | Some cell ->
+      let ov = Sweep.capacity_overhead_pct cell in
+      Alcotest.(check bool) "overhead in [-5, 60]" true (ov > -5.0 && ov < 60.0));
+  (* Report rendering must produce the figure headers. *)
+  let fig4 = Format.asprintf "%a" Dr_exp.Report.print_figure4 sweep in
+  Alcotest.(check bool) "figure 4 header" true
+    (Astring.String.is_infix ~affix:"Figure 4" fig4);
+  let fig5 = Format.asprintf "%a" Dr_exp.Report.print_figure5 sweep in
+  Alcotest.(check bool) "figure 5 header" true
+    (Astring.String.is_infix ~affix:"Figure 5" fig5);
+  let details = Format.asprintf "%a" Dr_exp.Report.print_details sweep in
+  Alcotest.(check bool) "details mention D-LSR" true
+    (Astring.String.is_infix ~affix:"D-LSR" details)
+
+let test_table1_renders () =
+  let s = Format.asprintf "%a" Config.pp_table1 tiny_cfg in
+  Alcotest.(check bool) "mentions Waxman" true (Astring.String.is_infix ~affix:"Waxman" s);
+  Alcotest.(check bool) "mentions lifetime" true
+    (Astring.String.is_infix ~affix:"uniform" s)
+
+let test_overhead_table () =
+  let t = Dr_exp.Overhead.measure tiny_cfg ~avg_degree:3.0 ~traffic:Config.UT ~lambda:0.2 in
+  Alcotest.(check bool) "bf messages positive" true (t.Dr_exp.Overhead.bf_messages_per_request > 0.0);
+  Alcotest.(check bool) "dlsr entries bigger than plsr" true
+    (t.Dr_exp.Overhead.dlsr_bytes_per_link > t.Dr_exp.Overhead.plsr_bytes_per_link);
+  Alcotest.(check bool) "full aplv biggest" true
+    (t.Dr_exp.Overhead.full_aplv_lsdb_bytes > t.Dr_exp.Overhead.dlsr_lsdb_bytes)
+
+let test_availability_rows () =
+  let rows =
+    Dr_exp.Availability_exp.run tiny_cfg ~avg_degree:3.0 ~traffic:Config.UT
+      ~lambda:0.3 ~mtbf:200.0 ~mttr:50.0 ()
+  in
+  Alcotest.(check int) "three approaches" 3 (List.length rows);
+  (match rows with
+  | drtp :: _ :: reactive :: _ ->
+      Alcotest.(check bool) "same failure timeline" true
+        (drtp.Dr_exp.Availability_exp.failures
+        = reactive.Dr_exp.Availability_exp.failures);
+      Alcotest.(check bool) "availability in [0,1]" true
+        (drtp.Dr_exp.Availability_exp.availability >= 0.0
+        && drtp.Dr_exp.Availability_exp.availability <= 1.0);
+      Alcotest.(check bool) "DRTP at least as available" true
+        (drtp.Dr_exp.Availability_exp.availability
+        >= reactive.Dr_exp.Availability_exp.availability -. 1e-6);
+      Alcotest.(check bool) "DRTP switches, reactive reroutes" true
+        (drtp.Dr_exp.Availability_exp.reroutes = 0
+        && reactive.Dr_exp.Availability_exp.switchovers = 0)
+  | _ -> Alcotest.fail "unexpected rows");
+  (* Deterministic under the same seed. *)
+  let rows2 =
+    Dr_exp.Availability_exp.run tiny_cfg ~avg_degree:3.0 ~traffic:Config.UT
+      ~lambda:0.3 ~mtbf:200.0 ~mttr:50.0 ()
+  in
+  Alcotest.(check bool) "deterministic" true
+    (List.map (fun r -> r.Dr_exp.Availability_exp.downtime_s) rows
+    = List.map (fun r -> r.Dr_exp.Availability_exp.downtime_s) rows2)
+
+let test_recovery_rows () =
+  let rows =
+    Dr_exp.Recovery_exp.run tiny_cfg ~avg_degree:3.0 ~traffic:Config.UT ~lambda:0.3
+      ~failures:5 ()
+  in
+  Alcotest.(check int) "four approaches" 4 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "ratio in [0,1]" true
+        (r.Dr_exp.Recovery_exp.recovery_ratio >= 0.0
+        && r.Dr_exp.Recovery_exp.recovery_ratio <= 1.0))
+    rows;
+  match rows with
+  | drtp :: _ :: _ :: reactive :: _ ->
+      Alcotest.(check bool) "DRTP at least as reliable" true
+        (drtp.Dr_exp.Recovery_exp.recovery_ratio
+        >= reactive.Dr_exp.Recovery_exp.recovery_ratio -. 0.05)
+  | _ -> Alcotest.fail "unexpected rows"
+
+let suite =
+  [
+    ( "experiments",
+      [
+        Alcotest.test_case "traffic parsing" `Quick test_traffic_parsing;
+        Alcotest.test_case "lambda sweeps" `Quick test_lambda_sweeps;
+        Alcotest.test_case "graph determinism" `Quick test_graph_determinism;
+        Alcotest.test_case "scenario determinism" `Quick test_scenario_determinism;
+        Alcotest.test_case "runner sanity" `Slow test_runner_measurement_sanity;
+        Alcotest.test_case "runner deterministic" `Slow test_runner_deterministic;
+        Alcotest.test_case "no-backup baseline" `Slow test_no_backup_baseline;
+        Alcotest.test_case "backups consume capacity" `Slow test_backup_scheme_uses_more_capacity;
+        Alcotest.test_case "BF message accounting" `Slow test_bf_counts_messages;
+        Alcotest.test_case "dedicated spare costs more" `Slow test_dedicated_reserves_more;
+        Alcotest.test_case "scheme labels" `Quick test_scheme_labels;
+        Alcotest.test_case "backup-count ablation (E2)" `Slow test_backup_count_ablation;
+        Alcotest.test_case "node fault-tolerance measured" `Slow test_node_ft_measured;
+        Alcotest.test_case "replication aggregates" `Slow test_replicate_aggregates;
+        Alcotest.test_case "sweep and reports" `Slow test_sweep_and_reports;
+        Alcotest.test_case "table 1 renders" `Quick test_table1_renders;
+        Alcotest.test_case "overhead table" `Slow test_overhead_table;
+        Alcotest.test_case "recovery experiment rows" `Slow test_recovery_rows;
+        Alcotest.test_case "availability experiment (E6)" `Slow test_availability_rows;
+      ] );
+  ]

@@ -1,0 +1,195 @@
+module Graph = Dr_topo.Graph
+module Path = Dr_topo.Path
+module Net_state = Drtp.Net_state
+module FE = Drtp.Failure_eval
+
+let mesh_state ?(capacity = 10) () =
+  let graph = Dr_topo.Gen.mesh ~rows:3 ~cols:3 in
+  (graph, Net_state.create ~graph ~capacity ~spare_policy:Net_state.Multiplexed)
+
+let path g nodes = Path.of_nodes g nodes
+let edge g a b = Graph.edge_of_link (Option.get (Graph.find_link g ~src:a ~dst:b))
+
+let test_empty_network () =
+  let _, st = mesh_state () in
+  let r = FE.evaluate st in
+  Alcotest.(check int) "no attempts" 0 r.FE.attempts;
+  Alcotest.(check int) "no edges evaluated" 0 r.FE.edges_evaluated;
+  Alcotest.(check (float 1e-9)) "vacuous ft" 1.0 (FE.fault_tolerance r)
+
+let test_protected_connection_survives () =
+  let g, st = mesh_state () in
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 3; 4; 5; 2 ] ]);
+  let r = FE.evaluate st in
+  Alcotest.(check int) "2 primary edges at risk" 2 r.FE.attempts;
+  Alcotest.(check int) "both survivable" 2 r.FE.successes;
+  Alcotest.(check (float 1e-9)) "ft = 1" 1.0 (FE.fault_tolerance r)
+
+let test_unprotected_connection_fails () =
+  let g, st = mesh_state () in
+  ignore (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ]) ~backups:[]);
+  let r = FE.evaluate st in
+  Alcotest.(check int) "attempts" 2 r.FE.attempts;
+  Alcotest.(check int) "no successes" 0 r.FE.successes
+
+let test_backup_crossing_failed_edge () =
+  let g, st = mesh_state () in
+  (* Backup overlaps the primary on edge (0,1): failure of that edge is
+     unrecoverable, failure of (1,2) is fine. *)
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 1; 4; 5; 2 ] ]);
+  let o_shared = FE.evaluate_edge st ~edge:(edge g 0 1) in
+  Alcotest.(check int) "shared edge kills both" 0 o_shared.FE.activated;
+  let o_other = FE.evaluate_edge st ~edge:(edge g 1 2) in
+  Alcotest.(check int) "disjoint edge recoverable" 1 o_other.FE.activated
+
+let test_spare_contention () =
+  let g, st = mesh_state ~capacity:2 () in
+  (* Fill 0->3 so only 1 spare unit fits there; two conflicting backups
+     multiplex onto it. *)
+  ignore (Net_state.admit st ~id:10 ~bw:1 ~primary:(path g [ 0; 3 ]) ~backups:[]);
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 3; 4; 5; 2 ] ]);
+  ignore
+    (Net_state.admit st ~id:2 ~bw:1 ~primary:(path g [ 0; 1; 4 ])
+       ~backups:[ path g [ 0; 3; 4 ] ]);
+  (* Edge (0,1) failure hits both conns; only one can win the single spare
+     unit on 0->3. *)
+  let o = FE.evaluate_edge st ~edge:(edge g 0 1) in
+  Alcotest.(check int) "both affected" 2 o.FE.affected;
+  Alcotest.(check int) "one activates" 1 o.FE.activated
+
+let test_greedy_order_is_conn_id () =
+  let g, st = mesh_state ~capacity:2 () in
+  ignore (Net_state.admit st ~id:10 ~bw:1 ~primary:(path g [ 0; 3 ]) ~backups:[]);
+  (* Register higher id first: the evaluator must still grant id 1 first. *)
+  ignore
+    (Net_state.admit st ~id:5 ~bw:1 ~primary:(path g [ 0; 1; 4 ])
+       ~backups:[ path g [ 0; 3; 4 ] ]);
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 3; 4; 5; 2 ] ]);
+  let o = FE.evaluate_edge st ~edge:(edge g 0 1) in
+  Alcotest.(check int) "one winner" 1 o.FE.activated
+
+let test_spare_only_vs_free () =
+  let g, st = mesh_state ~capacity:3 () in
+  ignore (Net_state.admit st ~id:10 ~bw:1 ~primary:(path g [ 0; 3 ]) ~backups:[]);
+  (* One spare unit reserved on 0->3 (deficit 1), free = 1 there. *)
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 3; 4; 5; 2 ] ]);
+  ignore
+    (Net_state.admit st ~id:2 ~bw:1 ~primary:(path g [ 0; 1; 4 ])
+       ~backups:[ path g [ 0; 3; 4 ] ]);
+  (* capacity 3: prime 1 + spare 2 -> both fit via spare alone. *)
+  let strict = FE.evaluate_edge st ~edge:(edge g 0 1) in
+  Alcotest.(check int) "spare covers both" 2 strict.FE.activated;
+  (* Under capacity 2 the spare pool is 1; free-bw mode cannot help since
+     free is 0, but with capacity 3 both modes agree. *)
+  let loose = FE.evaluate_edge ~spare_only:false st ~edge:(edge g 0 1) in
+  Alcotest.(check int) "free mode agrees here" 2 loose.FE.activated
+
+let test_aggregation () =
+  let g, st = mesh_state () in
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 3; 4; 5; 2 ] ]);
+  ignore
+    (Net_state.admit st ~id:2 ~bw:1 ~primary:(path g [ 6; 7; 8 ])
+       ~backups:[ path g [ 6; 3; 4; 5; 8 ] ]);
+  let r = FE.evaluate st in
+  Alcotest.(check int) "4 edges evaluated" 4 r.FE.edges_evaluated;
+  Alcotest.(check int) "per-edge records" 4 (List.length r.FE.per_edge);
+  let sum_affected =
+    List.fold_left (fun acc (o : FE.edge_outcome) -> acc + o.FE.affected) 0 r.FE.per_edge
+  in
+  Alcotest.(check int) "per-edge sums to attempts" r.FE.attempts sum_affected
+
+let test_does_not_mutate () =
+  let g, st = mesh_state () in
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 3; 4; 5; 2 ] ]);
+  let before = Drtp.Resources.total_spare (Net_state.resources st) in
+  ignore (FE.evaluate st);
+  ignore (FE.evaluate st);
+  Alcotest.(check int) "state untouched" before
+    (Drtp.Resources.total_spare (Net_state.resources st));
+  Alcotest.(check bool) "invariants hold" true (Net_state.check_invariants st = Ok ())
+
+let test_pair_loses_backup_too () =
+  let g, st = mesh_state () in
+  (* Primary 0-1-2, backup 0-3-4-5-2.  Failing (0,1) alone is survivable;
+     failing (0,1) together with a backup edge is not. *)
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 3; 4; 5; 2 ] ]);
+  let e_prim = edge g 0 1 and e_back = edge g 3 4 and e_other = edge g 6 7 in
+  let o_both = FE.evaluate_edge_pair st ~edges:(e_prim, e_back) in
+  Alcotest.(check int) "affected" 1 o_both.FE.affected;
+  Alcotest.(check int) "backup died too" 0 o_both.FE.activated;
+  let o_ok = FE.evaluate_edge_pair st ~edges:(e_prim, e_other) in
+  Alcotest.(check int) "unrelated second failure harmless" 1 o_ok.FE.activated
+
+let test_pair_contention_beyond_single_sizing () =
+  let g, st = mesh_state ~capacity:2 () in
+  (* Disjoint primaries -> multiplexing reserves ONE unit on the shared
+     backup corridor (correct for single failures).  Failing both primaries
+     at once overloads it. *)
+  ignore (Net_state.admit st ~id:10 ~bw:1 ~primary:(path g [ 3; 6 ]) ~backups:[]);
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 3; 4; 5; 2 ] ]);
+  ignore
+    (Net_state.admit st ~id:2 ~bw:1 ~primary:(path g [ 6; 7; 8 ])
+       ~backups:[ path g [ 6; 3; 4; 5; 8 ] ]);
+  (* Both backups share links 3->4 and 4->5; primaries are disjoint, so the
+     spare requirement there is 1 unit.  Starve link 3->4 so it cannot hold
+     more than 1: capacity 2, prime 0... grow is capped by requirement
+     anyway. *)
+  let o = FE.evaluate_edge_pair st ~edges:(edge g 0 1, edge g 7 8) in
+  Alcotest.(check int) "both victims" 2 o.FE.affected;
+  Alcotest.(check int) "single-failure sizing admits one" 1 o.FE.activated;
+  (* Each failure alone is fully survivable. *)
+  Alcotest.(check int) "alone ok" 1 (FE.evaluate_edge st ~edge:(edge g 0 1)).FE.activated;
+  Alcotest.(check int) "alone ok" 1 (FE.evaluate_edge st ~edge:(edge g 7 8)).FE.activated
+
+let test_double_monte_carlo () =
+  let g, st = mesh_state () in
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 3; 4; 5; 2 ] ]);
+  let r = FE.evaluate_double ~samples:50 st in
+  Alcotest.(check bool) "ft in [0,1]" true
+    (FE.fault_tolerance r >= 0.0 && FE.fault_tolerance r <= 1.0);
+  (* Deterministic under a fixed seed. *)
+  let r2 = FE.evaluate_double ~samples:50 st in
+  Alcotest.(check int) "deterministic" r.FE.successes r2.FE.successes;
+  (* Double-failure tolerance cannot beat single-failure tolerance here. *)
+  let single = FE.fault_tolerance (FE.evaluate st) in
+  Alcotest.(check bool) "double <= single" true
+    (FE.fault_tolerance r <= single +. 1e-9)
+
+let suite =
+  [
+    ( "drtp.failure_eval",
+      [
+        Alcotest.test_case "empty network" `Quick test_empty_network;
+        Alcotest.test_case "protected connection survives" `Quick test_protected_connection_survives;
+        Alcotest.test_case "unprotected fails" `Quick test_unprotected_connection_fails;
+        Alcotest.test_case "backup crossing failed edge" `Quick test_backup_crossing_failed_edge;
+        Alcotest.test_case "spare contention" `Quick test_spare_contention;
+        Alcotest.test_case "greedy grant order" `Quick test_greedy_order_is_conn_id;
+        Alcotest.test_case "spare-only vs free mode" `Quick test_spare_only_vs_free;
+        Alcotest.test_case "aggregation" `Quick test_aggregation;
+        Alcotest.test_case "evaluation is pure" `Quick test_does_not_mutate;
+        Alcotest.test_case "pair kills backup too" `Quick test_pair_loses_backup_too;
+        Alcotest.test_case "pair overloads single sizing" `Quick test_pair_contention_beyond_single_sizing;
+        Alcotest.test_case "double-failure monte carlo" `Quick test_double_monte_carlo;
+      ] );
+  ]

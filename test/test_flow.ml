@@ -1,0 +1,102 @@
+module Graph = Dr_topo.Graph
+module Path = Dr_topo.Path
+module Flow = Dr_topo.Flow
+
+let test_single_path () =
+  let g = Graph.create ~node_count:3 ~edges:[ (0, 1); (1, 2) ] in
+  let n, paths = Flow.max_disjoint_paths g ~src:0 ~dst:2 () in
+  Alcotest.(check int) "one path" 1 n;
+  Alcotest.(check int) "one decomposed" 1 (List.length paths)
+
+let test_ring () =
+  let g = Dr_topo.Gen.ring 6 in
+  let n, paths = Flow.max_disjoint_paths g ~src:0 ~dst:3 () in
+  Alcotest.(check int) "two disjoint around the ring" 2 n;
+  Alcotest.(check int) "two paths decomposed" 2 (List.length paths);
+  (* The two paths must be link-disjoint. *)
+  match paths with
+  | [ a; b ] -> Alcotest.(check int) "disjoint" 0 (Path.link_overlap a b)
+  | _ -> Alcotest.fail "expected two paths"
+
+let test_complete_graph () =
+  let g = Dr_topo.Gen.complete 5 in
+  let n, _ = Flow.max_disjoint_paths g ~src:0 ~dst:4 () in
+  Alcotest.(check int) "K5 gives 4 disjoint paths" 4 n
+
+let test_grid_corner () =
+  let g = Dr_topo.Gen.mesh ~rows:3 ~cols:3 in
+  let n, _ = Flow.max_disjoint_paths g ~src:0 ~dst:8 () in
+  Alcotest.(check int) "corner degree bounds flow" 2 n
+
+let test_disconnected () =
+  let g = Graph.create ~node_count:4 ~edges:[ (0, 1); (2, 3) ] in
+  let n, paths = Flow.max_disjoint_paths g ~src:0 ~dst:3 () in
+  Alcotest.(check int) "no path" 0 n;
+  Alcotest.(check int) "no decomposition" 0 (List.length paths)
+
+let test_usable_restriction () =
+  let g = Dr_topo.Gen.ring 6 in
+  (* Ban one direction of edge (0,1): the clockwise path disappears. *)
+  let l01 = Option.get (Graph.find_link g ~src:0 ~dst:1) in
+  let n, _ = Flow.max_disjoint_paths g ~usable:(fun l -> l <> l01) ~src:0 ~dst:3 () in
+  Alcotest.(check int) "one path left" 1 n
+
+let test_decomposition_valid () =
+  let g = Dr_topo.Gen.mesh ~rows:3 ~cols:4 in
+  let n, paths = Flow.max_disjoint_paths g ~src:0 ~dst:11 () in
+  Alcotest.(check int) "count matches decomposition" n (List.length paths);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "starts at src" 0 (Path.src p);
+      Alcotest.(check int) "ends at dst" 11 (Path.dst p))
+    paths;
+  (* Pairwise link-disjoint. *)
+  let rec pairwise = function
+    | [] -> ()
+    | p :: rest ->
+        List.iter
+          (fun q -> Alcotest.(check int) "pairwise disjoint" 0 (Path.link_overlap p q))
+          rest;
+        pairwise rest
+  in
+  pairwise paths
+
+let test_edge_disjoint_ring () =
+  let g = Dr_topo.Gen.ring 6 in
+  Alcotest.(check int) "two edge-disjoint" 2 (Flow.edge_disjoint_paths g ~src:0 ~dst:3)
+
+let test_edge_disjoint_bridge () =
+  (* Two triangles joined by a bridge: only one edge-disjoint path across. *)
+  let g =
+    Graph.create ~node_count:6
+      ~edges:[ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 5); (5, 3) ]
+  in
+  Alcotest.(check int) "bridge limits to 1" 1 (Flow.edge_disjoint_paths g ~src:0 ~dst:5)
+
+let test_edge_disjoint_vs_double_ring () =
+  let g = Dr_topo.Gen.double_ring 8 in
+  Alcotest.(check int) "ring+chord gives 3" 3 (Flow.edge_disjoint_paths g ~src:0 ~dst:4)
+
+let test_src_eq_dst_rejected () =
+  let g = Dr_topo.Gen.ring 4 in
+  Alcotest.(check bool) "src=dst raises" true
+    (try ignore (Flow.max_disjoint_paths g ~src:1 ~dst:1 ()); false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ( "topology.flow",
+      [
+        Alcotest.test_case "single path" `Quick test_single_path;
+        Alcotest.test_case "ring" `Quick test_ring;
+        Alcotest.test_case "complete graph" `Quick test_complete_graph;
+        Alcotest.test_case "grid corner" `Quick test_grid_corner;
+        Alcotest.test_case "disconnected" `Quick test_disconnected;
+        Alcotest.test_case "usable restriction" `Quick test_usable_restriction;
+        Alcotest.test_case "decomposition valid" `Quick test_decomposition_valid;
+        Alcotest.test_case "edge-disjoint on ring" `Quick test_edge_disjoint_ring;
+        Alcotest.test_case "edge-disjoint across bridge" `Quick test_edge_disjoint_bridge;
+        Alcotest.test_case "edge-disjoint on double ring" `Quick test_edge_disjoint_vs_double_ring;
+        Alcotest.test_case "src=dst rejected" `Quick test_src_eq_dst_rejected;
+      ] );
+  ]

@@ -1,0 +1,147 @@
+module Graph = Dr_topo.Graph
+module Gen = Dr_topo.Gen
+module Rng = Dr_rng.Splitmix64
+
+let test_mesh_shape () =
+  let g = Gen.mesh ~rows:3 ~cols:4 in
+  Alcotest.(check int) "nodes" 12 (Graph.node_count g);
+  (* 3 rows x 3 horizontal + 2 x 4 vertical = 17 edges *)
+  Alcotest.(check int) "edges" 17 (Graph.edge_count g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  Alcotest.(check int) "corner degree" 2 (Graph.degree g 0);
+  Alcotest.(check int) "centre degree" 4 (Graph.degree g 5)
+
+let test_ring_shape () =
+  let g = Gen.ring 7 in
+  Alcotest.(check int) "nodes" 7 (Graph.node_count g);
+  Alcotest.(check int) "edges" 7 (Graph.edge_count g);
+  for v = 0 to 6 do
+    Alcotest.(check int) "degree 2" 2 (Graph.degree g v)
+  done
+
+let test_line_shape () =
+  let g = Gen.line 5 in
+  Alcotest.(check int) "edges" 4 (Graph.edge_count g);
+  Alcotest.(check int) "end degree" 1 (Graph.degree g 0);
+  Alcotest.(check int) "middle degree" 2 (Graph.degree g 2)
+
+let test_torus_shape () =
+  let g = Gen.torus ~rows:3 ~cols:4 in
+  Alcotest.(check int) "nodes" 12 (Graph.node_count g);
+  Alcotest.(check int) "edges" 24 (Graph.edge_count g);
+  for v = 0 to 11 do
+    Alcotest.(check int) "regular degree 4" 4 (Graph.degree g v)
+  done;
+  Alcotest.(check bool) "2-edge-connected" true
+    (Dr_topo.Connectivity.is_two_edge_connected g)
+
+let test_complete_shape () =
+  let g = Gen.complete 6 in
+  Alcotest.(check int) "edges" 15 (Graph.edge_count g);
+  for v = 0 to 5 do
+    Alcotest.(check int) "degree n-1" 5 (Graph.degree g v)
+  done
+
+let test_star_shape () =
+  let g = Gen.star 6 in
+  Alcotest.(check int) "hub degree" 5 (Graph.degree g 0);
+  Alcotest.(check int) "leaf degree" 1 (Graph.degree g 3)
+
+let test_double_ring () =
+  let g = Gen.double_ring 8 in
+  Alcotest.(check int) "edges" 12 (Graph.edge_count g);
+  for v = 0 to 7 do
+    Alcotest.(check int) "degree 3" 3 (Graph.degree g v)
+  done
+
+let test_waxman_basic () =
+  let rng = Rng.create 1 in
+  let g = Gen.waxman ~rng ~n:40 ~avg_degree:3.0 () in
+  Alcotest.(check int) "nodes" 40 (Graph.node_count g);
+  Alcotest.(check int) "exact edge budget" 60 (Graph.edge_count g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  Alcotest.(check bool) "coordinates attached" true (Graph.coords g <> None)
+
+let test_waxman_two_edge_connected () =
+  let rng = Rng.create 2 in
+  let g = Gen.waxman ~rng ~n:60 ~avg_degree:3.0 () in
+  Alcotest.(check bool) "bridge-free" true
+    (Dr_topo.Connectivity.is_two_edge_connected g);
+  let min_deg = ref max_int in
+  for v = 0 to 59 do
+    min_deg := min !min_deg (Graph.degree g v)
+  done;
+  Alcotest.(check bool) "min degree >= 2" true (!min_deg >= 2)
+
+let test_waxman_plain_mode () =
+  let rng = Rng.create 3 in
+  let g = Gen.waxman ~rng ~n:40 ~avg_degree:3.0 ~two_edge_connected:false () in
+  Alcotest.(check bool) "still connected" true (Graph.is_connected g);
+  Alcotest.(check int) "edge budget" 60 (Graph.edge_count g)
+
+let test_waxman_deterministic () =
+  let edges g =
+    List.init (Graph.edge_count g) (fun e -> Graph.edge_endpoints g e)
+  in
+  let g1 = Gen.waxman ~rng:(Rng.create 9) ~n:30 ~avg_degree:3.0 () in
+  let g2 = Gen.waxman ~rng:(Rng.create 9) ~n:30 ~avg_degree:3.0 () in
+  Alcotest.(check (list (pair int int))) "same seed, same graph" (edges g1) (edges g2);
+  let g3 = Gen.waxman ~rng:(Rng.create 10) ~n:30 ~avg_degree:3.0 () in
+  Alcotest.(check bool) "different seed, different graph" false (edges g1 = edges g3)
+
+let test_waxman_locality () =
+  (* Waxman prefers short edges: mean edge length should be well below the
+     mean distance of uniformly random node pairs (~0.52 in the unit
+     square). *)
+  let rng = Rng.create 4 in
+  let g = Gen.waxman ~rng ~n:60 ~avg_degree:4.0 () in
+  let coords = Option.get (Graph.coords g) in
+  let total = ref 0.0 in
+  Graph.iter_edges g (fun e ->
+      let u, v = Graph.edge_endpoints g e in
+      let xu, yu = coords.(u) and xv, yv = coords.(v) in
+      total := !total +. sqrt (((xu -. xv) ** 2.0) +. ((yu -. yv) ** 2.0)));
+  let mean = !total /. float_of_int (Graph.edge_count g) in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean edge length %.3f < 0.4" mean)
+    true (mean < 0.4)
+
+let test_erdos_renyi () =
+  let rng = Rng.create 6 in
+  let g = Gen.erdos_renyi ~rng ~n:30 ~avg_degree:4.0 in
+  Alcotest.(check int) "edge budget" 60 (Graph.edge_count g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_degree_too_low () =
+  let rng = Rng.create 7 in
+  Alcotest.(check bool) "rejects impossible degree" true
+    (try ignore (Gen.waxman ~rng ~n:30 ~avg_degree:0.5 ()); false
+     with Invalid_argument _ -> true)
+
+let test_degree_too_high () =
+  let rng = Rng.create 8 in
+  Alcotest.(check bool) "rejects beyond complete" true
+    (try ignore (Gen.erdos_renyi ~rng ~n:5 ~avg_degree:5.0); false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ( "topology.gen",
+      [
+        Alcotest.test_case "mesh" `Quick test_mesh_shape;
+        Alcotest.test_case "ring" `Quick test_ring_shape;
+        Alcotest.test_case "line" `Quick test_line_shape;
+        Alcotest.test_case "torus" `Quick test_torus_shape;
+        Alcotest.test_case "complete" `Quick test_complete_shape;
+        Alcotest.test_case "star" `Quick test_star_shape;
+        Alcotest.test_case "double ring" `Quick test_double_ring;
+        Alcotest.test_case "waxman basics" `Quick test_waxman_basic;
+        Alcotest.test_case "waxman 2-edge-connected" `Quick test_waxman_two_edge_connected;
+        Alcotest.test_case "waxman plain mode" `Quick test_waxman_plain_mode;
+        Alcotest.test_case "waxman deterministic" `Quick test_waxman_deterministic;
+        Alcotest.test_case "waxman locality" `Quick test_waxman_locality;
+        Alcotest.test_case "erdos-renyi" `Quick test_erdos_renyi;
+        Alcotest.test_case "degree too low rejected" `Quick test_degree_too_low;
+        Alcotest.test_case "degree too high rejected" `Quick test_degree_too_high;
+      ] );
+  ]

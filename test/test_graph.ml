@@ -1,0 +1,147 @@
+module Graph = Dr_topo.Graph
+
+let triangle () = Graph.create ~node_count:3 ~edges:[ (0, 1); (1, 2); (2, 0) ]
+
+let test_sizes () =
+  let g = triangle () in
+  Alcotest.(check int) "nodes" 3 (Graph.node_count g);
+  Alcotest.(check int) "edges" 3 (Graph.edge_count g);
+  Alcotest.(check int) "links" 6 (Graph.link_count g)
+
+let test_link_endpoints () =
+  let g = triangle () in
+  (* edge 0 is (0,1): link 0 goes 0->1, link 1 goes 1->0 *)
+  Alcotest.(check int) "link 0 src" 0 (Graph.link_src g 0);
+  Alcotest.(check int) "link 0 dst" 1 (Graph.link_dst g 0);
+  Alcotest.(check int) "link 1 src" 1 (Graph.link_src g 1);
+  Alcotest.(check int) "link 1 dst" 0 (Graph.link_dst g 1)
+
+let test_twin_edge_mapping () =
+  Alcotest.(check int) "twin of 4" 5 (Graph.twin 4);
+  Alcotest.(check int) "twin of 5" 4 (Graph.twin 5);
+  Alcotest.(check int) "edge of link 4" 2 (Graph.edge_of_link 4);
+  Alcotest.(check int) "edge of link 5" 2 (Graph.edge_of_link 5);
+  Alcotest.(check (pair int int)) "links of edge 2" (4, 5) (Graph.links_of_edge 2)
+
+let test_find_link () =
+  let g = triangle () in
+  Alcotest.(check (option int)) "0->1" (Some 0) (Graph.find_link g ~src:0 ~dst:1);
+  Alcotest.(check (option int)) "1->0" (Some 1) (Graph.find_link g ~src:1 ~dst:0);
+  Alcotest.(check (option int)) "2->0" (Some 4) (Graph.find_link g ~src:2 ~dst:0);
+  Alcotest.(check (option int)) "0->2" (Some 5) (Graph.find_link g ~src:0 ~dst:2);
+  let g2 = Graph.create ~node_count:3 ~edges:[ (0, 1) ] in
+  Alcotest.(check (option int)) "absent edge" None (Graph.find_link g2 ~src:1 ~dst:2)
+
+let test_adjacency () =
+  let g = triangle () in
+  Alcotest.(check int) "degree" 2 (Graph.degree g 0);
+  let neigh = Array.to_list (Graph.neighbors g 0) in
+  Alcotest.(check (list int)) "neighbors of 0" [ 1; 2 ] (List.sort compare neigh);
+  Alcotest.(check int) "out links count" 2 (Array.length (Graph.out_links g 1));
+  Alcotest.(check int) "in links count" 2 (Array.length (Graph.in_links g 1))
+
+let test_out_in_consistency () =
+  let g = triangle () in
+  for v = 0 to 2 do
+    Array.iter
+      (fun l -> Alcotest.(check int) "out link leaves v" v (Graph.link_src g l))
+      (Graph.out_links g v);
+    Array.iter
+      (fun l -> Alcotest.(check int) "in link enters v" v (Graph.link_dst g l))
+      (Graph.in_links g v)
+  done
+
+let test_average_degree () =
+  let g = triangle () in
+  Alcotest.(check (float 1e-9)) "avg degree 2" 2.0 (Graph.average_degree g)
+
+let test_connectivity () =
+  Alcotest.(check bool) "triangle connected" true (Graph.is_connected (triangle ()));
+  let g = Graph.create ~node_count:4 ~edges:[ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "two components" false (Graph.is_connected g);
+  Alcotest.(check int) "component count" 2 (List.length (Graph.components g))
+
+let test_components_content () =
+  let g = Graph.create ~node_count:5 ~edges:[ (0, 1); (2, 3) ] in
+  let comps = List.map (List.sort compare) (Graph.components g) in
+  Alcotest.(check (list (list int))) "components" [ [ 0; 1 ]; [ 2; 3 ]; [ 4 ] ] comps
+
+let test_validation () =
+  let invalid name f = Alcotest.(check bool) name true
+    (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  invalid "self loop" (fun () -> Graph.create ~node_count:2 ~edges:[ (0, 0) ]);
+  invalid "out of range" (fun () -> Graph.create ~node_count:2 ~edges:[ (0, 2) ]);
+  invalid "duplicate edge" (fun () ->
+      Graph.create ~node_count:3 ~edges:[ (0, 1); (1, 0) ]);
+  invalid "no nodes" (fun () -> Graph.create ~node_count:0 ~edges:[])
+
+let test_coords () =
+  let g = triangle () in
+  Alcotest.(check bool) "no coords initially" true (Graph.coords g = None);
+  let g2 = Graph.with_coords g [| (0.0, 0.0); (1.0, 0.0); (0.0, 1.0) |] in
+  Alcotest.(check bool) "coords attached" true (Graph.coords g2 <> None);
+  Alcotest.(check bool) "wrong length rejected" true
+    (try ignore (Graph.with_coords g [| (0.0, 0.0) |]); false
+     with Invalid_argument _ -> true)
+
+let test_iterators () =
+  let g = triangle () in
+  let links = Graph.fold_links g ~init:0 ~f:(fun acc _ -> acc + 1) in
+  Alcotest.(check int) "fold over links" 6 links;
+  let edges = ref 0 in
+  Graph.iter_edges g (fun _ -> incr edges);
+  Alcotest.(check int) "iter over edges" 3 !edges
+
+let test_text_roundtrip () =
+  let rng = Dr_rng.Splitmix64.create 12 in
+  let g = Dr_topo.Gen.waxman ~rng ~n:15 ~avg_degree:3.0 () in
+  match Graph.of_string (Graph.to_string g) with
+  | Error e -> Alcotest.fail e
+  | Ok g2 ->
+      Alcotest.(check int) "nodes" (Graph.node_count g) (Graph.node_count g2);
+      Alcotest.(check int) "edges" (Graph.edge_count g) (Graph.edge_count g2);
+      Graph.iter_edges g (fun e ->
+          Alcotest.(check (pair int int)) "edge preserved"
+            (Graph.edge_endpoints g e) (Graph.edge_endpoints g2 e));
+      Alcotest.(check bool) "coords preserved" true (Graph.coords g2 <> None)
+
+let test_text_parse_errors () =
+  let err s = match Graph.of_string s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "no header" true (err "edge 0 1\n");
+  Alcotest.(check bool) "bad edge" true (err "graph 2 1\nedge 0 x\n");
+  Alcotest.(check bool) "edge count mismatch" true (err "graph 3 2\nedge 0 1\n");
+  Alcotest.(check bool) "out of range" true (err "graph 2 1\nedge 0 5\n")
+
+let test_file_roundtrip () =
+  let g = triangle () in
+  let file = Filename.temp_file "drtp_graph" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Graph.save g file;
+      match Graph.load file with
+      | Error e -> Alcotest.fail e
+      | Ok g2 -> Alcotest.(check int) "edges" 3 (Graph.edge_count g2))
+
+let suite =
+  [
+    ( "topology.graph",
+      [
+        Alcotest.test_case "sizes" `Quick test_sizes;
+        Alcotest.test_case "link endpoints" `Quick test_link_endpoints;
+        Alcotest.test_case "twin/edge mapping" `Quick test_twin_edge_mapping;
+        Alcotest.test_case "find_link" `Quick test_find_link;
+        Alcotest.test_case "adjacency" `Quick test_adjacency;
+        Alcotest.test_case "out/in consistency" `Quick test_out_in_consistency;
+        Alcotest.test_case "average degree" `Quick test_average_degree;
+        Alcotest.test_case "connectivity" `Quick test_connectivity;
+        Alcotest.test_case "components content" `Quick test_components_content;
+        Alcotest.test_case "construction validation" `Quick test_validation;
+        Alcotest.test_case "coordinates" `Quick test_coords;
+        Alcotest.test_case "iterators" `Quick test_iterators;
+        Alcotest.test_case "text round-trip" `Quick test_text_roundtrip;
+        Alcotest.test_case "text parse errors" `Quick test_text_parse_errors;
+        Alcotest.test_case "file round-trip" `Quick test_file_roundtrip;
+      ] );
+  ]

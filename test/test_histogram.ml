@@ -1,0 +1,68 @@
+module H = Dr_stats.Histogram
+
+let test_binning () =
+  let h = H.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (H.add h) [ 0.0; 1.9; 2.0; 5.5; 9.999 ];
+  Alcotest.(check (array int)) "bin counts" [| 2; 1; 1; 0; 1 |] (H.bin_counts h);
+  Alcotest.(check int) "count" 5 (H.count h);
+  Alcotest.(check int) "no underflow" 0 (H.underflow h);
+  Alcotest.(check int) "no overflow" 0 (H.overflow h)
+
+let test_under_over_flow () =
+  let h = H.create ~lo:0.0 ~hi:1.0 ~bins:2 in
+  H.add h (-0.5);
+  H.add h 1.0;
+  H.add h 2.0;
+  Alcotest.(check int) "underflow" 1 (H.underflow h);
+  Alcotest.(check int) "overflow (hi is exclusive)" 2 (H.overflow h);
+  Alcotest.(check int) "all counted" 3 (H.count h)
+
+let test_bin_bounds () =
+  let h = H.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  Alcotest.(check (pair (float 1e-9) (float 1e-9))) "bin 0" (0.0, 2.0) (H.bin_bounds h 0);
+  Alcotest.(check (pair (float 1e-9) (float 1e-9))) "bin 4" (8.0, 10.0) (H.bin_bounds h 4);
+  Alcotest.(check bool) "out of range rejected" true
+    (try ignore (H.bin_bounds h 5); false with Invalid_argument _ -> true)
+
+let test_create_validation () =
+  let invalid f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "lo >= hi" true
+    (invalid (fun () -> H.create ~lo:1.0 ~hi:1.0 ~bins:3));
+  Alcotest.(check bool) "no bins" true
+    (invalid (fun () -> H.create ~lo:0.0 ~hi:1.0 ~bins:0))
+
+let test_quantiles () =
+  let samples = [| 3.0; 1.0; 2.0; 5.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "median" 3.0 (H.quantile samples 0.5);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (H.quantile samples 0.0);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (H.quantile samples 1.0);
+  Alcotest.(check (float 1e-9)) "q25 interpolates" 2.0 (H.quantile samples 0.25)
+
+let test_quantile_interpolation () =
+  let samples = [| 0.0; 10.0 |] in
+  Alcotest.(check (float 1e-9)) "midpoint" 5.0 (H.quantile samples 0.5);
+  Alcotest.(check (float 1e-9)) "q90" 9.0 (H.quantile samples 0.9)
+
+let test_quantile_singleton () =
+  Alcotest.(check (float 1e-9)) "single sample" 7.0 (H.quantile [| 7.0 |] 0.33)
+
+let test_quantile_validation () =
+  Alcotest.(check bool) "empty rejected" true
+    (try ignore (H.quantile [||] 0.5); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "q out of range" true
+    (try ignore (H.quantile [| 1.0 |] 1.5); false with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ( "stats.histogram",
+      [
+        Alcotest.test_case "binning" `Quick test_binning;
+        Alcotest.test_case "under/overflow" `Quick test_under_over_flow;
+        Alcotest.test_case "bin bounds" `Quick test_bin_bounds;
+        Alcotest.test_case "creation validation" `Quick test_create_validation;
+        Alcotest.test_case "quantiles" `Quick test_quantiles;
+        Alcotest.test_case "quantile interpolation" `Quick test_quantile_interpolation;
+        Alcotest.test_case "quantile singleton" `Quick test_quantile_singleton;
+        Alcotest.test_case "quantile validation" `Quick test_quantile_validation;
+      ] );
+  ]

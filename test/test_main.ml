@@ -1,0 +1,39 @@
+(* Aggregated alcotest entry point: one section per module under test. *)
+
+let () =
+  Alcotest.run "drtp-reproduction"
+    (List.concat
+       [
+         Test_splitmix.suite;
+         Test_dist.suite;
+         Test_pqueue.suite;
+         Test_graph.suite;
+         Test_path.suite;
+         Test_shortest_path.suite;
+         Test_yen.suite;
+         Test_flow.suite;
+         Test_connectivity.suite;
+         Test_gen.suite;
+         Test_topo_metrics.suite;
+         Test_summary.suite;
+         Test_histogram.suite;
+         Test_engine.suite;
+         Test_scenario.suite;
+         Test_workload.suite;
+         Test_resources.suite;
+         Test_aplv.suite;
+         Test_conflict_vector.suite;
+         Test_net_state.suite;
+         Test_routing.suite;
+         Test_failure_eval.suite;
+         Test_manager.suite;
+         Test_recovery.suite;
+         Test_bounded_flood.suite;
+         Test_multi_backup.suite;
+         Test_node_failure.suite;
+         Test_protocol.suite;
+         Test_constrained_path.suite;
+         Test_experiments.suite;
+         Test_properties.suite;
+         Test_properties2.suite;
+       ])

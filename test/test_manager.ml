@@ -1,0 +1,124 @@
+module Graph = Dr_topo.Graph
+module Scenario = Dr_sim.Scenario
+module Manager = Drtp.Manager
+module Net_state = Drtp.Net_state
+module Routing = Drtp.Routing
+
+let mesh_manager ?(capacity = 10) ?(with_backup = true) () =
+  Manager.create
+    ~graph:(Dr_topo.Gen.mesh ~rows:3 ~cols:3)
+    ~capacity ~spare_policy:Net_state.Multiplexed
+    ~route:(Routing.link_state_route_fn Routing.Dlsr ~with_backup)
+
+let request ~time ~conn ~src ~dst =
+  { Scenario.time; event = Scenario.Request { conn; src; dst; bw = 1; duration = 100.0 } }
+
+let release ~time ~conn = { Scenario.time; event = Scenario.Release { conn } }
+
+let test_accept () =
+  let m = mesh_manager () in
+  Manager.apply m (request ~time:0.0 ~conn:0 ~src:0 ~dst:8);
+  let s = Manager.stats m in
+  Alcotest.(check int) "requests" 1 s.Manager.requests;
+  Alcotest.(check int) "accepted" 1 s.Manager.accepted;
+  Alcotest.(check int) "active" 1 (Net_state.active_count (Manager.state m));
+  let conn = Option.get (Net_state.find (Manager.state m) 0) in
+  Alcotest.(check bool) "has backup" true (conn.Net_state.backups <> [])
+
+let test_release () =
+  let m = mesh_manager () in
+  Manager.apply m (request ~time:0.0 ~conn:0 ~src:0 ~dst:8);
+  Manager.apply m (release ~time:50.0 ~conn:0);
+  let s = Manager.stats m in
+  Alcotest.(check int) "released" 1 s.Manager.released;
+  Alcotest.(check int) "inactive" 0 (Net_state.active_count (Manager.state m))
+
+let test_release_of_rejected_ignored () =
+  let m = mesh_manager ~capacity:1 () in
+  (* Saturate node 0. *)
+  Manager.apply m (request ~time:0.0 ~conn:0 ~src:0 ~dst:1);
+  Manager.apply m (request ~time:0.1 ~conn:1 ~src:0 ~dst:3);
+  Manager.apply m (request ~time:0.2 ~conn:2 ~src:0 ~dst:8);
+  let s = Manager.stats m in
+  Alcotest.(check bool) "conn 2 rejected" true (s.Manager.accepted < 3);
+  (* Its release must be a no-op, not an exception. *)
+  Manager.apply m (release ~time:1.0 ~conn:2);
+  Alcotest.(check int) "release count unchanged for rejected" 0 s.Manager.released
+
+let test_rejection_reasons () =
+  let m = mesh_manager ~capacity:1 () in
+  (* conn 0 takes 0-1, conn 1 takes 0-3: node 0 fully saturated. *)
+  Manager.apply m (request ~time:0.0 ~conn:0 ~src:0 ~dst:1);
+  Manager.apply m (request ~time:0.1 ~conn:1 ~src:0 ~dst:3);
+  Manager.apply m (request ~time:0.2 ~conn:2 ~src:0 ~dst:8);
+  let s = Manager.stats m in
+  Alcotest.(check bool) "no-primary rejections happened" true
+    (s.Manager.rejected_no_primary >= 1);
+  (* conn 0 and conn 1: 0-1 and 0-3 are 1-hop primaries; their backups exist
+     while capacity lasts.  At capacity 1 the backup of conn 0 consumes the
+     0-3 corridor's spare... conn 1's acceptance depends on sharing; just
+     check the arithmetic is consistent. *)
+  Alcotest.(check int) "bookkeeping consistent" s.Manager.requests
+    (s.Manager.accepted + s.Manager.rejected_no_primary + s.Manager.rejected_no_backup)
+
+let test_no_backup_mode_never_rejects_backup () =
+  let m = mesh_manager ~with_backup:false () in
+  for i = 0 to 9 do
+    Manager.apply m (request ~time:(float_of_int i) ~conn:i ~src:(i mod 3) ~dst:8)
+  done;
+  let s = Manager.stats m in
+  Alcotest.(check int) "no backup rejections" 0 s.Manager.rejected_no_backup;
+  Net_state.iter_conns (Manager.state m) (fun c ->
+      Alcotest.(check bool) "no backups exist" true (c.Net_state.backups = []))
+
+let test_run_scenario () =
+  let m = mesh_manager () in
+  let scenario =
+    Scenario.of_items
+      [
+        request ~time:1.0 ~conn:0 ~src:0 ~dst:8;
+        request ~time:2.0 ~conn:1 ~src:2 ~dst:6;
+        release ~time:50.0 ~conn:0;
+        release ~time:60.0 ~conn:1;
+      ]
+  in
+  Manager.run m scenario;
+  let s = Manager.stats m in
+  Alcotest.(check int) "both accepted" 2 s.Manager.accepted;
+  Alcotest.(check int) "both released" 2 s.Manager.released;
+  Alcotest.(check int) "network empty" 0 (Net_state.active_count (Manager.state m));
+  Alcotest.(check bool) "invariants hold" true
+    (Net_state.check_invariants (Manager.state m) = Ok ());
+  Alcotest.(check (float 1e-9)) "acceptance ratio" 1.0 (Manager.acceptance_ratio m)
+
+let test_acceptance_ratio_empty () =
+  let m = mesh_manager () in
+  Alcotest.(check (float 1e-9)) "1.0 before requests" 1.0 (Manager.acceptance_ratio m)
+
+let test_degraded_counted () =
+  let m = mesh_manager ~capacity:1 () in
+  (* At capacity 1, conn 10's primary and backup exhaust node 0's edges, so
+     later requests from node 0 cannot all be served untouched. *)
+  Manager.apply m (request ~time:0.0 ~conn:10 ~src:0 ~dst:3);
+  Manager.apply m (request ~time:0.1 ~conn:0 ~src:0 ~dst:2);
+  Manager.apply m (request ~time:0.2 ~conn:1 ~src:0 ~dst:4);
+  let s = Manager.stats m in
+  Alcotest.(check bool) "something rejected or degraded" true
+    (s.Manager.degraded > 0 || s.Manager.accepted < s.Manager.requests);
+  Alcotest.(check bool) "invariants hold" true
+    (Net_state.check_invariants (Manager.state m) = Ok ())
+
+let suite =
+  [
+    ( "drtp.manager",
+      [
+        Alcotest.test_case "accept" `Quick test_accept;
+        Alcotest.test_case "release" `Quick test_release;
+        Alcotest.test_case "release of rejected ignored" `Quick test_release_of_rejected_ignored;
+        Alcotest.test_case "rejection reasons" `Quick test_rejection_reasons;
+        Alcotest.test_case "no-backup mode" `Quick test_no_backup_mode_never_rejects_backup;
+        Alcotest.test_case "scenario replay" `Quick test_run_scenario;
+        Alcotest.test_case "acceptance ratio empty" `Quick test_acceptance_ratio_empty;
+        Alcotest.test_case "degraded admissions counted" `Quick test_degraded_counted;
+      ] );
+  ]

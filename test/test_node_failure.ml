@@ -1,0 +1,145 @@
+(* Node-failure evaluation (extension E3) and node fail/restore marking. *)
+
+module Graph = Dr_topo.Graph
+module Path = Dr_topo.Path
+module Net_state = Drtp.Net_state
+module FE = Drtp.Failure_eval
+
+let mesh_state ?(capacity = 10) () =
+  let graph = Dr_topo.Gen.mesh ~rows:3 ~cols:3 in
+  (graph, Net_state.create ~graph ~capacity ~spare_policy:Net_state.Multiplexed)
+
+let path g nodes = Path.of_nodes g nodes
+
+let test_transit_switchable () =
+  let g, st = mesh_state () in
+  (* Primary 0-1-2 transits node 1; backup avoids node 1 entirely. *)
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 3; 4; 5; 2 ] ]);
+  let o = FE.evaluate_node st ~node:1 in
+  Alcotest.(check int) "one transit victim" 1 o.FE.transit_affected;
+  Alcotest.(check int) "it activates" 1 o.FE.transit_activated;
+  Alcotest.(check int) "no endpoint losses" 0 o.FE.endpoint_lost
+
+let test_backup_through_failed_node_fails () =
+  let g, st = mesh_state () in
+  (* Backup passes through node 4; node 4's failure kills it even though
+     the primary only transits node 1. *)
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 3; 4; 5; 2 ] ]);
+  (* Fail node 1: backup avoids it -> recoverable (previous test).  Now a
+     second connection whose primary transits node 4 and whose backup also
+     transits node 4 cannot recover from node 4's failure. *)
+  ignore
+    (Net_state.admit st ~id:2 ~bw:1 ~primary:(path g [ 3; 4; 5 ])
+       ~backups:[ path g [ 3; 6; 7; 4; 1; 2; 5 ] ]);
+  let o = FE.evaluate_node st ~node:4 in
+  (* Victims of node 4: conn 1?  Its primary 0-1-2 does not touch node 4.
+     Conn 2 transits node 4 and its backup also does -> unrecoverable. *)
+  Alcotest.(check int) "one transit victim" 1 o.FE.transit_affected;
+  Alcotest.(check int) "unrecoverable" 0 o.FE.transit_activated
+
+let test_endpoint_excluded () =
+  let g, st = mesh_state () in
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 3; 4; 5; 2 ] ]);
+  let o = FE.evaluate_node st ~node:0 in
+  Alcotest.(check int) "source node loss is an endpoint loss" 1 o.FE.endpoint_lost;
+  Alcotest.(check int) "not a transit attempt" 0 o.FE.transit_affected
+
+let test_node_contention () =
+  let g, st = mesh_state ~capacity:2 () in
+  (* Starve 0->3's spare to one unit; two primaries transiting node 1 with
+     backups sharing link 0->3. *)
+  ignore (Net_state.admit st ~id:10 ~bw:1 ~primary:(path g [ 0; 3 ]) ~backups:[]);
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 3; 4; 5; 2 ] ]);
+  ignore
+    (Net_state.admit st ~id:2 ~bw:1 ~primary:(path g [ 0; 1; 4 ])
+       ~backups:[ path g [ 0; 3; 4 ] ]);
+  (* Node 1 failure hits both; the single spare unit on 0->3 admits one. *)
+  let o = FE.evaluate_node st ~node:1 in
+  Alcotest.(check int) "both transit victims" 2 o.FE.transit_affected;
+  Alcotest.(check int) "one switch" 1 o.FE.transit_activated
+
+let test_evaluate_nodes_aggregates () =
+  let g, st = mesh_state () in
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 3; 4; 5; 2 ] ]);
+  let r = FE.evaluate_nodes st in
+  (* The only transit node of the primary is node 1. *)
+  Alcotest.(check int) "one node evaluated" 1 r.FE.edges_evaluated;
+  Alcotest.(check int) "one attempt" 1 r.FE.attempts;
+  Alcotest.(check int) "one success" 1 r.FE.successes
+
+let test_fail_restore_node_marks_edges () =
+  let g, st = mesh_state () in
+  Net_state.fail_node st ~node:4;
+  Array.iter
+    (fun l ->
+      Alcotest.(check bool) "incident edge failed" true
+        (Net_state.edge_failed st ~edge:(Graph.edge_of_link l)))
+    (Graph.out_links g 4);
+  Alcotest.(check bool) "distant edge alive" false (Net_state.edge_failed st ~edge:0);
+  (* Routing must now avoid node 4 entirely. *)
+  (match Drtp.Routing.find_primary st ~src:3 ~dst:5 ~bw:1 with
+  | None -> Alcotest.fail "detour expected"
+  | Some p ->
+      Alcotest.(check bool) "path avoids node 4" false
+        (List.mem 4 (Path.nodes g p)));
+  Net_state.restore_node st ~node:4;
+  Array.iter
+    (fun l ->
+      Alcotest.(check bool) "restored" false
+        (Net_state.edge_failed st ~edge:(Graph.edge_of_link l)))
+    (Graph.out_links g 4)
+
+let test_node_ft_harder_than_edge_ft () =
+  (* On a loaded random network, node failures can only be as survivable as
+     edge failures. *)
+  let rng = Dr_rng.Splitmix64.create 21 in
+  let graph = Dr_topo.Gen.waxman ~rng ~n:30 ~avg_degree:4.0 () in
+  let manager =
+    Drtp.Manager.create ~graph ~capacity:20 ~spare_policy:Net_state.Multiplexed
+      ~route:(Drtp.Routing.link_state_route_fn Drtp.Routing.Dlsr ~with_backup:true)
+  in
+  let spec =
+    {
+      Dr_sim.Workload.arrival_rate = 0.5;
+      horizon = 600.0;
+      lifetime_lo = 300.0;
+      lifetime_hi = 800.0;
+      bw = Dr_sim.Workload.constant_bw 1;
+      pattern = Dr_sim.Workload.Uniform;
+    }
+  in
+  let scenario = Dr_sim.Workload.generate (Dr_rng.Splitmix64.create 22) ~node_count:30 spec in
+  Array.iter
+    (fun item ->
+      if item.Dr_sim.Scenario.time <= 600.0 then Drtp.Manager.apply manager item)
+    (Dr_sim.Scenario.items scenario);
+  let state = Drtp.Manager.state manager in
+  let edge_ft = FE.fault_tolerance (FE.evaluate state) in
+  let node_ft = FE.fault_tolerance (FE.evaluate_nodes state) in
+  Alcotest.(check bool)
+    (Printf.sprintf "node ft %.4f <= edge ft %.4f" node_ft edge_ft)
+    true (node_ft <= edge_ft +. 1e-9)
+
+let suite =
+  [
+    ( "drtp.node_failure",
+      [
+        Alcotest.test_case "transit switchable" `Quick test_transit_switchable;
+        Alcotest.test_case "backup through failed node dies" `Quick test_backup_through_failed_node_fails;
+        Alcotest.test_case "endpoints excluded" `Quick test_endpoint_excluded;
+        Alcotest.test_case "spare contention" `Quick test_node_contention;
+        Alcotest.test_case "aggregate over nodes" `Quick test_evaluate_nodes_aggregates;
+        Alcotest.test_case "fail/restore node" `Quick test_fail_restore_node_marks_edges;
+        Alcotest.test_case "node ft <= edge ft" `Slow test_node_ft_harder_than_edge_ft;
+      ] );
+  ]

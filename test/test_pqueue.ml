@@ -1,0 +1,88 @@
+module Pqueue = Dr_pqueue.Pqueue
+
+let test_empty () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "is_empty" true (Pqueue.is_empty q);
+  Alcotest.(check int) "length 0" 0 (Pqueue.length q);
+  Alcotest.(check bool) "pop None" true (Pqueue.pop q = None);
+  Alcotest.(check bool) "peek None" true (Pqueue.peek q = None)
+
+let test_ordering () =
+  let q = Pqueue.create () in
+  List.iter (fun k -> Pqueue.add q ~key:k (int_of_float k)) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = List.map snd (Pqueue.to_sorted_list q) in
+  Alcotest.(check (list int)) "sorted pops" [ 1; 2; 3; 4; 5 ] order
+
+let test_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.add q ~key:1.0 v) [ "a"; "b"; "c" ];
+  Pqueue.add q ~key:0.5 "first";
+  let order = List.map snd (Pqueue.to_sorted_list q) in
+  Alcotest.(check (list string)) "equal keys pop in insertion order"
+    [ "first"; "a"; "b"; "c" ] order
+
+let test_peek_does_not_remove () =
+  let q = Pqueue.create () in
+  Pqueue.add q ~key:2.0 "x";
+  Alcotest.(check bool) "peek sees x" true (Pqueue.peek q = Some (2.0, "x"));
+  Alcotest.(check int) "still there" 1 (Pqueue.length q);
+  Alcotest.(check bool) "pop returns it" true (Pqueue.pop q = Some (2.0, "x"));
+  Alcotest.(check int) "now empty" 0 (Pqueue.length q)
+
+let test_interleaved () =
+  let q = Pqueue.create () in
+  Pqueue.add q ~key:3.0 3;
+  Pqueue.add q ~key:1.0 1;
+  Alcotest.(check bool) "pop 1" true (Pqueue.pop q = Some (1.0, 1));
+  Pqueue.add q ~key:2.0 2;
+  Alcotest.(check bool) "pop 2" true (Pqueue.pop q = Some (2.0, 2));
+  Alcotest.(check bool) "pop 3" true (Pqueue.pop q = Some (3.0, 3));
+  Alcotest.(check bool) "empty" true (Pqueue.pop q = None)
+
+let test_large_random () =
+  let rng = Dr_rng.Splitmix64.create 31337 in
+  let q = Pqueue.create () in
+  let n = 10_000 in
+  for i = 1 to n do
+    Pqueue.add q ~key:(Dr_rng.Splitmix64.float rng 1000.0) i
+  done;
+  Alcotest.(check int) "all inserted" n (Pqueue.length q);
+  let rec drain last count =
+    match Pqueue.pop q with
+    | None -> count
+    | Some (k, _) ->
+        Alcotest.(check bool) "non-decreasing keys" true (k >= last);
+        drain k (count + 1)
+  in
+  Alcotest.(check int) "all drained" n (drain neg_infinity 0)
+
+let test_clear () =
+  let q = Pqueue.create () in
+  for i = 1 to 10 do
+    Pqueue.add q ~key:(float_of_int i) i
+  done;
+  Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty q);
+  Pqueue.add q ~key:1.0 42;
+  Alcotest.(check bool) "usable after clear" true (Pqueue.pop q = Some (1.0, 42))
+
+let test_to_sorted_list_preserves () =
+  let q = Pqueue.create () in
+  List.iter (fun k -> Pqueue.add q ~key:(float_of_int k) k) [ 3; 1; 2 ];
+  ignore (Pqueue.to_sorted_list q);
+  Alcotest.(check int) "heap unchanged" 3 (Pqueue.length q)
+
+let suite =
+  [
+    ( "pqueue",
+      [
+        Alcotest.test_case "empty queue" `Quick test_empty;
+        Alcotest.test_case "sorted order" `Quick test_ordering;
+        Alcotest.test_case "FIFO on equal keys" `Quick test_fifo_ties;
+        Alcotest.test_case "peek non-destructive" `Quick test_peek_does_not_remove;
+        Alcotest.test_case "interleaved add/pop" `Quick test_interleaved;
+        Alcotest.test_case "large random drain" `Quick test_large_random;
+        Alcotest.test_case "clear" `Quick test_clear;
+        Alcotest.test_case "to_sorted_list preserves heap" `Quick test_to_sorted_list_preserves;
+      ] );
+  ]

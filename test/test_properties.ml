@@ -1,0 +1,332 @@
+(* Property-based tests (qcheck) on the core data structures and the
+   simulation invariants. *)
+
+module Graph = Dr_topo.Graph
+module Path = Dr_topo.Path
+module SP = Dr_topo.Shortest_path
+module Net_state = Drtp.Net_state
+module Aplv = Drtp.Aplv
+module Resources = Drtp.Resources
+module Pqueue = Dr_pqueue.Pqueue
+module Rng = Dr_rng.Splitmix64
+
+let property ?(count = 100) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+(* --- generators --------------------------------------------------------- *)
+
+let seed_gen = QCheck.int_range 0 1_000_000
+
+let random_graph seed =
+  let rng = Rng.create seed in
+  let n = 6 + Rng.int rng 15 in
+  let avg_degree = 2.2 +. Rng.float rng 1.5 in
+  Dr_topo.Gen.erdos_renyi ~rng ~n ~avg_degree
+
+let random_pair rng n =
+  let a = Rng.int rng n in
+  let b = Rng.int rng (n - 1) in
+  (a, if b >= a then b + 1 else b)
+
+(* --- pqueue ------------------------------------------------------------- *)
+
+let prop_pqueue_sorts =
+  property "pqueue drains in sorted order"
+    QCheck.(list (float_bound_inclusive 1000.0))
+    (fun keys ->
+      let q = Pqueue.create () in
+      List.iteri (fun i k -> Pqueue.add q ~key:k i) keys;
+      let drained = List.map fst (Pqueue.to_sorted_list q) in
+      drained = List.sort compare keys)
+
+(* --- shortest paths ----------------------------------------------------- *)
+
+let prop_dijkstra_equals_bellman_ford =
+  property ~count:50 "dijkstra = bellman-ford on random weighted graphs" seed_gen
+    (fun seed ->
+      let g = random_graph seed in
+      let rng = Rng.create (seed + 1) in
+      let costs =
+        Array.init (Graph.link_count g) (fun _ -> 0.1 +. Rng.float rng 5.0)
+      in
+      let cost l = costs.(l) in
+      let src = Rng.int rng (Graph.node_count g) in
+      let d = SP.dijkstra g ~cost ~src in
+      match SP.bellman_ford g ~cost ~src with
+      | Error _ -> false
+      | Ok (dist, _) ->
+          Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9) d.SP.dist dist)
+
+let prop_dijkstra_unit_equals_bfs =
+  property ~count:50 "dijkstra with unit costs = bfs" seed_gen (fun seed ->
+      let g = random_graph seed in
+      let rng = Rng.create (seed + 2) in
+      let src = Rng.int rng (Graph.node_count g) in
+      let d = SP.dijkstra g ~cost:(fun _ -> 1.0) ~src in
+      let b = SP.bfs_hops g ~src in
+      Array.for_all2
+        (fun df bh ->
+          if bh = SP.unreachable then df = infinity else df = float_of_int bh)
+        d.SP.dist b)
+
+let prop_extracted_path_cost_matches =
+  property ~count:50 "extracted path recomputes to its distance" seed_gen
+    (fun seed ->
+      let g = random_graph seed in
+      let rng = Rng.create (seed + 3) in
+      let costs = Array.init (Graph.link_count g) (fun _ -> 0.1 +. Rng.float rng 3.0) in
+      let cost l = costs.(l) in
+      let src, dst = random_pair rng (Graph.node_count g) in
+      match SP.dijkstra_path g ~cost ~src ~dst with
+      | None -> true
+      | Some (c, p) ->
+          let recomputed =
+            List.fold_left (fun acc l -> acc +. cost l) 0.0 (Path.links p)
+          in
+          Float.abs (c -. recomputed) < 1e-9
+          && Path.src p = src && Path.dst p = dst)
+
+let prop_yen_first_is_optimal =
+  property ~count:30 "yen's first path equals dijkstra's" seed_gen (fun seed ->
+      let g = random_graph seed in
+      let rng = Rng.create (seed + 4) in
+      let src, dst = random_pair rng (Graph.node_count g) in
+      let cost _ = 1.0 in
+      match
+        ( Dr_topo.Yen.k_shortest g ~cost ~src ~dst ~k:3,
+          SP.dijkstra_path g ~cost ~src ~dst )
+      with
+      | [], None -> true
+      | (c1, _) :: _, Some (c2, _) -> Float.abs (c1 -. c2) < 1e-9
+      | _, _ -> false)
+
+(* --- flows vs connectivity ---------------------------------------------- *)
+
+let prop_flow_bounded_by_degree =
+  property ~count:50 "disjoint path count <= min endpoint degree" seed_gen
+    (fun seed ->
+      let g = random_graph seed in
+      let rng = Rng.create (seed + 5) in
+      let src, dst = random_pair rng (Graph.node_count g) in
+      let n, _ = Dr_topo.Flow.max_disjoint_paths g ~src ~dst () in
+      n <= min (Graph.degree g src) (Graph.degree g dst) && n >= 1)
+
+let prop_bridgeless_implies_two_paths =
+  property ~count:30 "2-edge-connected graphs give 2 edge-disjoint paths"
+    seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let g = Dr_topo.Gen.waxman ~rng ~n:20 ~avg_degree:3.0 () in
+      let src, dst = random_pair rng 20 in
+      Dr_topo.Flow.edge_disjoint_paths g ~src ~dst >= 2)
+
+(* --- aplv ---------------------------------------------------------------- *)
+
+let lset_gen = QCheck.(list_of_size (Gen.int_range 1 6) (int_range 0 10))
+
+let dedup l = List.sort_uniq compare l
+
+let prop_aplv_register_unregister_cancels =
+  property "aplv: register then unregister is identity"
+    QCheck.(pair lset_gen lset_gen)
+    (fun (l1, l2) ->
+      let l1 = dedup l1 and l2 = dedup l2 in
+      QCheck.assume (l1 <> [] && l2 <> []);
+      let a = Aplv.create () in
+      Aplv.register a ~edge_lset:l1;
+      let norm_before = Aplv.norm1 a and support_before = Aplv.support a in
+      Aplv.register a ~edge_lset:l2;
+      Aplv.unregister a ~edge_lset:l2;
+      Aplv.norm1 a = norm_before && Aplv.support a = support_before)
+
+let prop_aplv_norm_is_sum =
+  property "aplv: norm1 = sum over support"
+    QCheck.(list_of_size (Gen.int_range 0 8) lset_gen)
+    (fun lsets ->
+      let lsets = List.filter (fun l -> l <> []) (List.map dedup lsets) in
+      let a = Aplv.create () in
+      List.iter (fun l -> Aplv.register a ~edge_lset:l) lsets;
+      let sum = List.fold_left (fun acc j -> acc + Aplv.get a j) 0 (Aplv.support a) in
+      Aplv.norm1 a = sum
+      && Aplv.max_element a
+         = List.fold_left (fun acc j -> max acc (Aplv.get a j)) 0 (Aplv.support a)
+      && Aplv.backup_count a = List.length lsets)
+
+(* --- scenario round-trip -------------------------------------------------- *)
+
+let prop_scenario_roundtrip =
+  property ~count:50 "scenario text round-trip" seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let spec =
+        {
+          Dr_sim.Workload.arrival_rate = 0.05 +. Rng.float rng 0.2;
+          horizon = 500.0;
+          lifetime_lo = 10.0;
+          lifetime_hi = 50.0;
+          bw = Dr_sim.Workload.constant_bw (1 + Rng.int rng 3);
+          pattern = Dr_sim.Workload.Uniform;
+        }
+      in
+      let s = Dr_sim.Workload.generate rng ~node_count:12 spec in
+      match Dr_sim.Scenario.of_string (Dr_sim.Scenario.to_string s) with
+      | Error _ -> false
+      | Ok s2 -> Dr_sim.Scenario.to_string s = Dr_sim.Scenario.to_string s2)
+
+(* --- generators keep their promises -------------------------------------- *)
+
+let prop_waxman_shape =
+  property ~count:20 "waxman: connected, exact size, bridge-free" seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 20 + Rng.int rng 30 in
+      let avg_degree = 3.0 +. Rng.float rng 1.0 in
+      let g = Dr_topo.Gen.waxman ~rng ~n ~avg_degree () in
+      Graph.node_count g = n
+      && Graph.edge_count g
+         = int_of_float (Float.round (float_of_int n *. avg_degree /. 2.0))
+      && Dr_topo.Connectivity.is_two_edge_connected g)
+
+(* --- summary ------------------------------------------------------------- *)
+
+let prop_summary_matches_direct =
+  property "summary mean/variance match direct computation"
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_bound_inclusive 100.0))
+    (fun xs ->
+      let s = Dr_stats.Summary.create () in
+      List.iter (Dr_stats.Summary.add s) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. (n -. 1.0)
+      in
+      Float.abs (Dr_stats.Summary.mean s -. mean) < 1e-6
+      && Float.abs (Dr_stats.Summary.variance s -. var) < 1e-6)
+
+(* --- end-to-end state invariants ------------------------------------------ *)
+
+(* Replay a random workload through the manager, checking the deep state
+   invariants as we go and that a fully drained network returns to zero. *)
+let prop_manager_invariants scheme_name route =
+  property ~count:15 ("manager preserves invariants (" ^ scheme_name ^ ")")
+    seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let graph = Dr_topo.Gen.waxman ~rng ~n:20 ~avg_degree:3.2 () in
+      let manager =
+        Drtp.Manager.create ~graph ~capacity:6
+          ~spare_policy:Net_state.Multiplexed ~route:(route graph)
+      in
+      let spec =
+        {
+          Dr_sim.Workload.arrival_rate = 0.5;
+          horizon = 400.0;
+          lifetime_lo = 50.0;
+          lifetime_hi = 150.0;
+          bw = Dr_sim.Workload.constant_bw 1;
+          pattern = Dr_sim.Workload.Uniform;
+        }
+      in
+      let scenario = Dr_sim.Workload.generate rng ~node_count:20 spec in
+      let ok = ref true in
+      let steps = ref 0 in
+      Dr_sim.Scenario.iter scenario (fun item ->
+          Drtp.Manager.apply manager item;
+          incr steps;
+          if !steps mod 50 = 0 then
+            match Net_state.check_invariants (Drtp.Manager.state manager) with
+            | Ok () -> ()
+            | Error _ -> ok := false);
+      let state = Drtp.Manager.state manager in
+      !ok
+      && Net_state.check_invariants state = Ok ()
+      && Net_state.active_count state = 0
+      && Resources.total_prime (Net_state.resources state) = 0
+      && Resources.total_spare (Net_state.resources state) = 0)
+
+let prop_manager_invariants_dlsr =
+  prop_manager_invariants "D-LSR" (fun _ ->
+      Drtp.Routing.link_state_route_fn Drtp.Routing.Dlsr ~with_backup:true)
+
+let prop_manager_invariants_bf =
+  prop_manager_invariants "BF" (fun graph ->
+      Dr_flood.Bounded_flood.route_fn
+        ~hop_matrix:(SP.hop_matrix graph) ())
+
+let prop_no_deficit_means_full_fault_tolerance =
+  property ~count:15 "zero deficit + disjoint backups => P_act-bk = 1" seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let graph = Dr_topo.Gen.waxman ~rng ~n:20 ~avg_degree:3.5 () in
+      (* Generous capacity: spare reservations always succeed. *)
+      let manager =
+        Drtp.Manager.create ~graph ~capacity:200
+          ~spare_policy:Net_state.Multiplexed
+          ~route:(Drtp.Routing.link_state_route_fn Drtp.Routing.Dlsr ~with_backup:true)
+      in
+      let spec =
+        {
+          Dr_sim.Workload.arrival_rate = 0.3;
+          horizon = 300.0;
+          lifetime_lo = 200.0;
+          lifetime_hi = 400.0;
+          bw = Dr_sim.Workload.constant_bw 1;
+          pattern = Dr_sim.Workload.Uniform;
+        }
+      in
+      let scenario = Dr_sim.Workload.generate rng ~node_count:20 spec in
+      (* Stop before releases so the network is loaded. *)
+      let items = Dr_sim.Scenario.items scenario in
+      Array.iter
+        (fun item ->
+          if item.Dr_sim.Scenario.time <= 300.0 then Drtp.Manager.apply manager item)
+        items;
+      let state = Drtp.Manager.state manager in
+      let all_disjoint = ref true in
+      Net_state.iter_conns state (fun c ->
+          match c.Net_state.backups with
+          | b :: _ ->
+              if Path.edge_overlap b c.Net_state.primary > 0 then all_disjoint := false
+          | [] -> all_disjoint := false);
+      if Net_state.total_spare_deficit state = 0 && !all_disjoint then
+        Drtp.Failure_eval.fault_tolerance (Drtp.Failure_eval.evaluate state) = 1.0
+      else true)
+
+let prop_flood_candidates_valid =
+  property ~count:30 "flood candidates are loop-free, bounded and feasible"
+    seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let graph = Dr_topo.Gen.waxman ~rng ~n:20 ~avg_degree:3.2 () in
+      let state = Net_state.create ~graph ~capacity:5 ~spare_policy:Net_state.Multiplexed in
+      let hop_matrix = SP.hop_matrix graph in
+      let src, dst = random_pair rng 20 in
+      let config = Dr_flood.Bounded_flood.default_config in
+      let r = Dr_flood.Bounded_flood.discover config state ~hop_matrix ~src ~dst ~bw:1 in
+      let limit = hop_matrix.(src).(dst) + config.Dr_flood.Bounded_flood.beta0 in
+      List.for_all
+        (fun c ->
+          let p = c.Dr_flood.Bounded_flood.path in
+          Path.is_simple graph p
+          && Path.hops p <= limit
+          && Path.src p = src && Path.dst p = dst)
+        r.Dr_flood.Bounded_flood.candidates)
+
+let suite =
+  [
+    ( "properties",
+      [
+        prop_pqueue_sorts;
+        prop_dijkstra_equals_bellman_ford;
+        prop_dijkstra_unit_equals_bfs;
+        prop_extracted_path_cost_matches;
+        prop_yen_first_is_optimal;
+        prop_flow_bounded_by_degree;
+        prop_bridgeless_implies_two_paths;
+        prop_aplv_register_unregister_cancels;
+        prop_aplv_norm_is_sum;
+        prop_scenario_roundtrip;
+        prop_waxman_shape;
+        prop_summary_matches_direct;
+        prop_manager_invariants_dlsr;
+        prop_manager_invariants_bf;
+        prop_no_deficit_means_full_fault_tolerance;
+        prop_flood_candidates_valid;
+      ] );
+  ]

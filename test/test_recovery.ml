@@ -1,0 +1,258 @@
+module Graph = Dr_topo.Graph
+module Path = Dr_topo.Path
+module Net_state = Drtp.Net_state
+module Recovery = Drtp.Recovery
+module Routing = Drtp.Routing
+
+let mesh_state ?(capacity = 10) () =
+  let graph = Dr_topo.Gen.mesh ~rows:3 ~cols:3 in
+  (graph, Net_state.create ~graph ~capacity ~spare_policy:Net_state.Multiplexed)
+
+let path g nodes = Path.of_nodes g nodes
+let edge g a b = Graph.edge_of_link (Option.get (Graph.find_link g ~src:a ~dst:b))
+
+let first_backup (conn : Net_state.conn) = List.hd conn.Net_state.backups
+
+let test_drtp_switchover () =
+  let g, st = mesh_state () in
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 3; 4; 5; 2 ] ]);
+  let report = Recovery.fail_edge_drtp st ~scheme:Routing.Dlsr ~edge:(edge g 0 1) () in
+  (match report.Recovery.outcomes with
+  | [ (1, Recovery.Switched { latency; reprotected }) ] ->
+      Alcotest.(check bool) "positive latency" true (latency > 0.0);
+      Alcotest.(check bool) "reprotected" true reprotected
+  | _ -> Alcotest.fail "expected one switched outcome");
+  Alcotest.(check (float 1e-9)) "all recovered" 1.0 (Recovery.recovered_fraction report);
+  let conn = Option.get (Net_state.find st 1) in
+  Alcotest.(check (list int)) "runs on the old backup" [ 0; 3; 4; 5; 2 ]
+    (Path.nodes g conn.Net_state.primary);
+  Alcotest.(check bool) "has a fresh backup" true (conn.Net_state.backups <> []);
+  Alcotest.(check bool) "fresh backup avoids failed edge" true
+    (not (Path.crosses_edge (first_backup conn) (edge g 0 1)));
+  Alcotest.(check bool) "invariants hold" true (Net_state.check_invariants st = Ok ())
+
+let test_drtp_unprotected_lost () =
+  let g, st = mesh_state () in
+  ignore (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ]) ~backups:[]);
+  let report = Recovery.fail_edge_drtp st ~scheme:Routing.Dlsr ~edge:(edge g 0 1) () in
+  (match report.Recovery.outcomes with
+  | [ (1, Recovery.Lost _) ] -> ()
+  | _ -> Alcotest.fail "expected a loss");
+  Alcotest.(check int) "dropped from the network" 0 (Net_state.active_count st)
+
+let test_drtp_latency_model () =
+  let g, st = mesh_state () in
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 3; 4; 5; 2 ] ]);
+  let timing =
+    { Recovery.default_timing with Recovery.detection_delay = 0.1; link_delay = 0.01 }
+  in
+  (* Failure on the second primary hop: report travels 1 hop, activation 4
+     hops -> 0.1 + 0.01 + 0.04. *)
+  let report =
+    Recovery.fail_edge_drtp st ~scheme:Routing.Dlsr ~timing ~edge:(edge g 1 2) ()
+  in
+  match report.Recovery.outcomes with
+  | [ (_, Recovery.Switched { latency; _ }) ] ->
+      Alcotest.(check (float 1e-9)) "latency decomposition" 0.15 latency
+  | _ -> Alcotest.fail "expected switch"
+
+let test_drtp_broken_backup_rerouted () =
+  let g, st = mesh_state () in
+  (* Connection whose backup (not primary) crosses the failing edge. *)
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 6; 7; 8 ])
+       ~backups:[ path g [ 6; 3; 4; 5; 8 ] ]);
+  let report = Recovery.fail_edge_drtp st ~scheme:Routing.Dlsr ~edge:(edge g 3 4) () in
+  Alcotest.(check int) "no primaries affected" 0 (List.length report.Recovery.outcomes);
+  Alcotest.(check int) "backup re-routed (step 4)" 1 report.Recovery.backups_rerouted;
+  let conn = Option.get (Net_state.find st 1) in
+  Alcotest.(check bool) "new backup avoids failed edge" true
+    (not (Path.crosses_edge (first_backup conn) (edge g 3 4)));
+  Alcotest.(check bool) "invariants hold" true (Net_state.check_invariants st = Ok ())
+
+let test_drtp_contention_loss () =
+  let g, st = mesh_state ~capacity:2 () in
+  (* One spare unit on 0->3 shared by two conflicting backups: a failure of
+     edge (0,1) can only switch one of them. *)
+  ignore (Net_state.admit st ~id:10 ~bw:1 ~primary:(path g [ 0; 3 ]) ~backups:[]);
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 3; 4; 5; 2 ] ]);
+  ignore
+    (Net_state.admit st ~id:2 ~bw:1 ~primary:(path g [ 0; 1; 4 ])
+       ~backups:[ path g [ 0; 3; 4 ] ]);
+  let report =
+    Recovery.fail_edge_drtp st ~scheme:Routing.Dlsr ~reconfigure:false
+      ~edge:(edge g 0 1) ()
+  in
+  let switched, lost =
+    List.partition (fun (_, o) -> Recovery.outcome_is_recovered o) report.Recovery.outcomes
+  in
+  Alcotest.(check int) "one switched" 1 (List.length switched);
+  Alcotest.(check int) "one lost" 1 (List.length lost);
+  Alcotest.(check bool) "invariants hold" true (Net_state.check_invariants st = Ok ())
+
+let test_reactive_reroute () =
+  let g, st = mesh_state () in
+  ignore (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ]) ~backups:[]);
+  let report = Recovery.fail_edge_reactive st ~edge:(edge g 0 1) () in
+  (match report.Recovery.outcomes with
+  | [ (1, Recovery.Rerouted { latency; retries }) ] ->
+      Alcotest.(check int) "first try" 0 retries;
+      Alcotest.(check bool) "positive latency" true (latency > 0.0)
+  | _ -> Alcotest.fail "expected a reroute");
+  let conn = Option.get (Net_state.find st 1) in
+  Alcotest.(check bool) "new primary avoids failed edge" true
+    (not (Path.crosses_edge conn.Net_state.primary (edge g 0 1)))
+
+let test_reactive_loss_on_shortage () =
+  (* A two-path topology where the alternative is saturated: reactive
+     recovery must fail after retries. *)
+  let graph = Dr_topo.Gen.ring 4 in
+  let st = Net_state.create ~graph ~capacity:1 ~spare_policy:Net_state.Multiplexed in
+  let p_main = Path.of_nodes graph [ 0; 1 ] in
+  ignore (Net_state.admit st ~id:1 ~bw:1 ~primary:p_main ~backups:[]);
+  (* Saturate the detour 0-3. *)
+  ignore (Net_state.admit st ~id:2 ~bw:1 ~primary:(Path.of_nodes graph [ 0; 3 ]) ~backups:[]);
+  let e01 = Graph.edge_of_link (Option.get (Graph.find_link graph ~src:0 ~dst:1)) in
+  let report = Recovery.fail_edge_reactive st ~edge:e01 () in
+  (match report.Recovery.outcomes with
+  | [ (1, Recovery.Lost { latency }) ] ->
+      (* Retried max_retries times with exponential backoff. *)
+      Alcotest.(check bool) "backoff accumulated" true
+        (latency > Recovery.default_timing.Recovery.retry_backoff *. 6.9)
+  | _ -> Alcotest.fail "expected a loss");
+  Alcotest.(check (float 1e-9)) "recovered fraction 0" 0.0
+    (Recovery.recovered_fraction report)
+
+let test_reactive_faster_than_nothing_but_slower_than_drtp () =
+  let g, st = mesh_state () in
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 3; 4; 5; 2 ] ]);
+  let drtp_report = Recovery.fail_edge_drtp st ~scheme:Routing.Dlsr ~edge:(edge g 0 1) () in
+  Net_state.restore_edge st ~edge:(edge g 0 1);
+  let g2, st2 = mesh_state () in
+  ignore (Net_state.admit st2 ~id:1 ~bw:1 ~primary:(path g2 [ 0; 1; 2 ]) ~backups:[]);
+  let reactive_report = Recovery.fail_edge_reactive st2 ~edge:(edge g2 0 1) () in
+  let latency_of r =
+    match r.Recovery.outcomes with
+    | [ (_, Recovery.Switched { latency; _ }) ] | [ (_, Recovery.Rerouted { latency; _ }) ] ->
+        latency
+    | _ -> Alcotest.fail "expected recovery"
+  in
+  Alcotest.(check bool) "DRTP switch beats reactive reroute" true
+    (latency_of drtp_report < latency_of reactive_report)
+
+let test_local_detour_splices () =
+  let g, st = mesh_state () in
+  ignore (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ]) ~backups:[]);
+  let report = Recovery.fail_edge_local_detour st ~edge:(edge g 0 1) () in
+  (match report.Recovery.outcomes with
+  | [ (1, Recovery.Rerouted { latency; retries = 0 }) ] ->
+      Alcotest.(check bool) "fast local repair" true (latency < 0.05)
+  | _ -> Alcotest.fail "expected a local reroute");
+  let conn = Option.get (Net_state.find st 1) in
+  Alcotest.(check bool) "new primary avoids the failed edge" true
+    (not (Path.crosses_edge conn.Net_state.primary (edge g 0 1)));
+  Alcotest.(check int) "endpoints preserved" 0 (Path.src conn.Net_state.primary);
+  Alcotest.(check int) "endpoints preserved" 2 (Path.dst conn.Net_state.primary);
+  Alcotest.(check bool) "no loops" true (Path.is_simple g conn.Net_state.primary);
+  Alcotest.(check bool) "invariants hold" true (Net_state.check_invariants st = Ok ())
+
+let test_local_detour_mid_path () =
+  let g, st = mesh_state () in
+  (* Fail the middle hop of 0-1-2-5-8: prefix and suffix are kept. *)
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2; 5; 8 ]) ~backups:[]);
+  let report = Recovery.fail_edge_local_detour st ~edge:(edge g 1 2) () in
+  (match report.Recovery.outcomes with
+  | [ (1, Recovery.Rerouted _) ] -> ()
+  | _ -> Alcotest.fail "reroute expected");
+  let conn = Option.get (Net_state.find st 1) in
+  let nodes = Path.nodes g conn.Net_state.primary in
+  Alcotest.(check bool) "still starts 0,1" true
+    (match nodes with 0 :: 1 :: _ -> true | _ -> false);
+  Alcotest.(check bool) "avoids failed edge" true
+    (not (Path.crosses_edge conn.Net_state.primary (edge g 1 2)));
+  Alcotest.(check bool) "simple after splice" true
+    (Path.is_simple g conn.Net_state.primary);
+  Alcotest.(check bool) "invariants hold" true (Net_state.check_invariants st = Ok ())
+
+let test_local_detour_needs_free_bw () =
+  (* Ring of 4, capacity 1: the only detour is saturated -> loss. *)
+  let graph = Dr_topo.Gen.ring 4 in
+  let st = Net_state.create ~graph ~capacity:1 ~spare_policy:Net_state.Multiplexed in
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(Path.of_nodes graph [ 0; 1 ]) ~backups:[]);
+  ignore
+    (Net_state.admit st ~id:2 ~bw:1 ~primary:(Path.of_nodes graph [ 3; 2 ]) ~backups:[]);
+  let e01 = Graph.edge_of_link (Option.get (Graph.find_link graph ~src:0 ~dst:1)) in
+  let report = Recovery.fail_edge_local_detour st ~edge:e01 () in
+  (match report.Recovery.outcomes with
+  | [ (1, Recovery.Lost _) ] -> ()
+  | _ -> Alcotest.fail "expected loss (detour saturated)");
+  Alcotest.(check int) "victim dropped" 1 (Net_state.active_count st)
+
+let test_reroute_primary_moves_backups () =
+  let g, st = mesh_state () in
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 3; 4; 5; 2 ] ]);
+  (* Move the primary to the top-right corner route; the backup must be
+     re-registered against the new LSET. *)
+  Net_state.reroute_primary st ~id:1 ~primary:(path g [ 0; 1; 4; 5; 2 ]);
+  let conn = Option.get (Net_state.find st 1) in
+  Alcotest.(check (list int)) "new primary" [ 0; 1; 4; 5; 2 ]
+    (Path.nodes g conn.Net_state.primary);
+  Alcotest.(check bool) "invariants hold" true (Net_state.check_invariants st = Ok ());
+  (* The backup shares links 4->5 with the new primary? 0-3-4-5-2 uses
+     4->5; the new primary also uses 4->5: the backup survives only if the
+     link can host both.  At capacity 10 it can. *)
+  Alcotest.(check int) "backup kept" 1 (List.length conn.Net_state.backups)
+
+let test_reroute_primary_rolls_back () =
+  let g, st = mesh_state ~capacity:1 () in
+  ignore (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1 ]) ~backups:[]);
+  ignore (Net_state.admit st ~id:2 ~bw:1 ~primary:(path g [ 0; 3 ]) ~backups:[]);
+  (* Rerouting conn 1 over the saturated 0-3 corridor must fail and leave
+     everything as it was. *)
+  Alcotest.(check bool) "raises" true
+    (try
+       Net_state.reroute_primary st ~id:1 ~primary:(path g [ 0; 3; 4; 1 ]);
+       false
+     with Invalid_argument _ -> true);
+  let conn = Option.get (Net_state.find st 1) in
+  Alcotest.(check (list int)) "old primary intact" [ 0; 1 ]
+    (Path.nodes g conn.Net_state.primary);
+  Alcotest.(check bool) "invariants hold" true (Net_state.check_invariants st = Ok ())
+
+let test_recovered_fraction_empty () =
+  let g, st = mesh_state () in
+  let report = Recovery.fail_edge_drtp st ~scheme:Routing.Dlsr ~edge:(edge g 0 1) () in
+  Alcotest.(check (float 1e-9)) "vacuous 1.0" 1.0 (Recovery.recovered_fraction report)
+
+let suite =
+  [
+    ( "drtp.recovery",
+      [
+        Alcotest.test_case "DRTP switchover" `Quick test_drtp_switchover;
+        Alcotest.test_case "unprotected connection lost" `Quick test_drtp_unprotected_lost;
+        Alcotest.test_case "latency decomposition" `Quick test_drtp_latency_model;
+        Alcotest.test_case "broken backup re-routed" `Quick test_drtp_broken_backup_rerouted;
+        Alcotest.test_case "spare contention loses one" `Quick test_drtp_contention_loss;
+        Alcotest.test_case "reactive reroute" `Quick test_reactive_reroute;
+        Alcotest.test_case "reactive loss on shortage" `Quick test_reactive_loss_on_shortage;
+        Alcotest.test_case "DRTP faster than reactive" `Quick test_reactive_faster_than_nothing_but_slower_than_drtp;
+        Alcotest.test_case "local detour splices" `Quick test_local_detour_splices;
+        Alcotest.test_case "local detour mid-path" `Quick test_local_detour_mid_path;
+        Alcotest.test_case "local detour needs free bw" `Quick test_local_detour_needs_free_bw;
+        Alcotest.test_case "reroute_primary moves backups" `Quick test_reroute_primary_moves_backups;
+        Alcotest.test_case "reroute_primary rolls back" `Quick test_reroute_primary_rolls_back;
+        Alcotest.test_case "recovered fraction, no victims" `Quick test_recovered_fraction_empty;
+      ] );
+  ]

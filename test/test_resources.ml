@@ -1,0 +1,107 @@
+module R = Drtp.Resources
+
+let make () = R.create ~link_count:4 ~capacity:10
+
+let test_initial () =
+  let r = make () in
+  Alcotest.(check int) "capacity" 10 (R.capacity r 0);
+  Alcotest.(check int) "no prime" 0 (R.prime_bw r 0);
+  Alcotest.(check int) "no spare" 0 (R.spare_bw r 0);
+  Alcotest.(check int) "all free" 10 (R.free r 0);
+  Alcotest.(check int) "all available for backup" 10 (R.available_for_backup r 0);
+  Alcotest.(check int) "total capacity" 40 (R.total_capacity r)
+
+let test_primary_lifecycle () =
+  let r = make () in
+  R.reserve_primary r ~link:1 ~bw:4;
+  Alcotest.(check int) "prime" 4 (R.prime_bw r 1);
+  Alcotest.(check int) "free" 6 (R.free r 1);
+  R.release_primary r ~link:1 ~bw:4;
+  Alcotest.(check int) "back to zero" 0 (R.prime_bw r 1)
+
+let test_primary_overflow () =
+  let r = make () in
+  R.reserve_primary r ~link:0 ~bw:10;
+  Alcotest.(check bool) "over-reserve raises" true
+    (try R.reserve_primary r ~link:0 ~bw:1; false with Invalid_argument _ -> true)
+
+let test_release_underflow () =
+  let r = make () in
+  Alcotest.(check bool) "release without reserve raises" true
+    (try R.release_primary r ~link:0 ~bw:1; false with Invalid_argument _ -> true)
+
+let test_spare_grow_shrink () =
+  let r = make () in
+  Alcotest.(check int) "grow grants all" 3 (R.grow_spare r ~link:2 ~want:3);
+  Alcotest.(check int) "spare" 3 (R.spare_bw r 2);
+  Alcotest.(check int) "free reduced" 7 (R.free r 2);
+  R.shrink_spare r ~link:2 ~amount:2;
+  Alcotest.(check int) "spare after shrink" 1 (R.spare_bw r 2);
+  Alcotest.(check bool) "over-shrink raises" true
+    (try R.shrink_spare r ~link:2 ~amount:5; false with Invalid_argument _ -> true)
+
+let test_spare_grow_partial () =
+  let r = make () in
+  R.reserve_primary r ~link:3 ~bw:8;
+  Alcotest.(check int) "only free granted" 2 (R.grow_spare r ~link:3 ~want:5);
+  Alcotest.(check int) "spare capped by free" 2 (R.spare_bw r 3);
+  Alcotest.(check int) "no free left" 0 (R.free r 3)
+
+let test_feasibility_semantics () =
+  let r = make () in
+  R.reserve_primary r ~link:0 ~bw:6;
+  ignore (R.grow_spare r ~link:0 ~want:3);
+  (* free = 1, available_for_backup = 4 *)
+  Alcotest.(check bool) "primary needs free" false (R.primary_feasible r ~link:0 ~bw:2);
+  Alcotest.(check bool) "primary fits in free" true (R.primary_feasible r ~link:0 ~bw:1);
+  Alcotest.(check bool) "backup can share spare" true (R.backup_feasible r ~link:0 ~bw:4);
+  Alcotest.(check bool) "backup limited by capacity - prime" false
+    (R.backup_feasible r ~link:0 ~bw:5)
+
+let test_spare_to_prime () =
+  let r = make () in
+  ignore (R.grow_spare r ~link:1 ~want:4);
+  R.spare_to_prime r ~link:1 ~bw:3;
+  Alcotest.(check int) "spare down" 1 (R.spare_bw r 1);
+  Alcotest.(check int) "prime up" 3 (R.prime_bw r 1);
+  Alcotest.(check int) "free unchanged" 6 (R.free r 1);
+  Alcotest.(check bool) "needs spare" true
+    (try R.spare_to_prime r ~link:1 ~bw:2; false with Invalid_argument _ -> true)
+
+let test_heterogeneous () =
+  let r = R.create_heterogeneous [| 5; 20 |] in
+  Alcotest.(check int) "link 0" 5 (R.capacity r 0);
+  Alcotest.(check int) "link 1" 20 (R.capacity r 1);
+  Alcotest.(check int) "total" 25 (R.total_capacity r)
+
+let test_invariants () =
+  let r = make () in
+  R.reserve_primary r ~link:0 ~bw:5;
+  ignore (R.grow_spare r ~link:0 ~want:5);
+  Alcotest.(check bool) "invariants hold" true (R.check_invariants r = Ok ())
+
+let test_totals () =
+  let r = make () in
+  R.reserve_primary r ~link:0 ~bw:2;
+  R.reserve_primary r ~link:1 ~bw:3;
+  ignore (R.grow_spare r ~link:2 ~want:4);
+  Alcotest.(check int) "total prime" 5 (R.total_prime r);
+  Alcotest.(check int) "total spare" 4 (R.total_spare r)
+
+let suite =
+  [
+    ( "drtp.resources",
+      [
+        Alcotest.test_case "initial state" `Quick test_initial;
+        Alcotest.test_case "primary lifecycle" `Quick test_primary_lifecycle;
+        Alcotest.test_case "primary overflow" `Quick test_primary_overflow;
+        Alcotest.test_case "release underflow" `Quick test_release_underflow;
+        Alcotest.test_case "spare grow/shrink" `Quick test_spare_grow_shrink;
+        Alcotest.test_case "spare grows only from free" `Quick test_spare_grow_partial;
+        Alcotest.test_case "feasibility semantics" `Quick test_feasibility_semantics;
+        Alcotest.test_case "spare to prime (activation)" `Quick test_spare_to_prime;
+        Alcotest.test_case "heterogeneous capacities" `Quick test_heterogeneous;
+        Alcotest.test_case "invariants" `Quick test_invariants;
+        Alcotest.test_case "totals" `Quick test_totals;
+      ] );
+  ]

@@ -1,0 +1,97 @@
+module Rng = Dr_rng.Splitmix64
+
+let test_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" false
+    (Rng.next_int64 a = Rng.next_int64 b)
+
+let test_known_vector () =
+  (* Reference output of SplitMix64 for seed 0 (from the public-domain
+     reference implementation by Vigna). *)
+  let g = Rng.create 0 in
+  Alcotest.(check int64) "first output" 0xE220A8397B1DCDAFL (Rng.next_int64 g);
+  Alcotest.(check int64) "second output" 0x6E789E6AA1B965F4L (Rng.next_int64 g)
+
+let test_copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  let xa = Rng.next_int64 a in
+  let xb = Rng.next_int64 b in
+  Alcotest.(check int64) "copy continues identically" xa xb;
+  ignore (Rng.next_int64 a);
+  (* advancing a must not affect b *)
+  let c = Rng.copy b in
+  Alcotest.(check int64) "b unaffected by a" (Rng.next_int64 b) (Rng.next_int64 c)
+
+let test_split_independent () =
+  let parent = Rng.create 99 in
+  let child = Rng.split parent in
+  let child_out = Rng.next_int64 child in
+  let parent_out = Rng.next_int64 parent in
+  Alcotest.(check bool) "split streams diverge" false (child_out = parent_out)
+
+let test_int_bounds () =
+  let g = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int g 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_int_bound_one () =
+  let g = Rng.create 5 in
+  for _ = 1 to 10 do
+    Alcotest.(check int) "bound 1 gives 0" 0 (Rng.int g 1)
+  done
+
+let test_int_rejects_nonpositive () =
+  let g = Rng.create 5 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Splitmix64.int: bound must be positive")
+    (fun () -> ignore (Rng.int g 0))
+
+let test_float_bounds () =
+  let g = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.float g 3.5 in
+    Alcotest.(check bool) "in [0,3.5)" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_int_covers_range () =
+  let g = Rng.create 13 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int g 8) <- true
+  done;
+  Array.iteri (fun i s -> Alcotest.(check bool) (Printf.sprintf "value %d seen" i) true s) seen
+
+let test_bool_mixes () =
+  let g = Rng.create 17 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.bool g then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 400 && !trues < 600)
+
+let suite =
+  [
+    ( "rng.splitmix64",
+      [
+        Alcotest.test_case "deterministic stream" `Quick test_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+        Alcotest.test_case "known reference vector" `Quick test_known_vector;
+        Alcotest.test_case "copy is independent" `Quick test_copy_independent;
+        Alcotest.test_case "split is independent" `Quick test_split_independent;
+        Alcotest.test_case "int stays in bounds" `Quick test_int_bounds;
+        Alcotest.test_case "int bound=1" `Quick test_int_bound_one;
+        Alcotest.test_case "int rejects bound<=0" `Quick test_int_rejects_nonpositive;
+        Alcotest.test_case "float stays in bounds" `Quick test_float_bounds;
+        Alcotest.test_case "int covers the range" `Quick test_int_covers_range;
+        Alcotest.test_case "bool is balanced" `Quick test_bool_mixes;
+      ] );
+  ]

@@ -1,0 +1,93 @@
+module Summary = Dr_stats.Summary
+
+let test_empty () =
+  let s = Summary.create () in
+  Alcotest.(check int) "count" 0 (Summary.count s);
+  Alcotest.(check bool) "mean is nan" true (Float.is_nan (Summary.mean s));
+  Alcotest.(check (float 1e-9)) "variance 0" 0.0 (Summary.variance s)
+
+let test_single () =
+  let s = Summary.create () in
+  Summary.add s 4.2;
+  Alcotest.(check (float 1e-9)) "mean" 4.2 (Summary.mean s);
+  Alcotest.(check (float 1e-9)) "variance" 0.0 (Summary.variance s);
+  Alcotest.(check (float 1e-9)) "min" 4.2 (Summary.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 4.2 (Summary.max_value s)
+
+let test_known_stats () =
+  let s = Summary.create () in
+  List.iter (Summary.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Summary.mean s);
+  (* population variance 4 -> sample variance 4 * 8/7 *)
+  Alcotest.(check (float 1e-9)) "sample variance" (32.0 /. 7.0) (Summary.variance s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Summary.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Summary.max_value s)
+
+let test_weighted_mean () =
+  let s = Summary.create () in
+  Summary.add_weighted s ~weight:3.0 10.0;
+  Summary.add_weighted s ~weight:1.0 2.0;
+  Alcotest.(check (float 1e-9)) "time-weighted mean" 8.0 (Summary.mean s);
+  Alcotest.(check (float 1e-9)) "total weight" 4.0 (Summary.total_weight s)
+
+let test_zero_weight_ignored () =
+  let s = Summary.create () in
+  Summary.add_weighted s ~weight:0.0 100.0;
+  Alcotest.(check int) "not counted" 0 (Summary.count s)
+
+let test_negative_weight_rejected () =
+  let s = Summary.create () in
+  Alcotest.(check bool) "raises" true
+    (try Summary.add_weighted s ~weight:(-1.0) 1.0; false
+     with Invalid_argument _ -> true)
+
+let test_merge_equivalent () =
+  let all = Summary.create () in
+  let a = Summary.create () and b = Summary.create () in
+  List.iteri
+    (fun i x ->
+      Summary.add all x;
+      if i mod 2 = 0 then Summary.add a x else Summary.add b x)
+    [ 1.0; 5.0; 2.0; 8.0; 3.0; 9.0; 4.0 ];
+  let merged = Summary.merge a b in
+  Alcotest.(check int) "count" (Summary.count all) (Summary.count merged);
+  Alcotest.(check (float 1e-9)) "mean" (Summary.mean all) (Summary.mean merged);
+  Alcotest.(check (float 1e-9)) "variance" (Summary.variance all) (Summary.variance merged);
+  Alcotest.(check (float 1e-9)) "min" (Summary.min_value all) (Summary.min_value merged);
+  Alcotest.(check (float 1e-9)) "max" (Summary.max_value all) (Summary.max_value merged)
+
+let test_merge_with_empty () =
+  let a = Summary.create () in
+  Summary.add a 3.0;
+  let e = Summary.create () in
+  let m1 = Summary.merge a e and m2 = Summary.merge e a in
+  Alcotest.(check (float 1e-9)) "a + empty" 3.0 (Summary.mean m1);
+  Alcotest.(check (float 1e-9)) "empty + a" 3.0 (Summary.mean m2)
+
+let test_ci_shrinks () =
+  let s1 = Summary.create () and s2 = Summary.create () in
+  let rng = Dr_rng.Splitmix64.create 2 in
+  for _ = 1 to 10 do
+    Summary.add s1 (Dr_rng.Splitmix64.float rng 1.0)
+  done;
+  for _ = 1 to 1000 do
+    Summary.add s2 (Dr_rng.Splitmix64.float rng 1.0)
+  done;
+  Alcotest.(check bool) "more samples, tighter CI" true
+    (Summary.ci95_halfwidth s2 < Summary.ci95_halfwidth s1)
+
+let suite =
+  [
+    ( "stats.summary",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "single value" `Quick test_single;
+        Alcotest.test_case "known dataset" `Quick test_known_stats;
+        Alcotest.test_case "weighted mean" `Quick test_weighted_mean;
+        Alcotest.test_case "zero weight ignored" `Quick test_zero_weight_ignored;
+        Alcotest.test_case "negative weight rejected" `Quick test_negative_weight_rejected;
+        Alcotest.test_case "merge = pooled" `Quick test_merge_equivalent;
+        Alcotest.test_case "merge with empty" `Quick test_merge_with_empty;
+        Alcotest.test_case "CI shrinks with n" `Quick test_ci_shrinks;
+      ] );
+  ]

@@ -1,0 +1,80 @@
+module Graph = Dr_topo.Graph
+module M = Dr_topo.Topo_metrics
+
+let test_ring_metrics () =
+  let m = M.compute (Dr_topo.Gen.ring 6) in
+  Alcotest.(check int) "nodes" 6 m.M.nodes;
+  Alcotest.(check int) "edges" 6 m.M.edges;
+  Alcotest.(check (float 1e-9)) "avg degree" 2.0 m.M.avg_degree;
+  Alcotest.(check int) "diameter" 3 m.M.diameter;
+  Alcotest.(check bool) "connected" true m.M.connected;
+  Alcotest.(check int) "min/max degree" 2 m.M.min_degree;
+  Alcotest.(check int) "min/max degree" 2 m.M.max_degree;
+  Alcotest.(check int) "two disjoint everywhere" 2 m.M.min_edge_disjoint;
+  (* Ring of 6: per node distances 1,1,2,2,3 -> mean 1.8 *)
+  Alcotest.(check (float 1e-9)) "avg hops" 1.8 m.M.avg_path_hops
+
+let test_line_metrics () =
+  let m = M.compute (Dr_topo.Gen.line 4) in
+  Alcotest.(check int) "diameter" 3 m.M.diameter;
+  Alcotest.(check int) "single path pairs" 1 m.M.min_edge_disjoint;
+  Alcotest.(check int) "min degree" 1 m.M.min_degree
+
+let test_disconnected () =
+  let g = Graph.create ~node_count:4 ~edges:[ (0, 1); (2, 3) ] in
+  let m = M.compute g in
+  Alcotest.(check bool) "not connected" false m.M.connected
+
+let test_degree_histogram () =
+  let g = Dr_topo.Gen.star 5 in
+  Alcotest.(check (list (pair int int))) "star histogram" [ (1, 4); (4, 1) ]
+    (M.degree_histogram g)
+
+let test_complete_metrics () =
+  let m = M.compute (Dr_topo.Gen.complete 5) in
+  Alcotest.(check int) "diameter 1" 1 m.M.diameter;
+  Alcotest.(check (float 1e-9)) "avg hops 1" 1.0 m.M.avg_path_hops;
+  Alcotest.(check int) "disjoint paths n-1" 4 m.M.min_edge_disjoint
+
+let contains s sub = Astring.String.is_infix ~affix:sub s
+
+let test_dot_export () =
+  let g = Dr_topo.Gen.ring 4 in
+  let dot = Dr_topo.Dot.to_dot ~highlight:[ (0, "red") ] g in
+  Alcotest.(check bool) "graph header" true (contains dot "graph");
+  Alcotest.(check bool) "highlighted edge" true (contains dot "color=\"red\"");
+  Alcotest.(check bool) "plain edges grey" true (contains dot "grey70");
+  (* every edge appears *)
+  Graph.iter_edges g (fun e ->
+      let u, v = Graph.edge_endpoints g e in
+      Alcotest.(check bool) "edge listed" true
+        (contains dot (Printf.sprintf "%d -- %d" u v)))
+
+let test_dot_coords () =
+  let rng = Dr_rng.Splitmix64.create 3 in
+  let g = Dr_topo.Gen.waxman ~rng ~n:10 ~avg_degree:3.0 () in
+  Alcotest.(check bool) "positions pinned" true
+    (contains (Dr_topo.Dot.to_dot g) "pos=")
+
+let test_dot_routes () =
+  let g = Dr_topo.Gen.mesh ~rows:3 ~cols:3 in
+  let primary = Dr_topo.Path.of_nodes g [ 0; 1; 2 ] in
+  let backup = Dr_topo.Path.of_nodes g [ 0; 3; 4; 5; 2 ] in
+  let dot = Dr_topo.Dot.routes_to_dot g ~primary ~backups:[ backup ] in
+  Alcotest.(check bool) "primary red" true (contains dot "color=\"red\"");
+  Alcotest.(check bool) "backup blue" true (contains dot "color=\"blue\"")
+
+let suite =
+  [
+    ( "topology.metrics",
+      [
+        Alcotest.test_case "ring" `Quick test_ring_metrics;
+        Alcotest.test_case "line" `Quick test_line_metrics;
+        Alcotest.test_case "disconnected" `Quick test_disconnected;
+        Alcotest.test_case "degree histogram" `Quick test_degree_histogram;
+        Alcotest.test_case "complete graph" `Quick test_complete_metrics;
+        Alcotest.test_case "dot export" `Quick test_dot_export;
+        Alcotest.test_case "dot coordinates" `Quick test_dot_coords;
+        Alcotest.test_case "dot routes" `Quick test_dot_routes;
+      ] );
+  ]

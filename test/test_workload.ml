@@ -1,0 +1,186 @@
+module Workload = Dr_sim.Workload
+module Scenario = Dr_sim.Scenario
+module Rng = Dr_rng.Splitmix64
+
+let spec ?(rate = 0.1) ?(pattern = Workload.Uniform) () =
+  {
+    Workload.arrival_rate = rate;
+    horizon = 10_000.0;
+    lifetime_lo = 100.0;
+    lifetime_hi = 200.0;
+    bw = Workload.constant_bw 1;
+    pattern;
+  }
+
+let test_request_release_pairing () =
+  let s = Workload.generate (Rng.create 1) ~node_count:10 (spec ()) in
+  let requests = Hashtbl.create 64 in
+  Scenario.iter s (fun item ->
+      match item.Scenario.event with
+      | Scenario.Request { conn; duration; _ } ->
+          Hashtbl.add requests conn (item.Scenario.time, duration)
+      | Scenario.Release { conn } ->
+          let t_req, duration = Hashtbl.find requests conn in
+          Alcotest.(check (float 1e-6)) "release = request + lifetime"
+            (t_req +. duration) item.Scenario.time);
+  Alcotest.(check bool) "some requests generated" true (Hashtbl.length requests > 0)
+
+let test_arrival_count () =
+  (* rate 0.1/s over 10000 s -> ~1000 arrivals *)
+  let s = Workload.generate (Rng.create 2) ~node_count:10 (spec ()) in
+  let n = Scenario.request_count s in
+  Alcotest.(check bool) (Printf.sprintf "%d near 1000" n) true (n > 850 && n < 1150)
+
+let test_lifetimes_in_range () =
+  let s = Workload.generate (Rng.create 3) ~node_count:10 (spec ()) in
+  Scenario.iter s (fun item ->
+      match item.Scenario.event with
+      | Scenario.Request { duration; _ } ->
+          Alcotest.(check bool) "lifetime in [100,200]" true
+            (duration >= 100.0 && duration <= 200.0)
+      | Scenario.Release _ -> ())
+
+let test_endpoints_valid () =
+  let s = Workload.generate (Rng.create 4) ~node_count:7 (spec ()) in
+  Scenario.iter s (fun item ->
+      match item.Scenario.event with
+      | Scenario.Request { src; dst; _ } ->
+          Alcotest.(check bool) "valid endpoints" true
+            (src <> dst && src >= 0 && src < 7 && dst >= 0 && dst < 7)
+      | Scenario.Release _ -> ())
+
+let test_deterministic () =
+  let s1 = Workload.generate (Rng.create 5) ~node_count:10 (spec ()) in
+  let s2 = Workload.generate (Rng.create 5) ~node_count:10 (spec ()) in
+  Alcotest.(check string) "same seed, same scenario" (Scenario.to_string s1)
+    (Scenario.to_string s2)
+
+let test_hotspot_concentration () =
+  let rng = Rng.create 6 in
+  let pattern = Workload.hotspot_pattern rng ~node_count:50 ~hotspots:5 ~fraction:0.5 in
+  let hotspots =
+    match pattern with
+    | Workload.Hotspot { destinations; _ } -> destinations
+    | Workload.Uniform -> Alcotest.fail "expected hotspot pattern"
+  in
+  Alcotest.(check int) "five hotspots" 5 (Array.length hotspots);
+  let s = Workload.generate rng ~node_count:50 (spec ~rate:0.5 ~pattern ()) in
+  let hot = ref 0 and total = ref 0 in
+  Scenario.iter s (fun item ->
+      match item.Scenario.event with
+      | Scenario.Request { dst; _ } ->
+          incr total;
+          if Array.exists (fun h -> h = dst) hotspots then incr hot
+      | Scenario.Release _ -> ());
+  let frac = float_of_int !hot /. float_of_int !total in
+  (* 50% directed + 10% of the uniform half by chance = ~55% *)
+  Alcotest.(check bool)
+    (Printf.sprintf "hotspot fraction %.2f in [0.48, 0.62]" frac)
+    true
+    (frac > 0.48 && frac < 0.62)
+
+let test_uniform_spread () =
+  let s = Workload.generate (Rng.create 7) ~node_count:20 (spec ~rate:0.5 ()) in
+  let dst_counts = Array.make 20 0 in
+  Scenario.iter s (fun item ->
+      match item.Scenario.event with
+      | Scenario.Request { dst; _ } -> dst_counts.(dst) <- dst_counts.(dst) + 1
+      | Scenario.Release _ -> ());
+  Array.iteri
+    (fun i c -> Alcotest.(check bool) (Printf.sprintf "node %d targeted" i) true (c > 0))
+    dst_counts
+
+let test_validation () =
+  let invalid s =
+    try ignore (Workload.generate (Rng.create 8) ~node_count:10 s); false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "zero rate" true (invalid { (spec ()) with Workload.arrival_rate = 0.0 });
+  Alcotest.(check bool) "bad lifetimes" true
+    (invalid { (spec ()) with Workload.lifetime_hi = 1.0 });
+  Alcotest.(check bool) "zero bw" true
+    (invalid { (spec ()) with Workload.bw = Workload.constant_bw 0 });
+  Alcotest.(check bool) "empty class list" true
+    (invalid { (spec ()) with Workload.bw = Workload.Classes [] });
+  Alcotest.(check bool) "negative class weight" true
+    (invalid { (spec ()) with Workload.bw = Workload.Classes [ (1, -0.5) ] });
+  Alcotest.(check bool) "hotspot out of range" true
+    (invalid
+       {
+         (spec ()) with
+         Workload.pattern = Workload.Hotspot { destinations = [| 99 |]; fraction = 0.5 };
+       })
+
+let test_bandwidth_classes () =
+  let pattern = Workload.Uniform in
+  let spec =
+    {
+      (spec ~rate:0.5 ~pattern ()) with
+      Workload.bw = Workload.Classes [ (1, 0.7); (4, 0.3) ];
+    }
+  in
+  let s = Workload.generate (Rng.create 9) ~node_count:10 spec in
+  let audio = ref 0 and video = ref 0 in
+  Scenario.iter s (fun item ->
+      match item.Scenario.event with
+      | Scenario.Request { bw; _ } ->
+          if bw = 1 then incr audio
+          else if bw = 4 then incr video
+          else Alcotest.failf "unexpected class %d" bw
+      | Scenario.Release _ -> ());
+  let total = !audio + !video in
+  let video_frac = float_of_int !video /. float_of_int total in
+  Alcotest.(check bool)
+    (Printf.sprintf "video fraction %.2f near 0.3" video_frac)
+    true
+    (video_frac > 0.22 && video_frac < 0.38)
+
+let test_mixed_classes_through_manager () =
+  (* Heterogeneous bandwidths exercise the weighted multiplexing rule:
+     replay a mixed workload and check the deep invariants. *)
+  let rng = Rng.create 31 in
+  let graph = Dr_topo.Gen.waxman ~rng ~n:20 ~avg_degree:3.5 () in
+  let manager =
+    Drtp.Manager.create ~graph ~capacity:20
+      ~spare_policy:Drtp.Net_state.Multiplexed
+      ~route:
+        (Drtp.Routing.link_state_route_fn Drtp.Routing.Dlsr ~with_backup:true)
+  in
+  let spec =
+    {
+      Workload.arrival_rate = 0.4;
+      horizon = 600.0;
+      lifetime_lo = 100.0;
+      lifetime_hi = 400.0;
+      bw = Workload.Classes [ (1, 0.7); (4, 0.3) ];
+      pattern = Workload.Uniform;
+    }
+  in
+  let s = Workload.generate rng ~node_count:20 spec in
+  Drtp.Manager.run manager s;
+  Alcotest.(check bool) "invariants hold under mixed classes" true
+    (Drtp.Net_state.check_invariants (Drtp.Manager.state manager) = Ok ());
+  let stats = Drtp.Manager.stats manager in
+  Alcotest.(check bool) "some accepted" true (stats.Drtp.Manager.accepted > 0)
+
+let test_paper_defaults () =
+  Alcotest.(check (float 1e-9)) "20 min" 1200.0 Workload.default_lifetime_lo;
+  Alcotest.(check (float 1e-9)) "60 min" 3600.0 Workload.default_lifetime_hi
+
+let suite =
+  [
+    ( "eventsim.workload",
+      [
+        Alcotest.test_case "request/release pairing" `Quick test_request_release_pairing;
+        Alcotest.test_case "poisson arrival count" `Quick test_arrival_count;
+        Alcotest.test_case "lifetimes in range" `Quick test_lifetimes_in_range;
+        Alcotest.test_case "endpoints valid" `Quick test_endpoints_valid;
+        Alcotest.test_case "deterministic" `Quick test_deterministic;
+        Alcotest.test_case "NT hotspot concentration" `Quick test_hotspot_concentration;
+        Alcotest.test_case "UT spread" `Quick test_uniform_spread;
+        Alcotest.test_case "validation" `Quick test_validation;
+        Alcotest.test_case "bandwidth classes" `Quick test_bandwidth_classes;
+        Alcotest.test_case "mixed classes end-to-end" `Quick test_mixed_classes_through_manager;
+        Alcotest.test_case "paper lifetime defaults" `Quick test_paper_defaults;
+      ] );
+  ]

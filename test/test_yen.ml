@@ -1,0 +1,94 @@
+module Graph = Dr_topo.Graph
+module Path = Dr_topo.Path
+
+let unit_cost _ = 1.0
+
+let test_k1_is_shortest () =
+  let g = Dr_topo.Gen.mesh ~rows:3 ~cols:3 in
+  match Dr_topo.Yen.k_shortest g ~cost:unit_cost ~src:0 ~dst:8 ~k:1 with
+  | [ (c, p) ] ->
+      Alcotest.(check (float 1e-9)) "cost 4" 4.0 c;
+      Alcotest.(check int) "4 hops" 4 (Path.hops p)
+  | other -> Alcotest.failf "expected one path, got %d" (List.length other)
+
+let test_nondecreasing_costs () =
+  let g = Dr_topo.Gen.mesh ~rows:3 ~cols:3 in
+  let paths = Dr_topo.Yen.k_shortest g ~cost:unit_cost ~src:0 ~dst:8 ~k:8 in
+  Alcotest.(check int) "got 8 paths" 8 (List.length paths);
+  let costs = List.map fst paths in
+  let rec non_decreasing = function
+    | a :: (b :: _ as rest) -> a <= b && non_decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by cost" true (non_decreasing costs)
+
+let test_all_distinct_and_simple () =
+  let g = Dr_topo.Gen.mesh ~rows:3 ~cols:3 in
+  let paths = Dr_topo.Yen.k_shortest g ~cost:unit_cost ~src:0 ~dst:8 ~k:10 in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (_, p) ->
+      Alcotest.(check bool) "simple" true (Path.is_simple g p);
+      Alcotest.(check bool) "distinct" false (Hashtbl.mem seen (Path.links p));
+      Hashtbl.add seen (Path.links p) ();
+      Alcotest.(check int) "right endpoints" 0 (Path.src p);
+      Alcotest.(check int) "right endpoints" 8 (Path.dst p))
+    paths
+
+let test_counts_all_shortest () =
+  (* In a 3x3 grid there are exactly C(4,2) = 6 monotone 4-hop paths from
+     corner to corner; Yen must list all of them before any 6-hop path. *)
+  let g = Dr_topo.Gen.mesh ~rows:3 ~cols:3 in
+  let paths = Dr_topo.Yen.k_shortest g ~cost:unit_cost ~src:0 ~dst:8 ~k:7 in
+  let four_hop = List.filter (fun (c, _) -> c = 4.0) paths in
+  Alcotest.(check int) "six shortest paths" 6 (List.length four_hop)
+
+let test_k_larger_than_available () =
+  let g = Graph.create ~node_count:3 ~edges:[ (0, 1); (1, 2) ] in
+  let paths = Dr_topo.Yen.k_shortest g ~cost:unit_cost ~src:0 ~dst:2 ~k:5 in
+  Alcotest.(check int) "only one simple path exists" 1 (List.length paths)
+
+let test_unreachable () =
+  let g = Graph.create ~node_count:3 ~edges:[ (0, 1) ] in
+  Alcotest.(check int) "no path" 0
+    (List.length (Dr_topo.Yen.k_shortest g ~cost:unit_cost ~src:0 ~dst:2 ~k:3))
+
+let test_k_zero () =
+  let g = Dr_topo.Gen.ring 4 in
+  Alcotest.(check int) "k=0" 0
+    (List.length (Dr_topo.Yen.k_shortest g ~cost:unit_cost ~src:0 ~dst:2 ~k:0))
+
+let test_ring_two_paths () =
+  let g = Dr_topo.Gen.ring 6 in
+  let paths = Dr_topo.Yen.k_shortest g ~cost:unit_cost ~src:0 ~dst:3 ~k:5 in
+  (* A 6-ring has exactly two simple paths between opposite nodes. *)
+  Alcotest.(check int) "two paths" 2 (List.length paths);
+  Alcotest.(check (list (float 1e-9))) "costs 3 and 3" [ 3.0; 3.0 ] (List.map fst paths)
+
+let test_respects_weights () =
+  let g = Dr_topo.Gen.ring 4 in
+  (* Make one direction of the ring expensive; the cheapest path must go the
+     other way round. *)
+  let e01 = Option.get (Graph.find_link g ~src:0 ~dst:1) in
+  let cost l = if l = e01 then 100.0 else 1.0 in
+  match Dr_topo.Yen.k_shortest g ~cost ~src:0 ~dst:1 ~k:2 with
+  | (c1, p1) :: _ ->
+      Alcotest.(check (float 1e-9)) "detour cheaper" 3.0 c1;
+      Alcotest.(check int) "3 hops around" 3 (Path.hops p1)
+  | [] -> Alcotest.fail "paths expected"
+
+let suite =
+  [
+    ( "topology.yen",
+      [
+        Alcotest.test_case "k=1 is the shortest path" `Quick test_k1_is_shortest;
+        Alcotest.test_case "costs non-decreasing" `Quick test_nondecreasing_costs;
+        Alcotest.test_case "paths distinct and simple" `Quick test_all_distinct_and_simple;
+        Alcotest.test_case "finds all equal-length shortest" `Quick test_counts_all_shortest;
+        Alcotest.test_case "k exceeding path count" `Quick test_k_larger_than_available;
+        Alcotest.test_case "unreachable destination" `Quick test_unreachable;
+        Alcotest.test_case "k = 0" `Quick test_k_zero;
+        Alcotest.test_case "ring has exactly two" `Quick test_ring_two_paths;
+        Alcotest.test_case "respects link weights" `Quick test_respects_weights;
+      ] );
+  ]
