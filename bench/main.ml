@@ -22,6 +22,7 @@ module Runner = Dr_exp.Runner
 module Routing = Drtp.Routing
 module Net_state = Drtp.Net_state
 module Path = Dr_topo.Path
+module Telemetry = Dr_telemetry.Telemetry
 
 let quick = Sys.getenv_opt "DRTP_BENCH_QUICK" <> None
 
@@ -206,6 +207,17 @@ let test_scenario_parse =
          | Ok _ -> ()
          | Error e -> failwith e))
 
+(* Telemetry primitives with the master switch off — what every
+   instrumented hot path pays when nobody is observing. *)
+let test_telemetry_counter_off =
+  let c = Telemetry.Counter.make "bench.counter" in
+  Test.make ~name:"telemetry/counter-incr-disabled"
+    (Staged.stage (fun () -> Telemetry.Counter.incr c))
+
+let test_telemetry_span_off =
+  Test.make ~name:"telemetry/span-disabled"
+    (Staged.stage (fun () -> Telemetry.Span.with_ ~name:"bench.span" (fun () -> ())))
+
 let all_tests =
   [
     test_table1;
@@ -227,6 +239,8 @@ let all_tests =
     test_node_eval;
     test_double_eval;
     test_scenario_parse;
+    test_telemetry_counter_off;
+    test_telemetry_span_off;
   ]
 
 let run_benchmarks () =
@@ -256,6 +270,117 @@ let run_benchmarks () =
         analysis)
     all_tests;
   print_newline ()
+
+(* --- instrumentation-overhead check --------------------------------------- *)
+
+(* The telemetry subsystem promises near-zero cost while disabled.  This
+   harness enforces the claim on the event-engine hot loop (schedule +
+   dispatch, the simulator's innermost cycle): an uninstrumented replica
+   of the loop is raced against the instrumented {!Dr_sim.Engine}, with
+   telemetry off and with telemetry enabled into a JSONL sink.  Variants
+   are interleaved and the per-variant minimum over several trials is
+   kept, which suppresses scheduling and frequency-scaling noise. *)
+
+module Pqueue = Dr_pqueue.Pqueue
+module Engine = Dr_sim.Engine
+
+(* A line-for-line replica of [Dr_sim.Engine] with the telemetry guards
+   deleted: the engine exactly as it was before instrumentation.  Keeping
+   the closure-based handler dispatch and validity checks identical means
+   the measured gap is the guards themselves, not abstraction cost. *)
+module Bare_engine = struct
+  type 'e t = { queue : 'e Pqueue.t; mutable clock : float }
+
+  let create () = { queue = Pqueue.create (); clock = 0.0 }
+
+  let schedule t ~at event =
+    if at < t.clock then invalid_arg "Bare_engine.schedule: event in the past";
+    Pqueue.add t.queue ~key:at event
+
+  let schedule_after t ~delay event =
+    if delay < 0.0 then invalid_arg "Bare_engine.schedule_after: negative delay";
+    schedule t ~at:(t.clock +. delay) event
+
+  let step t ~handler =
+    match Pqueue.pop t.queue with
+    | None -> false
+    | Some (at, event) ->
+        t.clock <- at;
+        handler t event;
+        true
+
+  let run t ~handler = while step t ~handler do () done
+end
+
+let bare_loop events =
+  let e = Bare_engine.create () in
+  for i = 1 to events do
+    Bare_engine.schedule_after e ~delay:(float_of_int (i land 1023)) i
+  done;
+  let sum = ref 0 in
+  Bare_engine.run e ~handler:(fun _ v -> sum := !sum + v);
+  !sum
+
+let engine_loop events =
+  let e = Engine.create () in
+  for i = 1 to events do
+    Engine.schedule_after e ~delay:(float_of_int (i land 1023)) i
+  done;
+  let sum = ref 0 in
+  Engine.run e ~handler:(fun _ v -> sum := !sum + v);
+  !sum
+
+let time_of f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  ignore (Sys.opaque_identity r);
+  dt
+
+let overhead_check () =
+  let events = if quick then 100_000 else 1_000_000 in
+  let trials = 7 in
+  let best = Array.make 3 infinity in
+  let sink_file = Filename.temp_file "drtp_bench_trace" ".jsonl" in
+  let variant i =
+    match i with
+    | 0 -> time_of (fun () -> bare_loop events)
+    | 1 ->
+        Telemetry.set_enabled false;
+        time_of (fun () -> engine_loop events)
+    | _ ->
+        Telemetry.set_enabled true;
+        Telemetry.Sink.set (Telemetry.Sink.jsonl (open_out sink_file));
+        let dt = time_of (fun () -> engine_loop events) in
+        Telemetry.Sink.close ();
+        Telemetry.set_enabled false;
+        dt
+  in
+  (* Warm up each variant once, then interleave the measured trials. *)
+  for i = 0 to 2 do
+    ignore (variant i)
+  done;
+  for _ = 1 to trials do
+    for i = 0 to 2 do
+      best.(i) <- min best.(i) (variant i)
+    done
+  done;
+  Telemetry.reset ();
+  Sys.remove sink_file;
+  let per_event s = s /. float_of_int events *. 1e9 in
+  let pct i = 100.0 *. (best.(i) -. best.(0)) /. best.(0) in
+  Printf.printf "# Instrumentation overhead (event-engine hot loop, %d events)\n"
+    events;
+  Printf.printf "%-34s %8.1f ns/event\n" "bare (uninstrumented replica)"
+    (per_event best.(0));
+  Printf.printf "%-34s %8.1f ns/event  (%+.1f%%)\n" "engine, telemetry disabled"
+    (per_event best.(1)) (pct 1);
+  Printf.printf "%-34s %8.1f ns/event  (%+.1f%%)\n"
+    "engine, telemetry + JSONL sink" (per_event best.(2)) (pct 2);
+  let budget = 2.0 in
+  Printf.printf "%s: disabled-telemetry overhead %.1f%% vs %.1f%% budget\n\n"
+    (if pct 1 <= budget then "PASS" else "FAIL")
+    (pct 1) budget
 
 (* --- full table/figure regeneration --------------------------------------- *)
 
@@ -314,6 +439,7 @@ let regenerate () =
 
 let () =
   run_benchmarks ();
+  overhead_check ();
   print_endline "# Reproduction of every table and figure";
   print_newline ();
   regenerate ()

@@ -10,6 +10,49 @@ let stderr_progress line =
   prerr_string line;
   prerr_newline ()
 
+(* ---- telemetry --------------------------------------------------------- *)
+
+module Telemetry = Dr_telemetry.Telemetry
+
+let trace_t =
+  let doc =
+    "Enable telemetry and write a JSONL trace (span records, then a final \
+     snapshot of every counter/gauge/timer) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_t =
+  let doc =
+    "Enable telemetry and print the metrics summary table when the command \
+     finishes."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Evaluating this term configures telemetry as a side effect, so every
+   subcommand picks the flags up by prepending [$ telemetry_t].  The
+   summary table and the trace finalisation run from [at_exit]: they then
+   also cover commands that leave through [exit] (claims). *)
+let telemetry_t =
+  let setup trace metrics =
+    if trace <> None || metrics then Telemetry.set_enabled true;
+    (match trace with
+    | None -> ()
+    | Some file ->
+        let oc =
+          try open_out file
+          with Sys_error msg ->
+            Printf.eprintf "drtp_sim: cannot open trace file (%s)\n" msg;
+            exit 2
+        in
+        Telemetry.Sink.set (Telemetry.Sink.jsonl oc);
+        at_exit Telemetry.Sink.close);
+    if metrics then
+      (* Registered after the sink hook, so LIFO order prints the table
+         before the trace file is finalised. *)
+      at_exit (fun () -> Format.printf "@.%a@." Telemetry.pp_summary ())
+  in
+  Term.(const setup $ trace_t $ metrics_t)
+
 (* ---- shared options ---------------------------------------------------- *)
 
 let degree_t =
@@ -56,12 +99,12 @@ let lambdas_for ~quick degree =
 (* ---- subcommands ------------------------------------------------------- *)
 
 let table1_cmd =
-  let run quick seed =
+  let run () quick seed =
     Format.printf "%a@." Dr_exp.Config.pp_table1 (config_of ~quick ~seed)
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Print the simulation parameters (paper Table 1).")
-    Term.(const run $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ quick_t $ seed_t)
 
 let csv_t =
   Arg.(
@@ -86,32 +129,39 @@ let sweep_and_print ~print degree quick seed csv =
       Format.eprintf "wrote %s@." file
 
 let fig4_cmd =
-  let run degree quick seed csv =
+  let run () degree quick seed csv =
     sweep_and_print ~print:Dr_exp.Report.print_figure4 degree quick seed csv
   in
   Cmd.v
     (Cmd.info "fig4"
        ~doc:"Reproduce Figure 4: fault-tolerance P_act-bk vs lambda.")
-    Term.(const run $ degree_t $ quick_t $ seed_t $ csv_t)
+    Term.(const run $ telemetry_t $ degree_t $ quick_t $ seed_t $ csv_t)
 
 let fig5_cmd =
-  let run degree quick seed csv =
+  let run () degree quick seed csv =
     sweep_and_print ~print:Dr_exp.Report.print_figure5 degree quick seed csv
   in
   Cmd.v
     (Cmd.info "fig5" ~doc:"Reproduce Figure 5: capacity overhead vs lambda.")
-    Term.(const run $ degree_t $ quick_t $ seed_t $ csv_t)
+    Term.(const run $ telemetry_t $ degree_t $ quick_t $ seed_t $ csv_t)
 
 let details_cmd =
-  let run degree quick seed csv =
+  let run () degree quick seed csv =
     sweep_and_print ~print:Dr_exp.Report.print_details degree quick seed csv
   in
   Cmd.v
     (Cmd.info "details" ~doc:"Per-cell diagnostics for one sweep.")
-    Term.(const run $ degree_t $ quick_t $ seed_t $ csv_t)
+    Term.(const run $ telemetry_t $ degree_t $ quick_t $ seed_t $ csv_t)
 
 let claims_cmd =
-  let run quick seed =
+  let json_t =
+    let doc =
+      "Emit one machine-readable JSON record per claim \
+       (claim/expected/measured/pass) instead of the tables."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run () json quick seed =
     let cfg = config_of ~quick ~seed in
     let sweep degree =
       Dr_exp.Sweep.run ~progress:stderr_progress cfg ~avg_degree:degree
@@ -119,19 +169,26 @@ let claims_cmd =
     in
     let e3 = sweep 3.0 in
     let e4 = sweep 4.0 in
-    Format.printf "%a@.@.%a@.@.%a@.@.%a@.@." Dr_exp.Report.print_figure4 e3
-      Dr_exp.Report.print_figure4 e4 Dr_exp.Report.print_figure5 e3
-      Dr_exp.Report.print_figure5 e4;
-    Format.printf "%a@." Dr_exp.Report.print_claims
-      (Dr_exp.Report.check_claims ~e3 ~e4)
+    let claims = Dr_exp.Report.check_claims ~e3 ~e4 in
+    if json then print_string (Dr_exp.Report.claims_to_json claims)
+    else begin
+      Format.printf "%a@.@.%a@.@.%a@.@.%a@.@." Dr_exp.Report.print_figure4 e3
+        Dr_exp.Report.print_figure4 e4 Dr_exp.Report.print_figure5 e3
+        Dr_exp.Report.print_figure5 e4;
+      Format.printf "%a@." Dr_exp.Report.print_claims claims
+    end;
+    (* Nonzero exit on any failed claim, so CI can gate on this command. *)
+    if not (Dr_exp.Report.all_claims_hold claims) then exit 1
   in
   Cmd.v
     (Cmd.info "claims"
-       ~doc:"Run both sweeps and check the paper's summary claims (§6.2).")
-    Term.(const run $ quick_t $ seed_t)
+       ~doc:
+         "Run both sweeps and check the paper's summary claims (§6.2); \
+          exits 1 if any claim fails.")
+    Term.(const run $ telemetry_t $ json_t $ quick_t $ seed_t)
 
 let ablate_mux_cmd =
-  let run degree traffic lambda quick seed =
+  let run () degree traffic lambda quick seed =
     let cfg = config_of ~quick ~seed in
     Format.printf "%a@." Dr_exp.Ablation.pp_mux
       (Dr_exp.Ablation.no_multiplexing cfg ~avg_degree:degree ~traffic ~lambda)
@@ -139,10 +196,10 @@ let ablate_mux_cmd =
   Cmd.v
     (Cmd.info "ablate-mux"
        ~doc:"Ablation A1: multiplexed vs dedicated spare reservations.")
-    Term.(const run $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
 
 let ablate_flood_cmd =
-  let run degree traffic lambda quick seed =
+  let run () degree traffic lambda quick seed =
     let cfg = config_of ~quick ~seed in
     Format.printf "%a@." Dr_exp.Ablation.pp_flood
       (Dr_exp.Ablation.flood_scope cfg ~avg_degree:degree ~traffic ~lambda ())
@@ -150,10 +207,10 @@ let ablate_flood_cmd =
   Cmd.v
     (Cmd.info "ablate-flood"
        ~doc:"Ablation A2: bounded-flooding scope parameters.")
-    Term.(const run $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
 
 let ablate_spf_cmd =
-  let run traffic lambda quick seed =
+  let run () traffic lambda quick seed =
     let cfg = config_of ~quick ~seed in
     Format.printf "%a@." Dr_exp.Ablation.pp_blind
       (Dr_exp.Ablation.conflict_blind cfg ~traffic ~lambda)
@@ -161,10 +218,10 @@ let ablate_spf_cmd =
   Cmd.v
     (Cmd.info "ablate-spf"
        ~doc:"Ablation A3: conflict-aware vs conflict-blind backup routing.")
-    Term.(const run $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
 
 let ablate_backups_cmd =
-  let run degree traffic lambda quick seed =
+  let run () degree traffic lambda quick seed =
     let cfg = config_of ~quick ~seed in
     Format.printf "%a@." Dr_exp.Ablation.pp_backup_count
       (Dr_exp.Ablation.backup_count cfg ~avg_degree:degree ~traffic ~lambda ())
@@ -174,7 +231,7 @@ let ablate_backups_cmd =
        ~doc:
          "Extension E2: zero, one or two backups per DR-connection (edge and \
           node fault-tolerance vs capacity).")
-    Term.(const run $ degree_t $ traffic_t $ lambda_t ~default:0.4 $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ degree_t $ traffic_t $ lambda_t ~default:0.4 $ quick_t $ seed_t)
 
 let replicate_cmd =
   let seeds_t =
@@ -182,7 +239,7 @@ let replicate_cmd =
       value & opt int 3
       & info [ "seeds" ] ~docv:"N" ~doc:"Number of independent replications.")
   in
-  let run degree seeds quick seed =
+  let run () degree seeds quick seed =
     let cfg = config_of ~quick ~seed in
     let t =
       Dr_exp.Replicate.run ~progress:stderr_progress cfg ~avg_degree:degree
@@ -196,10 +253,10 @@ let replicate_cmd =
     (Cmd.info "replicate"
        ~doc:
          "Figures 4/5 with multi-seed replication and confidence intervals.")
-    Term.(const run $ degree_t $ seeds_t $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ degree_t $ seeds_t $ quick_t $ seed_t)
 
 let ablate_qos_cmd =
-  let run degree traffic lambda quick seed =
+  let run () degree traffic lambda quick seed =
     let cfg = config_of ~quick ~seed in
     Format.printf "%a@." Dr_exp.Ablation.pp_qos
       (Dr_exp.Ablation.qos_bound cfg ~avg_degree:degree ~traffic ~lambda ())
@@ -209,10 +266,10 @@ let ablate_qos_cmd =
        ~doc:
          "Extension E5: hop (delay) budget on backup routes — tight QoS \
           forfeits protection.")
-    Term.(const run $ degree_t $ traffic_t $ lambda_t ~default:0.4 $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ degree_t $ traffic_t $ lambda_t ~default:0.4 $ quick_t $ seed_t)
 
 let ablate_classes_cmd =
-  let run degree traffic lambda quick seed =
+  let run () degree traffic lambda quick seed =
     let cfg = config_of ~quick ~seed in
     Format.printf "%a@." Dr_exp.Ablation.pp_classes
       (Dr_exp.Ablation.traffic_classes cfg ~avg_degree:degree ~traffic ~lambda ())
@@ -222,7 +279,7 @@ let ablate_classes_cmd =
        ~doc:
          "Heterogeneous bandwidth classes (audio/video mixes) through the \
           weighted multiplexing rule.")
-    Term.(const run $ degree_t $ traffic_t $ lambda_t ~default:0.3 $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ degree_t $ traffic_t $ lambda_t ~default:0.3 $ quick_t $ seed_t)
 
 let availability_cmd =
   let mtbf_t =
@@ -233,7 +290,7 @@ let availability_cmd =
     Arg.(value & opt float 120.0
          & info [ "mttr" ] ~docv:"S" ~doc:"Mean time to repair (seconds).")
   in
-  let run degree traffic lambda mtbf mttr quick seed =
+  let run () degree traffic lambda mtbf mttr quick seed =
     let cfg = config_of ~quick ~seed in
     Format.printf "%a@." Dr_exp.Availability_exp.pp
       (Dr_exp.Availability_exp.run cfg ~avg_degree:degree ~traffic ~lambda ~mtbf
@@ -245,11 +302,11 @@ let availability_cmd =
          "Extension E6: service availability under a continuous \
           failure/repair process, DRTP vs reactive.")
     Term.(
-      const run $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ mtbf_t $ mttr_t
+      const run $ telemetry_t $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ mtbf_t $ mttr_t
       $ quick_t $ seed_t)
 
 let staleness_cmd =
-  let run degree traffic lambda quick seed =
+  let run () degree traffic lambda quick seed =
     let cfg = config_of ~quick ~seed in
     Format.printf "%a@." Dr_exp.Staleness_exp.pp
       (Dr_exp.Staleness_exp.run cfg ~avg_degree:degree ~traffic ~lambda ())
@@ -259,23 +316,23 @@ let staleness_cmd =
        ~doc:
          "Extension E4: distributed protocol with damped link-state \
           advertisements (setup failures vs advertisement traffic).")
-    Term.(const run $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
 
 let overhead_cmd =
-  let run degree traffic lambda quick seed =
+  let run () degree traffic lambda quick seed =
     let cfg = config_of ~quick ~seed in
     Format.printf "%a@." Dr_exp.Overhead.pp
       (Dr_exp.Overhead.measure cfg ~avg_degree:degree ~traffic ~lambda)
   in
   Cmd.v
     (Cmd.info "overhead" ~doc:"Routing-overhead comparison of the schemes.")
-    Term.(const run $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
 
 let recovery_cmd =
   let failures_t =
     Arg.(value & opt int 40 & info [ "failures" ] ~docv:"N" ~doc:"Failures to inject.")
   in
-  let run degree traffic lambda failures quick seed =
+  let run () degree traffic lambda failures quick seed =
     let cfg = config_of ~quick ~seed in
     Format.printf "%a@." Dr_exp.Recovery_exp.pp
       (Dr_exp.Recovery_exp.run cfg ~avg_degree:degree ~traffic ~lambda ~failures ())
@@ -284,7 +341,7 @@ let recovery_cmd =
     (Cmd.info "recovery"
        ~doc:"Extension E1: dynamic failure recovery, DRTP vs reactive.")
     Term.(
-      const run $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ failures_t
+      const run $ telemetry_t $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ failures_t
       $ quick_t $ seed_t)
 
 let topo_cmd =
@@ -300,7 +357,7 @@ let topo_cmd =
       & opt (some string) None
       & info [ "save" ] ~docv:"FILE" ~doc:"Also save the edge list.")
   in
-  let run degree dot save quick seed =
+  let run () degree dot save quick seed =
     let cfg = config_of ~quick ~seed in
     let g = Dr_exp.Config.make_graph cfg ~avg_degree:degree in
     (match save with
@@ -324,7 +381,7 @@ let topo_cmd =
   in
   Cmd.v
     (Cmd.info "topo" ~doc:"Describe the generated evaluation topology.")
-    Term.(const run $ degree_t $ dot_t $ save_t $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ degree_t $ dot_t $ save_t $ quick_t $ seed_t)
 
 let scenario_cmd =
   let out_t =
@@ -333,7 +390,7 @@ let scenario_cmd =
       & opt (some string) None
       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output scenario file.")
   in
-  let run traffic lambda out quick seed =
+  let run () traffic lambda out quick seed =
     let cfg = config_of ~quick ~seed in
     let s = Dr_exp.Config.make_scenario cfg traffic ~lambda in
     Dr_sim.Scenario.save s out;
@@ -345,7 +402,7 @@ let scenario_cmd =
   Cmd.v
     (Cmd.info "scenario"
        ~doc:"Generate and save a scenario file (the paper's Matlab step).")
-    Term.(const run $ traffic_t $ lambda_t ~default:0.5 $ out_t $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ traffic_t $ lambda_t ~default:0.5 $ out_t $ quick_t $ seed_t)
 
 let replay_cmd =
   let file_t =
@@ -374,7 +431,7 @@ let replay_cmd =
       & info [ "scheme" ] ~docv:"SCHEME"
           ~doc:"Routing scheme: d-lsr, p-lsr, spf, bf or none.")
   in
-  let run degree file scheme quick seed =
+  let run () degree file scheme quick seed =
     let cfg = config_of ~quick ~seed in
     match Dr_sim.Scenario.load file with
     | Error msg ->
@@ -399,7 +456,7 @@ let replay_cmd =
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Replay a saved scenario file under a chosen routing scheme.")
-    Term.(const run $ degree_t $ file_t $ scheme_t $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ degree_t $ file_t $ scheme_t $ quick_t $ seed_t)
 
 let default_info =
   Cmd.info "drtp_sim" ~version:"1.0.0"

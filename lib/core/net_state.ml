@@ -1,5 +1,11 @@
 module Graph = Dr_topo.Graph
 module Path = Dr_topo.Path
+module Tm = Dr_telemetry.Telemetry
+
+(* Telemetry: APLV register/unregister traffic (the LSR schemes' signalling
+   cost) and conflict-vector packings (D-LSR's advertisement payload). *)
+let c_aplv_updates = Tm.Counter.make "net_state.aplv.updates"
+let c_cv_builds = Tm.Counter.make "net_state.cv.builds"
 
 type spare_policy = Multiplexed | Dedicated
 
@@ -50,6 +56,7 @@ let aplv t l = t.aplv.(l)
 let aplv_updates t = t.aplv_updates
 
 let conflict_vector t l =
+  Tm.Counter.incr c_cv_builds;
   Conflict_vector.of_aplv t.aplv.(l) ~domains:(Graph.edge_count t.graph)
 
 let edge_lset_of_path p = Path.Link_set.elements (Path.edge_set p)
@@ -98,6 +105,7 @@ let register_backup t ~bw ~primary_edges ~backup_path =
     (fun l ->
       Aplv.register t.aplv.(l) ~edge_lset:primary_edges;
       t.aplv_updates <- t.aplv_updates + 1;
+      Tm.Counter.incr c_aplv_updates;
       List.iter
         (fun e ->
           let w = Option.value ~default:0 (Hashtbl.find_opt t.spare_weight.(l) e) in
@@ -113,6 +121,7 @@ let unregister_backup t ~bw ~primary_edges ~backup_path =
     (fun l ->
       Aplv.unregister t.aplv.(l) ~edge_lset:primary_edges;
       t.aplv_updates <- t.aplv_updates + 1;
+      Tm.Counter.incr c_aplv_updates;
       List.iter
         (fun e ->
           match Hashtbl.find_opt t.spare_weight.(l) e with

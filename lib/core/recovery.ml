@@ -1,5 +1,20 @@
 module Graph = Dr_topo.Graph
 module Path = Dr_topo.Path
+module Tm = Dr_telemetry.Telemetry
+
+(* Telemetry: recovery outcomes per victim connection and the latency
+   distributions the E1 extension reports.  Activation latencies live in
+   [0, ~0.1 s] with the default timing constants, hence the histogram
+   range. *)
+let c_switched = Tm.Counter.make "recovery.switched"
+let c_rerouted = Tm.Counter.make "recovery.rerouted"
+let c_lost = Tm.Counter.make "recovery.lost"
+let c_reprotected = Tm.Counter.make "recovery.reprotected"
+let c_backup_rerouted = Tm.Counter.make "recovery.backup.rerouted"
+let c_backup_unprotected = Tm.Counter.make "recovery.backup.unprotected"
+let c_reattempts = Tm.Counter.make "recovery.reestablish.attempts"
+let t_activation = Tm.Timer.make ~hist:(0.0, 0.1, 20) "recovery.activation_latency"
+let t_reroute = Tm.Timer.make "recovery.reroute_latency"
 
 type timing = {
   detection_delay : float;
@@ -137,10 +152,21 @@ let fail_edge_drtp state ~scheme ?(timing = default_timing) ?(reconfigure = true
   let outcomes =
     List.map
       (fun (id, latency) ->
-        if latency < 0.0 then (id, Lost { latency = -.latency })
-        else (id, Switched { latency; reprotected = Hashtbl.mem reprotected id }))
+        if latency < 0.0 then begin
+          Tm.Counter.incr c_lost;
+          (id, Lost { latency = -.latency })
+        end
+        else begin
+          Tm.Counter.incr c_switched;
+          Tm.Timer.record t_activation latency;
+          let reprotected = Hashtbl.mem reprotected id in
+          if reprotected then Tm.Counter.incr c_reprotected;
+          (id, Switched { latency; reprotected })
+        end)
       outcomes
   in
+  Tm.Counter.add c_backup_rerouted !rerouted;
+  Tm.Counter.add c_backup_unprotected !unprotected;
   {
     edge;
     outcomes;
@@ -196,6 +222,7 @@ let fail_edge_local_detour state ?(timing = default_timing) ~edge () =
         | None ->
             let latency = timing.detection_delay +. timing.route_computation in
             Net_state.drop state ~id:conn.id;
+            Tm.Counter.incr c_lost;
             (conn.id, Lost { latency })
         | Some d ->
             (* Splice the detour in place of the failed hop and drop any
@@ -219,10 +246,13 @@ let fail_edge_local_detour state ?(timing = default_timing) ~edge () =
                  timing.detection_delay +. timing.route_computation
                  +. (timing.link_delay *. float_of_int (Path.hops d))
                in
+               Tm.Counter.incr c_rerouted;
+               Tm.Timer.record t_reroute latency;
                (conn.id, Rerouted { latency; retries = 0 })
              with Invalid_argument _ ->
                let latency = timing.detection_delay +. timing.route_computation in
                Net_state.drop state ~id:conn.id;
+               Tm.Counter.incr c_lost;
                (conn.id, Lost { latency })))
       victims
   in
@@ -253,6 +283,7 @@ let fail_edge_reactive state ?(timing = default_timing) ~edge () =
       (fun (conn : Net_state.conn) ->
         let notify, src, dst, bw = Hashtbl.find notify_of conn.id in
         let rec attempt n =
+          Tm.Counter.incr c_reattempts;
           let spent =
             notify +. backoff_until n
             +. (timing.route_computation *. float_of_int (n + 1))
@@ -263,9 +294,14 @@ let fail_edge_reactive state ?(timing = default_timing) ~edge () =
                 spent +. (timing.link_delay *. float_of_int (Path.hops p))
               in
               ignore (Net_state.admit state ~id:conn.id ~bw ~primary:p ~backups:[]);
+              Tm.Counter.incr c_rerouted;
+              Tm.Timer.record t_reroute latency;
               (conn.id, Rerouted { latency; retries = n })
           | None ->
-              if n >= timing.max_retries then (conn.id, Lost { latency = spent })
+              if n >= timing.max_retries then begin
+                Tm.Counter.incr c_lost;
+                (conn.id, Lost { latency = spent })
+              end
               else attempt (n + 1)
         in
         attempt 0)

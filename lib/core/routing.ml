@@ -1,6 +1,20 @@
 module Graph = Dr_topo.Graph
 module Path = Dr_topo.Path
 module Shortest_path = Dr_topo.Shortest_path
+module Tm = Dr_telemetry.Telemetry
+
+(* Telemetry: route-computation timers (one per scheme) and the causes of
+   infeasibility, both per candidate link and per request. *)
+let t_find_primary = Tm.Timer.make "routing.find_primary"
+let t_find_backup = Tm.Timer.make "routing.find_backup"
+let t_route_plsr = Tm.Timer.make "routing.route.P-LSR"
+let t_route_dlsr = Tm.Timer.make "routing.route.D-LSR"
+let t_route_spf = Tm.Timer.make "routing.route.SPF"
+let c_link_dead = Tm.Counter.make "routing.link.rejected.dead"
+let c_link_no_bw = Tm.Counter.make "routing.link.rejected.bandwidth"
+let c_accepted = Tm.Counter.make "routing.accepted"
+let c_reject_no_primary = Tm.Counter.make "routing.reject.no_primary"
+let c_reject_no_backup = Tm.Counter.make "routing.reject.no_backup"
 
 type scheme = Plsr | Dlsr | Spf
 
@@ -20,11 +34,12 @@ let link_alive state l =
   not (Net_state.edge_failed state ~edge:(Graph.edge_of_link l))
 
 let find_primary state ~src ~dst ~bw =
-  let resources = Net_state.resources state in
-  let usable l =
-    link_alive state l && Resources.primary_feasible resources ~link:l ~bw
-  in
-  Shortest_path.min_hop_path (Net_state.graph state) ~usable ~src ~dst ()
+  Tm.Timer.time t_find_primary (fun () ->
+      let resources = Net_state.resources state in
+      let usable l =
+        link_alive state l && Resources.primary_feasible resources ~link:l ~bw
+      in
+      Shortest_path.min_hop_path (Net_state.graph state) ~usable ~src ~dst ())
 
 let backup_link_cost_general scheme state ~primary ~earlier_backups ~bw =
   let resources = Net_state.resources state in
@@ -49,9 +64,14 @@ let backup_link_cost_general scheme state ~primary ~earlier_backups ~bw =
       + if Path.Link_set.mem l earlier_links then 1 else 0
     in
     let required = bw * (1 + own_shares) in
-    if not (link_alive state l) then infinity
-    else if not (Resources.backup_feasible resources ~link:l ~bw:required) then
+    if not (link_alive state l) then begin
+      Tm.Counter.incr c_link_dead;
       infinity
+    end
+    else if not (Resources.backup_feasible resources ~link:l ~bw:required) then begin
+      Tm.Counter.incr c_link_no_bw;
+      infinity
+    end
     else
       let q =
         (* The paper's large constant Q: sharing a failure domain with the
@@ -79,23 +99,26 @@ let backup_link_cost scheme state ~primary ~bw =
   backup_link_cost_general scheme state ~primary ~earlier_backups:[] ~bw
 
 let find_backup_general ?max_hops scheme state ~primary ~earlier_backups ~bw =
-  let cost = backup_link_cost_general scheme state ~primary ~earlier_backups ~bw in
-  let graph = Net_state.graph state in
-  let src = Path.src primary and dst = Path.dst primary in
-  match max_hops with
-  | None -> (
-      match Shortest_path.dijkstra_path graph ~cost ~src ~dst with
-      | None -> None
-      | Some (_, p) -> Some p)
-  | Some h -> (
-      (* QoS-bounded backup (paper §2: a backup longer than the delay
-         budget allows is useless): cheapest conflict cost within the hop
-         budget. *)
-      match Dr_topo.Constrained_path.cheapest_within_hops graph ~cost ~src ~dst
-              ~max_hops:h
-      with
-      | None -> None
-      | Some (_, p) -> Some p)
+  Tm.Timer.time t_find_backup (fun () ->
+      let cost =
+        backup_link_cost_general scheme state ~primary ~earlier_backups ~bw
+      in
+      let graph = Net_state.graph state in
+      let src = Path.src primary and dst = Path.dst primary in
+      match max_hops with
+      | None -> (
+          match Shortest_path.dijkstra_path graph ~cost ~src ~dst with
+          | None -> None
+          | Some (_, p) -> Some p)
+      | Some h -> (
+          (* QoS-bounded backup (paper §2: a backup longer than the delay
+             budget allows is useless): cheapest conflict cost within the hop
+             budget. *)
+          match Dr_topo.Constrained_path.cheapest_within_hops graph ~cost ~src
+                  ~dst ~max_hops:h
+          with
+          | None -> None
+          | Some (_, p) -> Some p))
 
 let find_backup ?max_hops scheme state ~primary ~bw =
   find_backup_general ?max_hops scheme state ~primary ~earlier_backups:[] ~bw
@@ -137,17 +160,37 @@ type route_pair = { primary : Path.t; backups : Path.t list }
 type route_fn =
   Net_state.t -> src:int -> dst:int -> bw:int -> (route_pair, reject_reason) result
 
+let route_timer = function
+  | Plsr -> t_route_plsr
+  | Dlsr -> t_route_dlsr
+  | Spf -> t_route_spf
+
+let count_route_result = function
+  | Ok _ -> Tm.Counter.incr c_accepted
+  | Error No_primary -> Tm.Counter.incr c_reject_no_primary
+  | Error No_backup -> Tm.Counter.incr c_reject_no_backup
+
 let link_state_route_fn ?(backup_count = 1) ?backup_hop_slack scheme ~with_backup
     : route_fn =
  fun state ~src ~dst ~bw ->
-  match find_primary state ~src ~dst ~bw with
-  | None -> Error No_primary
-  | Some primary ->
-      if not with_backup then Ok { primary; backups = [] }
-      else (
-        let max_hops =
-          Option.map (fun slack -> Path.hops primary + slack) backup_hop_slack
-        in
-        match find_backups ?max_hops scheme state ~primary ~bw ~count:backup_count with
-        | [] -> Error No_backup
-        | backups -> Ok { primary; backups })
+  let result =
+    Tm.Timer.time (route_timer scheme) (fun () ->
+        match find_primary state ~src ~dst ~bw with
+        | None -> Error No_primary
+        | Some primary ->
+            if not with_backup then Ok { primary; backups = [] }
+            else (
+              let max_hops =
+                Option.map
+                  (fun slack -> Path.hops primary + slack)
+                  backup_hop_slack
+              in
+              match
+                find_backups ?max_hops scheme state ~primary ~bw
+                  ~count:backup_count
+              with
+              | [] -> Error No_backup
+              | backups -> Ok { primary; backups }))
+  in
+  count_route_result result;
+  result

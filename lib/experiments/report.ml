@@ -96,7 +96,12 @@ let to_csv (sweep : Sweep.t) =
     sweep.Sweep.cells;
   Buffer.contents buf
 
-type claim = { description : string; holds : bool; evidence : string }
+type claim = {
+  description : string;
+  expected : string;
+  measured : string;
+  holds : bool;
+}
 
 let cells_for (sweep : Sweep.t) ~label =
   List.filter (fun c -> c.Sweep.measurement.Runner.label = label) sweep.Sweep.cells
@@ -132,7 +137,9 @@ let mean_gap sweep ~traffic ~better ~worse =
 let check_claims ~e3 ~e4 =
   let all_sweeps = [ e3; e4 ] in
   let claims = ref [] in
-  let add description holds evidence = claims := { description; holds; evidence } :: !claims in
+  let add description ~expected holds measured =
+    claims := { description; expected; measured; holds } :: !claims
+  in
   (* 1. Fault-tolerance of 87% or higher (abstract). *)
   let min_ft =
     List.fold_left
@@ -142,7 +149,8 @@ let check_claims ~e3 ~e4 =
           acc sweep.Sweep.cells)
       1.0 all_sweeps
   in
-  add "fault-tolerance >= 0.87 across all schemes and loads" (min_ft >= 0.87)
+  add "fault-tolerance >= 0.87 across all schemes and loads"
+    ~expected:"min P_act-bk >= 0.87" (min_ft >= 0.87)
     (Printf.sprintf "min P_act-bk = %.4f" min_ft);
   (* 2. Capacity overhead below ~25% (the abstract's headline).  The
      overhead ratio transiently spikes at saturation onset — the scheme is
@@ -171,6 +179,7 @@ let check_claims ~e3 ~e4 =
   let plateau traffic = List.fold_left max 0.0 (overheads ~saturated:true traffic) in
   let ut = plateau Config.UT and nt = plateau Config.NT in
   add "network capacity overhead less than ~25% (saturated regime)"
+    ~expected:"saturated max overhead <= 26% for UT and NT"
     (ut <= 26.0 && nt <= 26.0)
     (Printf.sprintf
        "saturated max: UT = %.1f%%, NT = %.1f%% (onset peaks: %.1f%%, %.1f%%)" ut
@@ -186,8 +195,9 @@ let check_claims ~e3 ~e4 =
         sweep.Sweep.avg_degree d p b )
   in
   let ok3, ev3 = rank_ok e3 and ok4, ev4 = rank_ok e4 in
-  add "D-LSR >= P-LSR >= BF on mean fault-tolerance" (ok3 && ok4)
-    (ev3 ^ "; " ^ ev4);
+  add "D-LSR >= P-LSR >= BF on mean fault-tolerance"
+    ~expected:"mean ft ranking D-LSR >= P-LSR >= BF (0.002 tolerance), both degrees"
+    (ok3 && ok4) (ev3 ^ "; " ^ ev4);
   (* 4. LSR fault-tolerance degrades as load rises (compare lowest and
      highest lambda). *)
   let degrades sweep label =
@@ -202,6 +212,7 @@ let check_claims ~e3 ~e4 =
     | _ -> false
   in
   add "LSR fault-tolerance degrades with load (UT)"
+    ~expected:"ft at highest lambda <= ft at lowest lambda, per LSR scheme"
     (degrades e3 "D-LSR" && degrades e3 "P-LSR" && degrades e4 "D-LSR"
    && degrades e4 "P-LSR")
     "compared lowest vs highest lambda per scheme";
@@ -225,6 +236,7 @@ let check_claims ~e3 ~e4 =
     pairs <> [] && List.for_all (fun (f3, f4) -> f4 >= f3 -. 0.01) pairs
   in
   add "E=4 fault-tolerance >= E=3 at shared loads"
+    ~expected:"ft(E=4) >= ft(E=3) - 0.01 on every shared lambda, per scheme"
     (List.for_all
        (fun l -> shared_better l Config.UT)
        [ "D-LSR"; "P-LSR"; "BF" ])
@@ -236,7 +248,9 @@ let check_claims ~e3 ~e4 =
     (nt_gap >= ut_gap -. 0.002, Printf.sprintf "E=%.0f gap UT=%.4f NT=%.4f" sweep.Sweep.avg_degree ut_gap nt_gap)
   in
   let g3, ge3 = gap_claim e3 and g4, ge4 = gap_claim e4 in
-  add "D-LSR over P-LSR gap is more pronounced under NT" (g3 || g4) (ge3 ^ "; " ^ ge4);
+  add "D-LSR over P-LSR gap is more pronounced under NT"
+    ~expected:"NT mean ft gap >= UT gap - 0.002 for at least one degree"
+    (g3 || g4) (ge3 ^ "; " ^ ge4);
   List.rev !claims
 
 let print_claims ppf claims =
@@ -245,6 +259,33 @@ let print_claims ppf claims =
     (fun c ->
       Format.fprintf ppf "[%s] %s — %s@,"
         (if c.holds then "PASS" else "FAIL")
-        c.description c.evidence)
+        c.description c.measured)
     claims;
   Format.fprintf ppf "@]"
+
+let all_claims_hold claims = List.for_all (fun c -> c.holds) claims
+
+(* Plain ASCII claim texts make this escaper sufficient; kept anyway so a
+   future claim with a quote cannot corrupt the CI stream. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | ch when Char.code ch < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.contents buf
+
+let claims_to_json claims =
+  String.concat ""
+    (List.map
+       (fun c ->
+         Printf.sprintf
+           "{\"claim\":\"%s\",\"expected\":\"%s\",\"measured\":\"%s\",\"pass\":%b}\n"
+           (json_escape c.description) (json_escape c.expected)
+           (json_escape c.measured) c.holds)
+       claims)

@@ -18,7 +18,12 @@ val to_csv : Sweep.t -> string
     rejects, hops, spare share, deficit and flood messages) for plotting
     with external tools. *)
 
-type claim = { description : string; holds : bool; evidence : string }
+type claim = {
+  description : string;
+  expected : string;  (** what the paper states, as a checkable condition *)
+  measured : string;  (** what this run produced *)
+  holds : bool;
+}
 
 val check_claims : e3:Sweep.t -> e4:Sweep.t -> claim list
 (** Evaluate the paper's §6.2 statements against measured sweeps:
@@ -28,3 +33,10 @@ val check_claims : e3:Sweep.t -> e4:Sweep.t -> claim list
     dominates E = 3 per scheme; the D-LSR/P-LSR gap widens under NT. *)
 
 val print_claims : Format.formatter -> claim list -> unit
+
+val all_claims_hold : claim list -> bool
+
+val claims_to_json : claim list -> string
+(** One JSON record per line:
+    [{"claim":...,"expected":...,"measured":...,"pass":...}] — the
+    machine-readable contract behind [drtp_sim claims --json]. *)

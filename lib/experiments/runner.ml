@@ -7,6 +7,12 @@ module Failure_eval = Drtp.Failure_eval
 module Resources = Drtp.Resources
 module Bounded_flood = Dr_flood.Bounded_flood
 module Path = Dr_topo.Path
+module Tm = Dr_telemetry.Telemetry
+
+(* Telemetry: the per-snapshot fault-tolerance evaluation dominates a
+   measured run's wall time; each replay is one traced span. *)
+let t_snapshot = Tm.Timer.make "runner.snapshot"
+let c_snapshots = Tm.Counter.make "runner.snapshots"
 
 type scheme_spec =
   | Lsr of Routing.scheme
@@ -83,6 +89,9 @@ let load_state (cfg : Config.t) ~graph ~scenario ~scheme ~until =
   Manager.state manager
 
 let run (cfg : Config.t) ~graph ~scenario ~scheme =
+  Tm.Span.with_ ~name:"runner.run"
+    ~attrs:[ ("scheme", Tm.String (scheme_label scheme)) ]
+  @@ fun () ->
   let flood_stats = Bounded_flood.fresh_stats () in
   let spare_policy = spare_policy_of scheme in
   let base_route : Routing.route_fn = route_fn_of cfg scheme graph flood_stats in
@@ -112,6 +121,8 @@ let run (cfg : Config.t) ~graph ~scenario ~scheme =
   let total_capacity = float_of_int (Resources.total_capacity (Net_state.resources state)) in
   let take_snapshot () =
     incr snapshots;
+    Tm.Counter.incr c_snapshots;
+    Tm.Timer.time t_snapshot @@ fun () ->
     let r = Failure_eval.evaluate state in
     attempts := !attempts + r.Failure_eval.attempts;
     successes := !successes + r.Failure_eval.successes;

@@ -4,6 +4,16 @@ module Pqueue = Dr_pqueue.Pqueue
 module Net_state = Drtp.Net_state
 module Resources = Drtp.Resources
 module Routing = Drtp.Routing
+module Tm = Dr_telemetry.Telemetry
+
+(* Telemetry: per-flood message accounting (§4's CDP traffic is the
+   scheme's dominant cost) and the per-request discovery timer. *)
+let c_floods = Tm.Counter.make "flood.runs"
+let c_cdp_sent = Tm.Counter.make "flood.cdp.sent"
+let c_cdp_ttl = Tm.Counter.make "flood.cdp.ttl_expired"
+let c_cdp_dropped = Tm.Counter.make "flood.cdp.dropped"
+let c_truncated = Tm.Counter.make "flood.truncated"
+let t_discover = Tm.Timer.make "flood.discover"
 
 type config = {
   rho : float;
@@ -47,6 +57,8 @@ let discover cfg state ~hop_matrix ~src ~dst ~bw =
   if cfg.rho < 1.0 || cfg.alpha < 1.0 || cfg.beta0 < 0 || cfg.beta1 < 0 then
     invalid_arg "Bounded_flood.discover: bad config";
   if src = dst then invalid_arg "Bounded_flood.discover: src = dst";
+  Tm.Counter.incr c_floods;
+  Tm.Timer.time t_discover @@ fun () ->
   let graph = Net_state.graph state in
   let resources = Net_state.resources state in
   let d_min = hop_matrix.(src).(dst) in
@@ -79,7 +91,11 @@ let discover cfg state ~hop_matrix ~src ~dst ~bw =
         in
         Some { node = k; hc = m.hc + 1; primary_flag; visited = m.visited @ [ k ] }
       end
-      else None
+      else begin
+        if !Tm.on then
+          Tm.Counter.incr (if not distance_ok then c_cdp_ttl else c_cdp_dropped);
+        None
+      end
     in
     let enqueue (m : cdp) = Pqueue.add queue ~key:(float_of_int m.hc) m in
     let expand (m : cdp) =
@@ -90,6 +106,7 @@ let discover cfg state ~hop_matrix ~src ~dst ~bw =
             | None -> ()
             | Some m' ->
                 incr messages;
+                Tm.Counter.incr c_cdp_sent;
                 enqueue m'
           end
           else truncated := true)
@@ -129,6 +146,7 @@ let discover cfg state ~hop_matrix ~src ~dst ~bw =
           pump ()
     in
     pump ();
+    if !truncated then Tm.Counter.incr c_truncated;
     { candidates = List.rev !candidates; messages = !messages; truncated = !truncated }
   end
 

@@ -4,9 +4,16 @@ type 'a t = {
   mutable heap : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
+  dummy : 'a entry;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+(* The dummy entry fills every slot at or above [size] so vacated slots
+   never pin a popped payload in memory.  Its [value] is an unboxed
+   placeholder that is never read: every access goes through indices below
+   [size], which only ever hold real entries. *)
+let create () =
+  let dummy = { key = nan; seq = min_int; value = Obj.magic 0 } in
+  { heap = [||]; size = 0; next_seq = 0; dummy }
 
 let length q = q.size
 let is_empty q = q.size = 0
@@ -16,9 +23,7 @@ let entry_lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 let grow q =
   let cap = Array.length q.heap in
   let new_cap = if cap = 0 then 16 else 2 * cap in
-  (* The dummy entry is never read below q.size. *)
-  let dummy = q.heap.(0) in
-  let bigger = Array.make new_cap dummy in
+  let bigger = Array.make new_cap q.dummy in
   Array.blit q.heap 0 bigger 0 q.size;
   q.heap <- bigger
 
@@ -61,7 +66,6 @@ let sift_down q i0 =
 let add q ~key value =
   let e = { key; seq = q.next_seq; value } in
   q.next_seq <- q.next_seq + 1;
-  if q.size = 0 && Array.length q.heap = 0 then q.heap <- Array.make 16 e;
   if q.size = Array.length q.heap then grow q;
   q.heap.(q.size) <- e;
   q.size <- q.size + 1;
@@ -80,11 +84,18 @@ let pop q =
     q.size <- q.size - 1;
     if q.size > 0 then begin
       q.heap.(0) <- q.heap.(q.size);
+      (* Blank the vacated tail slot: leaving the moved entry there would
+         keep the event payload reachable for the queue's lifetime. *)
+      q.heap.(q.size) <- q.dummy;
       sift_down q 0
-    end;
+    end
+    else q.heap.(0) <- q.dummy;
     Some (top.key, top.value)
   end
 
+(* Dropping the backing array outright both releases every payload and
+   resets the capacity, so a queue that once ballooned does not hold a
+   large array forever. *)
 let clear q =
   q.size <- 0;
   q.heap <- [||]
@@ -92,9 +103,10 @@ let clear q =
 let to_sorted_list q =
   let copy =
     {
-      heap = Array.sub q.heap 0 (max q.size (min 1 (Array.length q.heap)));
+      heap = Array.sub q.heap 0 q.size;
       size = q.size;
       next_seq = q.next_seq;
+      dummy = q.dummy;
     }
   in
   let rec drain acc =

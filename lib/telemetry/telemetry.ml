@@ -1,0 +1,341 @@
+module Summary = Dr_stats.Summary
+module Histogram = Dr_stats.Histogram
+
+let on = ref false
+let enabled () = !on
+let set_enabled b = on := b
+
+let clock = ref Unix.gettimeofday
+let set_clock f = clock := f
+
+type attr = String of string | Int of int | Float of float | Bool of bool
+
+(* ---- registry ----------------------------------------------------------- *)
+
+type counter = { c_name : string; mutable c_value : int; mutable c_touched : bool }
+
+type gauge = {
+  g_name : string;
+  mutable g_value : float;
+  mutable g_max : float;
+  mutable g_touched : bool;
+}
+
+type timer = {
+  t_name : string;
+  mutable t_summary : Summary.t;
+  t_hist_spec : (float * float * int) option;
+  mutable t_hist : Histogram.t option;
+}
+
+(* One global registry per metric kind.  Metrics are created at
+   module-initialisation time in the instrumented libraries, so the tables
+   stay small; lookups only happen at creation and per span. *)
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let timers : (string, timer) Hashtbl.t = Hashtbl.create 32
+
+let fresh_hist = Option.map (fun (lo, hi, bins) -> Histogram.create ~lo ~hi ~bins)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ c ->
+      c.c_value <- 0;
+      c.c_touched <- false)
+    counters;
+  Hashtbl.iter
+    (fun _ g ->
+      g.g_value <- 0.0;
+      g.g_max <- neg_infinity;
+      g.g_touched <- false)
+    gauges;
+  Hashtbl.iter
+    (fun _ t ->
+      t.t_summary <- Summary.create ();
+      t.t_hist <- fresh_hist t.t_hist_spec)
+    timers
+
+module Counter = struct
+  type t = counter
+
+  let make name =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+        let c = { c_name = name; c_value = 0; c_touched = false } in
+        Hashtbl.add counters name c;
+        c
+
+  let incr c =
+    if !on then begin
+      c.c_value <- c.c_value + 1;
+      c.c_touched <- true
+    end
+
+  let add c n =
+    if !on then begin
+      c.c_value <- c.c_value + n;
+      c.c_touched <- true
+    end
+
+  let value c = c.c_value
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let make name =
+    match Hashtbl.find_opt gauges name with
+    | Some g -> g
+    | None ->
+        let g =
+          { g_name = name; g_value = 0.0; g_max = neg_infinity; g_touched = false }
+        in
+        Hashtbl.add gauges name g;
+        g
+
+  let set g v =
+    if !on then begin
+      g.g_value <- v;
+      if v > g.g_max then g.g_max <- v;
+      g.g_touched <- true
+    end
+
+  let value g = g.g_value
+  let max_seen g = g.g_max
+end
+
+module Timer = struct
+  type t = timer
+
+  let make ?hist name =
+    match Hashtbl.find_opt timers name with
+    | Some t -> t
+    | None ->
+        let t =
+          {
+            t_name = name;
+            t_summary = Summary.create ();
+            t_hist_spec = hist;
+            t_hist = fresh_hist hist;
+          }
+        in
+        Hashtbl.add timers name t;
+        t
+
+  let record t dur =
+    if !on then begin
+      Summary.add t.t_summary dur;
+      match t.t_hist with None -> () | Some h -> Histogram.add h dur
+    end
+
+  let time t f =
+    if not !on then f ()
+    else begin
+      let t0 = !clock () in
+      match f () with
+      | v ->
+          record t (!clock () -. t0);
+          v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          record t (!clock () -. t0);
+          Printexc.raise_with_backtrace e bt
+    end
+
+  let count t = Summary.count t.t_summary
+  let total_s t = Summary.mean t.t_summary *. float_of_int (Summary.count t.t_summary)
+  let summary t = t.t_summary
+end
+
+(* ---- sinks -------------------------------------------------------------- *)
+
+type record =
+  | Span_record of {
+      name : string;
+      ts : float;
+      dur : float;
+      attrs : (string * attr) list;
+    }
+  | Event_record of { name : string; ts : float; attrs : (string * attr) list }
+
+let json_escape buf s =
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | ch when Char.code ch < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  json_escape buf s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* JSON has no NaN/Infinity literals; clamp them to null. *)
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.17g" v else "null"
+
+let json_attr = function
+  | String s -> json_string s
+  | Int n -> string_of_int n
+  | Float v -> json_float v
+  | Bool b -> string_of_bool b
+
+let json_attrs attrs =
+  String.concat ","
+    (List.map (fun (k, v) -> json_string k ^ ":" ^ json_attr v) attrs)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+
+let touched_counters () =
+  List.filter (fun c -> c.c_touched) (sorted_bindings counters)
+  |> List.sort (fun a b -> compare a.c_name b.c_name)
+
+let touched_gauges () =
+  List.filter (fun g -> g.g_touched) (sorted_bindings gauges)
+  |> List.sort (fun a b -> compare a.g_name b.g_name)
+
+let touched_timers () =
+  List.filter (fun t -> Summary.count t.t_summary > 0) (sorted_bindings timers)
+  |> List.sort (fun a b -> compare a.t_name b.t_name)
+
+let dump_metrics_jsonl oc =
+  List.iter
+    (fun c ->
+      Printf.fprintf oc "{\"type\":\"counter\",\"name\":%s,\"value\":%d}\n"
+        (json_string c.c_name) c.c_value)
+    (touched_counters ());
+  List.iter
+    (fun g ->
+      Printf.fprintf oc "{\"type\":\"gauge\",\"name\":%s,\"value\":%s,\"max\":%s}\n"
+        (json_string g.g_name) (json_float g.g_value) (json_float g.g_max))
+    (touched_gauges ());
+  List.iter
+    (fun t ->
+      let s = t.t_summary in
+      Printf.fprintf oc
+        "{\"type\":\"timer\",\"name\":%s,\"count\":%d,\"total_s\":%s,\"mean_s\":%s,\"min_s\":%s,\"max_s\":%s}\n"
+        (json_string t.t_name) (Summary.count s)
+        (json_float (Summary.mean s *. float_of_int (Summary.count s)))
+        (json_float (Summary.mean s))
+        (json_float (Summary.min_value s))
+        (json_float (Summary.max_value s)))
+    (touched_timers ())
+
+module Sink = struct
+  type t = { emit : record -> unit; close_fn : unit -> unit }
+
+  let noop = { emit = (fun _ -> ()); close_fn = (fun () -> ()) }
+
+  let jsonl oc =
+    let emit = function
+      | Span_record { name; ts; dur; attrs } ->
+          Printf.fprintf oc
+            "{\"type\":\"span\",\"name\":%s,\"ts\":%s,\"dur_s\":%s,\"attrs\":{%s}}\n"
+            (json_string name) (json_float ts) (json_float dur) (json_attrs attrs)
+      | Event_record { name; ts; attrs } ->
+          Printf.fprintf oc "{\"type\":\"event\",\"name\":%s,\"ts\":%s,\"attrs\":{%s}}\n"
+            (json_string name) (json_float ts) (json_attrs attrs)
+    in
+    let close_fn () =
+      dump_metrics_jsonl oc;
+      close_out oc
+    in
+    { emit; close_fn }
+
+  let current = ref noop
+  let set s = current := s
+
+  let close () =
+    let s = !current in
+    current := noop;
+    s.close_fn ()
+end
+
+module Span = struct
+  let with_ ?(attrs = []) ~name f =
+    if not !on then f ()
+    else begin
+      let timer = Timer.make name in
+      let t0 = !clock () in
+      let finish () =
+        let dur = !clock () -. t0 in
+        Timer.record timer dur;
+        (!Sink.current).Sink.emit (Span_record { name; ts = t0; dur; attrs })
+      in
+      match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          finish ();
+          Printexc.raise_with_backtrace e bt
+    end
+
+  let event ?(attrs = []) name =
+    if !on then
+      (!Sink.current).Sink.emit (Event_record { name; ts = !clock (); attrs })
+end
+
+(* ---- end-of-run summary ------------------------------------------------- *)
+
+let pp_time ppf seconds =
+  if Float.is_nan seconds then Format.fprintf ppf "-"
+  else if seconds < 1e-6 then Format.fprintf ppf "%.0fns" (seconds *. 1e9)
+  else if seconds < 1e-3 then Format.fprintf ppf "%.2fus" (seconds *. 1e6)
+  else if seconds < 1.0 then Format.fprintf ppf "%.2fms" (seconds *. 1e3)
+  else Format.fprintf ppf "%.3fs" seconds
+
+let pp_summary ppf () =
+  let cs = touched_counters () and gs = touched_gauges () and ts = touched_timers () in
+  Format.fprintf ppf "@[<v># Telemetry summary@,";
+  if cs = [] && gs = [] && ts = [] then
+    Format.fprintf ppf "(no metrics recorded)@,"
+  else begin
+    if cs <> [] then begin
+      Format.fprintf ppf "@,%-44s %12s@," "counter" "value";
+      List.iter
+        (fun c -> Format.fprintf ppf "%-44s %12d@," c.c_name c.c_value)
+        cs
+    end;
+    if gs <> [] then begin
+      Format.fprintf ppf "@,%-44s %12s %12s@," "gauge" "last" "max";
+      List.iter
+        (fun g -> Format.fprintf ppf "%-44s %12.1f %12.1f@," g.g_name g.g_value g.g_max)
+        gs
+    end;
+    if ts <> [] then begin
+      Format.fprintf ppf "@,%-36s %9s %9s %9s %9s %9s@," "timer" "count" "total"
+        "mean" "min" "max";
+      List.iter
+        (fun t ->
+          let s = t.t_summary in
+          let count = Summary.count s in
+          let tm v = Format.asprintf "%a" pp_time v in
+          Format.fprintf ppf "%-36s %9d %9s %9s %9s %9s@," t.t_name count
+            (tm (Summary.mean s *. float_of_int count))
+            (tm (Summary.mean s))
+            (tm (Summary.min_value s))
+            (tm (Summary.max_value s)))
+        ts;
+      List.iter
+        (fun t ->
+          match t.t_hist with
+          | Some h when Histogram.count h > 0 ->
+              Format.fprintf ppf "@,%s (seconds):@,%a@," t.t_name Histogram.pp h
+          | Some _ | None -> ())
+        ts
+    end
+  end;
+  Format.fprintf ppf "@]"

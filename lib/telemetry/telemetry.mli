@@ -1,0 +1,123 @@
+(** Telemetry: named metrics, tracing spans and pluggable sinks.
+
+    The simulator's observability layer.  Instrumented modules create
+    metrics once at module-initialisation time and update them from their
+    hot paths; all updates are guarded by a single global switch so that a
+    disabled metric costs one load and one conditional branch — cheap
+    enough to leave the instrumentation in the hot loops permanently (the
+    bench harness enforces a <= 2% overhead budget for the disabled case).
+
+    Three metric kinds:
+    - {b counters} — monotone event counts (CDPs sent, routes rejected);
+    - {b gauges} — last-written level plus the high-water mark (event-queue
+      depth);
+    - {b timers} — duration accumulators backed by {!Dr_stats.Summary}
+      (and optionally a {!Dr_stats.Histogram}).
+
+    Spans ({!Span.with_}) time a scope, feed the timer of the same name
+    and emit one record to the current {!Sink}.  Timestamps come from the
+    installed clock ({!set_clock}): [Unix.gettimeofday] by default, or the
+    simulation clock when a driver installs it. *)
+
+val on : bool ref
+(** The master switch, exposed as a ref so call sites can guard compound
+    instrumentation with a single [if !Telemetry.on then ...].  Treat as
+    read-only; flip it with {!set_enabled}. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+val set_clock : (unit -> float) -> unit
+(** Install the timestamp source used by spans and {!Timer.time}.  The
+    default is [Unix.gettimeofday]; a discrete-event driver may install
+    its simulated clock instead. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations survive; the sink and the
+    enabled flag are untouched).  Meant for tests and multi-run drivers. *)
+
+(** Attribute values attached to spans and events. *)
+type attr = String of string | Int of int | Float of float | Bool of bool
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Create (or look up — names are unique) the counter called [name]. *)
+
+  val incr : t -> unit
+  (** No-op while telemetry is disabled. *)
+
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  val set : t -> float -> unit
+  val value : t -> float
+
+  val max_seen : t -> float
+  (** High-water mark over all [set] calls since the last {!reset};
+      [neg_infinity] when never set. *)
+end
+
+module Timer : sig
+  type t
+
+  val make : ?hist:float * float * int -> string -> t
+  (** [make ?hist name] creates the timer called [name].  With
+      [~hist:(lo, hi, bins)] every recorded duration also feeds a
+      {!Dr_stats.Histogram} over [lo, hi) seconds, rendered by
+      {!pp_summary}. *)
+
+  val record : t -> float -> unit
+  (** Record one duration, in seconds.  No-op while disabled. *)
+
+  val time : t -> (unit -> 'a) -> 'a
+  (** Run the thunk and record its wall-clock duration (also on
+      exception).  While disabled this is a tail call to the thunk. *)
+
+  val count : t -> int
+  val total_s : t -> float
+  val summary : t -> Dr_stats.Summary.t
+end
+
+module Span : sig
+  val with_ : ?attrs:(string * attr) list -> name:string -> (unit -> 'a) -> 'a
+  (** Time the scope: feeds the {!Timer} registered under [name] and emits
+      one span record (name, start timestamp, duration, attributes) to the
+      current sink.  Exceptions propagate after the span is recorded.
+      While disabled this is a tail call to the thunk. *)
+
+  val event : ?attrs:(string * attr) list -> string -> unit
+  (** Emit an instantaneous event record to the sink (no timer). *)
+end
+
+module Sink : sig
+  type t
+  (** Where span/event records go.  Exactly one sink is current at a time;
+      the default {!noop} drops everything. *)
+
+  val noop : t
+
+  val jsonl : out_channel -> t
+  (** One JSON object per line.  Spans:
+      [{"type":"span","name":...,"ts":...,"dur_s":...,"attrs":{...}}];
+      events are the same without ["dur_s"].  {!close} appends a snapshot
+      of every registered metric
+      ([{"type":"counter"|"gauge"|"timer",...}]) and closes the channel. *)
+
+  val set : t -> unit
+  val close : unit -> unit
+  (** Flush the current sink (for {!jsonl}: dump the metric snapshot and
+      close the channel) and restore {!noop}. *)
+end
+
+val pp_summary : Format.formatter -> unit -> unit
+(** The end-of-run summary: one table per metric kind, sorted by name,
+    plus the histograms of timers that carry one.  Metrics that were never
+    touched are omitted. *)

@@ -34,6 +34,7 @@ let () =
          Test_protocol.suite;
          Test_constrained_path.suite;
          Test_experiments.suite;
+         Test_telemetry.suite;
          Test_properties.suite;
          Test_properties2.suite;
        ])

@@ -66,6 +66,59 @@ let test_clear () =
   Pqueue.add q ~key:1.0 42;
   Alcotest.(check bool) "usable after clear" true (Pqueue.pop q = Some (1.0, 42))
 
+(* Regression for the pop space leak: a popped (or moved-to-front) entry
+   used to stay reachable from the vacated heap slot, pinning its payload
+   for the queue's lifetime.  Track payloads through weak pointers and
+   check the collector can reclaim them while the queue itself is live. *)
+let test_pop_releases_payloads () =
+  let q = Pqueue.create () in
+  let n = 64 in
+  let weak = Weak.create n in
+  for i = 0 to n - 1 do
+    let payload = ref i in
+    Weak.set weak i (Some payload);
+    Pqueue.add q ~key:(float_of_int i) payload
+  done;
+  for _ = 1 to n do
+    match Pqueue.pop q with
+    | Some (_, p) -> ignore (Sys.opaque_identity !p)
+    | None -> Alcotest.fail "queue drained early"
+  done;
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    if Weak.check weak i then incr live
+  done;
+  Alcotest.(check int) "popped payloads unreachable from heap array" 0 !live;
+  Alcotest.(check int) "queue still usable" 0
+    (Pqueue.length (Sys.opaque_identity q))
+
+let test_partial_pop_releases_only_popped () =
+  let q = Pqueue.create () in
+  let n = 64 in
+  let weak = Weak.create n in
+  for i = 0 to n - 1 do
+    let payload = ref i in
+    Weak.set weak i (Some payload);
+    Pqueue.add q ~key:(float_of_int i) payload
+  done;
+  (* Keys equal the payload index, so the first [n/2] pops release exactly
+     weak slots [0 .. n/2 - 1]. *)
+  for _ = 1 to n / 2 do
+    ignore (Pqueue.pop q)
+  done;
+  Gc.full_major ();
+  let popped_live = ref 0 and kept_live = ref 0 in
+  for i = 0 to (n / 2) - 1 do
+    if Weak.check weak i then incr popped_live
+  done;
+  for i = n / 2 to n - 1 do
+    if Weak.check weak i then incr kept_live
+  done;
+  Alcotest.(check int) "popped payloads released" 0 !popped_live;
+  Alcotest.(check int) "queued payloads retained" (n / 2) !kept_live;
+  ignore (Sys.opaque_identity q)
+
 let test_to_sorted_list_preserves () =
   let q = Pqueue.create () in
   List.iter (fun k -> Pqueue.add q ~key:(float_of_int k) k) [ 3; 1; 2 ];
@@ -83,6 +136,10 @@ let suite =
         Alcotest.test_case "interleaved add/pop" `Quick test_interleaved;
         Alcotest.test_case "large random drain" `Quick test_large_random;
         Alcotest.test_case "clear" `Quick test_clear;
+        Alcotest.test_case "pop releases payloads" `Quick
+          test_pop_releases_payloads;
+        Alcotest.test_case "partial pop releases only popped" `Quick
+          test_partial_pop_releases_only_popped;
         Alcotest.test_case "to_sorted_list preserves heap" `Quick test_to_sorted_list_preserves;
       ] );
   ]
