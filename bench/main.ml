@@ -382,6 +382,42 @@ let overhead_check () =
     (if pct 1 <= budget then "PASS" else "FAIL")
     (pct 1) budget
 
+(* --- parallel-sweep scaling ------------------------------------------------ *)
+
+(* Wall-clock of the same sweep grid at 1, 2 and 4 worker domains.
+   Informational, not a gate: the speedup depends on the machine's core
+   count (a single-core runner legitimately reports ~1.0x), so CI archives
+   this table instead of asserting on it.  Determinism across job counts
+   is asserted separately, by the test suite and the CI diff step. *)
+let scaling_check () =
+  let cfg =
+    { cfg with Config.warmup = 2400.0; horizon = 4800.0; sample_every = 300.0 }
+  in
+  let lambdas = if quick then [ 0.3 ] else [ 0.3; 0.5 ] in
+  let time_at jobs =
+    Dr_parallel.Pool.with_pool ~jobs (fun pool ->
+        let t0 = Unix.gettimeofday () in
+        let sweep =
+          Dr_exp.Sweep.run ~pool cfg ~avg_degree:3.0 ~traffics:[ Config.UT ]
+            ~lambdas ()
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        (dt, List.length sweep.Dr_exp.Sweep.cells))
+  in
+  Printf.printf
+    "# Parallel sweep scaling (E=3 UT, %d load points; recommended domains: %d)\n"
+    (List.length lambdas)
+    (Dr_parallel.Pool.default_jobs ());
+  let t1, cells = time_at 1 in
+  Printf.printf "jobs=1   %6.2f s   (%d cells, reference)\n" t1 cells;
+  List.iter
+    (fun jobs ->
+      let t, _ = time_at jobs in
+      Printf.printf "jobs=%d   %6.2f s   (speedup %.2fx)\n" jobs t
+        (if t > 0.0 then t1 /. t else 0.0))
+    [ 2; 4 ];
+  print_newline ()
+
 (* --- full table/figure regeneration --------------------------------------- *)
 
 let progress line =
@@ -440,6 +476,7 @@ let regenerate () =
 let () =
   run_benchmarks ();
   overhead_check ();
+  scaling_check ();
   print_endline "# Reproduction of every table and figure";
   print_newline ();
   regenerate ()

@@ -78,6 +78,24 @@ let quick_t =
   in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+let jobs_t =
+  let doc =
+    "Worker domains for independent simulation runs (default: the runtime's \
+     recommended domain count).  Output is identical for any $(docv); \
+     single-run commands accept the flag but run on one domain."
+  in
+  Arg.(
+    value
+    & opt int (Dr_parallel.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let with_pool jobs f =
+  if jobs < 1 then begin
+    Printf.eprintf "drtp_sim: --jobs must be >= 1 (got %d)\n" jobs;
+    exit 2
+  end;
+  Dr_parallel.Pool.with_pool ~jobs f
+
 let seed_t =
   let doc = "Base seed for topology and workload generation." in
   Arg.(value & opt int Dr_exp.Config.default.Dr_exp.Config.topology_seed
@@ -99,12 +117,12 @@ let lambdas_for ~quick degree =
 (* ---- subcommands ------------------------------------------------------- *)
 
 let table1_cmd =
-  let run () quick seed =
+  let run () _jobs quick seed =
     Format.printf "%a@." Dr_exp.Config.pp_table1 (config_of ~quick ~seed)
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Print the simulation parameters (paper Table 1).")
-    Term.(const run $ telemetry_t $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ jobs_t $ quick_t $ seed_t)
 
 let csv_t =
   Arg.(
@@ -112,11 +130,12 @@ let csv_t =
     & opt (some string) None
     & info [ "csv" ] ~docv:"FILE" ~doc:"Also dump the sweep as CSV to this file.")
 
-let sweep_and_print ~print degree quick seed csv =
+let sweep_and_print ~print jobs degree quick seed csv =
   let cfg = config_of ~quick ~seed in
   let sweep =
-    Dr_exp.Sweep.run ~progress:stderr_progress cfg ~avg_degree:degree
-      ~lambdas:(lambdas_for ~quick degree) ()
+    with_pool jobs (fun pool ->
+        Dr_exp.Sweep.run ~pool ~progress:stderr_progress cfg ~avg_degree:degree
+          ~lambdas:(lambdas_for ~quick degree) ())
   in
   Format.printf "%a@." print sweep;
   match csv with
@@ -129,29 +148,29 @@ let sweep_and_print ~print degree quick seed csv =
       Format.eprintf "wrote %s@." file
 
 let fig4_cmd =
-  let run () degree quick seed csv =
-    sweep_and_print ~print:Dr_exp.Report.print_figure4 degree quick seed csv
+  let run () jobs degree quick seed csv =
+    sweep_and_print ~print:Dr_exp.Report.print_figure4 jobs degree quick seed csv
   in
   Cmd.v
     (Cmd.info "fig4"
        ~doc:"Reproduce Figure 4: fault-tolerance P_act-bk vs lambda.")
-    Term.(const run $ telemetry_t $ degree_t $ quick_t $ seed_t $ csv_t)
+    Term.(const run $ telemetry_t $ jobs_t $ degree_t $ quick_t $ seed_t $ csv_t)
 
 let fig5_cmd =
-  let run () degree quick seed csv =
-    sweep_and_print ~print:Dr_exp.Report.print_figure5 degree quick seed csv
+  let run () jobs degree quick seed csv =
+    sweep_and_print ~print:Dr_exp.Report.print_figure5 jobs degree quick seed csv
   in
   Cmd.v
     (Cmd.info "fig5" ~doc:"Reproduce Figure 5: capacity overhead vs lambda.")
-    Term.(const run $ telemetry_t $ degree_t $ quick_t $ seed_t $ csv_t)
+    Term.(const run $ telemetry_t $ jobs_t $ degree_t $ quick_t $ seed_t $ csv_t)
 
 let details_cmd =
-  let run () degree quick seed csv =
-    sweep_and_print ~print:Dr_exp.Report.print_details degree quick seed csv
+  let run () jobs degree quick seed csv =
+    sweep_and_print ~print:Dr_exp.Report.print_details jobs degree quick seed csv
   in
   Cmd.v
     (Cmd.info "details" ~doc:"Per-cell diagnostics for one sweep.")
-    Term.(const run $ telemetry_t $ degree_t $ quick_t $ seed_t $ csv_t)
+    Term.(const run $ telemetry_t $ jobs_t $ degree_t $ quick_t $ seed_t $ csv_t)
 
 let claims_cmd =
   let json_t =
@@ -161,23 +180,29 @@ let claims_cmd =
     in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run () json quick seed =
+  let run () jobs json quick seed =
     let cfg = config_of ~quick ~seed in
-    let sweep degree =
-      Dr_exp.Sweep.run ~progress:stderr_progress cfg ~avg_degree:degree
-        ~lambdas:(lambdas_for ~quick degree) ()
+    let claims =
+      with_pool jobs (fun pool ->
+          let sweep degree =
+            Dr_exp.Sweep.run ~pool ~progress:stderr_progress cfg
+              ~avg_degree:degree
+              ~lambdas:(lambdas_for ~quick degree) ()
+          in
+          let e3 = sweep 3.0 in
+          let e4 = sweep 4.0 in
+          let claims = Dr_exp.Report.check_claims ~e3 ~e4 in
+          if json then print_string (Dr_exp.Report.claims_to_json claims)
+          else begin
+            Format.printf "%a@.@.%a@.@.%a@.@.%a@.@." Dr_exp.Report.print_figure4
+              e3 Dr_exp.Report.print_figure4 e4 Dr_exp.Report.print_figure5 e3
+              Dr_exp.Report.print_figure5 e4;
+            Format.printf "%a@." Dr_exp.Report.print_claims claims
+          end;
+          claims)
     in
-    let e3 = sweep 3.0 in
-    let e4 = sweep 4.0 in
-    let claims = Dr_exp.Report.check_claims ~e3 ~e4 in
-    if json then print_string (Dr_exp.Report.claims_to_json claims)
-    else begin
-      Format.printf "%a@.@.%a@.@.%a@.@.%a@.@." Dr_exp.Report.print_figure4 e3
-        Dr_exp.Report.print_figure4 e4 Dr_exp.Report.print_figure5 e3
-        Dr_exp.Report.print_figure5 e4;
-      Format.printf "%a@." Dr_exp.Report.print_claims claims
-    end;
-    (* Nonzero exit on any failed claim, so CI can gate on this command. *)
+    (* Nonzero exit on any failed claim, so CI can gate on this command.
+       Outside [with_pool]: the workers are already joined. *)
     if not (Dr_exp.Report.all_claims_hold claims) then exit 1
   in
   Cmd.v
@@ -185,53 +210,60 @@ let claims_cmd =
        ~doc:
          "Run both sweeps and check the paper's summary claims (§6.2); \
           exits 1 if any claim fails.")
-    Term.(const run $ telemetry_t $ json_t $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ jobs_t $ json_t $ quick_t $ seed_t)
 
 let ablate_mux_cmd =
-  let run () degree traffic lambda quick seed =
+  let run () jobs degree traffic lambda quick seed =
     let cfg = config_of ~quick ~seed in
     Format.printf "%a@." Dr_exp.Ablation.pp_mux
-      (Dr_exp.Ablation.no_multiplexing cfg ~avg_degree:degree ~traffic ~lambda)
+      (with_pool jobs (fun pool ->
+           Dr_exp.Ablation.no_multiplexing ~pool cfg ~avg_degree:degree ~traffic
+             ~lambda))
   in
   Cmd.v
     (Cmd.info "ablate-mux"
        ~doc:"Ablation A1: multiplexed vs dedicated spare reservations.")
-    Term.(const run $ telemetry_t $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ jobs_t $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
 
 let ablate_flood_cmd =
-  let run () degree traffic lambda quick seed =
+  let run () jobs degree traffic lambda quick seed =
     let cfg = config_of ~quick ~seed in
     Format.printf "%a@." Dr_exp.Ablation.pp_flood
-      (Dr_exp.Ablation.flood_scope cfg ~avg_degree:degree ~traffic ~lambda ())
+      (with_pool jobs (fun pool ->
+           Dr_exp.Ablation.flood_scope ~pool cfg ~avg_degree:degree ~traffic
+             ~lambda ()))
   in
   Cmd.v
     (Cmd.info "ablate-flood"
        ~doc:"Ablation A2: bounded-flooding scope parameters.")
-    Term.(const run $ telemetry_t $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ jobs_t $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
 
 let ablate_spf_cmd =
-  let run () traffic lambda quick seed =
+  let run () jobs traffic lambda quick seed =
     let cfg = config_of ~quick ~seed in
     Format.printf "%a@." Dr_exp.Ablation.pp_blind
-      (Dr_exp.Ablation.conflict_blind cfg ~traffic ~lambda)
+      (with_pool jobs (fun pool ->
+           Dr_exp.Ablation.conflict_blind ~pool cfg ~traffic ~lambda))
   in
   Cmd.v
     (Cmd.info "ablate-spf"
        ~doc:"Ablation A3: conflict-aware vs conflict-blind backup routing.")
-    Term.(const run $ telemetry_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ jobs_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
 
 let ablate_backups_cmd =
-  let run () degree traffic lambda quick seed =
+  let run () jobs degree traffic lambda quick seed =
     let cfg = config_of ~quick ~seed in
     Format.printf "%a@." Dr_exp.Ablation.pp_backup_count
-      (Dr_exp.Ablation.backup_count cfg ~avg_degree:degree ~traffic ~lambda ())
+      (with_pool jobs (fun pool ->
+           Dr_exp.Ablation.backup_count ~pool cfg ~avg_degree:degree ~traffic
+             ~lambda ()))
   in
   Cmd.v
     (Cmd.info "ablate-backups"
        ~doc:
          "Extension E2: zero, one or two backups per DR-connection (edge and \
           node fault-tolerance vs capacity).")
-    Term.(const run $ telemetry_t $ degree_t $ traffic_t $ lambda_t ~default:0.4 $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ jobs_t $ degree_t $ traffic_t $ lambda_t ~default:0.4 $ quick_t $ seed_t)
 
 let replicate_cmd =
   let seeds_t =
@@ -239,12 +271,14 @@ let replicate_cmd =
       value & opt int 3
       & info [ "seeds" ] ~docv:"N" ~doc:"Number of independent replications.")
   in
-  let run () degree seeds quick seed =
+  let run () jobs degree seeds quick seed =
     let cfg = config_of ~quick ~seed in
     let t =
-      Dr_exp.Replicate.run ~progress:stderr_progress cfg ~avg_degree:degree
-        ~seeds:(List.init seeds (fun i -> i))
-        ~lambdas:(lambdas_for ~quick degree) ()
+      with_pool jobs (fun pool ->
+          Dr_exp.Replicate.run ~pool ~progress:stderr_progress cfg
+            ~avg_degree:degree
+            ~seeds:(List.init seeds (fun i -> i))
+            ~lambdas:(lambdas_for ~quick degree) ())
     in
     Format.printf "%a@.@.%a@." Dr_exp.Replicate.print_figure4 t
       Dr_exp.Replicate.print_figure5 t
@@ -253,33 +287,37 @@ let replicate_cmd =
     (Cmd.info "replicate"
        ~doc:
          "Figures 4/5 with multi-seed replication and confidence intervals.")
-    Term.(const run $ telemetry_t $ degree_t $ seeds_t $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ jobs_t $ degree_t $ seeds_t $ quick_t $ seed_t)
 
 let ablate_qos_cmd =
-  let run () degree traffic lambda quick seed =
+  let run () jobs degree traffic lambda quick seed =
     let cfg = config_of ~quick ~seed in
     Format.printf "%a@." Dr_exp.Ablation.pp_qos
-      (Dr_exp.Ablation.qos_bound cfg ~avg_degree:degree ~traffic ~lambda ())
+      (with_pool jobs (fun pool ->
+           Dr_exp.Ablation.qos_bound ~pool cfg ~avg_degree:degree ~traffic
+             ~lambda ()))
   in
   Cmd.v
     (Cmd.info "ablate-qos"
        ~doc:
          "Extension E5: hop (delay) budget on backup routes — tight QoS \
           forfeits protection.")
-    Term.(const run $ telemetry_t $ degree_t $ traffic_t $ lambda_t ~default:0.4 $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ jobs_t $ degree_t $ traffic_t $ lambda_t ~default:0.4 $ quick_t $ seed_t)
 
 let ablate_classes_cmd =
-  let run () degree traffic lambda quick seed =
+  let run () jobs degree traffic lambda quick seed =
     let cfg = config_of ~quick ~seed in
     Format.printf "%a@." Dr_exp.Ablation.pp_classes
-      (Dr_exp.Ablation.traffic_classes cfg ~avg_degree:degree ~traffic ~lambda ())
+      (with_pool jobs (fun pool ->
+           Dr_exp.Ablation.traffic_classes ~pool cfg ~avg_degree:degree ~traffic
+             ~lambda ()))
   in
   Cmd.v
     (Cmd.info "ablate-classes"
        ~doc:
          "Heterogeneous bandwidth classes (audio/video mixes) through the \
           weighted multiplexing rule.")
-    Term.(const run $ telemetry_t $ degree_t $ traffic_t $ lambda_t ~default:0.3 $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ jobs_t $ degree_t $ traffic_t $ lambda_t ~default:0.3 $ quick_t $ seed_t)
 
 let availability_cmd =
   let mtbf_t =
@@ -290,7 +328,7 @@ let availability_cmd =
     Arg.(value & opt float 120.0
          & info [ "mttr" ] ~docv:"S" ~doc:"Mean time to repair (seconds).")
   in
-  let run () degree traffic lambda mtbf mttr quick seed =
+  let run () _jobs degree traffic lambda mtbf mttr quick seed =
     let cfg = config_of ~quick ~seed in
     Format.printf "%a@." Dr_exp.Availability_exp.pp
       (Dr_exp.Availability_exp.run cfg ~avg_degree:degree ~traffic ~lambda ~mtbf
@@ -302,11 +340,11 @@ let availability_cmd =
          "Extension E6: service availability under a continuous \
           failure/repair process, DRTP vs reactive.")
     Term.(
-      const run $ telemetry_t $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ mtbf_t $ mttr_t
+      const run $ telemetry_t $ jobs_t $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ mtbf_t $ mttr_t
       $ quick_t $ seed_t)
 
 let staleness_cmd =
-  let run () degree traffic lambda quick seed =
+  let run () _jobs degree traffic lambda quick seed =
     let cfg = config_of ~quick ~seed in
     Format.printf "%a@." Dr_exp.Staleness_exp.pp
       (Dr_exp.Staleness_exp.run cfg ~avg_degree:degree ~traffic ~lambda ())
@@ -316,23 +354,23 @@ let staleness_cmd =
        ~doc:
          "Extension E4: distributed protocol with damped link-state \
           advertisements (setup failures vs advertisement traffic).")
-    Term.(const run $ telemetry_t $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ jobs_t $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
 
 let overhead_cmd =
-  let run () degree traffic lambda quick seed =
+  let run () _jobs degree traffic lambda quick seed =
     let cfg = config_of ~quick ~seed in
     Format.printf "%a@." Dr_exp.Overhead.pp
       (Dr_exp.Overhead.measure cfg ~avg_degree:degree ~traffic ~lambda)
   in
   Cmd.v
     (Cmd.info "overhead" ~doc:"Routing-overhead comparison of the schemes.")
-    Term.(const run $ telemetry_t $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ jobs_t $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ quick_t $ seed_t)
 
 let recovery_cmd =
   let failures_t =
     Arg.(value & opt int 40 & info [ "failures" ] ~docv:"N" ~doc:"Failures to inject.")
   in
-  let run () degree traffic lambda failures quick seed =
+  let run () _jobs degree traffic lambda failures quick seed =
     let cfg = config_of ~quick ~seed in
     Format.printf "%a@." Dr_exp.Recovery_exp.pp
       (Dr_exp.Recovery_exp.run cfg ~avg_degree:degree ~traffic ~lambda ~failures ())
@@ -341,7 +379,7 @@ let recovery_cmd =
     (Cmd.info "recovery"
        ~doc:"Extension E1: dynamic failure recovery, DRTP vs reactive.")
     Term.(
-      const run $ telemetry_t $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ failures_t
+      const run $ telemetry_t $ jobs_t $ degree_t $ traffic_t $ lambda_t ~default:0.5 $ failures_t
       $ quick_t $ seed_t)
 
 let topo_cmd =
@@ -357,7 +395,7 @@ let topo_cmd =
       & opt (some string) None
       & info [ "save" ] ~docv:"FILE" ~doc:"Also save the edge list.")
   in
-  let run () degree dot save quick seed =
+  let run () _jobs degree dot save quick seed =
     let cfg = config_of ~quick ~seed in
     let g = Dr_exp.Config.make_graph cfg ~avg_degree:degree in
     (match save with
@@ -381,7 +419,7 @@ let topo_cmd =
   in
   Cmd.v
     (Cmd.info "topo" ~doc:"Describe the generated evaluation topology.")
-    Term.(const run $ telemetry_t $ degree_t $ dot_t $ save_t $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ jobs_t $ degree_t $ dot_t $ save_t $ quick_t $ seed_t)
 
 let scenario_cmd =
   let out_t =
@@ -390,7 +428,7 @@ let scenario_cmd =
       & opt (some string) None
       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output scenario file.")
   in
-  let run () traffic lambda out quick seed =
+  let run () _jobs traffic lambda out quick seed =
     let cfg = config_of ~quick ~seed in
     let s = Dr_exp.Config.make_scenario cfg traffic ~lambda in
     Dr_sim.Scenario.save s out;
@@ -402,7 +440,7 @@ let scenario_cmd =
   Cmd.v
     (Cmd.info "scenario"
        ~doc:"Generate and save a scenario file (the paper's Matlab step).")
-    Term.(const run $ telemetry_t $ traffic_t $ lambda_t ~default:0.5 $ out_t $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ jobs_t $ traffic_t $ lambda_t ~default:0.5 $ out_t $ quick_t $ seed_t)
 
 let replay_cmd =
   let file_t =
@@ -431,7 +469,7 @@ let replay_cmd =
       & info [ "scheme" ] ~docv:"SCHEME"
           ~doc:"Routing scheme: d-lsr, p-lsr, spf, bf or none.")
   in
-  let run () degree file scheme quick seed =
+  let run () _jobs degree file scheme quick seed =
     let cfg = config_of ~quick ~seed in
     match Dr_sim.Scenario.load file with
     | Error msg ->
@@ -456,7 +494,7 @@ let replay_cmd =
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Replay a saved scenario file under a chosen routing scheme.")
-    Term.(const run $ telemetry_t $ degree_t $ file_t $ scheme_t $ quick_t $ seed_t)
+    Term.(const run $ telemetry_t $ jobs_t $ degree_t $ file_t $ scheme_t $ quick_t $ seed_t)
 
 let default_info =
   Cmd.info "drtp_sim" ~version:"1.0.0"

@@ -14,6 +14,16 @@ let fault_tolerance r =
   if r.attempts = 0 then 1.0
   else float_of_int r.successes /. float_of_int r.attempts
 
+let merge_results a b =
+  {
+    attempts = a.attempts + b.attempts;
+    successes = a.successes + b.successes;
+    edges_evaluated = a.edges_evaluated + b.edges_evaluated;
+    per_edge = a.per_edge @ b.per_edge;
+  }
+
+let empty_result = { attempts = 0; successes = 0; edges_evaluated = 0; per_edge = [] }
+
 let evaluate_edge ?(spare_only = true) state ~edge =
   let resources = Net_state.resources state in
   let victims = Net_state.primaries_crossing_edge state edge in

@@ -36,6 +36,15 @@ type result = {
 val fault_tolerance : result -> float
 (** [successes / attempts]; 1.0 when nothing was at risk (no attempts). *)
 
+val merge_results : result -> result -> result
+(** Pool two results as if their evaluations ran in one stream: counts
+    add, [per_edge] concatenates in argument order.  Exact (integer)
+    merging — used to fold per-worker shards of the double-failure
+    Monte-Carlo back into one result. *)
+
+val empty_result : result
+(** The identity for {!merge_results} (all counts zero). *)
+
 val evaluate : ?spare_only:bool -> Net_state.t -> result
 (** Evaluate all single-edge failures on the current state.
     [spare_only] (default [true]) restricts activation to the reserved

@@ -1,5 +1,18 @@
 module Bounded_flood = Dr_flood.Bounded_flood
 module Routing = Drtp.Routing
+module Pool = Dr_parallel.Pool
+
+(* Ablation tables are small fixed grids with no partial-result story:
+   a run that keeps raising after the pool's retry aborts the table. *)
+let ok_or_fail = function
+  | Ok m -> m
+  | Error (e : Pool.error) ->
+      failwith
+        (Printf.sprintf "Ablation: task %d failed after %d attempt(s): %s"
+           e.Pool.index e.Pool.attempts e.Pool.message)
+
+let run_all ?pool cfg tasks =
+  Array.map ok_or_fail (Runner.run_many ?pool cfg tasks)
 
 type mux_row = {
   label : string;
@@ -9,17 +22,25 @@ type mux_row = {
   spare_fraction : float;
 }
 
-let no_multiplexing (cfg : Config.t) ~avg_degree ~traffic ~lambda =
+let no_multiplexing ?pool (cfg : Config.t) ~avg_degree ~traffic ~lambda =
   let graph = Config.make_graph cfg ~avg_degree in
   let scenario = Config.make_scenario cfg traffic ~lambda in
-  let baseline = Runner.run cfg ~graph ~scenario ~scheme:Runner.No_backup in
-  let base_active = baseline.Runner.avg_active in
+  let ms =
+    run_all ?pool cfg
+      (Array.map
+         (fun s -> (graph, scenario, s))
+         [|
+           Runner.No_backup;
+           Runner.Lsr Routing.Dlsr;
+           Runner.Lsr_dedicated Routing.Dlsr;
+         |])
+  in
+  let base_active = ms.(0).Runner.avg_active in
   let overhead m =
     if base_active <= 0.0 then 0.0
     else 100.0 *. (base_active -. m.Runner.avg_active) /. base_active
   in
-  let row scheme =
-    let m = Runner.run cfg ~graph ~scenario ~scheme in
+  let row m =
     {
       label = m.Runner.label;
       ft = m.Runner.ft_overall;
@@ -36,8 +57,8 @@ let no_multiplexing (cfg : Config.t) ~avg_degree ~traffic ~lambda =
       overhead_pct = 0.0;
       spare_fraction = 0.0;
     };
-    row (Runner.Lsr Routing.Dlsr);
-    row (Runner.Lsr_dedicated Routing.Dlsr);
+    row ms.(1);
+    row ms.(2);
   ]
 
 type flood_row = {
@@ -60,24 +81,35 @@ let default_flood_points =
     (1.5, 3, 2);
   ]
 
-let flood_scope (cfg : Config.t) ~avg_degree ~traffic ~lambda
+let flood_scope ?pool (cfg : Config.t) ~avg_degree ~traffic ~lambda
     ?(points = default_flood_points) () =
   let graph = Config.make_graph cfg ~avg_degree in
   let scenario = Config.make_scenario cfg traffic ~lambda in
-  List.map
-    (fun (rho, beta0, beta1) ->
-      let flood_cfg = { Bounded_flood.default_config with rho; beta0; beta1 } in
-      let m = Runner.run cfg ~graph ~scenario ~scheme:(Runner.Bf flood_cfg) in
-      {
-        rho;
-        beta0;
-        beta1;
-        ft = m.Runner.ft_overall;
-        acceptance = m.Runner.acceptance;
-        messages_per_request =
-          Option.value ~default:0.0 m.Runner.flood_messages_per_request;
-      })
-    points
+  let points = Array.of_list points in
+  let ms =
+    run_all ?pool cfg
+      (Array.map
+         (fun (rho, beta0, beta1) ->
+           let flood_cfg =
+             { Bounded_flood.default_config with rho; beta0; beta1 }
+           in
+           (graph, scenario, Runner.Bf flood_cfg))
+         points)
+  in
+  Array.to_list
+    (Array.mapi
+       (fun i (rho, beta0, beta1) ->
+         let m = ms.(i) in
+         {
+           rho;
+           beta0;
+           beta1;
+           ft = m.Runner.ft_overall;
+           acceptance = m.Runner.acceptance;
+           messages_per_request =
+             Option.value ~default:0.0 m.Runner.flood_messages_per_request;
+         })
+       points)
 
 type blind_row = {
   avg_degree : float;
@@ -88,26 +120,41 @@ type blind_row = {
   degraded : int;
 }
 
-let conflict_blind (cfg : Config.t) ~traffic ~lambda =
-  List.concat_map
-    (fun avg_degree ->
-      let graph = Config.make_graph cfg ~avg_degree in
-      let scenario = Config.make_scenario cfg traffic ~lambda in
-      List.map
-        (fun scheme ->
-          let m = Runner.run cfg ~graph ~scenario ~scheme in
-          {
-            avg_degree;
-            scheme = m.Runner.label;
-            ft = m.Runner.ft_overall;
-            spare_fraction = m.Runner.avg_spare_fraction;
-            avg_active = m.Runner.avg_active;
-            degraded = m.Runner.degraded;
-          })
-        [
-          Runner.Lsr Routing.Dlsr; Runner.Lsr Routing.Plsr; Runner.Lsr Routing.Spf;
-        ])
-    [ 3.0; 4.0 ]
+let conflict_blind ?pool (cfg : Config.t) ~traffic ~lambda =
+  (* Tasks carry their own graph: the two degrees use different
+     topologies, and run_many is agnostic to that. *)
+  let plan =
+    List.concat_map
+      (fun avg_degree ->
+        let graph = Config.make_graph cfg ~avg_degree in
+        let scenario = Config.make_scenario cfg traffic ~lambda in
+        List.map
+          (fun scheme -> (avg_degree, graph, scenario, scheme))
+          [
+            Runner.Lsr Routing.Dlsr;
+            Runner.Lsr Routing.Plsr;
+            Runner.Lsr Routing.Spf;
+          ])
+      [ 3.0; 4.0 ]
+    |> Array.of_list
+  in
+  let ms =
+    run_all ?pool cfg
+      (Array.map (fun (_, graph, scenario, scheme) -> (graph, scenario, scheme)) plan)
+  in
+  Array.to_list
+    (Array.mapi
+       (fun i (avg_degree, _, _, _) ->
+         let m = ms.(i) in
+         {
+           avg_degree;
+           scheme = m.Runner.label;
+           ft = m.Runner.ft_overall;
+           spare_fraction = m.Runner.avg_spare_fraction;
+           avg_active = m.Runner.avg_active;
+           degraded = m.Runner.degraded;
+         })
+       plan)
 
 type backup_count_row = {
   backups : int;
@@ -118,38 +165,83 @@ type backup_count_row = {
   double_ft : float;
 }
 
-let backup_count (cfg : Config.t) ~avg_degree ~traffic ~lambda
+(* The double-failure Monte-Carlo is split into a fixed number of sample
+   chunks with per-chunk seeds, merged back in chunk order with
+   {!Drtp.Failure_eval.merge_results}.  The chunking is independent of
+   the pool's job count, so the estimate is the same for any [~jobs]. *)
+let double_chunks = 8
+
+let double_ft_of ?pool state ~samples =
+  let base = samples / double_chunks and rem = samples mod double_chunks in
+  let chunks =
+    Array.init double_chunks (fun c ->
+        (c, base + if c < rem then 1 else 0))
+  in
+  let eval (c, n) =
+    if n = 0 then Drtp.Failure_eval.empty_result
+    else Drtp.Failure_eval.evaluate_double ~samples:n ~seed:(1 + c) state
+  in
+  let results =
+    match pool with
+    | Some pool -> Pool.map pool eval chunks
+    | None -> Array.map (fun chunk -> Ok (eval chunk)) chunks
+  in
+  let merged =
+    Array.fold_left
+      (fun acc r ->
+        match r with
+        | Ok r -> Drtp.Failure_eval.merge_results acc r
+        | Error (e : Pool.error) ->
+            failwith
+              (Printf.sprintf
+                 "Ablation: Monte-Carlo chunk %d failed after %d attempt(s): %s"
+                 e.Pool.index e.Pool.attempts e.Pool.message))
+      Drtp.Failure_eval.empty_result results
+  in
+  Drtp.Failure_eval.fault_tolerance merged
+
+let backup_count ?pool (cfg : Config.t) ~avg_degree ~traffic ~lambda
     ?(counts = [ 0; 1; 2 ]) () =
   let graph = Config.make_graph cfg ~avg_degree in
   let scenario = Config.make_scenario cfg traffic ~lambda in
-  let baseline = Runner.run cfg ~graph ~scenario ~scheme:Runner.No_backup in
-  let base_active = baseline.Runner.avg_active in
-  List.map
-    (fun k ->
-      let scheme =
-        if k = 0 then Runner.No_backup else Runner.Lsr_k (Routing.Dlsr, k)
-      in
-      let m = Runner.run cfg ~graph ~scenario ~scheme in
-      let double_ft =
-        if k = 0 then 0.0
-        else
-          let state =
-            Runner.load_state cfg ~graph ~scenario ~scheme ~until:cfg.Config.horizon
-          in
-          Drtp.Failure_eval.fault_tolerance
-            (Drtp.Failure_eval.evaluate_double ~samples:400 state)
-      in
-      {
-        backups = k;
-        ft = (if k = 0 then 0.0 else m.Runner.ft_overall);
-        overhead_pct =
-          (if base_active <= 0.0 then 0.0
-           else 100.0 *. (base_active -. m.Runner.avg_active) /. base_active);
-        acceptance = m.Runner.acceptance;
-        node_ft = (if k = 0 then 0.0 else m.Runner.node_ft_overall);
-        double_ft;
-      })
-    counts
+  let counts = Array.of_list counts in
+  let scheme_of k =
+    if k = 0 then Runner.No_backup else Runner.Lsr_k (Routing.Dlsr, k)
+  in
+  (* Measured replays (baseline first, then one per k) go through the
+     pool together; the per-k end states for the Monte-Carlo are loaded
+     afterwards on the calling domain and their sample chunks pooled. *)
+  let ms =
+    run_all ?pool cfg
+      (Array.append
+         [| (graph, scenario, Runner.No_backup) |]
+         (Array.map (fun k -> (graph, scenario, scheme_of k)) counts))
+  in
+  let base_active = ms.(0).Runner.avg_active in
+  Array.to_list
+    (Array.mapi
+       (fun i k ->
+         let m = ms.(i + 1) in
+         let double_ft =
+           if k = 0 then 0.0
+           else
+             let state =
+               Runner.load_state cfg ~graph ~scenario ~scheme:(scheme_of k)
+                 ~until:cfg.Config.horizon
+             in
+             double_ft_of ?pool state ~samples:400
+         in
+         {
+           backups = k;
+           ft = (if k = 0 then 0.0 else m.Runner.ft_overall);
+           overhead_pct =
+             (if base_active <= 0.0 then 0.0
+              else 100.0 *. (base_active -. m.Runner.avg_active) /. base_active);
+           acceptance = m.Runner.acceptance;
+           node_ft = (if k = 0 then 0.0 else m.Runner.node_ft_overall);
+           double_ft;
+         })
+       counts)
 
 type qos_row = {
   slack : int option;
@@ -159,26 +251,35 @@ type qos_row = {
   avg_backup_hops : float;
 }
 
-let qos_bound (cfg : Config.t) ~avg_degree ~traffic ~lambda
+let qos_bound ?pool (cfg : Config.t) ~avg_degree ~traffic ~lambda
     ?(slacks = [ Some 0; Some 1; Some 2; Some 4; None ]) () =
   let graph = Config.make_graph cfg ~avg_degree in
   let scenario = Config.make_scenario cfg traffic ~lambda in
-  List.map
-    (fun slack ->
-      let scheme =
-        match slack with
-        | Some s -> Runner.Lsr_bounded (Routing.Dlsr, s)
-        | None -> Runner.Lsr Routing.Dlsr
-      in
-      let m = Runner.run cfg ~graph ~scenario ~scheme in
-      {
-        slack;
-        ft = m.Runner.ft_overall;
-        acceptance = m.Runner.acceptance;
-        rejected_no_backup = m.Runner.rejected_no_backup;
-        avg_backup_hops = m.Runner.avg_backup_hops;
-      })
-    slacks
+  let slacks = Array.of_list slacks in
+  let ms =
+    run_all ?pool cfg
+      (Array.map
+         (fun slack ->
+           let scheme =
+             match slack with
+             | Some s -> Runner.Lsr_bounded (Routing.Dlsr, s)
+             | None -> Runner.Lsr Routing.Dlsr
+           in
+           (graph, scenario, scheme))
+         slacks)
+  in
+  Array.to_list
+    (Array.mapi
+       (fun i slack ->
+         let m = ms.(i) in
+         {
+           slack;
+           ft = m.Runner.ft_overall;
+           acceptance = m.Runner.acceptance;
+           rejected_no_backup = m.Runner.rejected_no_backup;
+           avg_backup_hops = m.Runner.avg_backup_hops;
+         })
+       slacks)
 
 type class_row = {
   mix : string;
@@ -189,54 +290,64 @@ type class_row = {
   degraded : int;
 }
 
-let traffic_classes (cfg : Config.t) ~avg_degree ~traffic ~lambda () =
+let traffic_classes ?pool (cfg : Config.t) ~avg_degree ~traffic ~lambda () =
   let graph = Config.make_graph cfg ~avg_degree in
   let mixes =
-    [
+    [|
       ("audio (1u)", Dr_sim.Workload.constant_bw 1);
       ("mixed 70/30", Dr_sim.Workload.Classes [ (1, 0.7); (4, 0.3) ]);
       ("video (4u)", Dr_sim.Workload.constant_bw 4);
-    ]
+    |]
   in
-  List.map
-    (fun (mix, bw) ->
-      (* Regenerate the scenario with the same seeds but this bandwidth
-         mix. *)
-      let seed =
-        cfg.Config.workload_seed
-        + int_of_float (lambda *. 1000.0)
-        + match traffic with Config.UT -> 0 | Config.NT -> 500_000
-      in
-      let rng = Dr_rng.Splitmix64.create seed in
-      let pattern =
-        match traffic with
-        | Config.UT -> Dr_sim.Workload.Uniform
-        | Config.NT ->
-            Dr_sim.Workload.hotspot_pattern rng ~node_count:cfg.Config.nodes
-              ~hotspots:cfg.Config.hotspot_count
-              ~fraction:cfg.Config.hotspot_fraction
-      in
-      let spec =
-        {
-          Dr_sim.Workload.arrival_rate = lambda;
-          horizon = cfg.Config.horizon;
-          lifetime_lo = cfg.Config.lifetime_lo;
-          lifetime_hi = cfg.Config.lifetime_hi;
-          bw;
-          pattern;
-        }
-      in
-      let scenario = Dr_sim.Workload.generate rng ~node_count:cfg.Config.nodes spec in
-      let m = Runner.run cfg ~graph ~scenario ~scheme:(Runner.Lsr Routing.Dlsr) in
+  (* Regenerate each scenario with the same seeds but the mix's bandwidth
+     distribution; generation stays on the calling domain so the RNG
+     streams are untouched by scheduling. *)
+  let scenario_of bw =
+    let seed =
+      cfg.Config.workload_seed
+      + int_of_float (lambda *. 1000.0)
+      + match traffic with Config.UT -> 0 | Config.NT -> 500_000
+    in
+    let rng = Dr_rng.Splitmix64.create seed in
+    let pattern =
+      match traffic with
+      | Config.UT -> Dr_sim.Workload.Uniform
+      | Config.NT ->
+          Dr_sim.Workload.hotspot_pattern rng ~node_count:cfg.Config.nodes
+            ~hotspots:cfg.Config.hotspot_count
+            ~fraction:cfg.Config.hotspot_fraction
+    in
+    let spec =
       {
-        mix;
-        ft = m.Runner.ft_overall;
-        acceptance = m.Runner.acceptance;
-        avg_active = m.Runner.avg_active;
-        spare_fraction = m.Runner.avg_spare_fraction;
-        degraded = m.Runner.degraded;
-      })
-    mixes
+        Dr_sim.Workload.arrival_rate = lambda;
+        horizon = cfg.Config.horizon;
+        lifetime_lo = cfg.Config.lifetime_lo;
+        lifetime_hi = cfg.Config.lifetime_hi;
+        bw;
+        pattern;
+      }
+    in
+    Dr_sim.Workload.generate rng ~node_count:cfg.Config.nodes spec
+  in
+  let ms =
+    run_all ?pool cfg
+      (Array.map
+         (fun (_, bw) -> (graph, scenario_of bw, Runner.Lsr Routing.Dlsr))
+         mixes)
+  in
+  Array.to_list
+    (Array.mapi
+       (fun i (mix, _) ->
+         let m = ms.(i) in
+         {
+           mix;
+           ft = m.Runner.ft_overall;
+           acceptance = m.Runner.acceptance;
+           avg_active = m.Runner.avg_active;
+           spare_fraction = m.Runner.avg_spare_fraction;
+           degraded = m.Runner.degraded;
+         })
+       mixes)
 
 let pp_mux ppf rows =
   Format.fprintf ppf

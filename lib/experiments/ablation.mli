@@ -10,7 +10,13 @@
     - {b A3, conflict-blind routing}: replace the conflict-aware link costs
       with plain shortest-path backup selection; the gap quantifies "the
       lower the network connectivity, the more sophisticated routing
-      algorithm is necessary" (§6.2). *)
+      algorithm is necessary" (§6.2).
+
+    Every table runs its independent replays through an optional
+    {!Dr_parallel.Pool} ([?pool]); rows come back in the fixed table
+    order regardless of job count.  A replay that keeps raising after the
+    pool's retry aborts the table with [Failure] — these small grids have
+    no partial-result story. *)
 
 type mux_row = {
   label : string;
@@ -21,7 +27,12 @@ type mux_row = {
 }
 
 val no_multiplexing :
-  Config.t -> avg_degree:float -> traffic:Config.traffic -> lambda:float -> mux_row list
+  ?pool:Dr_parallel.Pool.t ->
+  Config.t ->
+  avg_degree:float ->
+  traffic:Config.traffic ->
+  lambda:float ->
+  mux_row list
 (** D-LSR with multiplexed vs dedicated spare, plus the no-backup baseline
     reference. *)
 
@@ -35,6 +46,7 @@ type flood_row = {
 }
 
 val flood_scope :
+  ?pool:Dr_parallel.Pool.t ->
   Config.t ->
   avg_degree:float ->
   traffic:Config.traffic ->
@@ -55,7 +67,11 @@ type blind_row = {
 }
 
 val conflict_blind :
-  Config.t -> traffic:Config.traffic -> lambda:float -> blind_row list
+  ?pool:Dr_parallel.Pool.t ->
+  Config.t ->
+  traffic:Config.traffic ->
+  lambda:float ->
+  blind_row list
 (** D-LSR / P-LSR / SPF at E = 3 and E = 4: fault-tolerance plus the
     capacity price of ignoring conflicts. *)
 
@@ -73,6 +89,7 @@ type backup_count_row = {
 }
 
 val backup_count :
+  ?pool:Dr_parallel.Pool.t ->
   Config.t ->
   avg_degree:float ->
   traffic:Config.traffic ->
@@ -82,7 +99,12 @@ val backup_count :
   backup_count_row list
 (** Extension E2: D-LSR with k = 0, 1, 2 backups per DR-connection — the
     paper's "one or more backup channels".  More backups buy edge- and
-    especially node-failure tolerance at a capacity cost. *)
+    especially node-failure tolerance at a capacity cost.
+
+    The double-failure Monte-Carlo is split into a fixed number of
+    sample chunks with per-chunk seeds and merged back exactly with
+    {!Drtp.Failure_eval.merge_results}, so [double_ft] does not depend
+    on the pool's job count. *)
 
 type qos_row = {
   slack : int option;  (** [None] = unbounded *)
@@ -93,6 +115,7 @@ type qos_row = {
 }
 
 val qos_bound :
+  ?pool:Dr_parallel.Pool.t ->
   Config.t ->
   avg_degree:float ->
   traffic:Config.traffic ->
@@ -115,6 +138,7 @@ type class_row = {
 }
 
 val traffic_classes :
+  ?pool:Dr_parallel.Pool.t ->
   Config.t ->
   avg_degree:float ->
   traffic:Config.traffic ->

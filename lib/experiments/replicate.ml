@@ -12,8 +12,32 @@ type cell = {
 
 type t = { avg_degree : float; seeds : int list; cells : cell list }
 
-let run ?(progress = fun _ -> ()) (cfg : Config.t) ~avg_degree ~seeds ?traffics
-    ?lambdas ?schemes () =
+(* A duplicated seed would replay the identical sweep and silently count
+   it twice in every mean and CI — drop repeats (keeping first-occurrence
+   order) and say so. *)
+let dedupe_seeds seeds =
+  let seen = Hashtbl.create 8 in
+  let kept =
+    List.filter
+      (fun s ->
+        if Hashtbl.mem seen s then false
+        else begin
+          Hashtbl.add seen s ();
+          true
+        end)
+      seeds
+  in
+  let dropped = List.length seeds - List.length kept in
+  if dropped > 0 then
+    Printf.eprintf
+      "Replicate.run: dropped %d duplicate seed%s (each seed is counted once)\n%!"
+      dropped
+      (if dropped = 1 then "" else "s");
+  kept
+
+let run ?pool ?(progress = fun _ -> ()) (cfg : Config.t) ~avg_degree ~seeds
+    ?traffics ?lambdas ?schemes () =
+  let seeds = dedupe_seeds seeds in
   if seeds = [] then invalid_arg "Replicate.run: need at least one seed";
   let table : (Config.traffic * float * string, cell) Hashtbl.t =
     Hashtbl.create 64
@@ -49,7 +73,7 @@ let run ?(progress = fun _ -> ()) (cfg : Config.t) ~avg_degree ~seeds ?traffics
         }
       in
       let sweep =
-        Sweep.run ~progress cfg ~avg_degree ?traffics ?lambdas ?schemes ()
+        Sweep.run ?pool ~progress cfg ~avg_degree ?traffics ?lambdas ?schemes ()
       in
       List.iter
         (fun (c : Sweep.cell) ->

@@ -25,6 +25,7 @@ type t = {
 }
 
 val run :
+  ?pool:Dr_parallel.Pool.t ->
   ?progress:(string -> unit) ->
   Config.t ->
   avg_degree:float ->
@@ -35,7 +36,18 @@ val run :
   unit ->
   t
 (** Run the sweep once per seed (the base config's topology and workload
-    seeds are offset by each seed) and aggregate. *)
+    seeds are offset by each seed) and aggregate.
+
+    Duplicate seeds are dropped with a warning on stderr before running —
+    a repeated seed would replay the identical sweep and double-count it
+    in every mean and confidence interval; [t.seeds] records the deduped
+    list actually used.  Raises [Invalid_argument] if no seed remains.
+
+    [pool] parallelises each seed's sweep over worker domains; the
+    aggregation itself stays on the calling domain and folds sweeps in
+    seed order, so the result is identical for any job count.  [progress]
+    is likewise only ever invoked from the calling domain, in
+    deterministic (seed, plan) order. *)
 
 val print_figure4 : Format.formatter -> t -> unit
 (** Fault-tolerance with ±CI95 columns. *)

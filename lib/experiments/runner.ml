@@ -8,6 +8,7 @@ module Resources = Drtp.Resources
 module Bounded_flood = Dr_flood.Bounded_flood
 module Path = Dr_topo.Path
 module Tm = Dr_telemetry.Telemetry
+module Pool = Dr_parallel.Pool
 
 (* Telemetry: the per-snapshot fault-tolerance evaluation dominates a
    measured run's wall time; each replay is one traced span. *)
@@ -206,3 +207,15 @@ let run (cfg : Config.t) ~graph ~scenario ~scheme =
     avg_primary_hops =
       (if Summary.count primary_hops = 0 then 0.0 else Summary.mean primary_hops);
   }
+
+(* ---- parallel submission ------------------------------------------------ *)
+
+(* One pool task per measured replay.  Tasks share only immutable inputs
+   (the graph, the scenario — both read-only after construction), so they
+   can run on any worker domain; results come back in submission order,
+   which keeps parallel sweeps bit-identical to sequential ones. *)
+let run_many ?pool ?on_result (cfg : Config.t) tasks =
+  let f (graph, scenario, scheme) = run cfg ~graph ~scenario ~scheme in
+  match pool with
+  | Some pool -> Pool.map ?on_result pool f tasks
+  | None -> Pool.with_pool ~jobs:1 (fun pool -> Pool.map ?on_result pool f tasks)

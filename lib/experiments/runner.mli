@@ -69,6 +69,20 @@ val run :
   measurement
 (** Replay [scenario] under [scheme].  Deterministic. *)
 
+val run_many :
+  ?pool:Dr_parallel.Pool.t ->
+  ?on_result:(int -> (measurement, Dr_parallel.Pool.error) result -> unit) ->
+  Config.t ->
+  (Dr_topo.Graph.t * Dr_sim.Scenario.t * scheme_spec) array ->
+  (measurement, Dr_parallel.Pool.error) result array
+(** Run one measured replay per task through a {!Dr_parallel.Pool}
+    (inline, single-job execution when [pool] is absent).  Tasks are
+    independent — each builds its own manager and network state — and the
+    result array is keyed by task index, so output is identical for any
+    job count.  A task that keeps raising after the pool's retry becomes
+    an [Error] element instead of aborting the batch.  [on_result] is
+    invoked from the calling domain in task order. *)
+
 val load_state :
   Config.t ->
   graph:Dr_topo.Graph.t ->

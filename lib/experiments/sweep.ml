@@ -1,3 +1,5 @@
+module Pool = Dr_parallel.Pool
+
 type cell = {
   traffic : Config.traffic;
   lambda : float;
@@ -12,83 +14,166 @@ let capacity_overhead_pct cell =
     *. (cell.baseline_active -. cell.measurement.Runner.avg_active)
     /. cell.baseline_active
 
+type failed_cell = {
+  f_traffic : Config.traffic;
+  f_lambda : float;
+  f_label : string;
+  f_reason : string;
+}
+
 type t = {
   avg_degree : float;
   schemes : Runner.scheme_spec list;
   cells : cell list;
   baselines : (Config.traffic * float * Runner.measurement) list;
+  failures : failed_cell list;
 }
 
-let run ?(progress = fun _ -> ()) (cfg : Config.t) ~avg_degree
+(* The grid is flattened into a task plan in the exact order the old
+   sequential loops visited it: per (traffic, λ) the min-hop baseline,
+   then the BF baseline when a BF scheme is present, then each scheme.
+   Workers may finish in any order; the merge below walks results by
+   plan index, so the output never depends on scheduling. *)
+type kind = Minhop_baseline | Bf_baseline | Scheme_run
+
+type plan_entry = {
+  p_traffic : Config.traffic;
+  p_lambda : float;
+  p_scheme : Runner.scheme_spec;
+  p_kind : kind;
+  p_scenario : Dr_sim.Scenario.t;
+}
+
+let run ?pool ?(progress = fun _ -> ()) (cfg : Config.t) ~avg_degree
     ?(traffics = [ Config.UT; Config.NT ]) ?lambdas ?(schemes = Runner.paper_schemes)
     () =
   let lambdas =
     match lambdas with Some ls -> ls | None -> Config.lambdas_for_degree avg_degree
   in
   let graph = Config.make_graph cfg ~avg_degree in
-  let cells = ref [] and baselines = ref [] in
-  List.iter
-    (fun traffic ->
-      List.iter
-        (fun lambda ->
-          let scenario = Config.make_scenario cfg traffic ~lambda in
-          let run_baseline scheme =
-            let b = Runner.run cfg ~graph ~scenario ~scheme in
+  let bf_config =
+    match List.find_opt (function Runner.Bf _ -> true | _ -> false) schemes with
+    | Some (Runner.Bf c) -> Some c
+    | _ -> None
+  in
+  let plan =
+    List.concat_map
+      (fun traffic ->
+        List.concat_map
+          (fun lambda ->
+            (* One scenario per load point, shared (read-only) by every
+               run of the cell — mirroring the paper's single scenario
+               file per load point. *)
+            let scenario = Config.make_scenario cfg traffic ~lambda in
+            let entry p_kind p_scheme =
+              {
+                p_traffic = traffic;
+                p_lambda = lambda;
+                p_scheme;
+                p_kind;
+                p_scenario = scenario;
+              }
+            in
+            (* BF is compared against flooding-routed primaries without
+               backups, so the overhead metric isolates the backups' cost
+               rather than the primary-routing difference. *)
+            let bf_baseline =
+              match bf_config with
+              | Some c -> [ entry Bf_baseline (Runner.Bf_no_backup c) ]
+              | None -> []
+            in
+            entry Minhop_baseline Runner.No_backup
+            :: bf_baseline
+            @ List.map (fun s -> entry Scheme_run s) schemes)
+          lambdas)
+      traffics
+    |> Array.of_list
+  in
+  let report i r =
+    let e = plan.(i) in
+    match r with
+    | Ok (m : Runner.measurement) -> (
+        match e.p_kind with
+        | Minhop_baseline | Bf_baseline ->
             progress
               (Printf.sprintf "degree=%.0f %s lambda=%.1f %s: active=%.1f"
-                 avg_degree (Config.traffic_name traffic) lambda b.Runner.label
-                 b.Runner.avg_active);
-            baselines := (traffic, lambda, b) :: !baselines;
-            b
+                 avg_degree
+                 (Config.traffic_name e.p_traffic)
+                 e.p_lambda m.Runner.label m.Runner.avg_active)
+        | Scheme_run ->
+            progress
+              (Printf.sprintf
+                 "degree=%.0f %s lambda=%.1f %s: ft=%.4f active=%.1f acc=%.3f"
+                 avg_degree
+                 (Config.traffic_name e.p_traffic)
+                 e.p_lambda m.Runner.label m.Runner.ft_overall m.Runner.avg_active
+                 m.Runner.acceptance))
+    | Error (err : Pool.error) ->
+        progress
+          (Printf.sprintf "degree=%.0f %s lambda=%.1f %s: FAILED (%d attempts): %s"
+             avg_degree
+             (Config.traffic_name e.p_traffic)
+             e.p_lambda
+             (Runner.scheme_label e.p_scheme)
+             err.Pool.attempts err.Pool.message)
+  in
+  let tasks = Array.map (fun e -> (graph, e.p_scenario, e.p_scheme)) plan in
+  let results = Runner.run_many ?pool ~on_result:report cfg tasks in
+  (* Deterministic merge: results are keyed by plan index, so this walk
+     reproduces the old sequential accumulation exactly. *)
+  let cells = ref [] and baselines = ref [] and failures = ref [] in
+  let minhop = ref None and bf_base = ref None in
+  let fail e reason =
+    failures :=
+      {
+        f_traffic = e.p_traffic;
+        f_lambda = e.p_lambda;
+        f_label = Runner.scheme_label e.p_scheme;
+        f_reason = reason;
+      }
+      :: !failures
+  in
+  Array.iteri
+    (fun i r ->
+      let e = plan.(i) in
+      match (e.p_kind, r) with
+      | Minhop_baseline, Ok b ->
+          minhop := Some b;
+          bf_base := None;
+          baselines := (e.p_traffic, e.p_lambda, b) :: !baselines
+      | Minhop_baseline, Error (err : Pool.error) ->
+          minhop := None;
+          bf_base := None;
+          fail e err.Pool.message
+      | Bf_baseline, Ok b ->
+          bf_base := Some b;
+          baselines := (e.p_traffic, e.p_lambda, b) :: !baselines
+      | Bf_baseline, Error err ->
+          bf_base := None;
+          fail e err.Pool.message
+      | Scheme_run, Ok m -> (
+          let baseline =
+            match e.p_scheme with Runner.Bf _ -> !bf_base | _ -> !minhop
           in
-          let minhop_baseline = run_baseline Runner.No_backup in
-          (* BF is compared against flooding-routed primaries without
-             backups, so the overhead metric isolates the backups' cost
-             rather than the primary-routing difference. *)
-          let bf_baseline =
-            if List.exists (function Runner.Bf _ -> true | _ -> false) schemes
-            then
-              Some
-                (run_baseline
-                   (Runner.Bf_no_backup
-                      (match
-                         List.find
-                           (function Runner.Bf _ -> true | _ -> false)
-                           schemes
-                       with
-                      | Runner.Bf c -> c
-                      | _ -> assert false)))
-            else None
-          in
-          List.iter
-            (fun scheme ->
-              let m = Runner.run cfg ~graph ~scenario ~scheme in
-              progress
-                (Printf.sprintf
-                   "degree=%.0f %s lambda=%.1f %s: ft=%.4f active=%.1f acc=%.3f"
-                   avg_degree (Config.traffic_name traffic) lambda m.Runner.label
-                   m.Runner.ft_overall m.Runner.avg_active m.Runner.acceptance);
-              let baseline =
-                match (scheme, bf_baseline) with
-                | Runner.Bf _, Some b -> b
-                | _ -> minhop_baseline
-              in
+          match baseline with
+          | Some b ->
               cells :=
                 {
-                  traffic;
-                  lambda;
+                  traffic = e.p_traffic;
+                  lambda = e.p_lambda;
                   measurement = m;
-                  baseline_active = baseline.Runner.avg_active;
+                  baseline_active = b.Runner.avg_active;
                 }
-                :: !cells)
-            schemes)
-        lambdas)
-    traffics;
+                :: !cells
+          | None -> fail e "baseline run failed")
+      | Scheme_run, Error err -> fail e err.Pool.message)
+    results;
   {
     avg_degree;
     schemes;
     cells = List.rev !cells;
     baselines = List.rev !baselines;
+    failures = List.rev !failures;
   }
 
 let find t ~traffic ~lambda ~label =

@@ -6,7 +6,14 @@
     per load point.  Capacity overhead is then
     [100 · (N_nobackup − N_scheme) / N_nobackup] on time-averaged active
     connection counts (§6.2's "percentage of decreased number of
-    connections"). *)
+    connections").
+
+    Runs are independent replays, so they are submitted through a
+    {!Dr_parallel.Pool} when one is supplied.  The grid is planned in the
+    sequential visiting order and merged back by task index, which makes
+    the result {e identical for any job count} — [~jobs:8] produces the
+    same [t], the same [progress] lines in the same order, as
+    [~jobs:1]. *)
 
 type cell = {
   traffic : Config.traffic;
@@ -17,14 +24,27 @@ type cell = {
 
 val capacity_overhead_pct : cell -> float
 
+type failed_cell = {
+  f_traffic : Config.traffic;
+  f_lambda : float;
+  f_label : string;
+  f_reason : string;
+}
+(** A grid cell whose run kept raising after the pool's retry (or whose
+    baseline did — dependent scheme cells then fail with reason
+    ["baseline run failed"]).  Failures are contained: the rest of the
+    grid still completes. *)
+
 type t = {
   avg_degree : float;
   schemes : Runner.scheme_spec list;
   cells : cell list;  (** ordered by (traffic, λ, scheme list order) *)
   baselines : (Config.traffic * float * Runner.measurement) list;
+  failures : failed_cell list;  (** empty unless a run crashed *)
 }
 
 val run :
+  ?pool:Dr_parallel.Pool.t ->
   ?progress:(string -> unit) ->
   Config.t ->
   avg_degree:float ->
@@ -34,8 +54,11 @@ val run :
   unit ->
   t
 (** Run the grid.  Defaults: both traffics, the paper's λ sweep for the
-    degree, the paper's three schemes.  [progress] receives one line per
-    completed run. *)
+    degree, the paper's three schemes.  [pool] distributes the runs over
+    worker domains; without it the grid runs inline on the calling
+    domain.  [progress] receives one line per completed run, always from
+    the calling domain and always in plan order, regardless of which
+    worker finished first. *)
 
 val find :
   t -> traffic:Config.traffic -> lambda:float -> label:string -> cell option

@@ -23,6 +23,20 @@ let add h x =
     h.counts.(idx) <- h.counts.(idx) + 1
   end
 
+let merge a b =
+  if
+    a.lo <> b.lo || a.hi <> b.hi
+    || Array.length a.counts <> Array.length b.counts
+  then invalid_arg "Histogram.merge: incompatible bin layouts";
+  {
+    lo = a.lo;
+    hi = a.hi;
+    counts = Array.init (Array.length a.counts) (fun i -> a.counts.(i) + b.counts.(i));
+    under = a.under + b.under;
+    over = a.over + b.over;
+    total = a.total + b.total;
+  }
+
 let count h = h.total
 let bin_counts h = Array.copy h.counts
 let underflow h = h.under

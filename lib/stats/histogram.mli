@@ -12,6 +12,13 @@ val create : lo:float -> hi:float -> bins:int -> t
 
 val add : t -> float -> unit
 
+val merge : t -> t -> t
+(** Combine two histograms with the same [lo]/[hi]/bin layout as if every
+    observation went into one (bin, underflow, overflow and total counts
+    add; the merge is exact, commutative and associative).  Used to fold
+    per-worker accumulators from parallel runs.  Raises [Invalid_argument]
+    on mismatched layouts. *)
+
 val count : t -> int
 
 val bin_counts : t -> int array

@@ -5,6 +5,23 @@ let on = ref false
 let enabled () = !on
 let set_enabled b = on := b
 
+(* Domain-safety: worker domains (the dr_parallel pool) update metrics and
+   emit spans concurrently with the coordinator.  A single lock serialises
+   every mutation and sink write; it is only ever taken behind the [!on]
+   check, so the disabled fast path stays a load and a branch.  The lock
+   also keeps JSONL trace lines from interleaving mid-record. *)
+let mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+      Mutex.unlock mu;
+      v
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
+
 let clock = ref Unix.gettimeofday
 let set_clock f = clock := f
 
@@ -38,6 +55,7 @@ let timers : (string, timer) Hashtbl.t = Hashtbl.create 32
 let fresh_hist = Option.map (fun (lo, hi, bins) -> Histogram.create ~lo ~hi ~bins)
 
 let reset () =
+  locked @@ fun () ->
   Hashtbl.iter
     (fun _ c ->
       c.c_value <- 0;
@@ -59,6 +77,7 @@ module Counter = struct
   type t = counter
 
   let make name =
+    locked @@ fun () ->
     match Hashtbl.find_opt counters name with
     | Some c -> c
     | None ->
@@ -67,16 +86,16 @@ module Counter = struct
         c
 
   let incr c =
-    if !on then begin
+    if !on then
+      locked @@ fun () ->
       c.c_value <- c.c_value + 1;
       c.c_touched <- true
-    end
 
   let add c n =
-    if !on then begin
+    if !on then
+      locked @@ fun () ->
       c.c_value <- c.c_value + n;
       c.c_touched <- true
-    end
 
   let value c = c.c_value
 end
@@ -85,6 +104,7 @@ module Gauge = struct
   type t = gauge
 
   let make name =
+    locked @@ fun () ->
     match Hashtbl.find_opt gauges name with
     | Some g -> g
     | None ->
@@ -95,11 +115,11 @@ module Gauge = struct
         g
 
   let set g v =
-    if !on then begin
+    if !on then
+      locked @@ fun () ->
       g.g_value <- v;
       if v > g.g_max then g.g_max <- v;
       g.g_touched <- true
-    end
 
   let value g = g.g_value
   let max_seen g = g.g_max
@@ -109,6 +129,7 @@ module Timer = struct
   type t = timer
 
   let make ?hist name =
+    locked @@ fun () ->
     match Hashtbl.find_opt timers name with
     | Some t -> t
     | None ->
@@ -123,11 +144,12 @@ module Timer = struct
         Hashtbl.add timers name t;
         t
 
-  let record t dur =
-    if !on then begin
-      Summary.add t.t_summary dur;
-      match t.t_hist with None -> () | Some h -> Histogram.add h dur
-    end
+  (* Caller holds [mu] (or is single-domain by construction). *)
+  let record_unlocked t dur =
+    Summary.add t.t_summary dur;
+    match t.t_hist with None -> () | Some h -> Histogram.add h dur
+
+  let record t dur = if !on then locked @@ fun () -> record_unlocked t dur
 
   let time t f =
     if not !on then f ()
@@ -270,7 +292,8 @@ module Span = struct
       let t0 = !clock () in
       let finish () =
         let dur = !clock () -. t0 in
-        Timer.record timer dur;
+        locked @@ fun () ->
+        Timer.record_unlocked timer dur;
         (!Sink.current).Sink.emit (Span_record { name; ts = t0; dur; attrs })
       in
       match f () with
@@ -284,8 +307,11 @@ module Span = struct
     end
 
   let event ?(attrs = []) name =
-    if !on then
-      (!Sink.current).Sink.emit (Event_record { name; ts = !clock (); attrs })
+    if !on then begin
+      let ts = !clock () in
+      locked @@ fun () ->
+      (!Sink.current).Sink.emit (Event_record { name; ts; attrs })
+    end
 end
 
 (* ---- end-of-run summary ------------------------------------------------- *)

@@ -17,7 +17,16 @@
     Spans ({!Span.with_}) time a scope, feed the timer of the same name
     and emit one record to the current {!Sink}.  Timestamps come from the
     installed clock ({!set_clock}): [Unix.gettimeofday] by default, or the
-    simulation clock when a driver installs it. *)
+    simulation clock when a driver installs it.
+
+    {b Domain-safety.}  Metric updates, metric registration and sink
+    emission are serialised by an internal lock, so instrumented code may
+    run in {!Dr_parallel} worker domains: counts are exact and JSONL
+    trace lines never interleave.  The lock is only taken behind the
+    enabled check — the disabled fast path is still a single load and
+    branch.  {!set_enabled}, {!set_clock}, {!Sink.set} and {!Sink.close}
+    remain coordinator-only operations: call them from the main domain
+    while no worker is running. *)
 
 val on : bool ref
 (** The master switch, exposed as a ref so call sites can guard compound

@@ -135,6 +135,28 @@ let test_replicate_aggregates () =
   Alcotest.(check bool) "renders with seeds count" true
     (Astring.String.is_infix ~affix:"2 seeds" out)
 
+let test_replicate_dedupes_seeds () =
+  (* A repeated seed replays the identical sweep; it must be counted once,
+     not silently twice. *)
+  let t =
+    Dr_exp.Replicate.run tiny_cfg ~avg_degree:3.0 ~seeds:[ 0; 0; 1; 0 ]
+      ~traffics:[ Config.UT ] ~lambdas:[ 0.3 ]
+      ~schemes:[ Runner.Lsr Drtp.Routing.Dlsr ] ()
+  in
+  Alcotest.(check (list int)) "seeds deduped, first-occurrence order" [ 0; 1 ]
+    t.Dr_exp.Replicate.seeds;
+  let c = List.hd t.Dr_exp.Replicate.cells in
+  Alcotest.(check int) "one observation per distinct seed" 2
+    (Dr_stats.Summary.count c.Dr_exp.Replicate.ft)
+
+let test_replicate_rejects_empty_seeds () =
+  Alcotest.check_raises "empty seed list"
+    (Invalid_argument "Replicate.run: need at least one seed") (fun () ->
+      ignore
+        (Dr_exp.Replicate.run tiny_cfg ~avg_degree:3.0 ~seeds:[]
+           ~traffics:[ Config.UT ] ~lambdas:[ 0.3 ]
+           ~schemes:[ Runner.Lsr Drtp.Routing.Dlsr ] ()))
+
 let test_scheme_labels () =
   Alcotest.(check string) "dlsr" "D-LSR" (Runner.scheme_label (Runner.Lsr Drtp.Routing.Dlsr));
   Alcotest.(check string) "bf" "BF"
@@ -249,6 +271,9 @@ let suite =
         Alcotest.test_case "backup-count ablation (E2)" `Slow test_backup_count_ablation;
         Alcotest.test_case "node fault-tolerance measured" `Slow test_node_ft_measured;
         Alcotest.test_case "replication aggregates" `Slow test_replicate_aggregates;
+        Alcotest.test_case "replication dedupes seeds" `Slow test_replicate_dedupes_seeds;
+        Alcotest.test_case "replication rejects empty seeds" `Quick
+          test_replicate_rejects_empty_seeds;
         Alcotest.test_case "sweep and reports" `Slow test_sweep_and_reports;
         Alcotest.test_case "table 1 renders" `Quick test_table1_renders;
         Alcotest.test_case "overhead table" `Slow test_overhead_table;

@@ -35,6 +35,8 @@ let () =
          Test_constrained_path.suite;
          Test_experiments.suite;
          Test_telemetry.suite;
+         Test_parallel.suite;
+         Test_merge.suite;
          Test_properties.suite;
          Test_properties2.suite;
        ])

@@ -1,0 +1,124 @@
+(* Properties of the parallel-merge operations: Summary.merge and
+   Histogram.merge must combine per-worker accumulators as if a single
+   stream had seen every observation. *)
+
+module Summary = Dr_stats.Summary
+module Histogram = Dr_stats.Histogram
+
+let property ?(count = 100) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+let samples = QCheck.(list (float_bound_inclusive 1000.0))
+
+let summary_of xs =
+  let s = Summary.create () in
+  List.iter (Summary.add s) xs;
+  s
+
+(* Welford merging is exact on counts and floating-point-associative only
+   up to rounding on the moments; empty summaries have nan means. *)
+let feq a b =
+  (Float.is_nan a && Float.is_nan b)
+  || Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a +. Float.abs b)
+
+let summary_eq a b =
+  Summary.count a = Summary.count b
+  && feq (Summary.total_weight a) (Summary.total_weight b)
+  && feq (Summary.mean a) (Summary.mean b)
+  && feq (Summary.variance a) (Summary.variance b)
+  && feq (Summary.min_value a) (Summary.min_value b)
+  && feq (Summary.max_value a) (Summary.max_value b)
+
+let prop_summary_split =
+  property "Summary.merge of a split = one stream"
+    QCheck.(pair samples samples)
+    (fun (xs, ys) ->
+      summary_eq
+        (summary_of (xs @ ys))
+        (Summary.merge (summary_of xs) (summary_of ys)))
+
+let prop_summary_commutative =
+  property "Summary.merge commutative"
+    QCheck.(pair samples samples)
+    (fun (xs, ys) ->
+      let a = summary_of xs and b = summary_of ys in
+      summary_eq (Summary.merge a b) (Summary.merge b a))
+
+let prop_summary_associative =
+  property "Summary.merge associative (up to float rounding)"
+    QCheck.(triple samples samples samples)
+    (fun (xs, ys, zs) ->
+      let a = summary_of xs and b = summary_of ys and c = summary_of zs in
+      summary_eq
+        (Summary.merge (Summary.merge a b) c)
+        (Summary.merge a (Summary.merge b c)))
+
+(* Histograms count into integer bins, so every histogram property is
+   exact, not approximate.  The generator range straddles [lo, hi) to
+   exercise the under/overflow counters. *)
+let hist_samples =
+  QCheck.(list (map (fun x -> x -. 25.0) (float_bound_inclusive 150.0)))
+
+let hist_of xs =
+  let h = Histogram.create ~lo:0.0 ~hi:100.0 ~bins:8 in
+  List.iter (Histogram.add h) xs;
+  h
+
+let hist_eq a b =
+  Histogram.bin_counts a = Histogram.bin_counts b
+  && Histogram.count a = Histogram.count b
+  && Histogram.underflow a = Histogram.underflow b
+  && Histogram.overflow a = Histogram.overflow b
+
+let prop_hist_split =
+  property "Histogram.merge of a split = one stream"
+    QCheck.(pair hist_samples hist_samples)
+    (fun (xs, ys) ->
+      hist_eq (hist_of (xs @ ys)) (Histogram.merge (hist_of xs) (hist_of ys)))
+
+let prop_hist_commutative =
+  property "Histogram.merge commutative"
+    QCheck.(pair hist_samples hist_samples)
+    (fun (xs, ys) ->
+      let a = hist_of xs and b = hist_of ys in
+      hist_eq (Histogram.merge a b) (Histogram.merge b a))
+
+let prop_hist_associative =
+  property "Histogram.merge associative"
+    QCheck.(triple hist_samples hist_samples hist_samples)
+    (fun (xs, ys, zs) ->
+      let a = hist_of xs and b = hist_of ys and c = hist_of zs in
+      hist_eq
+        (Histogram.merge (Histogram.merge a b) c)
+        (Histogram.merge a (Histogram.merge b c)))
+
+let test_hist_layout_mismatch () =
+  let check_raises a b =
+    Alcotest.check_raises "incompatible layouts"
+      (Invalid_argument "Histogram.merge: incompatible bin layouts") (fun () ->
+        ignore (Histogram.merge a b))
+  in
+  check_raises
+    (Histogram.create ~lo:0.0 ~hi:10.0 ~bins:4)
+    (Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5);
+  check_raises
+    (Histogram.create ~lo:0.0 ~hi:10.0 ~bins:4)
+    (Histogram.create ~lo:1.0 ~hi:10.0 ~bins:4);
+  check_raises
+    (Histogram.create ~lo:0.0 ~hi:10.0 ~bins:4)
+    (Histogram.create ~lo:0.0 ~hi:20.0 ~bins:4)
+
+let suite =
+  [
+    ( "merge",
+      [
+        prop_summary_split;
+        prop_summary_commutative;
+        prop_summary_associative;
+        prop_hist_split;
+        prop_hist_commutative;
+        prop_hist_associative;
+        Alcotest.test_case "histogram layout mismatch" `Quick
+          test_hist_layout_mismatch;
+      ] );
+  ]

@@ -1,0 +1,174 @@
+(* The domain worker pool: ordered result collection, coordinator-side
+   callbacks, crash containment with retry, and — the property the whole
+   subsystem exists to preserve — parallel sweeps identical to sequential
+   ones. *)
+
+module Pool = Dr_parallel.Pool
+module Config = Dr_exp.Config
+module Runner = Dr_exp.Runner
+module Sweep = Dr_exp.Sweep
+
+let test_default_jobs () =
+  Alcotest.(check bool) "at least one domain" true (Pool.default_jobs () >= 1)
+
+let test_map_ordered () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check int) "jobs" 4 (Pool.jobs pool);
+      let results = Pool.map pool (fun x -> x * x) (Array.init 50 Fun.id) in
+      Alcotest.(check int) "one result per task" 50 (Array.length results);
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> Alcotest.(check int) "index order" (i * i) v
+          | Error _ -> Alcotest.fail "unexpected task failure")
+        results)
+
+let test_small_queue_bound () =
+  (* A bound far below the batch size forces submit to block and refill;
+     the batch must still complete in order. *)
+  Pool.with_pool ~jobs:2 ~queue_bound:2 (fun pool ->
+      let results = Pool.map pool succ (Array.init 100 Fun.id) in
+      Array.iteri
+        (fun i r -> Alcotest.(check bool) "value" true (r = Ok (i + 1)))
+        results)
+
+let test_crash_containment () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let results =
+        Pool.map pool
+          (fun x -> if x = 3 then failwith "boom" else x)
+          (Array.init 8 Fun.id)
+      in
+      Array.iteri
+        (fun i r ->
+          match (i, r) with
+          | 3, Error (e : Pool.error) ->
+              Alcotest.(check int) "error carries its index" 3 e.Pool.index;
+              Alcotest.(check int) "retried once by default" 2 e.Pool.attempts;
+              Alcotest.(check bool) "message names the exception" true
+                (Astring.String.is_infix ~affix:"boom" e.Pool.message)
+          | 3, Ok _ -> Alcotest.fail "crashing task returned Ok"
+          | _, Ok v -> Alcotest.(check int) "healthy task unaffected" i v
+          | _, Error _ -> Alcotest.fail "healthy task errored")
+        results)
+
+let test_flaky_task_recovers_on_retry () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let tries = Array.init 4 (fun _ -> Atomic.make 0) in
+      let results =
+        Pool.map pool
+          (fun i ->
+            if Atomic.fetch_and_add tries.(i) 1 = 0 && i = 1 then
+              failwith "transient"
+            else i)
+          (Array.init 4 Fun.id)
+      in
+      Alcotest.(check bool) "first attempt failed, retry succeeded" true
+        (results.(1) = Ok 1);
+      Alcotest.(check int) "flaky task ran twice" 2 (Atomic.get tries.(1)))
+
+let test_zero_retries () =
+  Pool.with_pool ~jobs:2 ~retries:0 (fun pool ->
+      let results =
+        Pool.map pool (fun i -> if i = 0 then failwith "once" else i) [| 0; 1 |]
+      in
+      match results.(0) with
+      | Error e -> Alcotest.(check int) "single attempt" 1 e.Pool.attempts
+      | Ok _ -> Alcotest.fail "expected a failed task")
+
+let test_on_result_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let seen = ref [] in
+      let _ =
+        Pool.map pool
+          ~on_result:(fun i _ -> seen := i :: !seen)
+          Fun.id (Array.init 32 Fun.id)
+      in
+      Alcotest.(check (list int)) "strict index order, coordinator side"
+        (List.init 32 Fun.id) (List.rev !seen))
+
+let test_pool_reuse_and_map_list () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let a = Pool.map pool succ [| 1; 2; 3 |] in
+      let b = Pool.map_list pool succ [ 10; 20 ] in
+      Alcotest.(check bool) "first batch" true (a = [| Ok 2; Ok 3; Ok 4 |]);
+      Alcotest.(check bool) "second batch on the same pool" true
+        (b = [ Ok 11; Ok 21 ]))
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.(check pass) "double shutdown" () ()
+
+(* --- parallel = sequential on real experiment output -------------------- *)
+
+let tiny_cfg =
+  {
+    Config.default with
+    Config.warmup = 600.0;
+    horizon = 1800.0;
+    sample_every = 300.0;
+    lifetime_lo = 300.0;
+    lifetime_hi = 600.0;
+  }
+
+let tiny_sweep ~pool ~progress degree =
+  Sweep.run ~pool ~progress tiny_cfg ~avg_degree:degree ~traffics:[ Config.UT ]
+    ~lambdas:[ 0.3 ]
+    ~schemes:
+      [ Runner.Lsr Drtp.Routing.Dlsr; Runner.Bf Dr_flood.Bounded_flood.default_config ]
+    ()
+
+let test_sweep_jobs_determinism () =
+  let sweep_at jobs =
+    let lines = ref [] in
+    let sweep =
+      Pool.with_pool ~jobs (fun pool ->
+          tiny_sweep ~pool ~progress:(fun l -> lines := l :: !lines) 3.0)
+    in
+    (sweep, List.rev !lines)
+  in
+  let s1, p1 = sweep_at 1 in
+  let s4, p4 = sweep_at 4 in
+  Alcotest.(check bool) "identical cells" true (s1.Sweep.cells = s4.Sweep.cells);
+  Alcotest.(check bool) "identical baselines" true
+    (s1.Sweep.baselines = s4.Sweep.baselines);
+  Alcotest.(check bool) "no failures" true
+    (s1.Sweep.failures = [] && s4.Sweep.failures = []);
+  Alcotest.(check (list string)) "identical progress lines, same order" p1 p4
+
+let test_claims_json_jobs_determinism () =
+  let claims jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        let e3 = tiny_sweep ~pool ~progress:ignore 3.0 in
+        let e4 = tiny_sweep ~pool ~progress:ignore 4.0 in
+        Dr_exp.Report.claims_to_json (Dr_exp.Report.check_claims ~e3 ~e4))
+  in
+  Alcotest.(check string) "claims --json identical across job counts"
+    (claims 1) (claims 4)
+
+let suite =
+  [
+    ( "parallel pool",
+      [
+        Alcotest.test_case "default jobs" `Quick test_default_jobs;
+        Alcotest.test_case "map keeps index order" `Quick test_map_ordered;
+        Alcotest.test_case "bounded queue backpressure" `Quick
+          test_small_queue_bound;
+        Alcotest.test_case "crash containment" `Quick test_crash_containment;
+        Alcotest.test_case "flaky task recovers on retry" `Quick
+          test_flaky_task_recovers_on_retry;
+        Alcotest.test_case "retries:0 means one attempt" `Quick
+          test_zero_retries;
+        Alcotest.test_case "on_result in coordinator order" `Quick
+          test_on_result_order;
+        Alcotest.test_case "pool reuse and map_list" `Quick
+          test_pool_reuse_and_map_list;
+        Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+        Alcotest.test_case "sweep identical at jobs 1 vs 4" `Slow
+          test_sweep_jobs_determinism;
+        Alcotest.test_case "claims JSON identical at jobs 1 vs 4" `Slow
+          test_claims_json_jobs_determinism;
+      ] );
+  ]
