@@ -13,6 +13,7 @@ let stderr_progress line =
 (* ---- telemetry --------------------------------------------------------- *)
 
 module Telemetry = Dr_telemetry.Telemetry
+module Journal = Dr_obs.Journal
 
 let trace_t =
   let doc =
@@ -28,12 +29,20 @@ let metrics_t =
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let journal_t =
+  let doc =
+    "Enable the flight-recorder journal and write it as JSONL (one event \
+     per line, simulation-time stamped) to $(docv) when the command \
+     finishes.  Output is byte-identical for any $(b,--jobs) count."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
 (* Evaluating this term configures telemetry as a side effect, so every
    subcommand picks the flags up by prepending [$ telemetry_t].  The
-   summary table and the trace finalisation run from [at_exit]: they then
-   also cover commands that leave through [exit] (claims). *)
+   summary table and the trace/journal finalisation run from [at_exit]:
+   they then also cover commands that leave through [exit] (claims). *)
 let telemetry_t =
-  let setup trace metrics =
+  let setup trace metrics journal =
     if trace <> None || metrics then Telemetry.set_enabled true;
     (match trace with
     | None -> ()
@@ -46,12 +55,25 @@ let telemetry_t =
         in
         Telemetry.Sink.set (Telemetry.Sink.jsonl oc);
         at_exit Telemetry.Sink.close);
+    (match journal with
+    | None -> ()
+    | Some file ->
+        let oc =
+          try open_out file
+          with Sys_error msg ->
+            Printf.eprintf "drtp_sim: cannot open journal file (%s)\n" msg;
+            exit 2
+        in
+        Journal.set_enabled true;
+        at_exit (fun () ->
+            Journal.write_jsonl (Journal.current ()) oc;
+            close_out_noerr oc));
     if metrics then
       (* Registered after the sink hook, so LIFO order prints the table
          before the trace file is finalised. *)
       at_exit (fun () -> Format.printf "@.%a@." Telemetry.pp_summary ())
   in
-  Term.(const setup $ trace_t $ metrics_t)
+  Term.(const setup $ trace_t $ metrics_t $ journal_t)
 
 (* ---- shared options ---------------------------------------------------- *)
 
@@ -165,12 +187,35 @@ let fig5_cmd =
     Term.(const run $ telemetry_t $ jobs_t $ degree_t $ quick_t $ seed_t $ csv_t)
 
 let details_cmd =
-  let run () jobs degree quick seed csv =
-    sweep_and_print ~print:Dr_exp.Report.print_details jobs degree quick seed csv
+  let json_t =
+    let doc =
+      "Emit one machine-readable JSON record per sweep cell (the CSV \
+       fields) instead of the aligned table — the journal/inspect \
+       counterpart of $(b,claims --json)."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run () jobs json degree quick seed csv =
+    let cfg = config_of ~quick ~seed in
+    let sweep =
+      with_pool jobs (fun pool ->
+          Dr_exp.Sweep.run ~pool ~progress:stderr_progress cfg ~avg_degree:degree
+            ~lambdas:(lambdas_for ~quick degree) ())
+    in
+    if json then print_string (Dr_exp.Report.details_to_json sweep)
+    else Format.printf "%a@." Dr_exp.Report.print_details sweep;
+    match csv with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Dr_exp.Report.to_csv sweep));
+        Format.eprintf "wrote %s@." file
   in
   Cmd.v
     (Cmd.info "details" ~doc:"Per-cell diagnostics for one sweep.")
-    Term.(const run $ telemetry_t $ jobs_t $ degree_t $ quick_t $ seed_t $ csv_t)
+    Term.(const run $ telemetry_t $ jobs_t $ json_t $ degree_t $ quick_t $ seed_t $ csv_t)
 
 let claims_cmd =
   let json_t =
@@ -496,6 +541,355 @@ let replay_cmd =
        ~doc:"Replay a saved scenario file under a chosen routing scheme.")
     Term.(const run $ telemetry_t $ jobs_t $ degree_t $ file_t $ scheme_t $ quick_t $ seed_t)
 
+(* ---- explain: route one connection and show the decision ---------------- *)
+
+let explain_cmd =
+  let scheme_t =
+    let parse s =
+      Result.map_error (fun e -> `Msg e) (Drtp.Routing.scheme_of_string s)
+    in
+    let print ppf s = Format.pp_print_string ppf (Drtp.Routing.scheme_name s) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Drtp.Routing.Dlsr
+      & info [ "scheme" ] ~docv:"SCHEME"
+          ~doc:"Link-state scheme to explain: d-lsr, p-lsr or spf.")
+  in
+  let src_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "src" ] ~docv:"NODE" ~doc:"Source node (default: a seeded draw).")
+  in
+  let dst_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "dst" ] ~docv:"NODE"
+          ~doc:"Destination node (default: a seeded draw).")
+  in
+  let bw_t =
+    Arg.(
+      value & opt int 1
+      & info [ "bw" ] ~docv:"UNITS" ~doc:"Requested bandwidth units.")
+  in
+  let top_t =
+    Arg.(
+      value & opt int 3
+      & info [ "top" ] ~docv:"K" ~doc:"Candidate backup routes to tabulate.")
+  in
+  let dot_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:
+            "Write an annotated Graphviz overlay of the chosen routes (edges \
+             labelled id/capacity/spare).")
+  in
+  let run () _jobs degree traffic lambda scheme src dst bw top dot quick seed =
+    let cfg = config_of ~quick ~seed in
+    let graph = Dr_exp.Config.make_graph cfg ~avg_degree:degree in
+    let scenario = Dr_exp.Config.make_scenario cfg traffic ~lambda in
+    Format.eprintf "warming network to t=%.0f s (%s, lambda=%.2f)...@."
+      cfg.Dr_exp.Config.warmup
+      (Dr_exp.Config.traffic_name traffic)
+      lambda;
+    let state =
+      Dr_exp.Runner.load_state cfg ~graph ~scenario
+        ~scheme:(Dr_exp.Runner.Lsr scheme) ~until:cfg.Dr_exp.Config.warmup
+    in
+    let n = Dr_topo.Graph.node_count graph in
+    let src, dst =
+      match (src, dst) with
+      | Some s, Some d -> (s, d)
+      | _ ->
+          let rng = Dr_rng.Splitmix64.create ((seed * 7919) + 17) in
+          let s, d = Dr_rng.Dist.pick_distinct_pair rng n in
+          (Option.value src ~default:s, Option.value dst ~default:d)
+    in
+    if src < 0 || src >= n || dst < 0 || dst >= n || src = dst then begin
+      Printf.eprintf "drtp_sim: bad src/dst pair (%d, %d) for %d nodes\n" src
+        dst n;
+      exit 2
+    end;
+    let pp_nodes ppf p =
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_char ppf '-')
+        Format.pp_print_int ppf (Dr_topo.Path.nodes graph p)
+    in
+    match Drtp.Routing.find_primary state ~src ~dst ~bw with
+    | None ->
+        Format.printf "no feasible primary route %d -> %d (bw=%d)@." src dst bw;
+        exit 1
+    | Some primary ->
+        Format.printf "request: %d -> %d, bw=%d, scheme=%s@." src dst bw
+          (Drtp.Routing.scheme_name scheme);
+        Format.printf "primary (%d hops): %a@."
+          (Dr_topo.Path.hops primary)
+          pp_nodes primary;
+        let chosen = Drtp.Routing.find_backup scheme state ~primary ~bw in
+        (match chosen with
+        | None -> Format.printf "chosen backup: none (no feasible route)@."
+        | Some b ->
+            Format.printf "chosen backup (%d hops): %a@." (Dr_topo.Path.hops b)
+              pp_nodes b);
+        let chosen_links = Option.map Dr_topo.Path.links chosen in
+        let cost = Drtp.Routing.backup_link_cost scheme state ~primary ~bw in
+        let cands = Dr_topo.Yen.k_shortest graph ~cost ~src ~dst ~k:top in
+        let resources = Drtp.Net_state.resources state in
+        if cands = [] then Format.printf "no feasible backup candidates@."
+        else
+          List.iteri
+            (fun i (total, path) ->
+              let mark =
+                if Some (Dr_topo.Path.links path) = chosen_links then
+                  "  <== chosen"
+                else ""
+              in
+              Format.printf "@.candidate #%d (%d hops, cost %g)%s: %a@." (i + 1)
+                (Dr_topo.Path.hops path)
+                total mark pp_nodes path;
+              Format.printf "  %4s %9s %5s %5s %10s %10s %8s %10s@." "link"
+                "route" "free" "spare" "q" "conflict" "eps" "total";
+              let sum = ref 0.0 in
+              List.iter
+                (fun l ->
+                  let u = Dr_topo.Graph.link_src graph l
+                  and v = Dr_topo.Graph.link_dst graph l in
+                  match
+                    Drtp.Routing.backup_link_verdict scheme state ~primary ~bw l
+                  with
+                  | Drtp.Routing.Cost p ->
+                      let t = Drtp.Routing.parts_total p in
+                      sum := !sum +. t;
+                      Format.printf
+                        "  %4d %4d>%-4d %5d %5d %10g %10g %8g %10g@." l u v
+                        (Drtp.Resources.free resources l)
+                        (Drtp.Resources.spare_bw resources l)
+                        p.Drtp.Routing.q p.Drtp.Routing.conflict
+                        p.Drtp.Routing.eps t
+                  | Drtp.Routing.Dead ->
+                      Format.printf "  %4d %4d>%-4d (link dead)@." l u v
+                  | Drtp.Routing.No_bandwidth { required } ->
+                      Format.printf "  %4d %4d>%-4d (needs %d units)@." l u v
+                        required)
+                (Dr_topo.Path.links path);
+              Format.printf "  %56s %10g@." "sum =" !sum)
+            cands;
+        (match dot with
+        | None -> ()
+        | Some file ->
+            let edge_label e =
+              let l, _ = Dr_topo.Graph.links_of_edge e in
+              Some
+                (Printf.sprintf "e%d c=%d s=%d" e
+                   (Drtp.Resources.capacity resources l)
+                   (Drtp.Resources.spare_bw resources l))
+            in
+            let backups = match chosen with None -> [] | Some b -> [ b ] in
+            let oc = open_out file in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc
+                  (Dr_topo.Dot.routes_to_dot ~edge_label graph ~primary ~backups));
+            Format.printf "wrote %s@." file)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Route one seeded DR-connection on a warmed network and print the \
+          backup decision: the chosen route next to the top-K candidate \
+          routes, each link's cost decomposed into Q-penalty, conflict term \
+          and epsilon tie-break (rows sum bit-exactly to the search cost).")
+    Term.(
+      const run $ telemetry_t $ jobs_t $ degree_t $ traffic_t
+      $ lambda_t ~default:0.5 $ scheme_t $ src_t $ dst_t $ bw_t $ top_t $ dot_t
+      $ quick_t $ seed_t)
+
+(* ---- inspect: summarise a journal file ---------------------------------- *)
+
+let inspect_cmd =
+  let file_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JOURNAL" ~doc:"Journal JSONL file to summarise.")
+  in
+  let check_t =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Schema-validate only: parse every line and exit 1 if any line \
+             is malformed or of unknown event kind.")
+  in
+  let top_t =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Rows per ranking table.")
+  in
+  let run () file check top =
+    let num fields name =
+      match List.assoc_opt name fields with
+      | Some (Journal.Num v) -> Some v
+      | _ -> None
+    in
+    let lines = ref 0 and error_count = ref 0 in
+    let first_errors = ref [] in
+    let kind_counts = Hashtbl.create 32 in
+    (* Conflict mass each link accumulated across backup-chosen cost rows:
+       the links the schemes kept paying for are the contended ones. *)
+    let contended = Hashtbl.create 64 in
+    (* Spare-capacity high water per link, with the sim time it was first
+       reached (from spare-change events). *)
+    let spare_hw = Hashtbl.create 64 in
+    let s_det = ref 0.0 and s_rep = ref 0.0 and s_act = ref 0.0 in
+    let n_act = ref 0 and n_lost = ref 0 and n_cont = ref 0 in
+    let folded =
+      Journal.fold_jsonl file ~init:() ~f:(fun () lineno parsed ->
+          incr lines;
+          match parsed with
+          | Error msg ->
+              incr error_count;
+              if List.length !first_errors < 5 then
+                first_errors := (lineno, msg) :: !first_errors
+          | Ok p ->
+              Hashtbl.replace kind_counts p.Journal.p_kind
+                (1
+                + Option.value
+                    (Hashtbl.find_opt kind_counts p.Journal.p_kind)
+                    ~default:0);
+              let fields = p.Journal.p_fields in
+              (match p.Journal.p_kind with
+              | "backup-chosen" -> (
+                  match List.assoc_opt "links" fields with
+                  | Some (Journal.Arr rows) ->
+                      List.iter
+                        (function
+                          | Journal.Obj row -> (
+                              match (num row "link", num row "conflict") with
+                              | Some l, Some c ->
+                                  let l = int_of_float l in
+                                  let s, k =
+                                    Option.value
+                                      (Hashtbl.find_opt contended l)
+                                      ~default:(0.0, 0)
+                                  in
+                                  Hashtbl.replace contended l (s +. c, k + 1)
+                              | _ -> ())
+                          | _ -> ())
+                        rows
+                  | _ -> ())
+              | "spare-change" -> (
+                  match (num fields "link", num fields "after") with
+                  | Some l, Some after -> (
+                      let l = int_of_float l in
+                      match Hashtbl.find_opt spare_hw l with
+                      | Some (peak, _) when after <= peak -> ()
+                      | _ -> Hashtbl.replace spare_hw l (after, p.Journal.p_time)
+                      )
+                  | _ -> ())
+              | "backup-activated" -> (
+                  match
+                    ( num fields "detection_s",
+                      num fields "report_s",
+                      num fields "activation_s" )
+                  with
+                  | Some d, Some r, Some a ->
+                      s_det := !s_det +. d;
+                      s_rep := !s_rep +. r;
+                      s_act := !s_act +. a;
+                      incr n_act
+                  | _ -> ())
+              | "connection-lost" -> incr n_lost
+              | "backup-contended" -> incr n_cont
+              | _ -> ()))
+    in
+    match folded with
+    | Error msg ->
+        Printf.eprintf "drtp_sim: cannot read %s (%s)\n" file msg;
+        exit 2
+    | Ok () ->
+        if check then begin
+          Printf.printf "%s: %d lines, %d errors\n" file !lines !error_count;
+          List.iter
+            (fun (ln, msg) -> Printf.printf "  line %d: %s\n" ln msg)
+            (List.rev !first_errors);
+          if !error_count > 0 then exit 1
+        end
+        else begin
+          Format.printf "# journal %s: %d events%s@." file !lines
+            (if !error_count > 0 then
+               Printf.sprintf " (%d malformed lines!)" !error_count
+             else "");
+          Format.printf "@.@[<v># events by kind@,";
+          List.iter
+            (fun k ->
+              match Hashtbl.find_opt kind_counts k with
+              | Some c -> Format.printf "%-18s %8d@," k c
+              | None -> ())
+            Journal.all_kinds;
+          Format.printf "@]@.";
+          let ranked tbl =
+            List.sort compare
+              (Hashtbl.fold (fun l (v, x) acc -> (-.v, l, x) :: acc) tbl [])
+          in
+          (match ranked contended with
+          | [] -> ()
+          | rows ->
+              Format.printf
+                "@.@[<v># top contended links (conflict mass across \
+                 backup-chosen rows)@,";
+              List.iteri
+                (fun i (neg_sum, l, k) ->
+                  if i < top then
+                    Format.printf "link %-5d conflict-sum %10.1f over %d rows@,"
+                      l (-.neg_sum) k)
+                rows;
+              Format.printf "@]@.");
+          (match
+             List.sort compare
+               (Hashtbl.fold
+                  (fun l (peak, t) acc -> (-.peak, t, l) :: acc)
+                  spare_hw [])
+           with
+          | [] -> ()
+          | rows ->
+              Format.printf
+                "@.@[<v># spare-capacity high water (SC_i peaks)@,";
+              List.iteri
+                (fun i (neg_peak, t, l) ->
+                  if i < top then
+                    Format.printf
+                      "link %-5d peak %4.0f units, first reached t=%.1f s@," l
+                      (-.neg_peak) t)
+                rows;
+              Format.printf "@]@.");
+          if !n_act > 0 || !n_lost > 0 || !n_cont > 0 then begin
+            Format.printf "@.@[<v># recovery breakdown@,";
+            (if !n_act > 0 then
+               let m = float_of_int !n_act in
+               Format.printf
+                 "backup activations %d: mean detection %.4f s + report %.4f \
+                  s + activation %.4f s = %.4f s@,"
+                 !n_act (!s_det /. m) (!s_rep /. m) (!s_act /. m)
+                 ((!s_det +. !s_rep +. !s_act) /. m));
+            Format.printf "contended backups %d, connections lost %d@," !n_cont
+              !n_lost;
+            Format.printf "@]@."
+          end
+        end
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Summarise a flight-recorder journal (written with $(b,--journal)): \
+          event histogram, top contended links, spare-capacity high-water \
+          marks and the recovery-latency phase breakdown.")
+    Term.(const run $ telemetry_t $ file_t $ check_t $ top_t)
+
 let default_info =
   Cmd.info "drtp_sim" ~version:"1.0.0"
     ~doc:
@@ -509,7 +903,8 @@ let () =
       ablate_flood_cmd; ablate_spf_cmd; ablate_backups_cmd; ablate_qos_cmd;
       ablate_classes_cmd; replicate_cmd; staleness_cmd; availability_cmd;
       overhead_cmd;
-      recovery_cmd; topo_cmd; scenario_cmd; replay_cmd;
+      recovery_cmd; topo_cmd; scenario_cmd; replay_cmd; explain_cmd;
+      inspect_cmd;
     ]
   in
   exit (Cmd.eval (Cmd.group default_info cmds))

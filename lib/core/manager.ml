@@ -1,3 +1,5 @@
+module J = Dr_obs.Journal
+
 type stats = {
   mutable requests : int;
   mutable accepted : int;
@@ -30,26 +32,41 @@ let state t = t.state
 let stats t = t.stats
 
 let apply t (item : Dr_sim.Scenario.item) =
+  (* The scenario item's time is the simulation clock for every journal
+     event the routing/admission machinery emits below. *)
+  if !J.on then J.set_now item.time;
   match item.event with
   | Dr_sim.Scenario.Request { conn; src; dst; bw; duration = _ } -> (
       t.stats.requests <- t.stats.requests + 1;
+      if !J.on then J.record (J.Request { conn; src; dst; bw });
       match t.route t.state ~src ~dst ~bw with
       | Error Routing.No_primary ->
-          t.stats.rejected_no_primary <- t.stats.rejected_no_primary + 1
+          t.stats.rejected_no_primary <- t.stats.rejected_no_primary + 1;
+          if !J.on then
+            J.record
+              (J.Rejected { conn; reason = Routing.reject_reason_name Routing.No_primary })
       | Error Routing.No_backup ->
-          t.stats.rejected_no_backup <- t.stats.rejected_no_backup + 1
+          t.stats.rejected_no_backup <- t.stats.rejected_no_backup + 1;
+          if !J.on then
+            J.record
+              (J.Rejected { conn; reason = Routing.reject_reason_name Routing.No_backup })
       | Ok { Routing.primary; backups } ->
           let c = Net_state.admit t.state ~id:conn ~bw ~primary ~backups in
           t.stats.accepted <- t.stats.accepted + 1;
           if backups = [] then t.stats.unprotected <- t.stats.unprotected + 1;
-          if c.degraded then t.stats.degraded <- t.stats.degraded + 1)
+          if c.degraded then t.stats.degraded <- t.stats.degraded + 1;
+          if !J.on then
+            J.record
+              (J.Admitted
+                 { conn; backups = List.length backups; degraded = c.degraded }))
   | Dr_sim.Scenario.Release { conn } -> (
       (* Rejected connections have no state to tear down. *)
       match Net_state.find t.state conn with
       | None -> ()
       | Some _ ->
           Net_state.release t.state ~id:conn;
-          t.stats.released <- t.stats.released + 1)
+          t.stats.released <- t.stats.released + 1;
+          if !J.on then J.record (J.Teardown { conn }))
 
 let run t scenario = Dr_sim.Scenario.iter scenario (fun item -> apply t item)
 

@@ -1,6 +1,7 @@
 module Graph = Dr_topo.Graph
 module Path = Dr_topo.Path
 module Tm = Dr_telemetry.Telemetry
+module J = Dr_obs.Journal
 
 (* Telemetry: APLV register/unregister traffic (the LSR schemes' signalling
    cost) and conflict-vector packings (D-LSR's advertisement payload). *)
@@ -78,12 +79,27 @@ let total_spare_deficit t =
 
 let backup_count_on_link t ~link = Aplv.backup_count t.aplv.(link)
 
+(* Journal any movement of [link]'s spare pool [SC_i] made by [f] — the
+   quantity the multiplexing rule (§5) sizes and the flight recorder's
+   spare-change event reports before/after. *)
+let journal_spare t link f =
+  if !J.on then begin
+    let before = Resources.spare_bw t.resources link in
+    let r = f () in
+    let after = Resources.spare_bw t.resources link in
+    if after <> before then J.record (J.Spare_change { link; before; after });
+    r
+  end
+  else f ()
+
 (* Try to lift any spare deficit on [link] out of the free pool. *)
 let reclaim_spare t link =
+  journal_spare t link @@ fun () ->
   let d = spare_deficit t ~link in
   if d > 0 then ignore (Resources.grow_spare t.resources ~link ~want:d)
 
 let adjust_spare_after_register t link =
+  journal_spare t link @@ fun () ->
   let req = spare_required t ~link in
   let have = Resources.spare_bw t.resources link in
   if req > have then
@@ -92,6 +108,7 @@ let adjust_spare_after_register t link =
   else true
 
 let adjust_spare_after_unregister t link =
+  journal_spare t link @@ fun () ->
   let req = spare_required t ~link in
   let have = Resources.spare_bw t.resources link in
   if have > req then Resources.shrink_spare t.resources ~link ~amount:(have - req)
@@ -259,6 +276,7 @@ let promote_backup t ~id ?(index = 0) () =
          routing schemes try to avoid. *)
       List.iter
         (fun l ->
+          journal_spare t l @@ fun () ->
           let free = Resources.free t.resources l in
           if free >= conn.bw then Resources.reserve_primary t.resources ~link:l ~bw:conn.bw
           else begin

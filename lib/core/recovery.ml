@@ -1,6 +1,7 @@
 module Graph = Dr_topo.Graph
 module Path = Dr_topo.Path
 module Tm = Dr_telemetry.Telemetry
+module J = Dr_obs.Journal
 
 (* Telemetry: recovery outcomes per victim connection and the latency
    distributions the E1 extension reports.  Activation latencies live in
@@ -93,22 +94,35 @@ let fail_edge_drtp state ~scheme ?(timing = default_timing) ?(reconfigure = true
         (not (Path.crosses_edge c.primary edge))
         && List.exists (fun b -> Path.crosses_edge b edge) c.backups
       then broken_backups := c.id :: !broken_backups);
+  if !J.on then
+    J.record (J.Failure_detected { edge; victims = List.length victims });
   let switched = ref [] in
   let outcomes =
     List.map
       (fun (conn : Net_state.conn) ->
-        let notify =
-          timing.detection_delay
-          +. (timing.link_delay *. float_of_int (report_hops conn edge))
-        in
+        let hops = report_hops conn edge in
+        let detection = timing.detection_delay in
+        let report = timing.link_delay *. float_of_int hops in
+        let notify = detection +. report in
+        if !J.on then
+          J.record (J.Report_hop { conn = conn.id; hops; detection; report });
         match usable_backup_index state conn edge with
         | Some (index, b) ->
-            let latency = notify +. (timing.link_delay *. float_of_int (Path.hops b)) in
+            let activation = timing.link_delay *. float_of_int (Path.hops b) in
+            let latency = notify +. activation in
             Net_state.promote_backup state ~id:conn.id ~index ();
+            if !J.on then
+              J.record
+                (J.Backup_activated
+                   { conn = conn.id; index; detection; report; activation });
             switched := (conn.id, latency) :: !switched;
             (conn.id, latency)
         | None ->
             Net_state.drop state ~id:conn.id;
+            if !J.on then begin
+              J.record (J.Backup_contended { conn = conn.id });
+              J.record (J.Connection_lost { conn = conn.id; latency = notify })
+            end;
             (conn.id, -.notify) (* negative marks a loss *))
       victims
   in
@@ -131,8 +145,11 @@ let fail_edge_drtp state ~scheme ?(timing = default_timing) ?(reconfigure = true
           in
           Net_state.replace_backups state ~id ~backups:(surviving @ fresh);
           if surviving @ fresh = [] then `Unprotected
-          else if fresh <> [] then `Rerouted
-          else `Kept
+          else begin
+            if !J.on then
+              J.record (J.Reprotected { conn = id; fresh = List.length fresh });
+            if fresh <> [] then `Rerouted else `Kept
+          end
     in
     List.iter
       (fun (id, _) ->
@@ -197,6 +214,8 @@ let fail_edge_local_detour state ?(timing = default_timing) ~edge () =
   Net_state.fail_edge state ~edge;
   let graph = Net_state.graph state in
   let victims = Net_state.primaries_crossing_edge state edge in
+  if !J.on then
+    J.record (J.Failure_detected { edge; victims = List.length victims });
   let outcomes =
     List.map
       (fun (conn : Net_state.conn) ->
@@ -223,6 +242,8 @@ let fail_edge_local_detour state ?(timing = default_timing) ~edge () =
             let latency = timing.detection_delay +. timing.route_computation in
             Net_state.drop state ~id:conn.id;
             Tm.Counter.incr c_lost;
+            if !J.on then
+              J.record (J.Connection_lost { conn = conn.id; latency });
             (conn.id, Lost { latency })
         | Some d ->
             (* Splice the detour in place of the failed hop and drop any
@@ -248,11 +269,15 @@ let fail_edge_local_detour state ?(timing = default_timing) ~edge () =
                in
                Tm.Counter.incr c_rerouted;
                Tm.Timer.record t_reroute latency;
+               if !J.on then
+                 J.record (J.Rerouted { conn = conn.id; latency; retries = 0 });
                (conn.id, Rerouted { latency; retries = 0 })
              with Invalid_argument _ ->
                let latency = timing.detection_delay +. timing.route_computation in
                Net_state.drop state ~id:conn.id;
                Tm.Counter.incr c_lost;
+               if !J.on then
+                 J.record (J.Connection_lost { conn = conn.id; latency });
                (conn.id, Lost { latency })))
       victims
   in
@@ -261,15 +286,19 @@ let fail_edge_local_detour state ?(timing = default_timing) ~edge () =
 let fail_edge_reactive state ?(timing = default_timing) ~edge () =
   Net_state.fail_edge state ~edge;
   let victims = Net_state.primaries_crossing_edge state edge in
+  if !J.on then
+    J.record (J.Failure_detected { edge; victims = List.length victims });
   (* Everyone loses their channel first (the failed route is torn down),
      then re-establishment attempts proceed. *)
   let notify_of = Hashtbl.create 8 in
   List.iter
     (fun (conn : Net_state.conn) ->
-      let notify =
-        timing.detection_delay
-        +. (timing.link_delay *. float_of_int (report_hops conn edge))
-      in
+      let hops = report_hops conn edge in
+      let detection = timing.detection_delay in
+      let report = timing.link_delay *. float_of_int hops in
+      let notify = detection +. report in
+      if !J.on then
+        J.record (J.Report_hop { conn = conn.id; hops; detection; report });
       Hashtbl.replace notify_of conn.id (notify, conn.src, conn.dst, conn.bw);
       Net_state.drop state ~id:conn.id)
     victims;
@@ -296,10 +325,14 @@ let fail_edge_reactive state ?(timing = default_timing) ~edge () =
               ignore (Net_state.admit state ~id:conn.id ~bw ~primary:p ~backups:[]);
               Tm.Counter.incr c_rerouted;
               Tm.Timer.record t_reroute latency;
+              if !J.on then
+                J.record (J.Rerouted { conn = conn.id; latency; retries = n });
               (conn.id, Rerouted { latency; retries = n })
           | None ->
               if n >= timing.max_retries then begin
                 Tm.Counter.incr c_lost;
+                if !J.on then
+                  J.record (J.Connection_lost { conn = conn.id; latency = spent });
                 (conn.id, Lost { latency = spent })
               end
               else attempt (n + 1)

@@ -2,6 +2,7 @@ module Graph = Dr_topo.Graph
 module Path = Dr_topo.Path
 module Shortest_path = Dr_topo.Shortest_path
 module Tm = Dr_telemetry.Telemetry
+module J = Dr_obs.Journal
 
 (* Telemetry: route-computation timers (one per scheme) and the causes of
    infeasibility, both per candidate link and per request. *)
@@ -35,13 +36,33 @@ let link_alive state l =
 
 let find_primary state ~src ~dst ~bw =
   Tm.Timer.time t_find_primary (fun () ->
-      let resources = Net_state.resources state in
-      let usable l =
-        link_alive state l && Resources.primary_feasible resources ~link:l ~bw
+      let result =
+        let resources = Net_state.resources state in
+        let usable l =
+          link_alive state l && Resources.primary_feasible resources ~link:l ~bw
+        in
+        Shortest_path.min_hop_path (Net_state.graph state) ~usable ~src ~dst ()
       in
-      Shortest_path.min_hop_path (Net_state.graph state) ~usable ~src ~dst ())
+      (match result with
+      | Some p when !J.on ->
+          J.record (J.Primary_chosen { src; dst; bw; links = Path.links p })
+      | Some _ | None -> ());
+      result)
 
-let backup_link_cost_general scheme state ~primary ~earlier_backups ~bw =
+type cost_parts = { q : float; conflict : float; eps : float }
+
+let parts_total p = p.q +. p.conflict +. p.eps
+
+type link_verdict =
+  | Dead
+  | No_bandwidth of { required : int }
+  | Cost of cost_parts
+
+(* The per-link cost decomposition every scheme's total is assembled from.
+   [backup_link_cost_general] below sums the parts in exactly the order
+   [parts_total] uses, so an explained row always matches the Dijkstra
+   cost bit for bit. *)
+let backup_link_verdict_general scheme state ~primary ~earlier_backups ~bw =
   let resources = Net_state.resources state in
   let primary_edges = Path.edge_set primary in
   let primary_edge_list = Path.Link_set.elements primary_edges in
@@ -64,14 +85,9 @@ let backup_link_cost_general scheme state ~primary ~earlier_backups ~bw =
       + if Path.Link_set.mem l earlier_links then 1 else 0
     in
     let required = bw * (1 + own_shares) in
-    if not (link_alive state l) then begin
-      Tm.Counter.incr c_link_dead;
-      infinity
-    end
-    else if not (Resources.backup_feasible resources ~link:l ~bw:required) then begin
-      Tm.Counter.incr c_link_no_bw;
-      infinity
-    end
+    if not (link_alive state l) then Dead
+    else if not (Resources.backup_feasible resources ~link:l ~bw:required) then
+      No_bandwidth { required }
     else
       let q =
         (* The paper's large constant Q: sharing a failure domain with the
@@ -86,17 +102,73 @@ let backup_link_cost_general scheme state ~primary ~earlier_backups ~bw =
         +. if Path.Link_set.mem e earlier_edges then q_constant else 0.0
       in
       match scheme with
-      | Spf -> q +. 1.0
-      | Plsr -> q +. float_of_int (Aplv.norm1 (Net_state.aplv state l)) +. epsilon
+      | Spf -> Cost { q; conflict = 1.0; eps = 0.0 }
+      | Plsr ->
+          Cost
+            {
+              q;
+              conflict = float_of_int (Aplv.norm1 (Net_state.aplv state l));
+              eps = epsilon;
+            }
       | Dlsr ->
-          q
-          +. float_of_int
-               (Aplv.conflict_count_with (Net_state.aplv state l)
-                  ~edge_lset:primary_edge_list)
-          +. epsilon
+          Cost
+            {
+              q;
+              conflict =
+                float_of_int
+                  (Aplv.conflict_count_with (Net_state.aplv state l)
+                     ~edge_lset:primary_edge_list);
+              eps = epsilon;
+            }
+
+let backup_link_verdict ?(earlier_backups = []) scheme state ~primary ~bw =
+  backup_link_verdict_general scheme state ~primary ~earlier_backups ~bw
+
+let backup_link_cost_general scheme state ~primary ~earlier_backups ~bw =
+  let verdict =
+    backup_link_verdict_general scheme state ~primary ~earlier_backups ~bw
+  in
+  fun l ->
+    match verdict l with
+    | Dead ->
+        Tm.Counter.incr c_link_dead;
+        infinity
+    | No_bandwidth _ ->
+        Tm.Counter.incr c_link_no_bw;
+        infinity
+    | Cost p -> parts_total p
 
 let backup_link_cost scheme state ~primary ~bw =
   backup_link_cost_general scheme state ~primary ~earlier_backups:[] ~bw
+
+(* Journal the chosen backup with its per-link cost decomposition.  The
+   network state is unchanged during route computation, so re-deriving the
+   verdicts here reproduces exactly the costs the search minimised. *)
+let journal_backup_chosen scheme state ~primary ~earlier_backups ~bw path =
+  let verdict =
+    backup_link_verdict_general scheme state ~primary ~earlier_backups ~bw
+  in
+  let links =
+    List.map
+      (fun l ->
+        match verdict l with
+        | Cost p ->
+            { J.lc_link = l; lc_q = p.q; lc_conflict = p.conflict; lc_eps = p.eps }
+        | Dead | No_bandwidth _ ->
+            (* Unreachable: the search only returns feasible links. *)
+            { J.lc_link = l; lc_q = infinity; lc_conflict = 0.0; lc_eps = 0.0 })
+      (Path.links path)
+  in
+  J.record
+    (J.Backup_chosen
+       {
+         src = Path.src primary;
+         dst = Path.dst primary;
+         bw;
+         scheme = scheme_name scheme;
+         rank = List.length earlier_backups;
+         links;
+       })
 
 let find_backup_general ?max_hops scheme state ~primary ~earlier_backups ~bw =
   Tm.Timer.time t_find_backup (fun () ->
@@ -105,20 +177,27 @@ let find_backup_general ?max_hops scheme state ~primary ~earlier_backups ~bw =
       in
       let graph = Net_state.graph state in
       let src = Path.src primary and dst = Path.dst primary in
-      match max_hops with
-      | None -> (
-          match Shortest_path.dijkstra_path graph ~cost ~src ~dst with
-          | None -> None
-          | Some (_, p) -> Some p)
-      | Some h -> (
-          (* QoS-bounded backup (paper §2: a backup longer than the delay
-             budget allows is useless): cheapest conflict cost within the hop
-             budget. *)
-          match Dr_topo.Constrained_path.cheapest_within_hops graph ~cost ~src
-                  ~dst ~max_hops:h
-          with
-          | None -> None
-          | Some (_, p) -> Some p))
+      let found =
+        match max_hops with
+        | None -> (
+            match Shortest_path.dijkstra_path graph ~cost ~src ~dst with
+            | None -> None
+            | Some (_, p) -> Some p)
+        | Some h -> (
+            (* QoS-bounded backup (paper §2: a backup longer than the delay
+               budget allows is useless): cheapest conflict cost within the hop
+               budget. *)
+            match Dr_topo.Constrained_path.cheapest_within_hops graph ~cost ~src
+                    ~dst ~max_hops:h
+            with
+            | None -> None
+            | Some (_, p) -> Some p)
+      in
+      (match found with
+      | Some p when !J.on ->
+          journal_backup_chosen scheme state ~primary ~earlier_backups ~bw p
+      | Some _ | None -> ());
+      found)
 
 let find_backup ?max_hops scheme state ~primary ~bw =
   find_backup_general ?max_hops scheme state ~primary ~earlier_backups:[] ~bw

@@ -48,6 +48,40 @@ val backup_link_cost :
 (** The cost assigned to one link when routing a backup for [primary];
     [infinity] means infeasible. *)
 
+type cost_parts = {
+  q : float;  (** Q-penalty for overlapping the primary's (or an earlier
+                  backup's) failure domain *)
+  conflict : float;
+      (** scheme term: [‖APLV_i‖₁] (P-LSR), [Σ c_{i,j}] (D-LSR), 1 (SPF) *)
+  eps : float;  (** ε tie-break (0 for SPF) *)
+}
+
+val parts_total : cost_parts -> float
+(** [q +. conflict +. eps], associated left to right —
+    {!backup_link_cost} computes its finite costs through this exact
+    expression, so explained parts sum {e bit-identically} to the search
+    cost. *)
+
+type link_verdict =
+  | Dead  (** the link's edge is marked failed *)
+  | No_bandwidth of { required : int }
+      (** [capacity - prime_bw < required] (the requirement is doubled
+          where the backup rides its own connection's links) *)
+  | Cost of cost_parts  (** feasible, with the decomposed cost *)
+
+val backup_link_verdict :
+  ?earlier_backups:Dr_topo.Path.t list ->
+  scheme ->
+  Net_state.t ->
+  primary:Dr_topo.Path.t ->
+  bw:int ->
+  int ->
+  link_verdict
+(** The explainable form of {!backup_link_cost}: why a link is infeasible,
+    or the decomposition of its cost.  [backup_link_cost l] is [infinity]
+    exactly when the verdict is [Dead] or [No_bandwidth], and
+    [parts_total p] when it is [Cost p]. *)
+
 val find_backup :
   ?max_hops:int ->
   scheme ->

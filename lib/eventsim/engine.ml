@@ -1,5 +1,6 @@
 module Pqueue = Dr_pqueue.Pqueue
 module Tm = Dr_telemetry.Telemetry
+module J = Dr_obs.Journal
 
 (* Telemetry: dispatch throughput and the queue-depth high-water mark. *)
 let c_events = Tm.Counter.make "engine.events_dispatched"
@@ -30,6 +31,7 @@ let step t ~handler =
         Tm.Gauge.set g_depth (float_of_int (Pqueue.length t.queue))
       end;
       t.clock <- at;
+      if !J.on then J.set_now at;
       handler t event;
       true
 

@@ -96,6 +96,37 @@ let to_csv (sweep : Sweep.t) =
     sweep.Sweep.cells;
   Buffer.contents buf
 
+(* JSONL mirror of [to_csv]: one record per cell with the same fields, so
+   scripted consumers don't have to parse the aligned-column details table. *)
+let details_to_json (sweep : Sweep.t) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (c : Sweep.cell) ->
+      let m = c.Sweep.measurement in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"avg_degree\":%.0f,\"traffic\":\"%s\",\"lambda\":%.2f,\
+            \"scheme\":\"%s\",\"ft\":%.6f,\"node_ft\":%.6f,\
+            \"overhead_pct\":%.4f,\"avg_active\":%.2f,\"acceptance\":%.4f,\
+            \"rejected_no_primary\":%d,\"rejected_no_backup\":%d,\
+            \"degraded\":%d,\"unprotected\":%d,\"avg_primary_hops\":%.3f,\
+            \"avg_backup_hops\":%.3f,\"spare_fraction\":%.4f,\
+            \"deficit_units\":%.2f,\"flood_messages_per_request\":%s}\n"
+           sweep.Sweep.avg_degree
+           (Config.traffic_name c.Sweep.traffic)
+           c.Sweep.lambda m.Runner.label m.Runner.ft_overall
+           m.Runner.node_ft_overall
+           (Sweep.capacity_overhead_pct c)
+           m.Runner.avg_active m.Runner.acceptance m.Runner.rejected_no_primary
+           m.Runner.rejected_no_backup m.Runner.degraded m.Runner.unprotected
+           m.Runner.avg_primary_hops m.Runner.avg_backup_hops
+           m.Runner.avg_spare_fraction m.Runner.avg_deficit_units
+           (match m.Runner.flood_messages_per_request with
+           | None -> "null"
+           | Some v -> Printf.sprintf "%.2f" v)))
+    sweep.Sweep.cells;
+  Buffer.contents buf
+
 type claim = {
   description : string;
   expected : string;

@@ -18,6 +18,12 @@ val to_csv : Sweep.t -> string
     rejects, hops, spare share, deficit and flood messages) for plotting
     with external tools. *)
 
+val details_to_json : Sweep.t -> string
+(** JSONL mirror of {!to_csv}: one JSON record per cell with the same
+    fields ([flood_messages_per_request] is [null] for non-flooding
+    schemes) — the machine-readable contract behind
+    [drtp_sim details --json]. *)
+
 type claim = {
   description : string;
   expected : string;  (** what the paper states, as a checkable condition *)

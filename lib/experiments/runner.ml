@@ -9,6 +9,7 @@ module Bounded_flood = Dr_flood.Bounded_flood
 module Path = Dr_topo.Path
 module Tm = Dr_telemetry.Telemetry
 module Pool = Dr_parallel.Pool
+module J = Dr_obs.Journal
 
 (* Telemetry: the per-snapshot fault-tolerance evaluation dominates a
    measured run's wall time; each replay is one traced span. *)
@@ -213,9 +214,37 @@ let run (cfg : Config.t) ~graph ~scenario ~scheme =
 (* One pool task per measured replay.  Tasks share only immutable inputs
    (the graph, the scenario — both read-only after construction), so they
    can run on any worker domain; results come back in submission order,
-   which keeps parallel sweeps bit-identical to sequential ones. *)
+   which keeps parallel sweeps bit-identical to sequential ones.
+
+   When the journal is on, each task records into a private buffer
+   ({!J.capture}, with sim time restarted at 0), and the captured entries
+   are re-appended to the coordinating domain's journal from [on_result] —
+   which the pool invokes in strict task-index order.  The merged journal
+   is therefore byte-identical for any [--jobs] count. *)
 let run_many ?pool ?on_result (cfg : Config.t) tasks =
-  let f (graph, scenario, scheme) = run cfg ~graph ~scenario ~scheme in
-  match pool with
-  | Some pool -> Pool.map ?on_result pool f tasks
-  | None -> Pool.with_pool ~jobs:1 (fun pool -> Pool.map ?on_result pool f tasks)
+  let plain (graph, scenario, scheme) = run cfg ~graph ~scenario ~scheme in
+  if not !J.on then
+    match pool with
+    | Some pool -> Pool.map ?on_result pool plain tasks
+    | None -> Pool.with_pool ~jobs:1 (fun pool -> Pool.map ?on_result pool plain tasks)
+  else begin
+    let coordinator = J.current () in
+    let f task = J.capture (fun () -> plain task) in
+    let merge i r =
+      let forwarded =
+        match r with
+        | Ok (m, journal_entries) ->
+            J.append_entries coordinator journal_entries;
+            Ok m
+        | Error e -> Error e
+      in
+      match on_result with None -> () | Some g -> g i forwarded
+    in
+    let results =
+      match pool with
+      | Some pool -> Pool.map ~on_result:merge pool f tasks
+      | None ->
+          Pool.with_pool ~jobs:1 (fun pool -> Pool.map ~on_result:merge pool f tasks)
+    in
+    Array.map (function Ok (m, _) -> Ok m | Error e -> Error e) results
+  end

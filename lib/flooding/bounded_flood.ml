@@ -5,6 +5,7 @@ module Net_state = Drtp.Net_state
 module Resources = Drtp.Resources
 module Routing = Drtp.Routing
 module Tm = Dr_telemetry.Telemetry
+module J = Dr_obs.Journal
 
 (* Telemetry: per-flood message accounting (§4's CDP traffic is the
    scheme's dominant cost) and the per-request discovery timer. *)
@@ -89,11 +90,20 @@ let discover cfg state ~hop_matrix ~src ~dst ~bw =
         let primary_flag =
           m.primary_flag && Resources.primary_feasible resources ~link ~bw
         in
+        if !J.on then J.record (J.Cdp_sent { node = k; hc = m.hc + 1 });
         Some { node = k; hc = m.hc + 1; primary_flag; visited = m.visited @ [ k ] }
       end
       else begin
         if !Tm.on then
           Tm.Counter.incr (if not distance_ok then c_cdp_ttl else c_cdp_dropped);
+        if !J.on then begin
+          let reason =
+            if not distance_ok then "ttl"
+            else if not loop_free then "loop"
+            else "bandwidth"
+          in
+          J.record (J.Cdp_dropped { node = k; reason })
+        end;
         None
       end
     in
@@ -122,6 +132,8 @@ let discover cfg state ~hop_matrix ~src ~dst ~bw =
             (* §4.4: fill the Candidate Route Table. *)
             if !candidate_count < cfg.crt_cap then begin
               incr candidate_count;
+              if !J.on then
+                J.record (J.Cdp_candidate { hops = m.hc; primary_ok = m.primary_flag });
               candidates :=
                 {
                   path = Path.of_nodes graph m.visited;
@@ -147,6 +159,16 @@ let discover cfg state ~hop_matrix ~src ~dst ~bw =
     in
     pump ();
     if !truncated then Tm.Counter.incr c_truncated;
+    if !J.on then
+      J.record
+        (J.Flood_done
+           {
+             src;
+             dst;
+             messages = !messages;
+             candidates = !candidate_count;
+             truncated = !truncated;
+           });
     { candidates = List.rev !candidates; messages = !messages; truncated = !truncated }
   end
 

@@ -1,0 +1,540 @@
+let on = ref false
+let enabled () = !on
+let set_enabled b = on := b
+
+(* ---- events ------------------------------------------------------------- *)
+
+type link_cost = {
+  lc_link : int;
+  lc_q : float;
+  lc_conflict : float;
+  lc_eps : float;
+}
+
+let link_cost_total lc = lc.lc_q +. lc.lc_conflict +. lc.lc_eps
+
+type event =
+  | Request of { conn : int; src : int; dst : int; bw : int }
+  | Admitted of { conn : int; backups : int; degraded : bool }
+  | Rejected of { conn : int; reason : string }
+  | Primary_chosen of { src : int; dst : int; bw : int; links : int list }
+  | Backup_chosen of {
+      src : int;
+      dst : int;
+      bw : int;
+      scheme : string;
+      rank : int;
+      links : link_cost list;
+    }
+  | Spare_change of { link : int; before : int; after : int }
+  | Flood_done of {
+      src : int;
+      dst : int;
+      messages : int;
+      candidates : int;
+      truncated : bool;
+    }
+  | Cdp_sent of { node : int; hc : int }
+  | Cdp_dropped of { node : int; reason : string }
+  | Cdp_candidate of { hops : int; primary_ok : bool }
+  | Failure_detected of { edge : int; victims : int }
+  | Report_hop of { conn : int; hops : int; detection : float; report : float }
+  | Backup_activated of {
+      conn : int;
+      index : int;
+      detection : float;
+      report : float;
+      activation : float;
+    }
+  | Backup_contended of { conn : int }
+  | Connection_lost of { conn : int; latency : float }
+  | Rerouted of { conn : int; latency : float; retries : int }
+  | Reprotected of { conn : int; fresh : int }
+  | Teardown of { conn : int }
+
+let kind_name = function
+  | Request _ -> "request"
+  | Admitted _ -> "admitted"
+  | Rejected _ -> "rejected"
+  | Primary_chosen _ -> "primary-chosen"
+  | Backup_chosen _ -> "backup-chosen"
+  | Spare_change _ -> "spare-change"
+  | Flood_done _ -> "flood-done"
+  | Cdp_sent _ -> "cdp-sent"
+  | Cdp_dropped _ -> "cdp-dropped"
+  | Cdp_candidate _ -> "cdp-candidate"
+  | Failure_detected _ -> "failure-detected"
+  | Report_hop _ -> "report-hop"
+  | Backup_activated _ -> "backup-activated"
+  | Backup_contended _ -> "backup-contended"
+  | Connection_lost _ -> "connection-lost"
+  | Rerouted _ -> "rerouted"
+  | Reprotected _ -> "reprotected"
+  | Teardown _ -> "teardown"
+
+let all_kinds =
+  [
+    "request"; "admitted"; "rejected"; "primary-chosen"; "backup-chosen";
+    "spare-change"; "flood-done"; "cdp-sent"; "cdp-dropped"; "cdp-candidate";
+    "failure-detected"; "report-hop"; "backup-activated"; "backup-contended";
+    "connection-lost"; "rerouted"; "reprotected"; "teardown";
+  ]
+
+type entry = { seq : int; time : float; event : event }
+
+(* ---- ring buffer -------------------------------------------------------- *)
+
+let default_capacity = 1 lsl 18
+
+type t = {
+  ring : entry option array;
+  mutable appended : int; (* total ever appended; next seq *)
+}
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Journal.create: capacity must be >= 1";
+  { ring = Array.make capacity None; appended = 0 }
+
+let capacity t = Array.length t.ring
+let length t = min t.appended (Array.length t.ring)
+let recorded t = t.appended
+let dropped t = max 0 (t.appended - Array.length t.ring)
+
+let append t ~time event =
+  let cap = Array.length t.ring in
+  t.ring.(t.appended mod cap) <- Some { seq = t.appended; time; event };
+  t.appended <- t.appended + 1
+
+let entries t =
+  let cap = Array.length t.ring in
+  let n = length t in
+  let first = t.appended - n in
+  List.init n (fun i ->
+      match t.ring.((first + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.appended <- 0
+
+(* ---- per-domain recording context --------------------------------------- *)
+
+(* Each domain records into its own buffer with its own simulation clock, so
+   pool workers never interleave entries; drivers that fan tasks out wrap
+   each task in [capture] and re-append in task-index order, which is what
+   makes journal output byte-identical across --jobs counts. *)
+type ctx = { mutable buf : t; mutable sim_now : float }
+
+let ctx_key =
+  Domain.DLS.new_key (fun () -> { buf = create (); sim_now = 0.0 })
+
+let ctx () = Domain.DLS.get ctx_key
+
+let set_now time = (ctx ()).sim_now <- time
+let now () = (ctx ()).sim_now
+let current () = (ctx ()).buf
+
+let record event =
+  if !on then
+    let c = ctx () in
+    append c.buf ~time:c.sim_now event
+
+let with_buffer buf f =
+  let c = ctx () in
+  let saved = c.buf in
+  c.buf <- buf;
+  match f () with
+  | v ->
+      c.buf <- saved;
+      v
+  | exception e ->
+      c.buf <- saved;
+      raise e
+
+let capture ?capacity f =
+  let c = ctx () in
+  let saved_now = c.sim_now in
+  c.sim_now <- 0.0;
+  let buf = create ?capacity () in
+  let finish () = c.sim_now <- saved_now in
+  match with_buffer buf f with
+  | v ->
+      finish ();
+      (v, entries buf)
+  | exception e ->
+      finish ();
+      raise e
+
+let append_entries t es = List.iter (fun e -> append t ~time:e.time e.event) es
+
+(* ---- JSONL writer -------------------------------------------------------- *)
+
+let buf_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | ch when Char.code ch < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char b ch)
+    s;
+  Buffer.add_char b '"'
+
+(* JSON has no NaN/Infinity literals; journal floats are always finite, but
+   clamp defensively like the telemetry sink does. *)
+let buf_json_float b v =
+  if Float.is_finite v then Buffer.add_string b (Printf.sprintf "%.17g" v)
+  else Buffer.add_string b "null"
+
+let field b ~first name writer =
+  if not !first then Buffer.add_char b ',';
+  first := false;
+  buf_json_string b name;
+  Buffer.add_char b ':';
+  writer b
+
+let int_field b first name v =
+  field b ~first name (fun b -> Buffer.add_string b (string_of_int v))
+
+let float_field b first name v = field b ~first name (fun b -> buf_json_float b v)
+
+let str_field b first name v = field b ~first name (fun b -> buf_json_string b v)
+
+let bool_field b first name v =
+  field b ~first name (fun b -> Buffer.add_string b (string_of_bool v))
+
+let int_list_field b first name vs =
+  field b ~first name (fun b ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (string_of_int v))
+        vs;
+      Buffer.add_char b ']')
+
+let link_cost_list_field b first name lcs =
+  field b ~first name (fun b ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i lc ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '{';
+          let f = ref true in
+          int_field b f "link" lc.lc_link;
+          float_field b f "q" lc.lc_q;
+          float_field b f "conflict" lc.lc_conflict;
+          float_field b f "eps" lc.lc_eps;
+          float_field b f "total" (link_cost_total lc);
+          Buffer.add_char b '}')
+        lcs;
+      Buffer.add_char b ']')
+
+let add_event_fields b first = function
+  | Request { conn; src; dst; bw } ->
+      int_field b first "conn" conn;
+      int_field b first "src" src;
+      int_field b first "dst" dst;
+      int_field b first "bw" bw
+  | Admitted { conn; backups; degraded } ->
+      int_field b first "conn" conn;
+      int_field b first "backups" backups;
+      bool_field b first "degraded" degraded
+  | Rejected { conn; reason } ->
+      int_field b first "conn" conn;
+      str_field b first "reason" reason
+  | Primary_chosen { src; dst; bw; links } ->
+      int_field b first "src" src;
+      int_field b first "dst" dst;
+      int_field b first "bw" bw;
+      int_list_field b first "links" links
+  | Backup_chosen { src; dst; bw; scheme; rank; links } ->
+      int_field b first "src" src;
+      int_field b first "dst" dst;
+      int_field b first "bw" bw;
+      str_field b first "scheme" scheme;
+      int_field b first "rank" rank;
+      link_cost_list_field b first "links" links
+  | Spare_change { link; before; after } ->
+      int_field b first "link" link;
+      int_field b first "before" before;
+      int_field b first "after" after
+  | Flood_done { src; dst; messages; candidates; truncated } ->
+      int_field b first "src" src;
+      int_field b first "dst" dst;
+      int_field b first "messages" messages;
+      int_field b first "candidates" candidates;
+      bool_field b first "truncated" truncated
+  | Cdp_sent { node; hc } ->
+      int_field b first "node" node;
+      int_field b first "hc" hc
+  | Cdp_dropped { node; reason } ->
+      int_field b first "node" node;
+      str_field b first "reason" reason
+  | Cdp_candidate { hops; primary_ok } ->
+      int_field b first "hops" hops;
+      bool_field b first "primary_ok" primary_ok
+  | Failure_detected { edge; victims } ->
+      int_field b first "edge" edge;
+      int_field b first "victims" victims
+  | Report_hop { conn; hops; detection; report } ->
+      int_field b first "conn" conn;
+      int_field b first "hops" hops;
+      float_field b first "detection_s" detection;
+      float_field b first "report_s" report
+  | Backup_activated { conn; index; detection; report; activation } ->
+      int_field b first "conn" conn;
+      int_field b first "index" index;
+      float_field b first "detection_s" detection;
+      float_field b first "report_s" report;
+      float_field b first "activation_s" activation
+  | Backup_contended { conn } -> int_field b first "conn" conn
+  | Connection_lost { conn; latency } ->
+      int_field b first "conn" conn;
+      float_field b first "latency_s" latency
+  | Rerouted { conn; latency; retries } ->
+      int_field b first "conn" conn;
+      float_field b first "latency_s" latency;
+      int_field b first "retries" retries
+  | Reprotected { conn; fresh } ->
+      int_field b first "conn" conn;
+      int_field b first "fresh" fresh
+  | Teardown { conn } -> int_field b first "conn" conn
+
+let entry_to_json e =
+  let b = Buffer.create 128 in
+  Buffer.add_char b '{';
+  let first = ref true in
+  int_field b first "seq" e.seq;
+  float_field b first "t" e.time;
+  str_field b first "kind" (kind_name e.event);
+  add_event_fields b first e.event;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let write_jsonl t oc =
+  List.iter
+    (fun e ->
+      output_string oc (entry_to_json e);
+      output_char oc '\n')
+    (entries t)
+
+let to_jsonl_string t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b (entry_to_json e);
+      Buffer.add_char b '\n')
+    (entries t);
+  Buffer.contents b
+
+(* ---- JSONL reader -------------------------------------------------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let json_of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect ch =
+    match peek () with
+    | Some c when c = ch -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" ch)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail "bad literal"
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (if !pos >= n then fail "unterminated escape");
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 4 >= n then fail "bad \\u escape";
+              let hex = String.sub s (!pos + 1) 4 in
+              let code =
+                try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+              in
+              (* Journal output only escapes control characters, so plain
+                 byte emission is enough for round-tripping our own files. *)
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else Buffer.add_string b (Printf.sprintf "\\u%04x" code);
+              pos := !pos + 4
+          | c -> fail (Printf.sprintf "bad escape %C" c));
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> v
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (key, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ();
+          Arr (List.rev !items)
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+let mem name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+type parsed = {
+  p_seq : int;
+  p_time : float;
+  p_kind : string;
+  p_fields : (string * json) list;
+}
+
+let parse_line line =
+  match json_of_string line with
+  | Error msg -> Error msg
+  | Ok (Obj fields as j) -> (
+      match (mem "seq" j, mem "t" j, mem "kind" j) with
+      | Some (Num seq), Some (Num t), Some (Str kind) ->
+          if Float.is_integer seq && seq >= 0.0 then
+            if List.mem kind all_kinds then
+              Ok { p_seq = int_of_float seq; p_time = t; p_kind = kind; p_fields = fields }
+            else Error (Printf.sprintf "unknown event kind %S" kind)
+          else Error "\"seq\" is not a non-negative integer"
+      | _ -> Error "missing or ill-typed \"seq\"/\"t\"/\"kind\" field")
+  | Ok _ -> Error "line is not a JSON object"
+
+let fold_jsonl file ~init ~f =
+  match open_in file with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let acc = ref init in
+          let lineno = ref 0 in
+          (try
+             while true do
+               let line = input_line ic in
+               incr lineno;
+               if String.trim line <> "" then
+                 acc := f !acc !lineno (parse_line line)
+             done
+           with End_of_file -> ());
+          Ok !acc)

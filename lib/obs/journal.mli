@@ -1,0 +1,211 @@
+(** Flight recorder: a typed, sim-time-stamped event journal covering the
+    full DR-connection lifecycle.
+
+    Aggregate metrics ({!Dr_telemetry.Telemetry}) answer "how many"; this
+    journal answers {e why}: which backup D-LSR chose and what every
+    candidate link's cost decomposed into (Q-overlap term, conflict term
+    [Σc_{i,j}] or [‖APLV_i‖₁], ε tie-break), which links' spare pools
+    [SC_i] moved and to what level, and where a failed connection's
+    recovery latency was spent (detection, hop-by-hop reporting, backup
+    activation — §4 of the paper).
+
+    {b Recording model.}  Events go into the {e current buffer} — a
+    bounded ring that overwrites its oldest entries, so a long run keeps a
+    recent window plus a count of what it dropped.  Each domain has its own
+    current buffer (domain-local state), so worker domains of a
+    {!Dr_parallel.Pool} never interleave entries: a parallel driver wraps
+    each task in {!capture} and re-appends the captured entries
+    index-keyed from the coordinator, which makes the merged journal
+    byte-identical for any [--jobs] count.
+
+    {b Timestamps} are simulation time, not wall-clock: drivers install
+    the clock by calling {!set_now} (the event engine stamps each
+    dispatch; {!Drtp.Manager} stamps each scenario item), so journals are
+    deterministic and diffable across runs and job counts.
+
+    {b Cost.}  Every probe is guarded by the {!on} switch: disabled cost
+    is one load and one branch, inside the same <= 2% budget the bench
+    harness enforces for telemetry. *)
+
+val on : bool ref
+(** Master switch, exposed as a ref so hot paths can guard event
+    construction with [if !Journal.on then ...].  Flip it with
+    {!set_enabled}. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** {1 Events} *)
+
+(** One link's backup-route cost, decomposed exactly as
+    [Drtp.Routing.backup_link_cost] computes it: the total is
+    [lc_q +. lc_conflict +. lc_eps] in that association order, so the
+    parts sum {e bit-exactly} to the scheme's link cost. *)
+type link_cost = {
+  lc_link : int;
+  lc_q : float;  (** Q-penalty for sharing a failure domain with the
+                     primary or an earlier backup *)
+  lc_conflict : float;
+      (** scheme conflict term: [‖APLV_i‖₁] (P-LSR), [Σ c_{i,j}] (D-LSR)
+          or the constant 1 (SPF) *)
+  lc_eps : float;  (** ε per-hop tie-break (0 for SPF) *)
+}
+
+val link_cost_total : link_cost -> float
+(** [lc_q +. lc_conflict +. lc_eps] — bit-identical to the routing cost. *)
+
+type event =
+  | Request of { conn : int; src : int; dst : int; bw : int }
+  | Admitted of { conn : int; backups : int; degraded : bool }
+  | Rejected of { conn : int; reason : string }
+  | Primary_chosen of { src : int; dst : int; bw : int; links : int list }
+  | Backup_chosen of {
+      src : int;
+      dst : int;
+      bw : int;
+      scheme : string;
+      rank : int;  (** 0 = first backup, 1 = second, ... *)
+      links : link_cost list;  (** per-link cost decomposition *)
+    }
+  | Spare_change of { link : int; before : int; after : int }
+      (** the link's spare pool [SC_i] moved (reservation, multiplexing
+          adjustment, release reclaim or activation steal) *)
+  | Flood_done of {
+      src : int;
+      dst : int;
+      messages : int;
+      candidates : int;
+      truncated : bool;
+    }
+  | Cdp_sent of { node : int; hc : int }
+  | Cdp_dropped of { node : int; reason : string }
+      (** reason is ["ttl"], ["loop"] or ["bandwidth"] *)
+  | Cdp_candidate of { hops : int; primary_ok : bool }
+  | Failure_detected of { edge : int; victims : int }
+  | Report_hop of { conn : int; hops : int; detection : float; report : float }
+      (** failure report travelling [hops] links back to the source:
+          detection and reporting components of the recovery latency *)
+  | Backup_activated of {
+      conn : int;
+      index : int;
+      detection : float;
+      report : float;
+      activation : float;
+    }  (** per-phase latency decomposition; their sum is the paper's
+          service-disruption time *)
+  | Backup_contended of { conn : int }
+      (** no surviving backup could get its bandwidth *)
+  | Connection_lost of { conn : int; latency : float }
+  | Rerouted of { conn : int; latency : float; retries : int }
+  | Reprotected of { conn : int; fresh : int }
+  | Teardown of { conn : int }
+
+val kind_name : event -> string
+(** Stable kebab-case kind tag, e.g. ["backup-chosen"]. *)
+
+val all_kinds : string list
+(** The documented set of kind tags — the schema contract CI checks. *)
+
+type entry = { seq : int; time : float; event : event }
+(** [seq] numbers appends into one buffer (monotone, survives ring
+    overwrite so gaps reveal drops); [time] is the simulation time
+    current when the event was recorded. *)
+
+(** {1 Buffers} *)
+
+type t
+(** A bounded ring buffer of entries. *)
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity {!default_capacity}. *)
+
+val default_capacity : int
+
+val capacity : t -> int
+val length : t -> int
+
+val recorded : t -> int
+(** Total entries ever appended, including overwritten ones. *)
+
+val dropped : t -> int
+(** [recorded - length] once the ring has wrapped. *)
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val clear : t -> unit
+
+(** {1 Recording} *)
+
+val record : event -> unit
+(** Append to the current domain's buffer, stamped with {!now}.  No-op
+    while disabled. *)
+
+val set_now : float -> unit
+(** Install the simulation time used to stamp subsequent events (per
+    domain). *)
+
+val now : unit -> float
+
+val current : unit -> t
+(** The calling domain's current buffer. *)
+
+val with_buffer : t -> (unit -> 'a) -> 'a
+(** Run the thunk with [t] installed as the current buffer (restored on
+    exit, also on exception). *)
+
+val capture : ?capacity:int -> (unit -> 'a) -> 'a * entry list
+(** Run the thunk against a fresh buffer with simulation time reset to 0,
+    and return what it recorded.  The worker-side half of deterministic
+    parallel journalling: the coordinator re-appends each task's entries
+    in task-index order with {!append_entries}. *)
+
+val append_entries : t -> entry list -> unit
+(** Re-append captured entries (coordinator side).  Sequence numbers are
+    re-stamped by the receiving buffer; timestamps are kept. *)
+
+(** {1 JSONL export} *)
+
+val entry_to_json : entry -> string
+(** One JSON object, no trailing newline:
+    [{"seq":N,"t":<sim-s>,"kind":"...",...}] with event payload fields
+    inlined at top level. *)
+
+val write_jsonl : t -> out_channel -> unit
+val to_jsonl_string : t -> string
+
+(** {1 JSONL reader}
+
+    A minimal self-contained JSON parser (the repo carries no JSON
+    dependency), enough to read journals back for [drtp_sim inspect] and
+    the CI schema check. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val json_of_string : string -> (json, string) result
+
+val mem : string -> json -> json option
+(** Field lookup in an [Obj]. *)
+
+type parsed = {
+  p_seq : int;
+  p_time : float;
+  p_kind : string;
+  p_fields : (string * json) list;
+}
+
+val parse_line : string -> (parsed, string) result
+(** Parse one journal line and validate the envelope: an object carrying
+    integer ["seq"], numeric ["t"] and a ["kind"] drawn from
+    {!all_kinds}. *)
+
+val fold_jsonl :
+  string -> init:'a -> f:('a -> int -> (parsed, string) result -> 'a) -> ('a, string) result
+(** Fold [f acc lineno result] over every line of a journal file;
+    [Error] only for I/O failure. *)

@@ -1,4 +1,17 @@
-let to_dot ?(highlight = []) ?(name = "topology") g =
+(* Escape a user-supplied label for a double-quoted DOT string. *)
+let dot_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.contents buf
+
+let to_dot ?(highlight = []) ?edge_label ?(name = "topology") g =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "graph %S {\n" name);
   Buffer.add_string buf "  node [shape=circle, fontsize=10, width=0.3];\n";
@@ -15,19 +28,31 @@ let to_dot ?(highlight = []) ?(name = "topology") g =
         coords);
   let colour_of = Hashtbl.create 8 in
   List.iter (fun (e, c) -> Hashtbl.replace colour_of e c) highlight;
+  let label_attr e =
+    match edge_label with
+    | None -> ""
+    | Some f -> (
+        match f e with
+        | None -> ""
+        | Some label ->
+            Printf.sprintf ", label=\"%s\", fontsize=8" (dot_escape label))
+  in
   Graph.iter_edges g (fun e ->
       let u, v = Graph.edge_endpoints g e in
       match Hashtbl.find_opt colour_of e with
       | Some colour ->
           Buffer.add_string buf
-            (Printf.sprintf "  %d -- %d [color=%S, penwidth=2];\n" u v colour)
-      | None -> Buffer.add_string buf (Printf.sprintf "  %d -- %d [color=\"grey70\"];\n" u v));
+            (Printf.sprintf "  %d -- %d [color=%S, penwidth=2%s];\n" u v colour
+               (label_attr e))
+      | None ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %d -- %d [color=\"grey70\"%s];\n" u v (label_attr e)));
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
 let backup_palette = [| "blue"; "darkgreen"; "purple"; "orange" |]
 
-let routes_to_dot ?(name = "dr-connection") g ~primary ~backups =
+let routes_to_dot ?(name = "dr-connection") ?edge_label g ~primary ~backups =
   let highlight = ref [] in
   List.iteri
     (fun i b ->
@@ -40,4 +65,4 @@ let routes_to_dot ?(name = "dr-connection") g ~primary ~backups =
   Path.Link_set.iter
     (fun e -> highlight := (e, "red") :: !highlight)
     (Path.edge_set primary);
-  to_dot ~highlight:(List.rev !highlight) ~name g
+  to_dot ~highlight:(List.rev !highlight) ?edge_label ~name g

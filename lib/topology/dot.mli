@@ -8,17 +8,22 @@
 
 val to_dot :
   ?highlight:(int * string) list ->
+  ?edge_label:(int -> string option) ->
   ?name:string ->
   Graph.t ->
   string
 (** [to_dot g] renders the graph; [highlight] colours specific undirected
-    edges, e.g. [(edge_id, "red")].  Later entries win on conflict. *)
+    edges, e.g. [(edge_id, "red")].  Later entries win on conflict.
+    [edge_label] annotates edges: called with each edge id, [Some s]
+    becomes a [label] attribute ([None] leaves the edge bare). *)
 
 val routes_to_dot :
   ?name:string ->
+  ?edge_label:(int -> string option) ->
   Graph.t ->
   primary:Path.t ->
   backups:Path.t list ->
   string
 (** Render a DR-connection: primary edges red, backups blue/green/…,
-    everything else grey. *)
+    everything else grey.  [edge_label] as in {!to_dot} — the explain
+    command uses it to annotate edges with id/capacity/spare. *)

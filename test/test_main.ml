@@ -36,6 +36,7 @@ let () =
          Test_experiments.suite;
          Test_telemetry.suite;
          Test_parallel.suite;
+         Test_obs.suite;
          Test_merge.suite;
          Test_properties.suite;
          Test_properties2.suite;

@@ -1,0 +1,338 @@
+(* The flight-recorder journal: ring-buffer semantics, the disabled no-op
+   guarantee, JSONL round-tripping through the built-in reader, the
+   bit-exact cost decomposition behind [drtp_sim explain], and — the
+   property the per-domain buffers exist for — journal output that is
+   byte-identical across [--jobs] counts. *)
+
+module J = Dr_obs.Journal
+module Tm = Dr_telemetry.Telemetry
+module Pool = Dr_parallel.Pool
+module Config = Dr_exp.Config
+module Runner = Dr_exp.Runner
+module Routing = Drtp.Routing
+
+(* Every test leaves the journal global state as it found it: disabled,
+   with the calling domain's buffer empty. *)
+let scoped f =
+  J.set_enabled true;
+  Fun.protect f ~finally:(fun () ->
+      J.set_enabled false;
+      J.clear (J.current ()))
+
+let test_ring_bounds () =
+  scoped @@ fun () ->
+  let t = J.create ~capacity:4 () in
+  Alcotest.(check int) "capacity" 4 (J.capacity t);
+  J.with_buffer t (fun () ->
+      for i = 1 to 6 do
+        J.set_now (float_of_int i);
+        J.record (J.Teardown { conn = i })
+      done);
+  Alcotest.(check int) "length capped" 4 (J.length t);
+  Alcotest.(check int) "recorded counts everything" 6 (J.recorded t);
+  Alcotest.(check int) "dropped = overflow" 2 (J.dropped t);
+  let es = J.entries t in
+  Alcotest.(check (list int)) "oldest entries evicted, order kept"
+    [ 2; 3; 4; 5 ]
+    (List.map (fun (e : J.entry) -> e.J.seq) es);
+  List.iter
+    (fun (e : J.entry) ->
+      match e.J.event with
+      | J.Teardown { conn } ->
+          Alcotest.(check int) "seq tracks insert order" (conn - 1) e.J.seq;
+          Alcotest.(check (float 0.0)) "sim time stamped" (float_of_int conn)
+            e.J.time
+      | _ -> Alcotest.fail "unexpected event")
+    es;
+  J.clear t;
+  Alcotest.(check int) "clear empties" 0 (J.length t);
+  Alcotest.(check int) "clear resets counter" 0 (J.recorded t)
+
+let test_disabled_noop () =
+  J.set_enabled false;
+  let t = J.create ~capacity:8 () in
+  J.with_buffer t (fun () -> J.record (J.Teardown { conn = 1 }));
+  Alcotest.(check int) "nothing recorded while disabled" 0 (J.recorded t)
+
+let test_capture_isolates () =
+  scoped @@ fun () ->
+  let outer = J.current () in
+  J.set_now 123.0;
+  J.record (J.Teardown { conn = 7 });
+  let (), inner =
+    J.capture (fun () ->
+        Alcotest.(check (float 0.0)) "capture restarts sim clock" 0.0 (J.now ());
+        J.set_now 5.0;
+        J.record (J.Teardown { conn = 8 });
+        ())
+  in
+  Alcotest.(check int) "captured exactly the inner entries" 1
+    (List.length inner);
+  Alcotest.(check (float 0.0)) "outer sim clock restored" 123.0 (J.now ());
+  Alcotest.(check int) "outer buffer untouched by capture" 1 (J.recorded outer);
+  J.append_entries outer inner;
+  match J.entries outer with
+  | [ a; b ] ->
+      Alcotest.(check int) "re-appended entry re-sequenced" (a.J.seq + 1) b.J.seq;
+      Alcotest.(check (float 0.0)) "re-appended entry keeps its time" 5.0 b.J.time
+  | _ -> Alcotest.fail "expected two entries"
+
+(* One instance of every event constructor: the round-trip test feeds each
+   through the writer and the reader, so a new kind cannot be added without
+   serialisation, a kind name and reader acceptance. *)
+let one_of_each =
+  [
+    J.Request { conn = 1; src = 2; dst = 3; bw = 1 };
+    J.Admitted { conn = 1; backups = 2; degraded = false };
+    J.Rejected { conn = 4; reason = "no-backup" };
+    J.Primary_chosen { src = 2; dst = 3; bw = 1; links = [ 0; 5; 9 ] };
+    J.Backup_chosen
+      {
+        src = 2;
+        dst = 3;
+        bw = 1;
+        scheme = "D-LSR";
+        rank = 0;
+        links =
+          [
+            { J.lc_link = 7; lc_q = 0.0; lc_conflict = 2.0; lc_eps = 1e-3 };
+            { J.lc_link = 8; lc_q = 1e6; lc_conflict = 0.0; lc_eps = 1e-3 };
+          ];
+      };
+    J.Spare_change { link = 7; before = 3; after = 4 };
+    J.Flood_done { src = 2; dst = 3; messages = 41; candidates = 5; truncated = true };
+    J.Cdp_sent { node = 9; hc = 2 };
+    J.Cdp_dropped { node = 9; reason = "ttl" };
+    J.Cdp_candidate { hops = 4; primary_ok = true };
+    J.Failure_detected { edge = 12; victims = 3 };
+    J.Report_hop { conn = 1; hops = 2; detection = 0.01; report = 0.002 };
+    J.Backup_activated
+      { conn = 1; index = 0; detection = 0.01; report = 0.002; activation = 0.004 };
+    J.Backup_contended { conn = 1 };
+    J.Connection_lost { conn = 1; latency = 0.012 };
+    J.Rerouted { conn = 1; latency = 0.02; retries = 1 };
+    J.Reprotected { conn = 1; fresh = 1 };
+    J.Teardown { conn = 1 };
+  ]
+
+let test_jsonl_round_trip () =
+  scoped @@ fun () ->
+  Alcotest.(check int) "one_of_each covers every documented kind"
+    (List.length J.all_kinds)
+    (List.length (List.sort_uniq compare (List.map J.kind_name one_of_each)));
+  let t = J.create () in
+  J.with_buffer t (fun () ->
+      List.iteri
+        (fun i ev ->
+          J.set_now (0.5 *. float_of_int i);
+          J.record ev)
+        one_of_each);
+  let lines =
+    String.split_on_char '\n' (String.trim (J.to_jsonl_string t))
+  in
+  Alcotest.(check int) "one line per event" (List.length one_of_each)
+    (List.length lines);
+  List.iteri
+    (fun i line ->
+      match J.parse_line line with
+      | Error msg -> Alcotest.failf "line %d rejected: %s (%s)" i msg line
+      | Ok p ->
+          Alcotest.(check int) "seq round-trips" i p.J.p_seq;
+          Alcotest.(check (float 1e-12)) "time round-trips"
+            (0.5 *. float_of_int i) p.J.p_time;
+          Alcotest.(check string) "kind round-trips"
+            (J.kind_name (List.nth one_of_each i))
+            p.J.p_kind)
+    lines;
+  (* A malformed line and an undocumented kind must both be rejected. *)
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (J.parse_line "{not json"));
+  Alcotest.(check bool) "unknown kind rejected" true
+    (Result.is_error (J.parse_line {|{"seq":0,"t":0,"kind":"mystery"}|}))
+
+(* ---- bit-exact cost decomposition --------------------------------------- *)
+
+let small_cfg =
+  {
+    Config.default with
+    Config.warmup = 600.0;
+    horizon = 1200.0;
+    sample_every = 300.0;
+    lifetime_lo = 300.0;
+    lifetime_hi = 600.0;
+  }
+
+let loaded_state =
+  lazy
+    (let graph = Config.make_graph small_cfg ~avg_degree:3.0 in
+     let scenario = Config.make_scenario small_cfg Config.UT ~lambda:0.4 in
+     let state =
+       Runner.load_state small_cfg ~graph ~scenario
+         ~scheme:(Runner.Lsr Routing.Dlsr) ~until:small_cfg.Config.warmup
+     in
+     (graph, state))
+
+let test_verdict_matches_cost () =
+  let graph, state = Lazy.force loaded_state in
+  let primary =
+    match Routing.find_primary state ~src:0 ~dst:1 ~bw:1 with
+    | Some p -> p
+    | None -> (
+        (* Fall back to any routable pair on this topology. *)
+        let found = ref None in
+        let n = Dr_topo.Graph.node_count graph in
+        (try
+           for s = 0 to n - 1 do
+             for d = 0 to n - 1 do
+               if s <> d then
+                 match Routing.find_primary state ~src:s ~dst:d ~bw:1 with
+                 | Some p ->
+                     found := Some p;
+                     raise Exit
+                 | None -> ()
+             done
+           done
+         with Exit -> ());
+        match !found with
+        | Some p -> p
+        | None -> Alcotest.fail "no routable pair in fixture")
+  in
+  let checked = ref 0 and feasible = ref 0 in
+  List.iter
+    (fun scheme ->
+      Dr_topo.Graph.iter_links graph (fun l ->
+          incr checked;
+          let cost = Routing.backup_link_cost scheme state ~primary ~bw:1 l in
+          match Routing.backup_link_verdict scheme state ~primary ~bw:1 l with
+          | Routing.Cost p ->
+              incr feasible;
+              (* Bit-exact, not approximately equal: the explain table's row
+                 total must be the number Dijkstra compared. *)
+              Alcotest.(check bool)
+                (Printf.sprintf "link %d (%s): parts sum = search cost" l
+                   (Routing.scheme_name scheme))
+                true
+                (Int64.bits_of_float (Routing.parts_total p)
+                = Int64.bits_of_float cost)
+          | Routing.Dead | Routing.No_bandwidth _ ->
+              Alcotest.(check bool) "infeasible verdict = infinite cost" true
+                (cost = infinity)))
+    [ Routing.Dlsr; Routing.Plsr; Routing.Spf ];
+  Alcotest.(check bool) "fixture exercises feasible links" true (!feasible > 0);
+  Alcotest.(check bool) "fixture exercises every link x scheme" true
+    (!checked = 3 * Dr_topo.Graph.link_count graph)
+
+(* ---- determinism across --jobs ------------------------------------------ *)
+
+let sweep_tasks =
+  lazy
+    (let graph = Config.make_graph small_cfg ~avg_degree:3.0 in
+     Array.of_list
+       (List.concat_map
+          (fun lambda ->
+            let scenario = Config.make_scenario small_cfg Config.UT ~lambda in
+            [
+              (graph, scenario, Runner.Lsr Routing.Dlsr);
+              (graph, scenario, Runner.Lsr Routing.Plsr);
+              (graph, scenario, Runner.Bf Dr_flood.Bounded_flood.default_config);
+            ])
+          [ 0.2; 0.4 ]))
+
+let journal_bytes ~jobs =
+  let tasks = Lazy.force sweep_tasks in
+  J.set_enabled true;
+  Fun.protect ~finally:(fun () -> J.set_enabled false) @@ fun () ->
+  let buf = J.create () in
+  J.with_buffer buf (fun () ->
+      Pool.with_pool ~jobs (fun pool ->
+          let results = Runner.run_many ~pool small_cfg tasks in
+          Array.iter
+            (function
+              | Ok _ -> () | Error _ -> Alcotest.fail "sweep task failed")
+            results);
+      (J.to_jsonl_string buf, J.recorded buf))
+
+let test_jobs_byte_identical () =
+  let s1, n1 = journal_bytes ~jobs:1 in
+  let s4, n4 = journal_bytes ~jobs:4 in
+  Alcotest.(check bool) "journal is non-trivial" true (n1 > 100);
+  Alcotest.(check int) "same entry count" n1 n4;
+  Alcotest.(check bool) "jobs=4 journal byte-identical to jobs=1" true
+    (String.equal s1 s4)
+
+(* Telemetry and journal together under a parallel sweep: the JSONL trace
+   must stay line-wise well-formed (worker spans/events never interleave
+   mid-record), and the span-name set must match a sequential run. *)
+let trace_lines ~jobs =
+  let tasks = Lazy.force sweep_tasks in
+  let file = Filename.temp_file "drtp_obs_trace" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  Tm.reset ();
+  Tm.set_enabled true;
+  J.set_enabled true;
+  let buf = J.create () in
+  Fun.protect
+    ~finally:(fun () ->
+      Tm.Sink.close ();
+      Tm.set_enabled false;
+      J.set_enabled false;
+      Tm.reset ())
+    (fun () ->
+      Tm.Sink.set (Tm.Sink.jsonl (open_out file));
+      J.with_buffer buf (fun () ->
+          Pool.with_pool ~jobs (fun pool ->
+              ignore (Runner.run_many ~pool small_cfg tasks)));
+      Tm.Sink.close ();
+      let ic = open_in file in
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+      in
+      go [])
+
+let span_names lines =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun line ->
+         match J.json_of_string line with
+         | Ok j -> (
+             match (J.mem "type" j, J.mem "name" j) with
+             | Some (J.Str "span"), Some (J.Str name) -> Some name
+             | _ -> None)
+         | Error _ -> None)
+       lines)
+
+let test_trace_under_jobs () =
+  let l1 = trace_lines ~jobs:1 in
+  let l4 = trace_lines ~jobs:4 in
+  Alcotest.(check bool) "trace is non-trivial" true (List.length l4 > 0);
+  List.iteri
+    (fun i line ->
+      match J.json_of_string line with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "jobs=4 trace line %d malformed: %s" i msg)
+    l4;
+  Alcotest.(check (list string)) "same span names as sequential run"
+    (span_names l1) (span_names l4)
+
+let suite =
+  [
+    ( "obs.journal",
+      [
+        Alcotest.test_case "ring bounds and eviction" `Quick test_ring_bounds;
+        Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+        Alcotest.test_case "capture isolates and re-appends" `Quick
+          test_capture_isolates;
+        Alcotest.test_case "jsonl round-trip, every kind" `Quick
+          test_jsonl_round_trip;
+        Alcotest.test_case "verdict parts sum bit-exactly" `Quick
+          test_verdict_matches_cost;
+        Alcotest.test_case "journal byte-identical across jobs" `Slow
+          test_jobs_byte_identical;
+        Alcotest.test_case "telemetry trace well-formed under jobs" `Slow
+          test_trace_under_jobs;
+      ] );
+  ]
