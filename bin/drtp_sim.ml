@@ -708,6 +708,86 @@ let explain_cmd =
       $ lambda_t ~default:0.5 $ scheme_t $ src_t $ dst_t $ bw_t $ top_t $ dot_t
       $ quick_t $ seed_t)
 
+(* ---- check-routing: fast path vs reference oracle ----------------------- *)
+
+let check_routing_cmd =
+  let module RC = Drtp.Routing_check in
+  let graphs_t =
+    Arg.(
+      value
+      & opt int RC.default_params.RC.graphs
+      & info [ "graphs" ] ~docv:"N"
+          ~doc:"Independent Waxman graphs to check.")
+  in
+  let nodes_t =
+    Arg.(
+      value
+      & opt int RC.default_params.RC.nodes
+      & info [ "nodes" ] ~docv:"N" ~doc:"Nodes per graph.")
+  in
+  let admissions_t =
+    Arg.(
+      value
+      & opt int RC.default_params.RC.admissions
+      & info [ "admissions" ] ~docv:"N"
+          ~doc:"Random admission attempts per graph per scheme.")
+  in
+  let run () jobs graphs nodes admissions degree seed =
+    let params =
+      {
+        RC.default_params with
+        RC.graphs;
+        nodes;
+        admissions;
+        avg_degree = degree;
+        seed;
+      }
+    in
+    let report =
+      with_pool jobs (fun pool ->
+          let results =
+            Dr_parallel.Pool.map pool
+              (fun g -> RC.run_graph params ~graph_index:g)
+              (Array.init graphs (fun g -> g))
+          in
+          Array.fold_left
+            (fun acc res ->
+              match res with
+              | Ok r -> RC.merge acc r
+              | Error e ->
+                  RC.merge acc
+                    {
+                      RC.empty_report with
+                      RC.divergence_count = 1;
+                      divergences =
+                        [
+                          Printf.sprintf "graph %d: harness crashed: %s"
+                            e.Dr_parallel.Pool.index
+                            e.Dr_parallel.Pool.message;
+                        ];
+                    })
+            RC.empty_report results)
+    in
+    Format.printf "%a@." RC.pp_report report;
+    if report.RC.divergence_count > 0 then begin
+      Format.printf "check-routing: FAIL (%d divergences)@."
+        report.RC.divergence_count;
+      exit 1
+    end
+    else Format.printf "check-routing: OK@."
+  in
+  Cmd.v
+    (Cmd.info "check-routing"
+       ~doc:
+         "Differential check of the routing fast path against the reference \
+          oracle: replay randomized admission workloads (all three schemes, \
+          with failure churn) on Waxman graphs, comparing routes and \
+          bit-exact per-link cost decompositions between $(b,Routing) and \
+          $(b,Routing_reference).  Exits non-zero on any divergence.")
+    Term.(
+      const run $ telemetry_t $ jobs_t $ graphs_t $ nodes_t $ admissions_t
+      $ degree_t $ seed_t)
+
 (* ---- inspect: summarise a journal file ---------------------------------- *)
 
 let inspect_cmd =
@@ -904,7 +984,7 @@ let () =
       ablate_classes_cmd; replicate_cmd; staleness_cmd; availability_cmd;
       overhead_cmd;
       recovery_cmd; topo_cmd; scenario_cmd; replay_cmd; explain_cmd;
-      inspect_cmd;
+      inspect_cmd; check_routing_cmd;
     ]
   in
   exit (Cmd.eval (Cmd.group default_info cmds))

@@ -24,6 +24,16 @@ type t = {
   graph : Graph.t;
   resources : Resources.t;
   aplv : Aplv.t array; (* per directed link *)
+  aplv_norm : int array;
+      (* per directed link: cached [‖APLV_i‖₁], kept in lock-step with
+         [aplv] by {!register_backup}/{!unregister_backup} — P-LSR's cost
+         term as a flat array read instead of a record chase *)
+  conflict_counts : int array array;
+      (* per directed link: dense mirror of the APLV counts, indexed by
+         failure edge ([conflict_counts.(l).(j) = a_{l,j}]).  D-LSR's
+         relaxation reads it as [a_{l,j} > 0] in O(1) per edge instead of
+         a hashtable probe.  Maintained with O(|LSET|) deltas per link
+         visit, i.e. O(|LSET|·|route|) per admit/release. *)
   spare_weight : (int, int) Hashtbl.t array;
       (* per directed link: failure edge -> total backup bandwidth that a
          failure there would activate here *)
@@ -37,15 +47,18 @@ type t = {
 
 let create ~graph ~capacity ~spare_policy =
   let links = Graph.link_count graph in
+  let edges = Graph.edge_count graph in
   {
     graph;
     resources = Resources.create ~link_count:links ~capacity;
     aplv = Array.init links (fun _ -> Aplv.create ());
+    aplv_norm = Array.make links 0;
+    conflict_counts = Array.init links (fun _ -> Array.make edges 0);
     spare_weight = Array.init links (fun _ -> Hashtbl.create 8);
     backup_total = Array.make links 0;
     conns = Hashtbl.create 256;
-    edge_primaries = Array.init (Graph.edge_count graph) (fun _ -> Hashtbl.create 8);
-    failed = Array.make (Graph.edge_count graph) false;
+    edge_primaries = Array.init edges (fun _ -> Hashtbl.create 8);
+    failed = Array.make edges false;
     spare_policy;
     aplv_updates = 0;
   }
@@ -55,6 +68,19 @@ let resources t = t.resources
 let spare_policy t = t.spare_policy
 let aplv t l = t.aplv.(l)
 let aplv_updates t = t.aplv_updates
+let aplv_norm t l = t.aplv_norm.(l)
+
+let conflict_count t ~link ~edge_lset =
+  let counts = t.conflict_counts.(link) in
+  List.fold_left (fun acc j -> if counts.(j) > 0 then acc + 1 else acc) 0 edge_lset
+
+let conflict_count_arr t ~link ~edges ~n =
+  let counts = t.conflict_counts.(link) in
+  let acc = ref 0 in
+  for k = 0 to n - 1 do
+    if counts.(Array.unsafe_get edges k) > 0 then incr acc
+  done;
+  !acc
 
 let conflict_vector t l =
   Tm.Counter.incr c_cv_builds;
@@ -123,8 +149,11 @@ let register_backup t ~bw ~primary_edges ~backup_path =
       Aplv.register t.aplv.(l) ~edge_lset:primary_edges;
       t.aplv_updates <- t.aplv_updates + 1;
       Tm.Counter.incr c_aplv_updates;
+      let counts = t.conflict_counts.(l) in
       List.iter
         (fun e ->
+          counts.(e) <- counts.(e) + 1;
+          t.aplv_norm.(l) <- t.aplv_norm.(l) + 1;
           let w = Option.value ~default:0 (Hashtbl.find_opt t.spare_weight.(l) e) in
           Hashtbl.replace t.spare_weight.(l) e (w + bw))
         primary_edges;
@@ -139,8 +168,11 @@ let unregister_backup t ~bw ~primary_edges ~backup_path =
       Aplv.unregister t.aplv.(l) ~edge_lset:primary_edges;
       t.aplv_updates <- t.aplv_updates + 1;
       Tm.Counter.incr c_aplv_updates;
+      let counts = t.conflict_counts.(l) in
       List.iter
         (fun e ->
+          counts.(e) <- counts.(e) - 1;
+          t.aplv_norm.(l) <- t.aplv_norm.(l) - 1;
           match Hashtbl.find_opt t.spare_weight.(l) e with
           | None -> invalid_arg "Net_state: spare-weight underflow"
           | Some w ->
@@ -403,8 +435,35 @@ let fail_node t ~node =
 let restore_node t ~node =
   List.iter (fun e -> restore_edge t ~edge:e) (incident_edges t node)
 
+(* The routing fast path never reads the APLV hashtables — only the dense
+   [aplv_norm]/[conflict_counts] mirrors.  This check recomputes both from
+   the authoritative {!Aplv.t} per link and reports the first slot where a
+   mirror has drifted.  O(links × edges); driven by the differential
+   harness and the soak test after every mutation. *)
+let check_routing_caches t =
+  let links = Graph.link_count t.graph in
+  let edges = Graph.edge_count t.graph in
+  let issue = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !issue = None then issue := Some s) fmt in
+  for l = 0 to links - 1 do
+    let norm = Aplv.norm1 t.aplv.(l) in
+    if t.aplv_norm.(l) <> norm then
+      fail "link %d: cached aplv_norm %d, APLV says %d" l t.aplv_norm.(l) norm;
+    let counts = t.conflict_counts.(l) in
+    for j = 0 to edges - 1 do
+      let a = Aplv.get t.aplv.(l) j in
+      if counts.(j) <> a then
+        fail "link %d edge %d: cached conflict count %d, APLV says %d" l j
+          counts.(j) a
+    done
+  done;
+  match !issue with None -> Ok () | Some msg -> Error msg
+
 let check_invariants t =
   match Resources.check_invariants t.resources with
+  | Error _ as e -> e
+  | Ok () -> (
+  match check_routing_caches t with
   | Error _ as e -> e
   | Ok () -> (
       let links = Graph.link_count t.graph in
@@ -461,4 +520,4 @@ let check_invariants t =
         let have = Resources.spare_bw t.resources l in
         if have > req then fail "link %d: spare %d exceeds requirement %d" l have req
       done;
-      match !issue with None -> Ok () | Some msg -> Error msg)
+      match !issue with None -> Ok () | Some msg -> Error msg))

@@ -54,6 +54,28 @@ val spare_policy : t -> spare_policy
 val aplv : t -> int -> Aplv.t
 (** The APLV of a directed link (do not mutate). *)
 
+val aplv_norm : t -> int -> int
+(** Cached [‖APLV_i‖₁] of a directed link — always equal to
+    [Aplv.norm1 (aplv t l)], but a flat array read.  P-LSR's per-link cost
+    term; maintained incrementally by every backup register/release. *)
+
+val conflict_count : t -> link:int -> edge_lset:int list -> int
+(** Cached D-LSR cost term: [Σ_{j ∈ edge_lset} (a_{link,j} > 0 ? 1 : 0)]
+    — always equal to [Aplv.conflict_count_with (aplv t link) ~edge_lset],
+    but served from a dense per-(link, edge) count mirror maintained
+    incrementally (no hashtable probes in Dijkstra relaxation). *)
+
+val conflict_count_arr : t -> link:int -> edges:int array -> n:int -> int
+(** {!conflict_count} over the first [n] entries of [edges] — the
+    allocation-free form the routing fast path uses (the query's primary
+    LSET staged once into a workspace array). *)
+
+val check_routing_caches : t -> (unit, string) result
+(** Recompute [aplv_norm] and the conflict-count mirror from the
+    authoritative per-link {!Aplv.t} values and report the first drifted
+    slot.  O(links × edges); the differential harness and the soak test
+    call it after every mutation. *)
+
 val conflict_vector : t -> int -> Conflict_vector.t
 (** Packed CV snapshot of a link (D-LSR's advertisement payload). *)
 
@@ -161,7 +183,8 @@ val restore_node : t -> node:int -> unit
 (** {1 Integrity} *)
 
 val check_invariants : t -> (unit, string) result
-(** Deep check: resource invariants, APLV consistency against the
-    connection table, spare levels not above policy requirement plus
-    deficit bookkeeping coherent.  O(connections × path length); test and
-    debug use. *)
+(** Deep check: resource invariants, routing-cache coherence
+    ({!check_routing_caches}), APLV consistency against the connection
+    table, spare levels not above policy requirement plus deficit
+    bookkeeping coherent.  O(connections × path length + links × edges);
+    test and debug use. *)

@@ -107,7 +107,7 @@ let backup_link_verdict_general scheme state ~primary ~earlier_backups ~bw =
           Cost
             {
               q;
-              conflict = float_of_int (Aplv.norm1 (Net_state.aplv state l));
+              conflict = float_of_int (Net_state.aplv_norm state l);
               eps = epsilon;
             }
       | Dlsr ->
@@ -116,7 +116,7 @@ let backup_link_verdict_general scheme state ~primary ~earlier_backups ~bw =
               q;
               conflict =
                 float_of_int
-                  (Aplv.conflict_count_with (Net_state.aplv state l)
+                  (Net_state.conflict_count state ~link:l
                      ~edge_lset:primary_edge_list);
               eps = epsilon;
             }
@@ -140,6 +140,119 @@ let backup_link_cost_general scheme state ~primary ~earlier_backups ~bw =
 
 let backup_link_cost scheme state ~primary ~bw =
   backup_link_cost_general scheme state ~primary ~earlier_backups:[] ~bw
+
+(* --- workspace fast path -------------------------------------------------- *)
+
+(* Per-domain routing workspace: epoch-stamped membership arrays replacing
+   the per-query [Path.Link_set] values of {!backup_link_verdict_general}.
+   A query marks its primary/earlier links and edges once (stamping slots
+   with the query's epoch), then every Dijkstra relaxation answers "is
+   this link on the primary?" with one array read instead of a balanced
+   tree descent.  The primary's edge LSET is also staged into a flat array
+   so D-LSR's conflict term is a tight loop over {!Net_state}'s dense
+   conflict-count mirror.  One workspace per domain (Domain.DLS) keeps
+   [--jobs N] pools race-free; the cost closures built on it are consumed
+   within a single search, before any other query reuses the epoch. *)
+module Ws = struct
+  type t = {
+    mutable prim_link : int array; (* per link: epoch when on the primary *)
+    mutable earl_link : int array; (* per link: epoch when on an earlier backup *)
+    mutable prim_edge : int array; (* per edge: epoch when under the primary *)
+    mutable earl_edge : int array; (* per edge: epoch when under an earlier backup *)
+    mutable pedges : int array; (* the primary's edge LSET, staged *)
+    mutable pedge_n : int;
+    mutable epoch : int;
+  }
+
+  let create () =
+    {
+      prim_link = [||];
+      earl_link = [||];
+      prim_edge = [||];
+      earl_edge = [||];
+      pedges = [||];
+      pedge_n = 0;
+      epoch = 0;
+    }
+
+  let key = Domain.DLS.new_key create
+
+  let get ~links ~edges =
+    let ws = Domain.DLS.get key in
+    if Array.length ws.prim_link < links then begin
+      ws.prim_link <- Array.make links 0;
+      ws.earl_link <- Array.make links 0
+    end;
+    if Array.length ws.prim_edge < edges then begin
+      ws.prim_edge <- Array.make edges 0;
+      ws.earl_edge <- Array.make edges 0;
+      ws.pedges <- Array.make edges 0
+    end;
+    ws.epoch <- ws.epoch + 1;
+    ws
+end
+
+(* Allocation-free twin of {!backup_link_cost_general}.  Chases the same
+   decomposition — [q +. conflict +. eps] in {!parts_total}'s association
+   order, with the conflict term read from {!Net_state}'s incremental
+   caches — so its finite values are bit-identical to the public cost
+   (asserted by the differential harness against {!Routing_reference}). *)
+let fast_backup_link_cost scheme state ~primary ~earlier_backups ~bw =
+  let graph = Net_state.graph state in
+  let resources = Net_state.resources state in
+  let ws =
+    Ws.get ~links:(Graph.link_count graph) ~edges:(Graph.edge_count graph)
+  in
+  let ep = ws.Ws.epoch in
+  let prim_link = ws.Ws.prim_link
+  and earl_link = ws.Ws.earl_link
+  and prim_edge = ws.Ws.prim_edge
+  and earl_edge = ws.Ws.earl_edge
+  and pedges = ws.Ws.pedges in
+  List.iter (fun l -> prim_link.(l) <- ep) (Path.links primary);
+  let n = ref 0 in
+  Path.Link_set.iter
+    (fun e ->
+      pedges.(!n) <- e;
+      incr n;
+      prim_edge.(e) <- ep)
+    (Path.edge_set primary);
+  ws.Ws.pedge_n <- !n;
+  List.iter
+    (fun b ->
+      List.iter (fun l -> earl_link.(l) <- ep) (Path.links b);
+      Path.Link_set.iter (fun e -> earl_edge.(e) <- ep) (Path.edge_set b))
+    earlier_backups;
+  let pedge_n = ws.Ws.pedge_n in
+  fun l ->
+    let own_shares =
+      (if prim_link.(l) = ep then 1 else 0)
+      + if earl_link.(l) = ep then 1 else 0
+    in
+    let required = bw * (1 + own_shares) in
+    if not (link_alive state l) then begin
+      Tm.Counter.incr c_link_dead;
+      infinity
+    end
+    else if not (Resources.backup_feasible resources ~link:l ~bw:required) then begin
+      Tm.Counter.incr c_link_no_bw;
+      infinity
+    end
+    else
+      let e = Graph.edge_of_link l in
+      let q =
+        (if prim_edge.(e) = ep then q_constant else 0.0)
+        +. if earl_edge.(e) = ep then q_constant else 0.0
+      in
+      match scheme with
+      | Spf -> q +. 1.0 +. 0.0
+      | Plsr -> q +. float_of_int (Net_state.aplv_norm state l) +. epsilon
+      | Dlsr ->
+          q
+          +. float_of_int
+               (Net_state.conflict_count_arr state ~link:l ~edges:pedges
+                  ~n:pedge_n)
+          +. epsilon
 
 (* Journal the chosen backup with its per-link cost decomposition.  The
    network state is unchanged during route computation, so re-deriving the
@@ -173,7 +286,7 @@ let journal_backup_chosen scheme state ~primary ~earlier_backups ~bw path =
 let find_backup_general ?max_hops scheme state ~primary ~earlier_backups ~bw =
   Tm.Timer.time t_find_backup (fun () ->
       let cost =
-        backup_link_cost_general scheme state ~primary ~earlier_backups ~bw
+        fast_backup_link_cost scheme state ~primary ~earlier_backups ~bw
       in
       let graph = Net_state.graph state in
       let src = Path.src primary and dst = Path.dst primary in

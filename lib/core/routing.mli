@@ -25,7 +25,19 @@
       the link.
     - {b SPF}: conflict-blind constant cost (ablation A3 — "even random
       selection can find a backup with small conflicts" in well-connected
-      networks). *)
+      networks).
+
+    {b Fast path.}  Route computations are the simulator's dominant cost,
+    so the searches run allocation-free: scheme cost terms are read from
+    {!Net_state}'s incrementally-maintained caches ({!Net_state.aplv_norm}
+    and the dense conflict-count mirror behind
+    {!Net_state.conflict_count}), per-query route membership is stamped
+    into a per-domain epoch workspace instead of built as sets, and the
+    underlying searches reuse {!Dr_topo.Shortest_path}'s per-domain
+    workspaces.  The pre-change implementation is retained verbatim in
+    {!Routing_reference}; the differential harness ({!Routing_check},
+    [drtp_sim check-routing]) asserts both pick identical routes with
+    bit-identical {!cost_parts} decompositions. *)
 
 type scheme = Plsr | Dlsr | Spf
 

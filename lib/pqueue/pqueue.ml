@@ -100,6 +100,14 @@ let clear q =
   q.size <- 0;
   q.heap <- [||]
 
+(* Empty the queue but keep the backing array: the workspace reuse pattern
+   (one queue per domain, one search per call) would otherwise re-grow the
+   heap from scratch on every search.  Occupied slots are blanked so no
+   payload stays reachable. *)
+let reset q =
+  Array.fill q.heap 0 q.size q.dummy;
+  q.size <- 0
+
 let to_sorted_list q =
   let copy =
     {

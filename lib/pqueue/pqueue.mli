@@ -23,6 +23,13 @@ val peek : 'a t -> (float * 'a) option
 (** Return the minimum-key element without removing it. *)
 
 val clear : 'a t -> unit
+(** Empty the queue and drop the backing array (capacity resets to 0). *)
+
+val reset : 'a t -> unit
+(** Empty the queue but keep the backing array's capacity, blanking the
+    occupied slots so no payload stays reachable.  The choice between
+    {!clear} and [reset] is a space/time trade: [reset] suits a queue that
+    is reused at a steady size (e.g. a per-domain search workspace). *)
 
 val to_sorted_list : 'a t -> (float * 'a) list
 (** Drain a copy of the heap in pop order (the heap itself is unchanged). *)

@@ -30,32 +30,91 @@ let bfs_hops_rev g ~dst =
 let hop_matrix g =
   Array.init (Graph.node_count g) (fun src -> bfs_hops g ~src)
 
+(* Per-domain search workspace: preallocated dist/prev/queue/heap storage
+   shared by every {!min_hop_path} and {!dijkstra_path} call made from one
+   domain.  Slots are invalidated by bumping [epoch] instead of refilling
+   the arrays, so a search touches only the nodes it actually reaches.
+   Each domain owns its workspace through [Domain.DLS] — parallel sweeps
+   ([--jobs N]) never share one.  Nothing the public API returns aliases
+   workspace storage: results are rebuilt into fresh [Path.t] values. *)
+module Ws = struct
+  type t = {
+    mutable stamp : int array;  (* last epoch that wrote a node's slots *)
+    mutable dist_hops : int array;  (* BFS distance, valid iff stamped *)
+    mutable dist_cost : float array;  (* Dijkstra distance, valid iff stamped *)
+    mutable prev : int array;  (* incoming link, valid iff stamped *)
+    mutable settled : int array;  (* epoch when the node was settled *)
+    mutable queue : int array;  (* BFS FIFO ring, capacity = node count *)
+    heap : int Pqueue.t;  (* Dijkstra frontier, capacity persists *)
+    mutable epoch : int;
+  }
+
+  let create () =
+    {
+      stamp = [||];
+      dist_hops = [||];
+      dist_cost = [||];
+      prev = [||];
+      settled = [||];
+      queue = [||];
+      heap = Pqueue.create ();
+      epoch = 0;
+    }
+
+  let key = Domain.DLS.new_key create
+
+  (* Fresh epoch over at least [n] node slots.  Newly grown arrays are
+     zero-filled and the epoch starts at 1, so unwritten slots can never
+     alias a live stamp. *)
+  let get ~n =
+    let ws = Domain.DLS.get key in
+    if Array.length ws.stamp < n then begin
+      ws.stamp <- Array.make n 0;
+      ws.dist_hops <- Array.make n 0;
+      ws.dist_cost <- Array.make n 0.0;
+      ws.prev <- Array.make n 0;
+      ws.settled <- Array.make n 0;
+      ws.queue <- Array.make n 0
+    end;
+    ws.epoch <- ws.epoch + 1;
+    Pqueue.reset ws.heap;
+    ws
+end
+
 let min_hop_path g ?(usable = fun _ -> true) ~src ~dst () =
   let n = Graph.node_count g in
   if src = dst then invalid_arg "Shortest_path.min_hop_path: src = dst";
-  let dist = Array.make n unreachable in
-  let prev = Array.make n (-1) in
+  let ws = Ws.get ~n in
+  let ep = ws.Ws.epoch in
+  let stamp = ws.Ws.stamp
+  and dist = ws.Ws.dist_hops
+  and prev = ws.Ws.prev
+  and queue = ws.Ws.queue in
+  stamp.(src) <- ep;
   dist.(src) <- 0;
-  let queue = Queue.create () in
-  Queue.add src queue;
+  queue.(0) <- src;
+  let head = ref 0 and tail = ref 1 in
   let found = ref false in
-  while (not !found) && not (Queue.is_empty queue) do
-    let v = Queue.pop queue in
+  while (not !found) && !head < !tail do
+    let v = queue.(!head) in
+    incr head;
     if v = dst then found := true
     else
       Array.iter
         (fun l ->
           if usable l then begin
             let w = Graph.link_dst g l in
-            if dist.(w) = unreachable then begin
+            if stamp.(w) <> ep then begin
+              stamp.(w) <- ep;
               dist.(w) <- dist.(v) + 1;
               prev.(w) <- l;
-              Queue.add w queue
+              queue.(!tail) <- w;
+              incr tail
             end
           end)
         (Graph.out_links g v)
   done;
-  if dist.(dst) = unreachable then None
+  if stamp.(dst) <> ep then None
   else begin
     let rec rebuild v acc =
       if v = src then acc
@@ -113,11 +172,66 @@ let extract_path g result ~dst =
     Some (Path.of_links g (rebuild dst []))
   end
 
+(* Workspace twin of {!dijkstra} + {!extract_path} for the single-pair
+   query: identical relaxation order (same frontier heap discipline, same
+   out-link iteration), so it settles nodes in exactly the same sequence
+   and reconstructs exactly the same path — but it reuses the per-domain
+   arrays and stops once [dst] is settled.  Stopping early is sound: a
+   settled node's [dist]/[prev] slots are final under non-negative costs,
+   and every predecessor on the extracted path was settled before [dst]. *)
 let dijkstra_path g ~cost ~src ~dst =
-  let result = dijkstra g ~cost ~src in
-  match extract_path g result ~dst with
-  | None -> None
-  | Some p -> Some (result.dist.(dst), p)
+  let n = Graph.node_count g in
+  let ws = Ws.get ~n in
+  let ep = ws.Ws.epoch in
+  let stamp = ws.Ws.stamp
+  and dist = ws.Ws.dist_cost
+  and prev = ws.Ws.prev
+  and settled = ws.Ws.settled
+  and queue = ws.Ws.heap in
+  stamp.(src) <- ep;
+  dist.(src) <- 0.0;
+  prev.(src) <- -1;
+  Pqueue.add queue ~key:0.0 src;
+  let dst_settled = ref false in
+  let rec drain () =
+    if not !dst_settled then
+      match Pqueue.pop queue with
+      | None -> ()
+      | Some (d, v) ->
+          if settled.(v) <> ep then begin
+            settled.(v) <- ep;
+            if v = dst then dst_settled := true
+            else
+              Array.iter
+                (fun l ->
+                  let c = cost l in
+                  if c < 0.0 then
+                    invalid_arg "Shortest_path.dijkstra: negative cost";
+                  if c < infinity then begin
+                    let w = Graph.link_dst g l in
+                    let nd = d +. c in
+                    if stamp.(w) <> ep || nd < dist.(w) then begin
+                      stamp.(w) <- ep;
+                      dist.(w) <- nd;
+                      prev.(w) <- l;
+                      Pqueue.add queue ~key:nd w
+                    end
+                  end)
+                (Graph.out_links g v)
+          end;
+          drain ()
+  in
+  drain ();
+  if stamp.(dst) <> ep || not !dst_settled then None
+  else if prev.(dst) = -1 then None (* dst is the source itself *)
+  else begin
+    let total = dist.(dst) in
+    let rec rebuild v acc =
+      let l = prev.(v) in
+      if l = -1 then acc else rebuild (Graph.link_src g l) (l :: acc)
+    in
+    Some (total, Path.of_links g (rebuild dst []))
+  end
 
 let bellman_ford g ~cost ~src =
   let n = Graph.node_count g in

@@ -10,7 +10,18 @@
       building distance tables; also usable as a cross-check oracle.
 
     A cost of [infinity] excludes a link entirely (our realisation of the
-    paper's large constant [Q]). *)
+    paper's large constant [Q]).
+
+    {b Workspaces.}  The single-pair queries {!min_hop_path} and
+    {!dijkstra_path} are the routing hot path (every admission runs
+    both), so they execute on a preallocated per-domain workspace:
+    dist/prev/queue/heap storage reused across calls and invalidated by
+    an epoch counter rather than refilled.  Each domain owns its
+    workspace (via [Domain.DLS]), so concurrent searches from a
+    [--jobs N] worker pool never share state.  Results never alias the
+    workspace, and the traversal order — hence every returned path,
+    including cost ties — is identical to the allocating implementations
+    retained in {!Drtp.Routing_reference} as a differential oracle. *)
 
 val unreachable : int
 (** Sentinel hop count ([max_int]) for unreachable nodes. *)

@@ -40,4 +40,7 @@ let () =
          Test_merge.suite;
          Test_properties.suite;
          Test_properties2.suite;
+         Test_differential.suite;
+         Test_soak.suite;
+         Test_registration.suite;
        ])

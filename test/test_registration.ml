@@ -1,0 +1,125 @@
+(* Registration guard: every test_*.ml in this directory must be listed in
+   the dune (modules ...) stanza AND have its suite concatenated in
+   test_main.ml.  A forgotten registration silently drops a whole test
+   module from the build — this meta-test turns that into a failure.
+
+   Runs inside the build context (_build/default/test), where dune has
+   materialised every source it compiled. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Word-level occurrence check: [needle] bounded by non-identifier chars. *)
+let contains_word haystack needle =
+  let nlen = String.length needle and hlen = String.length haystack in
+  let is_ident c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '\''
+  in
+  let rec scan i =
+    if i + nlen > hlen then false
+    else if
+      String.sub haystack i nlen = needle
+      && (i = 0 || not (is_ident haystack.[i - 1]))
+      && (i + nlen = hlen || not (is_ident haystack.[i + nlen]))
+    then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_modules () =
+  Sys.readdir "."
+  |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f > 8
+         && String.sub f 0 5 = "test_"
+         && Filename.check_suffix f ".ml"
+         && f <> "test_main.ml")
+  |> List.map (fun f -> Filename.chop_suffix f ".ml")
+  |> List.sort compare
+
+let test_all_modules_in_dune () =
+  if not (Sys.file_exists "dune" && Sys.file_exists "test_main.ml") then
+    Alcotest.fail
+      "test sources not visible from the test cwd — fix the dune (deps ...) \
+       of the test stanza";
+  let dune = read_file "dune" in
+  let missing =
+    List.filter (fun m -> not (contains_word dune m)) (test_modules ())
+  in
+  if missing <> [] then
+    Alcotest.failf
+      "test module(s) not listed in test/dune (modules ...): %s"
+      (String.concat ", " missing)
+
+let test_all_modules_registered () =
+  let main = read_file "test_main.ml" in
+  let missing =
+    List.filter
+      (fun m -> not (contains_word main (String.capitalize_ascii m ^ ".suite")))
+      (test_modules ())
+  in
+  if missing <> [] then
+    Alcotest.failf
+      "test suite(s) not concatenated in test_main.ml: %s"
+      (String.concat ", "
+         (List.map (fun m -> String.capitalize_ascii m ^ ".suite") missing))
+
+let test_no_phantom_registrations () =
+  let main = read_file "test_main.ml" in
+  let modules = test_modules () in
+  (* Collect "Test_foo.suite" occurrences and check each has a file. *)
+  let phantom = ref [] in
+  let len = String.length main in
+  let i = ref 0 in
+  while !i < len do
+    (match String.index_from_opt main !i 'T' with
+    | None -> i := len
+    | Some j ->
+        (if j + 5 <= len && String.sub main j 5 = "Test_" then
+           let k = ref (j + 5) in
+           while
+             !k < len
+             && (match main.[!k] with
+                | 'a' .. 'z' | '0' .. '9' | '_' -> true
+                | _ -> false)
+           do
+             incr k
+           done;
+           if !k + 6 <= len && String.sub main !k 6 = ".suite" then
+             let name = String.uncapitalize_ascii (String.sub main j (!k - j)) in
+             if
+               name <> "test_main"
+               && (not (List.mem name modules))
+               && not (List.mem name !phantom)
+             then phantom := name :: !phantom);
+        i := j + 1)
+  done;
+  if !phantom <> [] then
+    Alcotest.failf "test_main.ml registers suites with no source file: %s"
+      (String.concat ", " (List.rev !phantom))
+
+let test_sanity () =
+  (* This very module must find itself. *)
+  Alcotest.(check bool)
+    "finds test_registration.ml" true
+    (List.mem "test_registration" (test_modules ()))
+
+let suite =
+  [
+    ( "registration-guard",
+      [
+        Alcotest.test_case "guard sees the sources" `Quick test_sanity;
+        Alcotest.test_case "every test_*.ml is in dune modules" `Quick
+          test_all_modules_in_dune;
+        Alcotest.test_case "every test_*.ml suite is run by test_main" `Quick
+          test_all_modules_registered;
+        Alcotest.test_case "no registered suite lacks a source file" `Quick
+          test_no_phantom_registrations;
+      ] );
+  ]
