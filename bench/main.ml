@@ -258,6 +258,20 @@ let test_journal_record_on =
              Journal.record (Journal.Teardown { conn = 1 }));
          Journal.set_enabled false))
 
+(* Fault-injection primitives: the per-message draw on a lossy plan, and
+   the zero-probability guard every message pays when a plan is installed
+   but its class is lossless (must stay branch-cheap, since the chaos CI
+   gate requires loss-0 runs to behave like no plan at all). *)
+let test_faults_deliver_lossy =
+  let plan = Dr_faults.Faults.create ~seed:1 (Dr_faults.Faults.uniform_spec 0.1) in
+  Test.make ~name:"faults/deliver-lossy"
+    (Staged.stage (fun () -> ignore (Dr_faults.Faults.deliver plan Dr_faults.Faults.Report)))
+
+let test_faults_deliver_zero =
+  let plan = Dr_faults.Faults.create ~seed:1 Dr_faults.Faults.zero_spec in
+  Test.make ~name:"faults/deliver-zero-guard"
+    (Staged.stage (fun () -> ignore (Dr_faults.Faults.deliver plan Dr_faults.Faults.Report)))
+
 let all_tests =
   [
     test_table1;
@@ -286,6 +300,8 @@ let all_tests =
     test_telemetry_span_off;
     test_journal_record_off;
     test_journal_record_on;
+    test_faults_deliver_lossy;
+    test_faults_deliver_zero;
   ]
 
 let run_benchmarks () =

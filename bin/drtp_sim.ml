@@ -788,6 +788,80 @@ let check_routing_cmd =
       const run $ telemetry_t $ jobs_t $ graphs_t $ nodes_t $ admissions_t
       $ degree_t $ seed_t)
 
+(* ---- chaos: robustness sweep under control-plane loss + repair churn ----- *)
+
+let chaos_cmd =
+  let scheme_t =
+    let parse s =
+      Result.map_error (fun e -> `Msg e) (Drtp.Routing.scheme_of_string s)
+    in
+    let print ppf s = Format.pp_print_string ppf (Drtp.Routing.scheme_name s) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Drtp.Routing.Dlsr
+      & info [ "scheme" ] ~docv:"SCHEME"
+          ~doc:"Link-state scheme under test: d-lsr, p-lsr or spf.")
+  in
+  let losses_t =
+    Arg.(
+      value
+      & opt (list float) Dr_exp.Robustness_exp.default_losses
+      & info [ "losses" ] ~docv:"P,P,..."
+          ~doc:"Control-message loss probabilities to sweep (comma-separated).")
+  in
+  let mtbfs_t =
+    Arg.(
+      value
+      & opt (list float) Dr_exp.Robustness_exp.default_mtbfs
+      & info [ "mtbfs" ] ~docv:"S,S,..."
+          ~doc:"Mean times between link failures to sweep (seconds).")
+  in
+  let mttr_t =
+    Arg.(
+      value & opt float 60.0
+      & info [ "mttr" ] ~docv:"S" ~doc:"Mean time to repair (seconds).")
+  in
+  let no_queue_t =
+    Arg.(
+      value & flag
+      & info [ "no-queue" ]
+          ~doc:
+            "Disable the reprotection queue (the no-queue baseline for the \
+             differential comparison).")
+  in
+  let baseline_t =
+    Arg.(
+      value & flag
+      & info [ "baseline" ]
+          ~doc:
+            "Bypass the fault-injection layer entirely (no loss plan is \
+             even installed).  A sweep at $(b,--losses) 0 must be \
+             byte-identical to this — the zero-loss equivalence CI gate.")
+  in
+  let run () jobs degree traffic lambda scheme losses mtbfs mttr no_queue
+      baseline quick seed =
+    let cfg = config_of ~quick ~seed in
+    let rows =
+      with_pool jobs (fun pool ->
+          Dr_exp.Robustness_exp.run ~pool cfg ~avg_degree:degree ~traffic
+            ~lambda ~scheme ~losses ~mtbfs ~mttr ~queue:(not no_queue)
+            ~fault_layer:(not baseline)
+            ~seed:((seed * 31) + 7) ())
+    in
+    Format.printf "%a@." Dr_exp.Robustness_exp.pp rows
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Robustness sweep: recovery success, latency (retransmissions \
+          included) and time-unprotected over a loss-probability x \
+          repair-churn grid, with lossy failure reports and activation \
+          signals and the manager's reprotection queue.")
+    Term.(
+      const run $ telemetry_t $ jobs_t $ degree_t $ traffic_t
+      $ lambda_t ~default:0.5 $ scheme_t $ losses_t $ mtbfs_t $ mttr_t
+      $ no_queue_t $ baseline_t $ quick_t $ seed_t)
+
 (* ---- inspect: summarise a journal file ---------------------------------- *)
 
 let inspect_cmd =
@@ -977,13 +1051,27 @@ let default_info =
        Dependable Real-Time Connections' (DSN 2001)."
 
 let () =
+  (* Surface silent flooding degradation: a truncated flood means BF routed
+     on an incomplete candidate set.  Warn once per process (floods may run
+     on worker domains, hence the atomic latch); every occurrence is also
+     journalled as a [flood-truncated] event and counted in telemetry. *)
+  let truncation_warned = Atomic.make false in
+  (Dr_flood.Bounded_flood.on_truncated :=
+     fun ~src ~dst ~messages ->
+       if not (Atomic.exchange truncation_warned true) then
+         Printf.eprintf
+           "drtp_sim: warning: bounded flood %d->%d truncated at %d messages \
+            (cdp_cap reached); BF candidate sets are incomplete — consider a \
+            larger cdp_cap\n\
+            %!"
+           src dst messages);
   let cmds =
     [
       table1_cmd; fig4_cmd; fig5_cmd; details_cmd; claims_cmd; ablate_mux_cmd;
       ablate_flood_cmd; ablate_spf_cmd; ablate_backups_cmd; ablate_qos_cmd;
       ablate_classes_cmd; replicate_cmd; staleness_cmd; availability_cmd;
       overhead_cmd;
-      recovery_cmd; topo_cmd; scenario_cmd; replay_cmd; explain_cmd;
+      recovery_cmd; chaos_cmd; topo_cmd; scenario_cmd; replay_cmd; explain_cmd;
       inspect_cmd; check_routing_cmd;
     ]
   in

@@ -1,4 +1,8 @@
 module J = Dr_obs.Journal
+module Tm = Dr_telemetry.Telemetry
+
+let c_reprotect_queued = Tm.Counter.make "manager.reprotect.queued"
+let c_reprotect_drained = Tm.Counter.make "manager.reprotect.drained"
 
 type stats = {
   mutable requests : int;
@@ -10,7 +14,30 @@ type stats = {
   mutable unprotected : int;
 }
 
-type t = { state : Net_state.t; route : Routing.route_fn; stats : stats }
+(* Reprotection queue: connections a failure left without any backup wait
+   here for releases/repairs to free resources, in FIFO order. *)
+type reprotect_entry = {
+  re_id : int;
+  re_scheme : Routing.scheme;
+  re_count : int;
+  re_since : float;
+}
+
+type reprotect_stats = {
+  mutable queued : int;
+  mutable drained : int;
+  mutable attempts : int;
+  mutable abandoned : int;
+  mutable unprotected_time : float;
+}
+
+type t = {
+  state : Net_state.t;
+  route : Routing.route_fn;
+  stats : stats;
+  mutable reprotect : reprotect_entry list;
+  rstats : reprotect_stats;
+}
 
 let create ~graph ~capacity ~spare_policy ~route =
   {
@@ -26,10 +53,95 @@ let create ~graph ~capacity ~spare_policy ~route =
         degraded = 0;
         unprotected = 0;
       };
+    reprotect = [];
+    rstats =
+      {
+        queued = 0;
+        drained = 0;
+        attempts = 0;
+        abandoned = 0;
+        unprotected_time = 0.0;
+      };
   }
 
 let state t = t.state
 let stats t = t.stats
+let reprotect_stats t = t.rstats
+let reprotect_pending t = List.length t.reprotect
+
+let queue_reprotect t ~id ~scheme ?(backup_count = 1) ~now () =
+  match Net_state.find t.state id with
+  | None -> ()
+  | Some conn ->
+      if conn.backups = [] && not (List.exists (fun e -> e.re_id = id) t.reprotect)
+      then begin
+        t.reprotect <-
+          t.reprotect
+          @ [ { re_id = id; re_scheme = scheme; re_count = backup_count; re_since = now } ];
+        t.rstats.queued <- t.rstats.queued + 1;
+        Tm.Counter.incr c_reprotect_queued;
+        if !J.on then
+          J.record
+            (J.Reprotect_queued { conn = id; pending = List.length t.reprotect })
+      end
+
+let drain_reprotect t ~now =
+  let drained = ref 0 in
+  let settle e =
+    t.rstats.unprotected_time <-
+      t.rstats.unprotected_time +. (now -. e.re_since)
+  in
+  let keep =
+    List.filter
+      (fun e ->
+        match Net_state.find t.state e.re_id with
+        | None ->
+            (* Torn down (or lost) while waiting: stop tracking it. *)
+            t.rstats.abandoned <- t.rstats.abandoned + 1;
+            settle e;
+            false
+        | Some conn ->
+            if conn.backups <> [] then begin
+              (* Re-protected by some other path (e.g. a later step 4). *)
+              incr drained;
+              t.rstats.drained <- t.rstats.drained + 1;
+              Tm.Counter.incr c_reprotect_drained;
+              settle e;
+              false
+            end
+            else begin
+              t.rstats.attempts <- t.rstats.attempts + 1;
+              match
+                Routing.additional_backups e.re_scheme t.state
+                  ~primary:conn.primary ~bw:conn.bw ~existing:[]
+                  ~count:e.re_count
+              with
+              | [] -> true (* still no resources; keep waiting *)
+              | fresh ->
+                  Net_state.replace_backups t.state ~id:e.re_id ~backups:fresh;
+                  incr drained;
+                  t.rstats.drained <- t.rstats.drained + 1;
+                  Tm.Counter.incr c_reprotect_drained;
+                  settle e;
+                  if !J.on then
+                    J.record
+                      (J.Reprotected
+                         { conn = e.re_id; fresh = List.length fresh });
+                  false
+            end)
+      t.reprotect
+  in
+  t.reprotect <- keep;
+  !drained
+
+let flush_reprotect t ~now =
+  List.iter
+    (fun e ->
+      t.rstats.abandoned <- t.rstats.abandoned + 1;
+      t.rstats.unprotected_time <-
+        t.rstats.unprotected_time +. (now -. e.re_since))
+    t.reprotect;
+  t.reprotect <- []
 
 let apply t (item : Dr_sim.Scenario.item) =
   (* The scenario item's time is the simulation clock for every journal
@@ -66,7 +178,10 @@ let apply t (item : Dr_sim.Scenario.item) =
       | Some _ ->
           Net_state.release t.state ~id:conn;
           t.stats.released <- t.stats.released + 1;
-          if !J.on then J.record (J.Teardown { conn }))
+          if !J.on then J.record (J.Teardown { conn });
+          (* A release frees resources: give waiting unprotected
+             connections another chance at a backup. *)
+          if t.reprotect <> [] then ignore (drain_reprotect t ~now:item.time))
 
 let run t scenario = Dr_sim.Scenario.iter scenario (fun item -> apply t item)
 

@@ -27,6 +27,21 @@ type stats = {
           [allow_unprotected]). *)
 }
 
+(** Counters for the reprotection queue — graceful degradation under
+    churn: connections a failure left with no backup wait here, and each
+    release or repair retries backup establishment for them in FIFO
+    order. *)
+type reprotect_stats = {
+  mutable queued : int;  (** entries ever enqueued *)
+  mutable drained : int;  (** entries that regained a backup *)
+  mutable attempts : int;  (** backup searches run on behalf of waiters *)
+  mutable abandoned : int;
+      (** entries whose connection ended (teardown/loss/flush) before a
+          backup could be found *)
+  mutable unprotected_time : float;
+      (** total seconds queue entries spent waiting without protection *)
+}
+
 type t
 
 val create :
@@ -48,3 +63,26 @@ val run : t -> Dr_sim.Scenario.t -> unit
 
 val acceptance_ratio : t -> float
 (** accepted / requests; 1.0 before any request. *)
+
+(** {1 Reprotection queue} *)
+
+val queue_reprotect :
+  t -> id:int -> scheme:Routing.scheme -> ?backup_count:int -> now:float -> unit -> unit
+(** Enqueue a live, backup-less connection for reprotection ([backup_count]
+    backups wanted, default 1).  No-op if the connection is gone, already
+    has a backup, or is already queued. *)
+
+val drain_reprotect : t -> now:float -> int
+(** Retry backup establishment for every queued connection (FIFO), keeping
+    the ones that still cannot be protected.  Returns how many entries
+    left the queue with a backup.  {!apply} calls this automatically after
+    each release; failure drivers should call it after each repair. *)
+
+val flush_reprotect : t -> now:float -> unit
+(** End-of-run accounting: mark all remaining entries abandoned, charging
+    their unprotected time up to [now], and empty the queue. *)
+
+val reprotect_pending : t -> int
+(** Entries currently waiting. *)
+
+val reprotect_stats : t -> reprotect_stats

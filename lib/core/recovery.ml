@@ -2,6 +2,8 @@ module Graph = Dr_topo.Graph
 module Path = Dr_topo.Path
 module Tm = Dr_telemetry.Telemetry
 module J = Dr_obs.Journal
+module Faults = Dr_faults.Faults
+module Backoff = Dr_faults.Backoff
 
 (* Telemetry: recovery outcomes per victim connection and the latency
    distributions the E1 extension reports.  Activation latencies live in
@@ -14,6 +16,9 @@ let c_reprotected = Tm.Counter.make "recovery.reprotected"
 let c_backup_rerouted = Tm.Counter.make "recovery.backup.rerouted"
 let c_backup_unprotected = Tm.Counter.make "recovery.backup.unprotected"
 let c_reattempts = Tm.Counter.make "recovery.reestablish.attempts"
+let c_msg_dropped = Tm.Counter.make "recovery.msg.dropped"
+let c_retransmits = Tm.Counter.make "recovery.msg.retransmits"
+let c_fallback_reroutes = Tm.Counter.make "recovery.fallback.reroutes"
 let t_activation = Tm.Timer.make ~hist:(0.0, 0.1, 20) "recovery.activation_latency"
 let t_reroute = Tm.Timer.make "recovery.reroute_latency"
 
@@ -34,6 +39,10 @@ let default_timing =
     max_retries = 3;
   }
 
+type retrans = { rto : float; max_retransmits : int }
+
+let default_retrans = { rto = 0.050; max_retransmits = 4 }
+
 type outcome =
   | Switched of { latency : float; reprotected : bool }
   | Rerouted of { latency : float; retries : int }
@@ -48,6 +57,9 @@ type report = {
   outcomes : (int * outcome) list;
   backups_rerouted : int;
   backups_unprotected : int;
+  unprotected_ids : int list;
+  retransmits : int;
+  messages_dropped : int;
 }
 
 let recovered_fraction r =
@@ -68,22 +80,59 @@ let report_hops conn edge =
   in
   scan 0 (Path.links conn.Net_state.primary)
 
-(* The backup a victim activates: first in priority order that survives the
-   failure and can get its bandwidth. *)
-let usable_backup_index state (conn : Net_state.conn) edge =
+(* The backup a victim activates: first in priority order (from position
+   [from] on) that survives the failure and can get its bandwidth. *)
+let usable_backup_index ?(from = 0) state (conn : Net_state.conn) edge =
   let rec scan i = function
     | [] -> None
     | b :: rest ->
         if
-          (not (Path.crosses_edge b edge))
+          i >= from
+          && (not (Path.crosses_edge b edge))
           && Net_state.activation_feasible state ~id:conn.id ~index:i ()
         then Some (i, b)
         else scan (i + 1) rest
   in
   scan 0 conn.backups
 
+(* One control-plane transmission under the fault plan: redraw after each
+   loss until the message gets through or the sender exhausts its
+   retransmission budget.  Returns [(delivered, extra)], where [extra] is
+   the backoff time the sender slept on timeouts — exactly 0.0 without a
+   plan, so zero-fault latencies stay bit-identical to the lossless
+   code path. *)
+let transmit ~faults ~retrans ~cls ~id ~dropped ~resent =
+  match faults with
+  | None -> (true, 0.0)
+  | Some f ->
+      let b =
+        Backoff.make ~base:retrans.rto ~max_attempts:retrans.max_retransmits ()
+      in
+      let rec go attempt =
+        if Faults.deliver f cls then (true, Backoff.total_before b ~attempt)
+        else begin
+          incr dropped;
+          Tm.Counter.incr c_msg_dropped;
+          if !J.on then
+            J.record (J.Message_dropped { cls = Faults.cls_name cls; id });
+          if Backoff.exhausted b ~attempt then
+            (* The sender learns of the final loss by one more timeout. *)
+            (false, Backoff.total_before b ~attempt:(attempt + 1))
+          else begin
+            incr resent;
+            Tm.Counter.incr c_retransmits;
+            if !J.on then
+              J.record
+                (J.Retransmit
+                   { cls = Faults.cls_name cls; conn = id; attempt = attempt + 1 });
+            go (attempt + 1)
+          end
+        end
+      in
+      go 0
+
 let fail_edge_drtp state ~scheme ?(timing = default_timing) ?(reconfigure = true)
-    ?(backup_count = 1) ~edge () =
+    ?(backup_count = 1) ?faults ?(retrans = default_retrans) ~edge () =
   Net_state.fail_edge state ~edge;
   let victims = Net_state.primaries_crossing_edge state edge in
   (* Connections whose backups (not primary) die with this edge: collect
@@ -96,40 +145,98 @@ let fail_edge_drtp state ~scheme ?(timing = default_timing) ?(reconfigure = true
       then broken_backups := c.id :: !broken_backups);
   if !J.on then
     J.record (J.Failure_detected { edge; victims = List.length victims });
+  let dropped = ref 0 and resent = ref 0 in
+  let fallback_unprotected = ref [] in
   let switched = ref [] in
-  let outcomes =
+  (* Reactive fallback once a signal's retransmissions are exhausted: tear
+     the connection down and try a fresh (unprotected) primary, as the
+     reactive scheme would. *)
+  let fallback (conn : Net_state.conn) ~spent =
+    Net_state.drop state ~id:conn.id;
+    match Routing.find_primary state ~src:conn.src ~dst:conn.dst ~bw:conn.bw with
+    | Some p ->
+        let latency =
+          spent +. timing.route_computation
+          +. (timing.link_delay *. float_of_int (Path.hops p))
+        in
+        ignore (Net_state.admit state ~id:conn.id ~bw:conn.bw ~primary:p ~backups:[]);
+        Tm.Counter.incr c_fallback_reroutes;
+        fallback_unprotected := conn.id :: !fallback_unprotected;
+        if !J.on then
+          J.record (J.Rerouted { conn = conn.id; latency; retries = 0 });
+        `Fell_back latency
+    | None ->
+        if !J.on then
+          J.record (J.Connection_lost { conn = conn.id; latency = spent });
+        `Lost spent
+  in
+  let tagged =
     List.map
       (fun (conn : Net_state.conn) ->
         let hops = report_hops conn edge in
         let detection = timing.detection_delay in
         let report = timing.link_delay *. float_of_int hops in
+        let rep_ok, rep_extra =
+          transmit ~faults ~retrans ~cls:Faults.Report ~id:conn.id ~dropped
+            ~resent
+        in
+        (* Retransmission time rides on the phase that spent it, so the
+           journal's detection/report/activation decomposition still sums
+           to the full recovery latency. *)
+        let report = report +. rep_extra in
         let notify = detection +. report in
         if !J.on then
           J.record (J.Report_hop { conn = conn.id; hops; detection; report });
-        match usable_backup_index state conn edge with
-        | Some (index, b) ->
-            let activation = timing.link_delay *. float_of_int (Path.hops b) in
-            let latency = notify +. activation in
-            Net_state.promote_backup state ~id:conn.id ~index ();
-            if !J.on then
-              J.record
-                (J.Backup_activated
-                   { conn = conn.id; index; detection; report; activation });
-            switched := (conn.id, latency) :: !switched;
-            (conn.id, latency)
-        | None ->
-            Net_state.drop state ~id:conn.id;
-            if !J.on then begin
-              J.record (J.Backup_contended { conn = conn.id });
-              J.record (J.Connection_lost { conn = conn.id; latency = notify })
-            end;
-            (conn.id, -.notify) (* negative marks a loss *))
+        if not rep_ok then (conn.id, fallback conn ~spent:notify)
+        else
+          (* Walk the surviving backups in priority order; a lost
+             activation signal burns its retransmission budget and falls
+             through to the next backup. *)
+          let rec activate from wasted tried =
+            match usable_backup_index ~from state conn edge with
+            | Some (index, b) ->
+                let act_ok, act_extra =
+                  transmit ~faults ~retrans ~cls:Faults.Activation ~id:conn.id
+                    ~dropped ~resent
+                in
+                if act_ok then begin
+                  let activation =
+                    wasted +. act_extra
+                    +. (timing.link_delay *. float_of_int (Path.hops b))
+                  in
+                  let latency = notify +. activation in
+                  Net_state.promote_backup state ~id:conn.id ~index ();
+                  if !J.on then
+                    J.record
+                      (J.Backup_activated
+                         { conn = conn.id; index; detection; report; activation });
+                  switched := (conn.id, latency) :: !switched;
+                  `Switched latency
+                end
+                else activate (index + 1) (wasted +. act_extra) true
+            | None ->
+                if tried then
+                  (* Backups existed, but every activation signal was
+                     lost: fall back to a reactive reroute. *)
+                  fallback conn ~spent:(notify +. wasted)
+                else begin
+                  Net_state.drop state ~id:conn.id;
+                  if !J.on then begin
+                    J.record (J.Backup_contended { conn = conn.id });
+                    J.record
+                      (J.Connection_lost { conn = conn.id; latency = notify })
+                  end;
+                  `Lost notify
+                end
+          in
+          (conn.id, activate 0 0.0 false))
       victims
   in
   (* DRTP step 4: re-protect the promoted connections and re-route the
      backups the failure destroyed. *)
   let reprotected = Hashtbl.create 8 in
   let rerouted = ref 0 and unprotected = ref 0 in
+  let step4_unprotected = ref [] in
   if reconfigure then begin
     let top_up id =
       match Net_state.find state id with
@@ -155,7 +262,7 @@ let fail_edge_drtp state ~scheme ?(timing = default_timing) ?(reconfigure = true
       (fun (id, _) ->
         match top_up id with
         | `Gone -> ()
-        | `Unprotected -> ()
+        | `Unprotected -> step4_unprotected := id :: !step4_unprotected
         | `Rerouted | `Kept -> Hashtbl.replace reprotected id ())
       !switched;
     List.iter
@@ -163,24 +270,29 @@ let fail_edge_drtp state ~scheme ?(timing = default_timing) ?(reconfigure = true
         match top_up id with
         | `Gone | `Kept -> ()
         | `Rerouted -> incr rerouted
-        | `Unprotected -> incr unprotected)
+        | `Unprotected ->
+            incr unprotected;
+            step4_unprotected := id :: !step4_unprotected)
       !broken_backups
   end;
   let outcomes =
     List.map
-      (fun (id, latency) ->
-        if latency < 0.0 then begin
-          Tm.Counter.incr c_lost;
-          (id, Lost { latency = -.latency })
-        end
-        else begin
-          Tm.Counter.incr c_switched;
-          Tm.Timer.record t_activation latency;
-          let reprotected = Hashtbl.mem reprotected id in
-          if reprotected then Tm.Counter.incr c_reprotected;
-          (id, Switched { latency; reprotected })
-        end)
-      outcomes
+      (fun (id, tag) ->
+        match tag with
+        | `Lost latency ->
+            Tm.Counter.incr c_lost;
+            (id, Lost { latency })
+        | `Fell_back latency ->
+            Tm.Counter.incr c_rerouted;
+            Tm.Timer.record t_reroute latency;
+            (id, Rerouted { latency; retries = 0 })
+        | `Switched latency ->
+            Tm.Counter.incr c_switched;
+            Tm.Timer.record t_activation latency;
+            let reprotected = Hashtbl.mem reprotected id in
+            if reprotected then Tm.Counter.incr c_reprotected;
+            (id, Switched { latency; reprotected }))
+      tagged
   in
   Tm.Counter.add c_backup_rerouted !rerouted;
   Tm.Counter.add c_backup_unprotected !unprotected;
@@ -189,6 +301,10 @@ let fail_edge_drtp state ~scheme ?(timing = default_timing) ?(reconfigure = true
     outcomes;
     backups_rerouted = !rerouted;
     backups_unprotected = !unprotected;
+    unprotected_ids =
+      List.rev !fallback_unprotected @ List.rev !step4_unprotected;
+    retransmits = !resent;
+    messages_dropped = !dropped;
   }
 
 (* Remove loops from a node walk: when a node repeats, cut the cycle back
@@ -281,7 +397,15 @@ let fail_edge_local_detour state ?(timing = default_timing) ~edge () =
                (conn.id, Lost { latency })))
       victims
   in
-  { edge; outcomes; backups_rerouted = 0; backups_unprotected = 0 }
+  {
+    edge;
+    outcomes;
+    backups_rerouted = 0;
+    backups_unprotected = 0;
+    unprotected_ids = [];
+    retransmits = 0;
+    messages_dropped = 0;
+  }
 
 let fail_edge_reactive state ?(timing = default_timing) ~edge () =
   Net_state.fail_edge state ~edge;
@@ -302,10 +426,11 @@ let fail_edge_reactive state ?(timing = default_timing) ~edge () =
       Hashtbl.replace notify_of conn.id (notify, conn.src, conn.dst, conn.bw);
       Net_state.drop state ~id:conn.id)
     victims;
-  let backoff_until attempt =
-    (* Total backoff slept before attempt number [attempt] (0-based):
-       sum of retry_backoff * 2^i for i < attempt. *)
-    timing.retry_backoff *. (Float.pow 2.0 (float_of_int attempt) -. 1.0)
+  (* Retry pacing: doubling backoff before attempt [n] (0-based).
+     [Backoff.total_before] with the default factor is bit-identical to the
+     historical [retry_backoff *. (2^n - 1)] closed form. *)
+  let backoff =
+    Backoff.make ~base:timing.retry_backoff ~max_attempts:timing.max_retries ()
   in
   let outcomes =
     List.map
@@ -314,7 +439,8 @@ let fail_edge_reactive state ?(timing = default_timing) ~edge () =
         let rec attempt n =
           Tm.Counter.incr c_reattempts;
           let spent =
-            notify +. backoff_until n
+            notify
+            +. Backoff.total_before backoff ~attempt:n
             +. (timing.route_computation *. float_of_int (n + 1))
           in
           match Routing.find_primary state ~src ~dst ~bw with
@@ -329,7 +455,7 @@ let fail_edge_reactive state ?(timing = default_timing) ~edge () =
                 J.record (J.Rerouted { conn = conn.id; latency; retries = n });
               (conn.id, Rerouted { latency; retries = n })
           | None ->
-              if n >= timing.max_retries then begin
+              if Backoff.exhausted backoff ~attempt:n then begin
                 Tm.Counter.incr c_lost;
                 if !J.on then
                   J.record (J.Connection_lost { conn = conn.id; latency = spent });
@@ -340,4 +466,12 @@ let fail_edge_reactive state ?(timing = default_timing) ~edge () =
         attempt 0)
       victims
   in
-  { edge; outcomes; backups_rerouted = 0; backups_unprotected = 0 }
+  {
+    edge;
+    outcomes;
+    backups_rerouted = 0;
+    backups_unprotected = 0;
+    unprotected_ids = [];
+    retransmits = 0;
+    messages_dropped = 0;
+  }

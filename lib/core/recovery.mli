@@ -35,6 +35,16 @@ val default_timing : timing
 (** 10 ms detection, 1 ms per hop, 5 ms route computation, 100 ms initial
     backoff, 3 retries. *)
 
+(** Retransmission policy for lossy control-plane signalling (only
+    consulted when a fault plan is installed). *)
+type retrans = {
+  rto : float;  (** retransmission timeout before the first resend; doubles *)
+  max_retransmits : int;  (** resends before giving up on the signal *)
+}
+
+val default_retrans : retrans
+(** 50 ms RTO, 4 retransmissions. *)
+
 type outcome =
   | Switched of { latency : float; reprotected : bool }
       (** Backup activated; [reprotected] = the connection still has at
@@ -54,6 +64,12 @@ type report = {
           was re-routed (step 4) *)
   backups_unprotected : int;
       (** ... for which no replacement backup could be found *)
+  unprotected_ids : int list;
+      (** live connections this failure left without any backup: step-4
+          top-up failures plus reactive-fallback reroutes — the candidates
+          for {!Manager}'s reprotection queue *)
+  retransmits : int;  (** control messages retransmitted (fault plan only) *)
+  messages_dropped : int;  (** control messages lost (fault plan only) *)
 }
 
 val recovered_fraction : report -> float
@@ -65,6 +81,8 @@ val fail_edge_drtp :
   ?timing:timing ->
   ?reconfigure:bool ->
   ?backup_count:int ->
+  ?faults:Dr_faults.Faults.t ->
+  ?retrans:retrans ->
   edge:int ->
   unit ->
   report
@@ -75,7 +93,18 @@ val fail_edge_drtp :
     [true]): promoted connections and connections whose backups died are
     topped back up to [backup_count] (default 1) backups where routes
     exist.  The edge is left marked failed; call
-    {!Net_state.restore_edge} to repair it. *)
+    {!Net_state.restore_edge} to repair it.
+
+    With a [faults] plan installed, failure reports and activation signals
+    are subject to loss: each lost copy is retransmitted after a doubling
+    timeout ([retrans], default {!default_retrans}), and the slept backoff
+    time is added to the phase that spent it.  A report whose
+    retransmissions are exhausted falls back to a reactive reroute (the
+    source only learns of the failure by timeout); an activation signal
+    whose retransmissions are exhausted falls through to the next usable
+    backup, and past the last backup to the reactive fallback.  With no
+    plan — or a {!Dr_faults.Faults.zero_spec} plan — behaviour, latencies
+    and journal output are bit-identical to the lossless code path. *)
 
 val fail_edge_reactive :
   Net_state.t -> ?timing:timing -> edge:int -> unit -> report

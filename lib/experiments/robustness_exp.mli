@@ -1,0 +1,80 @@
+(** Robustness / chaos experiment: DRTP recovery under a lossy control
+    plane and link repair churn.
+
+    Each cell of the (loss probability × MTBF) grid replays the standard
+    workload against a seeded flap timeline
+    ({!Dr_faults.Faults.flap_schedule}) while a {!Dr_faults.Faults} plan
+    drops failure reports and activation signals, which
+    {!Drtp.Recovery.fail_edge_drtp} retransmits with exponential backoff.
+    Connections a failure leaves with no backup join {!Drtp.Manager}'s
+    reprotection queue and are retried on every release and repair.
+
+    Determinism: every cell derives its own loss plan and flap timeline
+    from its grid index, and journal entries are merged in task-index
+    order, so results and journals are byte-identical for any [--jobs]
+    count.  A [loss = 0] cell with [fault_layer = true] is byte-identical
+    to the same cell with [fault_layer = false] (the zero-probability
+    transparency the chaos CI gate enforces). *)
+
+type row = {
+  loss : float;  (** per-message-class loss probability of this cell *)
+  mtbf : float;
+  mttr : float;
+  failures : int;  (** edge failures injected *)
+  affected : int;  (** connections whose primary crossed a failed edge *)
+  recovered : int;  (** of those, switched or rerouted *)
+  success_ratio : float;  (** recovered / affected; 1.0 when unaffected *)
+  latency_mean_ms : float;
+      (** mean recovery latency of recovered connections, retransmission
+          backoff included *)
+  retransmits : int;  (** recovery control messages retransmitted *)
+  messages_dropped : int;  (** recovery control messages lost *)
+  reprotect_queued : int;  (** connections that entered the queue *)
+  reprotect_drained : int;  (** queue entries that regained a backup *)
+  unprotected_time_s : float;
+      (** total time queued connections spent without protection *)
+}
+
+val run_cell :
+  Config.t ->
+  avg_degree:float ->
+  traffic:Config.traffic ->
+  lambda:float ->
+  scheme:Drtp.Routing.scheme ->
+  loss:float ->
+  mtbf:float ->
+  mttr:float ->
+  seed:int ->
+  ?queue:bool ->
+  ?fault_layer:bool ->
+  unit ->
+  row
+(** One grid cell.  [queue] (default [true]) enables the reprotection
+    queue — the no-queue baseline for the differential test.
+    [fault_layer] (default [true]) installs the loss plan at all; with it
+    off the cell runs the historical lossless path. *)
+
+val default_losses : float list
+(** [0.0; 0.05; 0.2] *)
+
+val default_mtbfs : float list
+(** [600; 120] seconds *)
+
+val run :
+  ?pool:Dr_parallel.Pool.t ->
+  Config.t ->
+  avg_degree:float ->
+  traffic:Config.traffic ->
+  lambda:float ->
+  scheme:Drtp.Routing.scheme ->
+  ?losses:float list ->
+  ?mtbfs:float list ->
+  ?mttr:float ->
+  ?queue:bool ->
+  ?fault_layer:bool ->
+  ?seed:int ->
+  unit ->
+  row list
+(** The full sweep, losses × mtbfs, in grid order (losses outer). *)
+
+val pp : Format.formatter -> row list -> unit

@@ -1,0 +1,42 @@
+type t = {
+  base : float;
+  factor : float;
+  cap : float option;
+  max_attempts : int;
+}
+
+let make ?(factor = 2.0) ?cap ~base ~max_attempts () =
+  if base < 0.0 then invalid_arg "Backoff.make: negative base";
+  if factor < 1.0 then invalid_arg "Backoff.make: factor below 1";
+  (match cap with
+  | Some c when c < 0.0 -> invalid_arg "Backoff.make: negative cap"
+  | _ -> ());
+  if max_attempts < 0 then invalid_arg "Backoff.make: negative max_attempts";
+  { base; factor; cap; max_attempts }
+
+let apply_cap t d = match t.cap with None -> d | Some c -> Float.min c d
+
+let delay t ~attempt =
+  if attempt < 0 then invalid_arg "Backoff.delay: negative attempt";
+  if attempt = 0 then 0.0
+  else apply_cap t (t.base *. Float.pow t.factor (float_of_int (attempt - 1)))
+
+let total_before t ~attempt =
+  if attempt < 0 then invalid_arg "Backoff.total_before: negative attempt";
+  match t.cap with
+  | None ->
+      (* Closed forms; the doubling case divides by exactly 1.0, which keeps
+         it bit-identical to the historical [base *. (2^n - 1)]. *)
+      if t.factor = 1.0 then t.base *. float_of_int attempt
+      else
+        t.base
+        *. (Float.pow t.factor (float_of_int attempt) -. 1.0)
+        /. (t.factor -. 1.0)
+  | Some _ ->
+      let total = ref 0.0 in
+      for k = 1 to attempt do
+        total := !total +. delay t ~attempt:k
+      done;
+      !total
+
+let exhausted t ~attempt = attempt >= t.max_attempts

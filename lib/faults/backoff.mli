@@ -1,0 +1,48 @@
+(** Exponential backoff schedules, shared by every retry path.
+
+    Three callers used to carry private copies of the same arithmetic:
+    {!Drtp.Recovery}'s reactive re-establishment (delayed retries with a
+    doubling sleep), {!Dr_proto.Protocol_sim}'s crankback (attempt-count
+    bookkeeping), and now the control-plane retransmission timers the
+    fault-injection layer introduces.  This module is the single source of
+    truth for the doubling schedule, the optional per-delay cap and the
+    give-up test.
+
+    Attempts are numbered from 0 (the first transmission / first
+    re-establishment try).  [delay ~attempt:n] is the sleep {e before}
+    attempt [n] (so attempt 0 costs nothing), and [total_before ~attempt:n]
+    is the sum of those sleeps — the latency a caller has accumulated by
+    the time attempt [n] starts.
+
+    {b Bit-exactness.}  For the uncapped doubling schedule,
+    [total_before] is computed through the same closed form the pre-change
+    {!Drtp.Recovery} code used ([base *. (2^n - 1)]), so refactored
+    callers produce bit-identical latencies. *)
+
+type t = {
+  base : float;  (** delay before attempt 1 (seconds); must be >= 0 *)
+  factor : float;  (** growth per retry; must be >= 1 (2 = doubling) *)
+  cap : float option;  (** optional upper bound on any single delay *)
+  max_attempts : int;
+      (** retries allowed after attempt 0; {!exhausted} at this count *)
+}
+
+val make :
+  ?factor:float -> ?cap:float -> base:float -> max_attempts:int -> unit -> t
+(** [factor] defaults to 2.0 (doubling), [cap] to none.  Raises
+    [Invalid_argument] on a negative base, a factor below 1, a negative
+    cap or a negative attempt budget. *)
+
+val delay : t -> attempt:int -> float
+(** Sleep before attempt [attempt]: 0 for attempt 0, else
+    [min cap (base *. factor^(attempt-1))]. *)
+
+val total_before : t -> attempt:int -> float
+(** Sum of {!delay} over attempts 1..[attempt] — total time spent backing
+    off when attempt [attempt] begins.  Uncapped doubling uses the closed
+    form [base *. (factor^attempt - 1) /. (factor - 1)]. *)
+
+val exhausted : t -> attempt:int -> bool
+(** [attempt >= max_attempts]: the caller has no retries left and must
+    fall back (give up, next backup, reactive reroute — caller's
+    choice). *)

@@ -1,0 +1,114 @@
+module Sm = Dr_rng.Splitmix64
+
+type cls = Cdp | Report | Activation | Setup | Ack
+
+let cls_index = function
+  | Cdp -> 0
+  | Report -> 1
+  | Activation -> 2
+  | Setup -> 3
+  | Ack -> 4
+
+let cls_name = function
+  | Cdp -> "cdp"
+  | Report -> "report"
+  | Activation -> "activation"
+  | Setup -> "setup"
+  | Ack -> "ack"
+
+let all_classes = [ Cdp; Report; Activation; Setup; Ack ]
+let class_count = List.length all_classes
+
+type spec = {
+  p_cdp : float;
+  p_report : float;
+  p_activation : float;
+  p_setup : float;
+  p_ack : float;
+}
+
+let zero_spec =
+  { p_cdp = 0.0; p_report = 0.0; p_activation = 0.0; p_setup = 0.0; p_ack = 0.0 }
+
+let uniform_spec p =
+  { p_cdp = p; p_report = p; p_activation = p; p_setup = p; p_ack = p }
+
+let spec_loss spec = function
+  | Cdp -> spec.p_cdp
+  | Report -> spec.p_report
+  | Activation -> spec.p_activation
+  | Setup -> spec.p_setup
+  | Ack -> spec.p_ack
+
+type t = {
+  spec : spec;
+  streams : Sm.t array;  (* one independent stream per class *)
+  drops : int array;
+  mutable total_drops : int;
+}
+
+let create ?(seed = 0) spec =
+  List.iter
+    (fun c ->
+      let p = spec_loss spec c in
+      if not (p >= 0.0 && p <= 1.0) then
+        invalid_arg
+          (Printf.sprintf "Faults.create: loss probability %g for %s outside [0, 1]"
+             p (cls_name c)))
+    all_classes;
+  let root = Sm.create seed in
+  {
+    spec;
+    streams = Array.init class_count (fun _ -> Sm.split root);
+    drops = Array.make class_count 0;
+    total_drops = 0;
+  }
+
+let spec t = t.spec
+let loss t c = spec_loss t.spec c
+let active t = List.exists (fun c -> loss t c > 0.0) all_classes
+
+let drop t c =
+  let i = cls_index c in
+  t.drops.(i) <- t.drops.(i) + 1;
+  t.total_drops <- t.total_drops + 1;
+  false
+
+let deliver t c =
+  let p = loss t c in
+  if p <= 0.0 then true
+  else if p >= 1.0 then drop t c
+  else if Sm.float t.streams.(cls_index c) 1.0 < p then drop t c
+  else true
+
+let dropped t = t.total_drops
+let dropped_of t c = t.drops.(cls_index c)
+
+(* ---- link repair / flap schedules --------------------------------------- *)
+
+type flap = { fail_at : float; edge : int; repair_at : float }
+
+let flap_schedule ~seed ~edge_count ~mtbf ~mttr ?(after = 0.0) ~horizon () =
+  if mtbf <= 0.0 then invalid_arg "Faults.flap_schedule: mtbf must be positive";
+  if mttr <= 0.0 then invalid_arg "Faults.flap_schedule: mttr must be positive";
+  if edge_count <= 0 then []
+  else begin
+    let rng = Sm.create seed in
+    let repair_at = Array.make edge_count neg_infinity in
+    let events = ref [] in
+    let t = ref (after +. Dr_rng.Dist.exponential rng ~rate:(1.0 /. mtbf)) in
+    while !t < horizon do
+      let alive =
+        List.filter (fun e -> repair_at.(e) <= !t) (List.init edge_count Fun.id)
+      in
+      (match alive with
+      | [] -> ()
+      | _ ->
+          let e = List.nth alive (Sm.int rng (List.length alive)) in
+          let repair = !t +. Dr_rng.Dist.exponential rng ~rate:(1.0 /. mttr) in
+          repair_at.(e) <- repair;
+          events := { fail_at = !t; edge = e; repair_at = repair } :: !events);
+      t := !t +. Dr_rng.Dist.exponential rng ~rate:(1.0 /. mtbf)
+    done;
+    List.rev !events
+  end

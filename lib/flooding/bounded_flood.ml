@@ -6,6 +6,7 @@ module Resources = Drtp.Resources
 module Routing = Drtp.Routing
 module Tm = Dr_telemetry.Telemetry
 module J = Dr_obs.Journal
+module Faults = Dr_faults.Faults
 
 (* Telemetry: per-flood message accounting (§4's CDP traffic is the
    scheme's dominant cost) and the per-request discovery timer. *)
@@ -13,8 +14,16 @@ let c_floods = Tm.Counter.make "flood.runs"
 let c_cdp_sent = Tm.Counter.make "flood.cdp.sent"
 let c_cdp_ttl = Tm.Counter.make "flood.cdp.ttl_expired"
 let c_cdp_dropped = Tm.Counter.make "flood.cdp.dropped"
+let c_cdp_lost = Tm.Counter.make "flood.cdp.lost"
 let c_truncated = Tm.Counter.make "flood.truncated"
 let t_discover = Tm.Timer.make "flood.discover"
+
+(* Truncation is a silent quality degradation: the flood stopped expanding
+   at [cdp_cap], so the candidate set — and with it BF's route quality — is
+   incomplete.  Drivers that want to surface this to the user (the CLI
+   prints a one-time warning) install a hook here. *)
+let on_truncated : (src:int -> dst:int -> messages:int -> unit) ref =
+  ref (fun ~src:_ ~dst:_ ~messages:_ -> ())
 
 type config = {
   rho : float;
@@ -54,7 +63,7 @@ type cdp = { node : int; hc : int; primary_flag : bool; visited : int list }
 let link_alive state l =
   not (Net_state.edge_failed state ~edge:(Graph.edge_of_link l))
 
-let discover cfg state ~hop_matrix ~src ~dst ~bw =
+let discover ?faults cfg state ~hop_matrix ~src ~dst ~bw =
   if cfg.rho < 1.0 || cfg.alpha < 1.0 || cfg.beta0 < 0 || cfg.beta1 < 0 then
     invalid_arg "Bounded_flood.discover: bad config";
   if src = dst then invalid_arg "Bounded_flood.discover: src = dst";
@@ -114,10 +123,17 @@ let discover cfg state ~hop_matrix ~src ~dst ~bw =
           if !messages < cfg.cdp_cap then begin
             match try_forward m link with
             | None -> ()
-            | Some m' ->
+            | Some m' -> (
                 incr messages;
                 Tm.Counter.incr c_cdp_sent;
-                enqueue m'
+                (* The copy was transmitted (it costs a message either
+                   way); the fault plan decides whether it arrives. *)
+                match faults with
+                | Some f when not (Faults.deliver f Faults.Cdp) ->
+                    Tm.Counter.incr c_cdp_lost;
+                    if !J.on then
+                      J.record (J.Message_dropped { cls = "cdp"; id = m'.node })
+                | _ -> enqueue m')
           end
           else truncated := true)
         (Graph.out_links graph m.node)
@@ -158,7 +174,12 @@ let discover cfg state ~hop_matrix ~src ~dst ~bw =
           pump ()
     in
     pump ();
-    if !truncated then Tm.Counter.incr c_truncated;
+    if !truncated then begin
+      Tm.Counter.incr c_truncated;
+      if !J.on then
+        J.record (J.Flood_truncated { src; dst; messages = !messages });
+      !on_truncated ~src ~dst ~messages:!messages
+    end;
     if !J.on then
       J.record
         (J.Flood_done
@@ -259,10 +280,10 @@ type stats = {
 
 let fresh_stats () = { floods = 0; total_messages = 0; truncated_floods = 0 }
 
-let route_fn ?(config = default_config) ?stats ?(with_backup = true) ~hop_matrix ()
-    : Routing.route_fn =
+let route_fn ?(config = default_config) ?stats ?(with_backup = true) ?faults
+    ~hop_matrix () : Routing.route_fn =
  fun state ~src ~dst ~bw ->
-  let result = discover config state ~hop_matrix ~src ~dst ~bw in
+  let result = discover ?faults config state ~hop_matrix ~src ~dst ~bw in
   (match stats with
   | None -> ()
   | Some s ->

@@ -65,7 +65,14 @@ type flood_result = {
   truncated : bool;  (** true if [cdp_cap] stopped the flood early *)
 }
 
+val on_truncated : (src:int -> dst:int -> messages:int -> unit) ref
+(** Hook invoked whenever a flood hits [cdp_cap] and stops expanding — a
+    silent route-quality degradation (the candidate set is incomplete).
+    Default: no-op.  The CLI installs a one-time stderr warning here; the
+    same condition is journalled as a [flood-truncated] event. *)
+
 val discover :
+  ?faults:Dr_faults.Faults.t ->
   config ->
   Drtp.Net_state.t ->
   hop_matrix:int array array ->
@@ -75,7 +82,10 @@ val discover :
   flood_result
 (** Run one bounded flood.  [hop_matrix] is the network's distance tables
     (precomputed once per topology; they only change on topology changes,
-    §4.1). *)
+    §4.1).  With a [faults] plan, each forwarded CDP copy may be lost in
+    flight: it still costs a message (and still counts toward [cdp_cap])
+    but is never enqueued at the far end — flooding is naturally redundant,
+    so losses thin the candidate set rather than failing the flood. *)
 
 val select :
   ?with_backup:bool ->
@@ -106,6 +116,7 @@ val route_fn :
   ?config:config ->
   ?stats:stats ->
   ?with_backup:bool ->
+  ?faults:Dr_faults.Faults.t ->
   hop_matrix:int array array ->
   unit ->
   Drtp.Routing.route_fn

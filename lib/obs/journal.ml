@@ -51,6 +51,10 @@ type event =
   | Rerouted of { conn : int; latency : float; retries : int }
   | Reprotected of { conn : int; fresh : int }
   | Teardown of { conn : int }
+  | Message_dropped of { cls : string; id : int }
+  | Retransmit of { cls : string; conn : int; attempt : int }
+  | Flood_truncated of { src : int; dst : int; messages : int }
+  | Reprotect_queued of { conn : int; pending : int }
 
 let kind_name = function
   | Request _ -> "request"
@@ -71,6 +75,10 @@ let kind_name = function
   | Rerouted _ -> "rerouted"
   | Reprotected _ -> "reprotected"
   | Teardown _ -> "teardown"
+  | Message_dropped _ -> "message-dropped"
+  | Retransmit _ -> "retransmit"
+  | Flood_truncated _ -> "flood-truncated"
+  | Reprotect_queued _ -> "reprotect-queued"
 
 let all_kinds =
   [
@@ -78,6 +86,7 @@ let all_kinds =
     "spare-change"; "flood-done"; "cdp-sent"; "cdp-dropped"; "cdp-candidate";
     "failure-detected"; "report-hop"; "backup-activated"; "backup-contended";
     "connection-lost"; "rerouted"; "reprotected"; "teardown";
+    "message-dropped"; "retransmit"; "flood-truncated"; "reprotect-queued";
   ]
 
 type entry = { seq : int; time : float; event : event }
@@ -306,6 +315,20 @@ let add_event_fields b first = function
       int_field b first "conn" conn;
       int_field b first "fresh" fresh
   | Teardown { conn } -> int_field b first "conn" conn
+  | Message_dropped { cls; id } ->
+      str_field b first "cls" cls;
+      int_field b first "id" id
+  | Retransmit { cls; conn; attempt } ->
+      str_field b first "cls" cls;
+      int_field b first "conn" conn;
+      int_field b first "attempt" attempt
+  | Flood_truncated { src; dst; messages } ->
+      int_field b first "src" src;
+      int_field b first "dst" dst;
+      int_field b first "messages" messages
+  | Reprotect_queued { conn; pending } ->
+      int_field b first "conn" conn;
+      int_field b first "pending" pending
 
 let entry_to_json e =
   let b = Buffer.create 128 in

@@ -99,6 +99,19 @@ type event =
   | Rerouted of { conn : int; latency : float; retries : int }
   | Reprotected of { conn : int; fresh : int }
   | Teardown of { conn : int }
+  | Message_dropped of { cls : string; id : int }
+      (** a control-plane message was lost to fault injection; [cls] is a
+          {!Dr_faults.Faults.cls_name} tag, [id] the affected connection
+          (or destination node for CDP copies) *)
+  | Retransmit of { cls : string; conn : int; attempt : int }
+      (** retransmission [attempt] (1-based) of a lost control message
+          after its backoff timeout *)
+  | Flood_truncated of { src : int; dst : int; messages : int }
+      (** a bounded flood hit [cdp_cap] and stopped expanding — its
+          candidate set is incomplete, which silently skews BF routing *)
+  | Reprotect_queued of { conn : int; pending : int }
+      (** step 4 left the connection with no backup; it joined the
+          manager's reprotection queue ([pending] entries now queued) *)
 
 val kind_name : event -> string
 (** Stable kebab-case kind tag, e.g. ["backup-chosen"]. *)

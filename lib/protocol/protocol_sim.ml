@@ -5,6 +5,14 @@ module Engine = Dr_sim.Engine
 module Net_state = Drtp.Net_state
 module Routing = Drtp.Routing
 module Resources = Drtp.Resources
+module Faults = Dr_faults.Faults
+module Backoff = Dr_faults.Backoff
+module Tm = Dr_telemetry.Telemetry
+module J = Dr_obs.Journal
+
+let c_setup_dropped = Tm.Counter.make "proto.setup.dropped"
+let c_ack_dropped = Tm.Counter.make "proto.ack.dropped"
+let c_retransmits = Tm.Counter.make "proto.retransmits"
 
 type config = {
   scheme : Drtp.Routing.scheme;
@@ -13,6 +21,9 @@ type config = {
   lsa_flood_delay : float;
   hop_delay : float;
   max_retries : int;
+  faults : Dr_faults.Faults.t option;
+  setup_rto : float;
+  max_retransmits : int;
 }
 
 let default_config =
@@ -23,6 +34,9 @@ let default_config =
     lsa_flood_delay = 0.050;
     hop_delay = 0.001;
     max_retries = 1;
+    faults = None;
+    setup_rto = 0.050;
+    max_retransmits = 4;
   }
 
 type stats = {
@@ -34,6 +48,9 @@ type stats = {
   mutable lost_after_retries : int;
   mutable lsa_originated : int;
   mutable released : int;
+  mutable retransmits : int;
+  mutable setup_dropped : int;
+  mutable ack_dropped : int;
 }
 
 type result = {
@@ -48,6 +65,19 @@ type result = {
 type event =
   | Workload of Scenario.item
   | Setup_arrival of {
+      conn : int;
+      bw : int;
+      attempt : int;
+      pair : Routing.route_pair;
+    }
+  | Setup_retransmit of {
+      conn : int;
+      bw : int;
+      attempt : int;
+      retransmit : int;  (* resends already performed, this copy included *)
+      pair : Routing.route_pair;
+    }
+  | Setup_abandoned of {
       conn : int;
       bw : int;
       attempt : int;
@@ -108,8 +138,19 @@ let run ?(config = default_config) ~graph ~capacity ~scenario ~warmup ~horizon
       lost_after_retries = 0;
       lsa_originated = 0;
       released = 0;
+      retransmits = 0;
+      setup_dropped = 0;
+      ack_dropped = 0;
     }
   in
+  (* Retransmission pacing for lossy setup/ACK signalling; only consulted
+     when a fault plan is installed. *)
+  let rto_backoff =
+    Backoff.make ~base:config.setup_rto ~max_attempts:config.max_retransmits ()
+  in
+  (* Crankback retry budget, expressed through the shared helper (no
+     inter-retry delay: the failure notice itself already travelled back). *)
+  let crank = Backoff.make ~base:0.0 ~max_attempts:config.max_retries () in
   let links = Graph.link_count graph in
   let lsa_next_ok = Array.make links 0.0 in
   let lsa_scheduled = Array.make links false in
@@ -146,10 +187,72 @@ let run ?(config = default_config) ~graph ~capacity ~scenario ~warmup ~horizon
     Advertised_view.route view state ~scheme:config.scheme
       ~backup_count:config.backup_count ~src ~dst ~bw
   in
-  let launch_setup now ~conn ~bw ~attempt pair =
-    Engine.schedule engine
-      ~at:(now +. (config.hop_delay *. float_of_int (setup_hops pair)))
-      (Setup_arrival { conn; bw; attempt; pair })
+  (* Send one copy of the setup packet: [retransmit] copies were already
+     lost.  A lost copy times out at the source and is resent after a
+     doubling RTO ([Setup_retransmit] on the engine queue); an exhausted
+     budget abandons the setup after one final timeout. *)
+  let launch_setup now ~conn ~bw ~attempt ?(retransmit = 0) pair =
+    match config.faults with
+    | Some f when not (Faults.deliver f Faults.Setup) ->
+        stats.setup_dropped <- stats.setup_dropped + 1;
+        Tm.Counter.incr c_setup_dropped;
+        if !J.on then J.record (J.Message_dropped { cls = "setup"; id = conn });
+        if Backoff.exhausted rto_backoff ~attempt:retransmit then
+          Engine.schedule engine
+            ~at:(now +. Backoff.delay rto_backoff ~attempt:(retransmit + 1))
+            (Setup_abandoned { conn; bw; attempt; pair })
+        else begin
+          stats.retransmits <- stats.retransmits + 1;
+          Tm.Counter.incr c_retransmits;
+          if !J.on then
+            J.record (J.Retransmit { cls = "setup"; conn; attempt = retransmit + 1 });
+          Engine.schedule engine
+            ~at:(now +. Backoff.delay rto_backoff ~attempt:(retransmit + 1))
+            (Setup_retransmit { conn; bw; attempt; retransmit = retransmit + 1; pair })
+        end
+    | _ ->
+        Engine.schedule engine
+          ~at:(now +. (config.hop_delay *. float_of_int (setup_hops pair)))
+          (Setup_arrival { conn; bw; attempt; pair })
+  in
+  (* Crankback: the failure notice travels back and the source re-routes
+     on whatever the view says by then. *)
+  let crankback now ~conn ~bw ~attempt (pair : Routing.route_pair) =
+    if not (Backoff.exhausted crank ~attempt) then begin
+      stats.retries <- stats.retries + 1;
+      match
+        route_from_view ~src:(Path.src pair.Routing.primary)
+          ~dst:(Path.dst pair.Routing.primary) ~bw
+      with
+      | Error _ -> stats.lost_after_retries <- stats.lost_after_retries + 1
+      | Ok pair' -> launch_setup now ~conn ~bw ~attempt:(attempt + 1) pair'
+    end
+    else stats.lost_after_retries <- stats.lost_after_retries + 1
+  in
+  (* The destination's ACK back to the source, drawn analytically with the
+     same retransmission budget (a duplicate setup re-elicits it). *)
+  let ack_delivered ~conn =
+    match config.faults with
+    | None -> true
+    | Some f ->
+        let rec go k =
+          if Faults.deliver f Faults.Ack then true
+          else begin
+            stats.ack_dropped <- stats.ack_dropped + 1;
+            Tm.Counter.incr c_ack_dropped;
+            if !J.on then
+              J.record (J.Message_dropped { cls = "ack"; id = conn });
+            if Backoff.exhausted rto_backoff ~attempt:k then false
+            else begin
+              stats.retransmits <- stats.retransmits + 1;
+              Tm.Counter.incr c_retransmits;
+              if !J.on then
+                J.record (J.Retransmit { cls = "ack"; conn; attempt = k + 1 });
+              go (k + 1)
+            end
+          end
+        in
+        go 0
   in
   let handler engine event =
     let now = Engine.now engine in
@@ -177,32 +280,36 @@ let run ?(config = default_config) ~graph ~capacity ~scenario ~warmup ~horizon
             Hashtbl.replace released_early conn ())
     | Setup_arrival { conn; bw; attempt; pair } ->
         if admissible state ~bw pair then begin
-          ignore
-            (Net_state.admit state ~id:conn ~bw ~primary:pair.Routing.primary
-               ~backups:pair.Routing.backups);
-          stats.accepted <- stats.accepted + 1;
-          trigger_pair_lsas now pair;
-          if Hashtbl.mem released_early conn then begin
-            Hashtbl.remove released_early conn;
-            Net_state.release state ~id:conn;
-            stats.released <- stats.released + 1
+          if ack_delivered ~conn then begin
+            ignore
+              (Net_state.admit state ~id:conn ~bw ~primary:pair.Routing.primary
+                 ~backups:pair.Routing.backups);
+            stats.accepted <- stats.accepted + 1;
+            trigger_pair_lsas now pair;
+            if Hashtbl.mem released_early conn then begin
+              Hashtbl.remove released_early conn;
+              Net_state.release state ~id:conn;
+              stats.released <- stats.released + 1
+            end
+          end
+          else begin
+            (* Every ACK copy was lost: the destination's reservation times
+               out and the source, none the wiser, cranks back. *)
+            stats.setup_failures <- stats.setup_failures + 1;
+            crankback now ~conn ~bw ~attempt pair
           end
         end
         else begin
           stats.setup_failures <- stats.setup_failures + 1;
-          (* Crankback: the failure notice travels back and the source
-             re-routes on whatever the view says by then. *)
-          if attempt < config.max_retries then begin
-            stats.retries <- stats.retries + 1;
-            match
-              route_from_view ~src:(Path.src pair.Routing.primary)
-                ~dst:(Path.dst pair.Routing.primary) ~bw
-            with
-            | Error _ -> stats.lost_after_retries <- stats.lost_after_retries + 1
-            | Ok pair' -> launch_setup now ~conn ~bw ~attempt:(attempt + 1) pair'
-          end
-          else stats.lost_after_retries <- stats.lost_after_retries + 1
+          crankback now ~conn ~bw ~attempt pair
         end
+    | Setup_retransmit { conn; bw; attempt; retransmit; pair } ->
+        launch_setup now ~conn ~bw ~attempt ~retransmit pair
+    | Setup_abandoned { conn; bw; attempt; pair } ->
+        (* Setup retransmissions exhausted: charged like a setup failure,
+           with the same crankback chances. *)
+        stats.setup_failures <- stats.setup_failures + 1;
+        crankback now ~conn ~bw ~attempt pair
     | Lsa_originate l ->
         lsa_scheduled.(l) <- false;
         lsa_next_ok.(l) <- now +. config.min_lsa_interval;

@@ -33,11 +33,17 @@ type config = {
   lsa_flood_delay : float;  (** origination -> everyone's database, seconds *)
   hop_delay : float;  (** per-hop signalling delay, seconds *)
   max_retries : int;  (** crankback attempts after a setup failure *)
+  faults : Dr_faults.Faults.t option;
+      (** loss plan for setup packets and their ACKs; [None] (the default)
+          keeps the control plane perfect and the simulation bit-identical
+          to the pre-fault behaviour *)
+  setup_rto : float;  (** retransmission timeout for lost setups; doubles *)
+  max_retransmits : int;  (** setup/ACK resends before abandoning *)
 }
 
 val default_config : config
 (** D-LSR, one backup, 5 s damping, 50 ms flood delay, 1 ms per hop,
-    1 retry. *)
+    1 retry; no fault plan, 50 ms RTO, 4 retransmissions. *)
 
 type stats = {
   mutable requests : int;
@@ -50,6 +56,10 @@ type stats = {
   mutable lost_after_retries : int;
   mutable lsa_originated : int;
   mutable released : int;
+  mutable retransmits : int;
+      (** setup/ACK copies resent after a loss timeout *)
+  mutable setup_dropped : int;  (** setup copies lost in flight *)
+  mutable ack_dropped : int;  (** ACK copies lost in flight *)
 }
 
 type result = {

@@ -1,0 +1,117 @@
+module Backoff = Dr_faults.Backoff
+
+let b ?factor ?cap ~base ~max_attempts () = Backoff.make ?factor ?cap ~base ~max_attempts ()
+
+let test_attempt_zero_free () =
+  let s = b ~base:0.1 ~max_attempts:3 () in
+  Alcotest.(check (float 0.0)) "no sleep before the first send" 0.0
+    (Backoff.delay s ~attempt:0);
+  Alcotest.(check (float 0.0)) "nothing accumulated at attempt 0" 0.0
+    (Backoff.total_before s ~attempt:0)
+
+let test_doubling_schedule () =
+  let s = b ~base:0.05 ~max_attempts:5 () in
+  Alcotest.(check (float 1e-12)) "attempt 1" 0.05 (Backoff.delay s ~attempt:1);
+  Alcotest.(check (float 1e-12)) "attempt 2" 0.10 (Backoff.delay s ~attempt:2);
+  Alcotest.(check (float 1e-12)) "attempt 3" 0.20 (Backoff.delay s ~attempt:3);
+  Alcotest.(check (float 1e-12)) "attempt 4" 0.40 (Backoff.delay s ~attempt:4)
+
+let test_cap_bounds_each_delay () =
+  let s = b ~cap:0.15 ~base:0.05 ~max_attempts:6 () in
+  Alcotest.(check (float 1e-12)) "below the cap untouched" 0.10
+    (Backoff.delay s ~attempt:2);
+  Alcotest.(check (float 1e-12)) "attempt 3 clipped" 0.15 (Backoff.delay s ~attempt:3);
+  Alcotest.(check (float 1e-12)) "stays clipped" 0.15 (Backoff.delay s ~attempt:5)
+
+let manual_total s ~attempt =
+  let sum = ref 0.0 in
+  for k = 1 to attempt do
+    sum := !sum +. Backoff.delay s ~attempt:k
+  done;
+  !sum
+
+let test_total_before_matches_sum () =
+  let schedules =
+    [
+      b ~base:0.05 ~max_attempts:8 ();
+      b ~cap:0.15 ~base:0.05 ~max_attempts:8 ();
+      b ~factor:3.0 ~base:0.01 ~max_attempts:8 ();
+      b ~factor:1.0 ~base:0.2 ~max_attempts:8 ();
+    ]
+  in
+  List.iter
+    (fun s ->
+      for n = 0 to 8 do
+        Alcotest.(check (float 1e-12))
+          (Printf.sprintf "closed form = sum at attempt %d" n)
+          (manual_total s ~attempt:n)
+          (Backoff.total_before s ~attempt:n)
+      done)
+    schedules
+
+let test_total_before_legacy_closed_form () =
+  (* The reactive-retry path historically charged base *. (2^n - 1); the
+     shared helper must reproduce those bits exactly. *)
+  let base = Drtp.Recovery.default_timing.Drtp.Recovery.retry_backoff in
+  let s = b ~base ~max_attempts:3 () in
+  for n = 0 to 4 do
+    let legacy = base *. (Float.of_int (1 lsl n) -. 1.0) in
+    Alcotest.(check bool)
+      (Printf.sprintf "bit-identical at n=%d" n)
+      true
+      (Int64.equal
+         (Int64.bits_of_float legacy)
+         (Int64.bits_of_float (Backoff.total_before s ~attempt:n)))
+  done
+
+let test_exhausted_boundary () =
+  let s = b ~base:0.05 ~max_attempts:4 () in
+  Alcotest.(check bool) "attempt 0 has retries left" false
+    (Backoff.exhausted s ~attempt:0);
+  Alcotest.(check bool) "attempt 3 still allowed" false
+    (Backoff.exhausted s ~attempt:3);
+  Alcotest.(check bool) "attempt 4 = budget spent" true
+    (Backoff.exhausted s ~attempt:4);
+  Alcotest.(check bool) "beyond stays exhausted" true (Backoff.exhausted s ~attempt:9)
+
+let test_zero_budget_exhausted_immediately () =
+  let s = b ~base:0.1 ~max_attempts:0 () in
+  Alcotest.(check bool) "no retries at all" true (Backoff.exhausted s ~attempt:0)
+
+let test_constant_factor_one () =
+  let s = b ~factor:1.0 ~base:0.2 ~max_attempts:5 () in
+  Alcotest.(check (float 1e-12)) "flat schedule" 0.2 (Backoff.delay s ~attempt:4);
+  Alcotest.(check (float 1e-12)) "linear accumulation" 0.8
+    (Backoff.total_before s ~attempt:4)
+
+let test_make_validation () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "negative base rejected" true
+    (raises (fun () -> b ~base:(-0.1) ~max_attempts:3 ()));
+  Alcotest.(check bool) "factor below 1 rejected" true
+    (raises (fun () -> b ~factor:0.5 ~base:0.1 ~max_attempts:3 ()));
+  Alcotest.(check bool) "negative cap rejected" true
+    (raises (fun () -> b ~cap:(-1.0) ~base:0.1 ~max_attempts:3 ()));
+  Alcotest.(check bool) "negative budget rejected" true
+    (raises (fun () -> b ~base:0.1 ~max_attempts:(-1) ()));
+  (* Zero base is a legitimate schedule (crankback counts attempts without
+     sleeping). *)
+  let s = b ~base:0.0 ~max_attempts:3 () in
+  Alcotest.(check (float 0.0)) "zero base sleeps nothing" 0.0
+    (Backoff.total_before s ~attempt:3)
+
+let suite =
+  [
+    ( "faults.backoff",
+      [
+        Alcotest.test_case "attempt 0 is free" `Quick test_attempt_zero_free;
+        Alcotest.test_case "doubling schedule" `Quick test_doubling_schedule;
+        Alcotest.test_case "cap bounds each delay" `Quick test_cap_bounds_each_delay;
+        Alcotest.test_case "total_before matches manual sum" `Quick test_total_before_matches_sum;
+        Alcotest.test_case "legacy closed form bit-identical" `Quick test_total_before_legacy_closed_form;
+        Alcotest.test_case "exhausted boundary" `Quick test_exhausted_boundary;
+        Alcotest.test_case "zero retry budget" `Quick test_zero_budget_exhausted_immediately;
+        Alcotest.test_case "factor 1 is constant" `Quick test_constant_factor_one;
+        Alcotest.test_case "make validates arguments" `Quick test_make_validation;
+      ] );
+  ]

@@ -3,6 +3,8 @@ module Path = Dr_topo.Path
 module Net_state = Drtp.Net_state
 module Routing = Drtp.Routing
 module BF = Dr_flood.Bounded_flood
+module Faults = Dr_faults.Faults
+module J = Dr_obs.Journal
 
 let mesh_state ?(capacity = 10) () =
   let graph = Dr_topo.Gen.mesh ~rows:3 ~cols:3 in
@@ -194,6 +196,74 @@ let test_cdp_cap_truncates () =
   Alcotest.(check bool) "truncated" true r.BF.truncated;
   Alcotest.(check bool) "message cap respected" true (r.BF.messages <= 5)
 
+let test_truncation_surfaced () =
+  (* Truncation used to be a silent flag on the result; it must now reach
+     both the [on_truncated] hook (the CLI's stderr warning) and the
+     journal as a [flood-truncated] event. *)
+  let _, st = mesh_state () in
+  let config = { BF.default_config with cdp_cap = 5 } in
+  let calls = ref [] in
+  let old_hook = !BF.on_truncated in
+  BF.on_truncated :=
+    (fun ~src ~dst ~messages -> calls := (src, dst, messages) :: !calls);
+  let was_on = J.enabled () in
+  J.set_enabled true;
+  let r, entries =
+    J.capture (fun () ->
+        BF.discover config st ~hop_matrix:(hop_matrix st) ~src:0 ~dst:8 ~bw:1)
+  in
+  J.set_enabled was_on;
+  BF.on_truncated := old_hook;
+  Alcotest.(check bool) "truncated" true r.BF.truncated;
+  Alcotest.(check (list (triple int int int))) "hook fired once"
+    [ (0, 8, r.BF.messages) ] !calls;
+  let truncation_events =
+    List.filter_map
+      (fun (e : J.entry) ->
+        match e.J.event with
+        | J.Flood_truncated { src; dst; messages } -> Some (src, dst, messages)
+        | _ -> None)
+      entries
+  in
+  Alcotest.(check (list (triple int int int))) "journalled once"
+    [ (0, 8, r.BF.messages) ] truncation_events
+
+let test_untruncated_flood_no_hook () =
+  let _, st = mesh_state () in
+  let calls = ref 0 in
+  let old_hook = !BF.on_truncated in
+  BF.on_truncated := (fun ~src:_ ~dst:_ ~messages:_ -> incr calls);
+  let r = BF.discover BF.default_config st ~hop_matrix:(hop_matrix st) ~src:0 ~dst:8 ~bw:1 in
+  BF.on_truncated := old_hook;
+  Alcotest.(check bool) "not truncated" false r.BF.truncated;
+  Alcotest.(check int) "hook never fired" 0 !calls
+
+let test_cdp_loss_thins_candidates () =
+  let _, st = mesh_state () in
+  let hm = hop_matrix st in
+  let clean = BF.discover BF.default_config st ~hop_matrix:hm ~src:0 ~dst:8 ~bw:1 in
+  (* Zero-probability plan: observationally identical to no plan. *)
+  let zero = Faults.create ~seed:3 Faults.zero_spec in
+  let with_zero =
+    BF.discover ~faults:zero BF.default_config st ~hop_matrix:hm ~src:0 ~dst:8 ~bw:1
+  in
+  Alcotest.(check bool) "zero-spec flood identical" true (clean = with_zero);
+  (* Certain loss: every forwarded copy still costs a message but nothing
+     survives to the destination. *)
+  let all_lost = Faults.create ~seed:3 { Faults.zero_spec with Faults.p_cdp = 1.0 } in
+  let r =
+    BF.discover ~faults:all_lost BF.default_config st ~hop_matrix:hm ~src:0 ~dst:8 ~bw:1
+  in
+  Alcotest.(check int) "no candidates survive" 0 (List.length r.BF.candidates);
+  Alcotest.(check bool) "losses still cost messages" true (r.BF.messages > 0);
+  (* Partial loss thins but need not empty the candidate set. *)
+  let lossy = Faults.create ~seed:3 { Faults.zero_spec with Faults.p_cdp = 0.5 } in
+  let r2 =
+    BF.discover ~faults:lossy BF.default_config st ~hop_matrix:hm ~src:0 ~dst:8 ~bw:1
+  in
+  Alcotest.(check bool) "no more candidates than lossless" true
+    (List.length r2.BF.candidates <= List.length clean.BF.candidates)
+
 let test_unreachable_destination () =
   let graph = Graph.create ~node_count:3 ~edges:[ (0, 1) ] in
   let st = Net_state.create ~graph ~capacity:5 ~spare_policy:Net_state.Multiplexed in
@@ -233,6 +303,9 @@ let suite =
         Alcotest.test_case "crt cap" `Quick test_crt_cap_limits_candidates;
         Alcotest.test_case "route_fn end-to-end" `Quick test_route_fn_end_to_end;
         Alcotest.test_case "cdp cap truncates" `Quick test_cdp_cap_truncates;
+        Alcotest.test_case "truncation surfaced" `Quick test_truncation_surfaced;
+        Alcotest.test_case "no hook without truncation" `Quick test_untruncated_flood_no_hook;
+        Alcotest.test_case "cdp loss thins candidates" `Quick test_cdp_loss_thins_candidates;
         Alcotest.test_case "unreachable destination" `Quick test_unreachable_destination;
         Alcotest.test_case "failed edges not flooded" `Quick test_failed_edge_not_flooded;
       ] );

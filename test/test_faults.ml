@@ -1,0 +1,152 @@
+module Faults = Dr_faults.Faults
+
+let draws plan cls n = List.init n (fun _ -> Faults.deliver plan cls)
+
+let test_zero_spec_transparent () =
+  let plan = Faults.create ~seed:7 Faults.zero_spec in
+  Alcotest.(check bool) "not active" false (Faults.active plan);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "always delivers" true
+        (List.for_all Fun.id (draws plan c 50)))
+    Faults.all_classes;
+  Alcotest.(check int) "nothing dropped" 0 (Faults.dropped plan)
+
+let test_certain_loss () =
+  let plan = Faults.create ~seed:7 (Faults.uniform_spec 1.0) in
+  Alcotest.(check bool) "active" true (Faults.active plan);
+  Alcotest.(check bool) "never delivers" true
+    (List.for_all not (draws plan Faults.Report 20));
+  Alcotest.(check int) "every draw dropped" 20 (Faults.dropped_of plan Faults.Report);
+  Alcotest.(check int) "total matches" 20 (Faults.dropped plan)
+
+let test_seed_determinism () =
+  let a = Faults.create ~seed:42 (Faults.uniform_spec 0.3) in
+  let b = Faults.create ~seed:42 (Faults.uniform_spec 0.3) in
+  List.iter
+    (fun c ->
+      Alcotest.(check (list bool)) "same seed, same sequence" (draws a c 200)
+        (draws b c 200))
+    Faults.all_classes;
+  let c = Faults.create ~seed:43 (Faults.uniform_spec 0.3) in
+  Alcotest.(check bool) "different seed diverges" true
+    (draws a Faults.Report 200 <> draws c Faults.Report 200)
+
+let test_class_streams_independent () =
+  (* Heavy traffic on one class must not perturb another class's drop
+     sequence — each class owns its own split-off generator. *)
+  let a = Faults.create ~seed:11 (Faults.uniform_spec 0.4) in
+  let b = Faults.create ~seed:11 (Faults.uniform_spec 0.4) in
+  ignore (draws a Faults.Report 500);
+  ignore (draws a Faults.Cdp 137);
+  Alcotest.(check (list bool)) "setup stream unperturbed"
+    (draws b Faults.Setup 100) (draws a Faults.Setup 100)
+
+let test_drop_rate_plausible () =
+  let plan = Faults.create ~seed:5 (Faults.uniform_spec 0.2) in
+  let n = 5000 in
+  ignore (draws plan Faults.Activation n);
+  let rate = float_of_int (Faults.dropped plan) /. float_of_int n in
+  Alcotest.(check bool) "empirical rate near 0.2" true
+    (rate > 0.15 && rate < 0.25)
+
+let test_spec_accessors () =
+  let spec = Faults.uniform_spec 0.25 in
+  List.iter
+    (fun c -> Alcotest.(check (float 0.0)) "uniform" 0.25 (Faults.spec_loss spec c))
+    Faults.all_classes;
+  let plan = Faults.create spec in
+  Alcotest.(check (float 0.0)) "loss reads the spec" 0.25 (Faults.loss plan Faults.Ack)
+
+let test_create_validation () =
+  let raises spec = try ignore (Faults.create spec); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "p > 1 rejected" true
+    (raises (Faults.uniform_spec 1.5));
+  Alcotest.(check bool) "negative p rejected" true
+    (raises { Faults.zero_spec with Faults.p_report = -0.1 })
+
+let test_cls_names_stable () =
+  Alcotest.(check (list string)) "journal tags"
+    [ "cdp"; "report"; "activation"; "setup"; "ack" ]
+    (List.map Faults.cls_name Faults.all_classes)
+
+(* ---- flap schedules ----------------------------------------------------- *)
+
+let schedule ?(seed = 3) ?(edge_count = 12) ?(mtbf = 40.0) ?(mttr = 25.0)
+    ?after ?(horizon = 2000.0) () =
+  Faults.flap_schedule ~seed ~edge_count ~mtbf ~mttr ?after ~horizon ()
+
+let test_flap_well_formed () =
+  let flaps = schedule () in
+  Alcotest.(check bool) "produces events" true (List.length flaps > 10);
+  let sorted = ref true and last = ref neg_infinity in
+  List.iter
+    (fun (f : Faults.flap) ->
+      if f.fail_at < !last then sorted := false;
+      last := f.fail_at;
+      Alcotest.(check bool) "within window" true
+        (f.fail_at >= 0.0 && f.fail_at < 2000.0);
+      Alcotest.(check bool) "valid edge" true (f.edge >= 0 && f.edge < 12);
+      Alcotest.(check bool) "repair strictly later" true (f.repair_at > f.fail_at))
+    flaps;
+  Alcotest.(check bool) "ordered by fail_at" true !sorted
+
+let test_flap_never_double_fails () =
+  let flaps = schedule ~edge_count:3 ~mtbf:10.0 ~mttr:100.0 () in
+  (* With long repairs on few edges, overlap pressure is high: check no edge
+     fails again before its previous repair. *)
+  let down_until = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Faults.flap) ->
+      (match Hashtbl.find_opt down_until f.edge with
+      | Some until ->
+          Alcotest.(check bool) "edge was repaired before refailing" true
+            (f.fail_at >= until)
+      | None -> ());
+      Hashtbl.replace down_until f.edge f.repair_at)
+    flaps
+
+let test_flap_deterministic () =
+  let a = schedule () and b = schedule () in
+  Alcotest.(check bool) "same arguments, same timeline" true (a = b);
+  let c = schedule ~seed:4 () in
+  Alcotest.(check bool) "seed changes the timeline" true (a <> c)
+
+let test_flap_after_window () =
+  let flaps = schedule ~after:500.0 () in
+  List.iter
+    (fun (f : Faults.flap) ->
+      Alcotest.(check bool) "respects warmup offset" true (f.fail_at >= 500.0))
+    flaps
+
+let test_flap_validation () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "mtbf <= 0 rejected" true
+    (raises (fun () -> schedule ~mtbf:0.0 ()));
+  Alcotest.(check bool) "mttr <= 0 rejected" true
+    (raises (fun () -> schedule ~mttr:(-1.0) ()));
+  Alcotest.(check (list unit)) "no edges, no events" []
+    (List.map ignore (schedule ~edge_count:0 ()))
+
+let suite =
+  [
+    ( "faults.plan",
+      [
+        Alcotest.test_case "zero spec is transparent" `Quick test_zero_spec_transparent;
+        Alcotest.test_case "probability 1 always drops" `Quick test_certain_loss;
+        Alcotest.test_case "seeded determinism" `Quick test_seed_determinism;
+        Alcotest.test_case "class streams independent" `Quick test_class_streams_independent;
+        Alcotest.test_case "empirical drop rate" `Quick test_drop_rate_plausible;
+        Alcotest.test_case "spec accessors" `Quick test_spec_accessors;
+        Alcotest.test_case "create validates probabilities" `Quick test_create_validation;
+        Alcotest.test_case "class names stable" `Quick test_cls_names_stable;
+      ] );
+    ( "faults.flaps",
+      [
+        Alcotest.test_case "well-formed timeline" `Quick test_flap_well_formed;
+        Alcotest.test_case "no double failures" `Quick test_flap_never_double_fails;
+        Alcotest.test_case "deterministic" `Quick test_flap_deterministic;
+        Alcotest.test_case "after-window respected" `Quick test_flap_after_window;
+        Alcotest.test_case "argument validation" `Quick test_flap_validation;
+      ] );
+  ]

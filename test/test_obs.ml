@@ -113,6 +113,10 @@ let one_of_each =
     J.Rerouted { conn = 1; latency = 0.02; retries = 1 };
     J.Reprotected { conn = 1; fresh = 1 };
     J.Teardown { conn = 1 };
+    J.Message_dropped { cls = "report"; id = 1 };
+    J.Retransmit { cls = "activation"; conn = 1; attempt = 2 };
+    J.Flood_truncated { src = 2; dst = 3; messages = 20000 };
+    J.Reprotect_queued { conn = 1; pending = 4 };
   ]
 
 let test_jsonl_round_trip () =

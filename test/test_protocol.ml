@@ -241,6 +241,54 @@ let test_staleness_experiment_rows () =
         >= fresh.Dr_exp.Staleness_exp.avg_stale_links)
   | _ -> Alcotest.fail "two rows expected"
 
+(* ---- lossy signalling --------------------------------------------------- *)
+
+let lossy_config spec =
+  {
+    Sim.default_config with
+    Sim.faults = Some (Dr_faults.Faults.create ~seed:17 spec);
+  }
+
+let two_requests =
+  mesh_scenario
+    [
+      request ~time:1.0 ~conn:0 ~src:0 ~dst:8 ~duration:100.0;
+      request ~time:2.0 ~conn:1 ~src:6 ~dst:2 ~duration:100.0;
+    ]
+
+let test_zero_spec_protocol_identical () =
+  let clean = run_sim two_requests in
+  let zero = run_sim ~config:(lossy_config Dr_faults.Faults.zero_spec) two_requests in
+  Alcotest.(check bool) "zero-spec run identical to no plan" true (clean = zero)
+
+let test_setup_loss_exhausts_and_loses () =
+  let spec = { Dr_faults.Faults.zero_spec with Dr_faults.Faults.p_setup = 1.0 } in
+  let r = run_sim ~config:(lossy_config spec) two_requests in
+  Alcotest.(check int) "nothing admitted" 0 r.Sim.stats.Sim.accepted;
+  Alcotest.(check int) "both connections lost" 2 r.Sim.stats.Sim.lost_after_retries;
+  Alcotest.(check bool) "setups dropped" true (r.Sim.stats.Sim.setup_dropped > 0);
+  Alcotest.(check bool) "retransmissions attempted" true
+    (r.Sim.stats.Sim.retransmits > 0);
+  (* Every abandoned setup burned the full retransmission budget before
+     cranking back. *)
+  let per_attempt = Sim.default_config.Sim.max_retransmits + 1 in
+  Alcotest.(check bool) "drops consistent with budget" true
+    (r.Sim.stats.Sim.setup_dropped >= 2 * per_attempt)
+
+let test_ack_loss_fails_setup () =
+  let spec = { Dr_faults.Faults.zero_spec with Dr_faults.Faults.p_ack = 1.0 } in
+  let r = run_sim ~config:(lossy_config spec) two_requests in
+  Alcotest.(check int) "no admission without an ACK" 0 r.Sim.stats.Sim.accepted;
+  Alcotest.(check bool) "acks dropped" true (r.Sim.stats.Sim.ack_dropped > 0);
+  Alcotest.(check bool) "counted as setup failures" true
+    (r.Sim.stats.Sim.setup_failures > 0)
+
+let test_mild_loss_still_admits () =
+  let spec = Dr_faults.Faults.uniform_spec 0.1 in
+  let r = run_sim ~config:(lossy_config spec) two_requests in
+  Alcotest.(check bool) "retransmission rescues most setups" true
+    (r.Sim.stats.Sim.accepted >= 1)
+
 let suite =
   [
     ( "protocol",
@@ -255,5 +303,9 @@ let suite =
         Alcotest.test_case "LSA damping reduces traffic" `Quick test_lsa_damping_reduces_traffic;
         Alcotest.test_case "fresh protocol = centralised" `Quick test_fresh_protocol_matches_centralised;
         Alcotest.test_case "staleness experiment" `Slow test_staleness_experiment_rows;
+        Alcotest.test_case "zero-spec plan identical" `Quick test_zero_spec_protocol_identical;
+        Alcotest.test_case "setup loss exhausts and loses" `Quick test_setup_loss_exhausts_and_loses;
+        Alcotest.test_case "ack loss fails setup" `Quick test_ack_loss_fails_setup;
+        Alcotest.test_case "mild loss still admits" `Quick test_mild_loss_still_admits;
       ] );
   ]

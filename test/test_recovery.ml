@@ -3,6 +3,8 @@ module Path = Dr_topo.Path
 module Net_state = Drtp.Net_state
 module Recovery = Drtp.Recovery
 module Routing = Drtp.Routing
+module Faults = Dr_faults.Faults
+module Rng = Dr_rng.Splitmix64
 
 let mesh_state ?(capacity = 10) () =
   let graph = Dr_topo.Gen.mesh ~rows:3 ~cols:3 in
@@ -236,6 +238,104 @@ let test_recovered_fraction_empty () =
   let report = Recovery.fail_edge_drtp st ~scheme:Routing.Dlsr ~edge:(edge g 0 1) () in
   Alcotest.(check (float 1e-9)) "vacuous 1.0" 1.0 (Recovery.recovered_fraction report)
 
+(* ---- step-4 bookkeeping pinned on hand-built topologies ----------------- *)
+
+let test_step4_counters_reroute_success () =
+  (* Mesh: conn 1's backup dies but a replacement exists.  Pins the exact
+     counter split: one backup rerouted, none unprotected, nobody joins the
+     reprotection candidates. *)
+  let g, st = mesh_state () in
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 6; 7; 8 ])
+       ~backups:[ path g [ 6; 3; 4; 5; 8 ] ]);
+  let report = Recovery.fail_edge_drtp st ~scheme:Routing.Dlsr ~edge:(edge g 3 4) () in
+  Alcotest.(check int) "backups_rerouted" 1 report.Recovery.backups_rerouted;
+  Alcotest.(check int) "backups_unprotected" 0 report.Recovery.backups_unprotected;
+  Alcotest.(check (list int)) "nothing left unprotected" []
+    report.Recovery.unprotected_ids
+
+let test_step4_counters_no_spare_route () =
+  (* Ring of 4: conn 1's backup 0-3-2-1 crosses the failing edge (3,2) and
+     the only replacement route IS that broken detour — step 4 must record
+     it unprotected and hand it to the reprotection queue. *)
+  let graph = Dr_topo.Gen.ring 4 in
+  let st = Net_state.create ~graph ~capacity:10 ~spare_policy:Net_state.Multiplexed in
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1
+       ~primary:(Path.of_nodes graph [ 0; 1 ])
+       ~backups:[ Path.of_nodes graph [ 0; 3; 2; 1 ] ]);
+  let e32 = Graph.edge_of_link (Option.get (Graph.find_link graph ~src:3 ~dst:2)) in
+  let report = Recovery.fail_edge_drtp st ~scheme:Routing.Dlsr ~edge:e32 () in
+  Alcotest.(check int) "no primary affected" 0 (List.length report.Recovery.outcomes);
+  Alcotest.(check int) "backups_rerouted" 0 report.Recovery.backups_rerouted;
+  Alcotest.(check int) "backups_unprotected" 1 report.Recovery.backups_unprotected;
+  Alcotest.(check (list int)) "queued for reprotection" [ 1 ]
+    report.Recovery.unprotected_ids;
+  let conn = Option.get (Net_state.find st 1) in
+  Alcotest.(check int) "backup really gone" 0 (List.length conn.Net_state.backups)
+
+let test_step4_promoted_without_fresh_backup () =
+  (* Ring of 4: the primary 0-1 fails, the connection switches to 0-3-2-1,
+     and no fresh backup exists for the promoted route.  The promoted side
+     joins [unprotected_ids] but deliberately does NOT bump
+     [backups_unprotected] (that counter tracks broken-backup survivors
+     only, as before the fault-injection change). *)
+  let graph = Dr_topo.Gen.ring 4 in
+  let st = Net_state.create ~graph ~capacity:10 ~spare_policy:Net_state.Multiplexed in
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1
+       ~primary:(Path.of_nodes graph [ 0; 1 ])
+       ~backups:[ Path.of_nodes graph [ 0; 3; 2; 1 ] ]);
+  let e01 = Graph.edge_of_link (Option.get (Graph.find_link graph ~src:0 ~dst:1)) in
+  let report = Recovery.fail_edge_drtp st ~scheme:Routing.Dlsr ~edge:e01 () in
+  (match report.Recovery.outcomes with
+  | [ (1, Recovery.Switched { reprotected; _ }) ] ->
+      Alcotest.(check bool) "no fresh backup available" false reprotected
+  | _ -> Alcotest.fail "expected a switch");
+  Alcotest.(check int) "counter untouched for promoted conns" 0
+    report.Recovery.backups_unprotected;
+  Alcotest.(check (list int)) "promoted conn still queued" [ 1 ]
+    report.Recovery.unprotected_ids
+
+(* ---- recovered_fraction property ---------------------------------------- *)
+
+let property ?(count = 100) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+let prop_recovered_fraction_bounded =
+  property ~count:60 "recovered_fraction in [0,1]; 1.0 when unaffected"
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let graph =
+        Dr_topo.Gen.erdos_renyi ~rng ~n:(6 + Rng.int rng 10)
+          ~avg_degree:(2.5 +. Rng.float rng 1.0)
+      in
+      let st =
+        Net_state.create ~graph ~capacity:(2 + Rng.int rng 4)
+          ~spare_policy:Net_state.Multiplexed
+      in
+      let n = Graph.node_count graph in
+      let route = Routing.link_state_route_fn Routing.Dlsr ~with_backup:true in
+      for id = 1 to 8 do
+        let src = Rng.int rng n in
+        let dst = (src + 1 + Rng.int rng (n - 1)) mod n in
+        match route st ~src ~dst ~bw:1 with
+        | Ok { Routing.primary; backups } ->
+            ignore (Net_state.admit st ~id ~bw:1 ~primary ~backups)
+        | Error _ -> ()
+      done;
+      let edge = Rng.int rng (Graph.edge_count graph) in
+      let faults =
+        if Rng.int rng 2 = 0 then None
+        else Some (Faults.create ~seed (Faults.uniform_spec (Rng.float rng 0.5)))
+      in
+      let report = Recovery.fail_edge_drtp st ~scheme:Routing.Dlsr ?faults ~edge () in
+      let f = Recovery.recovered_fraction report in
+      (f >= 0.0 && f <= 1.0)
+      && (report.Recovery.outcomes <> [] || f = 1.0)
+      && Net_state.check_invariants st = Ok ())
+
 let suite =
   [
     ( "drtp.recovery",
@@ -254,5 +354,9 @@ let suite =
         Alcotest.test_case "reroute_primary moves backups" `Quick test_reroute_primary_moves_backups;
         Alcotest.test_case "reroute_primary rolls back" `Quick test_reroute_primary_rolls_back;
         Alcotest.test_case "recovered fraction, no victims" `Quick test_recovered_fraction_empty;
+        Alcotest.test_case "step 4: reroute success pinned" `Quick test_step4_counters_reroute_success;
+        Alcotest.test_case "step 4: no spare route pinned" `Quick test_step4_counters_no_spare_route;
+        Alcotest.test_case "step 4: promoted without fresh backup" `Quick test_step4_promoted_without_fresh_backup;
+        prop_recovered_fraction_bounded;
       ] );
   ]

@@ -1,0 +1,227 @@
+module Graph = Dr_topo.Graph
+module Path = Dr_topo.Path
+module Net_state = Drtp.Net_state
+module Recovery = Drtp.Recovery
+module Routing = Drtp.Routing
+module Manager = Drtp.Manager
+module Faults = Dr_faults.Faults
+module Config = Dr_exp.Config
+module Robustness = Dr_exp.Robustness_exp
+
+let cfg =
+  {
+    Config.default with
+    Config.nodes = 20;
+    capacity = 10;
+    warmup = 100.0;
+    horizon = 600.0;
+    sample_every = 100.0;
+  }
+
+let cell ?(loss = 0.0) ?(mtbf = 50.0) ?(mttr = 25.0) ?(queue = true)
+    ?(fault_layer = true) ?(seed = 9) () =
+  Robustness.run_cell cfg ~avg_degree:3.0 ~traffic:Config.UT ~lambda:0.1
+    ~scheme:Routing.Dlsr ~loss ~mtbf ~mttr ~seed ~queue ~fault_layer ()
+
+let mesh_state ?(capacity = 10) () =
+  let graph = Dr_topo.Gen.mesh ~rows:3 ~cols:3 in
+  (graph, Net_state.create ~graph ~capacity ~spare_policy:Net_state.Multiplexed)
+
+let path g nodes = Path.of_nodes g nodes
+let edge g a b = Graph.edge_of_link (Option.get (Graph.find_link g ~src:a ~dst:b))
+
+let admit_protected g st =
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(path g [ 0; 1; 2 ])
+       ~backups:[ path g [ 0; 3; 4; 5; 2 ] ])
+
+(* ---- zero-fault transparency -------------------------------------------- *)
+
+let test_zero_spec_report_identical () =
+  let g, st_plain = mesh_state () in
+  admit_protected g st_plain;
+  let plain = Recovery.fail_edge_drtp st_plain ~scheme:Routing.Dlsr ~edge:(edge g 0 1) () in
+  let g2, st_faulty = mesh_state () in
+  admit_protected g2 st_faulty;
+  let faults = Faults.create ~seed:123 Faults.zero_spec in
+  let faulty =
+    Recovery.fail_edge_drtp st_faulty ~scheme:Routing.Dlsr ~faults ~edge:(edge g2 0 1) ()
+  in
+  Alcotest.(check bool) "reports structurally identical" true (plain = faulty);
+  Alcotest.(check int) "no retransmits" 0 faulty.Recovery.retransmits;
+  Alcotest.(check int) "no drops" 0 faulty.Recovery.messages_dropped
+
+let test_zero_loss_cell_identical_to_no_layer () =
+  (* The CI gate in miniature: loss 0 with the fault layer installed must
+     produce exactly the row the historical lossless path produces. *)
+  let with_layer = cell ~loss:0.0 ~fault_layer:true () in
+  let without = cell ~loss:0.0 ~fault_layer:false () in
+  Alcotest.(check bool) "rows identical" true (with_layer = without);
+  Alcotest.(check int) "no retransmits at loss 0" 0 with_layer.Robustness.retransmits
+
+(* ---- deterministic loss behaviour --------------------------------------- *)
+
+let test_activation_loss_falls_back () =
+  let g, st = mesh_state () in
+  admit_protected g st;
+  let clean_g, clean_st = mesh_state () in
+  admit_protected clean_g clean_st;
+  let clean =
+    Recovery.fail_edge_drtp clean_st ~scheme:Routing.Dlsr ~edge:(edge clean_g 0 1) ()
+  in
+  let clean_latency =
+    match clean.Recovery.outcomes with
+    | [ (_, Recovery.Switched { latency; _ }) ] -> latency
+    | _ -> Alcotest.fail "clean run should switch"
+  in
+  let faults =
+    Faults.create ~seed:1 { Faults.zero_spec with Faults.p_activation = 1.0 }
+  in
+  let report =
+    Recovery.fail_edge_drtp st ~scheme:Routing.Dlsr ~faults ~edge:(edge g 0 1) ()
+  in
+  (match report.Recovery.outcomes with
+  | [ (1, Recovery.Rerouted { latency; _ }) ] ->
+      Alcotest.(check bool) "retransmission backoff dominates" true
+        (latency > clean_latency +. 1.0)
+  | _ -> Alcotest.fail "expected reactive fallback after activation loss");
+  let r = Recovery.default_retrans in
+  Alcotest.(check int) "all retransmits spent" r.Recovery.max_retransmits
+    report.Recovery.retransmits;
+  Alcotest.(check int) "original + retransmits all lost"
+    (r.Recovery.max_retransmits + 1)
+    report.Recovery.messages_dropped;
+  Alcotest.(check (list int)) "fallback left it unprotected" [ 1 ]
+    report.Recovery.unprotected_ids;
+  Alcotest.(check bool) "invariants hold" true (Net_state.check_invariants st = Ok ())
+
+let test_report_loss_falls_back () =
+  let g, st = mesh_state () in
+  admit_protected g st;
+  let faults = Faults.create ~seed:1 { Faults.zero_spec with Faults.p_report = 1.0 } in
+  let report =
+    Recovery.fail_edge_drtp st ~scheme:Routing.Dlsr ~faults ~edge:(edge g 0 1) ()
+  in
+  (match report.Recovery.outcomes with
+  | [ (1, Recovery.Rerouted _) ] -> ()
+  | _ -> Alcotest.fail "expected fallback when the report never arrives");
+  let r = Recovery.default_retrans in
+  Alcotest.(check int) "report retransmitted to exhaustion"
+    r.Recovery.max_retransmits report.Recovery.retransmits
+
+let test_lossy_cell_raises_latency () =
+  (* Differential: same churn timeline, loss 0 vs loss 0.3 — retransmission
+     backoff must push the mean recovery latency up. *)
+  let lossless = cell ~loss:0.0 () in
+  let lossy = cell ~loss:0.3 () in
+  Alcotest.(check bool) "losses actually occurred" true
+    (lossy.Robustness.messages_dropped > 0);
+  Alcotest.(check bool) "retransmissions occurred" true
+    (lossy.Robustness.retransmits > 0);
+  Alcotest.(check bool) "latency strictly higher under loss" true
+    (lossy.Robustness.latency_mean_ms > lossless.Robustness.latency_mean_ms)
+
+(* ---- reprotection queue ------------------------------------------------- *)
+
+let test_queue_recovers_at_least_baseline () =
+  let with_queue = cell ~loss:0.3 ~mtbf:30.0 ~mttr:20.0 () in
+  let without = cell ~loss:0.3 ~mtbf:30.0 ~mttr:20.0 ~queue:false () in
+  Alcotest.(check bool) "queue saw traffic" true
+    (with_queue.Robustness.reprotect_queued > 0);
+  Alcotest.(check bool) "queue drained some waiters" true
+    (with_queue.Robustness.reprotect_drained > 0);
+  Alcotest.(check bool) "success ratio at least the no-queue baseline" true
+    (with_queue.Robustness.success_ratio >= without.Robustness.success_ratio);
+  Alcotest.(check int) "no-queue baseline never queues" 0
+    without.Robustness.reprotect_queued
+
+let test_manager_queue_unit () =
+  let graph = Dr_topo.Gen.mesh ~rows:3 ~cols:3 in
+  let route = Routing.link_state_route_fn Routing.Dlsr ~with_backup:true in
+  let manager =
+    Manager.create ~graph ~capacity:10 ~spare_policy:Net_state.Multiplexed ~route
+  in
+  let st = Manager.state manager in
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(Path.of_nodes graph [ 0; 1; 2 ])
+       ~backups:[]);
+  ignore
+    (Net_state.admit st ~id:2 ~bw:1
+       ~primary:(Path.of_nodes graph [ 6; 7; 8 ])
+       ~backups:[ Path.of_nodes graph [ 6; 3; 4; 5; 8 ] ]);
+  (* Backup-less conn 1 queues; protected conn 2 and unknown conn 99 are
+     no-ops; double-queueing is idempotent. *)
+  Manager.queue_reprotect manager ~id:1 ~scheme:Routing.Dlsr ~now:10.0 ();
+  Manager.queue_reprotect manager ~id:1 ~scheme:Routing.Dlsr ~now:11.0 ();
+  Manager.queue_reprotect manager ~id:2 ~scheme:Routing.Dlsr ~now:12.0 ();
+  Manager.queue_reprotect manager ~id:99 ~scheme:Routing.Dlsr ~now:13.0 ();
+  Alcotest.(check int) "only the unprotected conn waits" 1
+    (Manager.reprotect_pending manager);
+  let drained = Manager.drain_reprotect manager ~now:20.0 in
+  Alcotest.(check int) "drained" 1 drained;
+  Alcotest.(check int) "queue empty" 0 (Manager.reprotect_pending manager);
+  let conn = Option.get (Net_state.find st 1) in
+  Alcotest.(check bool) "conn regained a backup" true (conn.Net_state.backups <> []);
+  let rs = Manager.reprotect_stats manager in
+  Alcotest.(check int) "queued once" 1 rs.Manager.queued;
+  Alcotest.(check int) "drained once" 1 rs.Manager.drained;
+  Alcotest.(check bool) "unprotected time charged" true
+    (rs.Manager.unprotected_time >= 10.0 -. 1e-9);
+  Alcotest.(check bool) "invariants hold" true (Net_state.check_invariants st = Ok ())
+
+let test_manager_queue_flush_abandons () =
+  (* Ring of 4 at capacity 1: no disjoint backup can ever be found, so the
+     entry waits until flush abandons it. *)
+  let graph = Dr_topo.Gen.ring 4 in
+  let route = Routing.link_state_route_fn Routing.Dlsr ~with_backup:true in
+  let manager =
+    Manager.create ~graph ~capacity:1 ~spare_policy:Net_state.Multiplexed ~route
+  in
+  let st = Manager.state manager in
+  ignore
+    (Net_state.admit st ~id:1 ~bw:1 ~primary:(Path.of_nodes graph [ 0; 1 ]) ~backups:[]);
+  ignore
+    (Net_state.admit st ~id:2 ~bw:1 ~primary:(Path.of_nodes graph [ 3; 2 ]) ~backups:[]);
+  Manager.queue_reprotect manager ~id:1 ~scheme:Routing.Dlsr ~now:0.0 ();
+  let drained = Manager.drain_reprotect manager ~now:50.0 in
+  Alcotest.(check int) "nothing drained under shortage" 0 drained;
+  Alcotest.(check int) "still waiting" 1 (Manager.reprotect_pending manager);
+  Manager.flush_reprotect manager ~now:100.0;
+  let rs = Manager.reprotect_stats manager in
+  Alcotest.(check int) "abandoned at flush" 1 rs.Manager.abandoned;
+  Alcotest.(check int) "queue emptied" 0 (Manager.reprotect_pending manager);
+  Alcotest.(check (float 1e-9)) "waited the whole window" 100.0
+    rs.Manager.unprotected_time;
+  Alcotest.(check bool) "searches were attempted" true (rs.Manager.attempts > 0)
+
+(* ---- parallel determinism ----------------------------------------------- *)
+
+let test_sweep_jobs_independent () =
+  let losses = [ 0.0; 0.2 ] and mtbfs = [ 60.0 ] in
+  let sweep pool =
+    Robustness.run ?pool cfg ~avg_degree:3.0 ~traffic:Config.UT ~lambda:0.1
+      ~scheme:Routing.Dlsr ~losses ~mtbfs ~mttr:25.0 ~seed:5 ()
+  in
+  let sequential = sweep None in
+  let parallel =
+    Dr_parallel.Pool.with_pool ~jobs:2 (fun pool -> sweep (Some pool))
+  in
+  Alcotest.(check int) "cell count" (List.length losses * List.length mtbfs)
+    (List.length sequential);
+  Alcotest.(check bool) "rows byte-equal across jobs" true (sequential = parallel)
+
+let suite =
+  [
+    ( "experiments.robustness",
+      [
+        Alcotest.test_case "zero-spec report identical" `Quick test_zero_spec_report_identical;
+        Alcotest.test_case "zero-loss cell = no fault layer" `Quick test_zero_loss_cell_identical_to_no_layer;
+        Alcotest.test_case "activation loss falls back" `Quick test_activation_loss_falls_back;
+        Alcotest.test_case "report loss falls back" `Quick test_report_loss_falls_back;
+        Alcotest.test_case "loss raises recovery latency" `Quick test_lossy_cell_raises_latency;
+        Alcotest.test_case "queue >= no-queue success" `Quick test_queue_recovers_at_least_baseline;
+        Alcotest.test_case "manager queue unit" `Quick test_manager_queue_unit;
+        Alcotest.test_case "manager queue flush abandons" `Quick test_manager_queue_flush_abandons;
+        Alcotest.test_case "sweep independent of --jobs" `Quick test_sweep_jobs_independent;
+      ] );
+  ]
