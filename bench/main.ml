@@ -220,6 +220,43 @@ let test_double_eval =
          let e2 = if e2 = e1 then (e2 + 1) mod n else e2 in
          ignore (Drtp.Failure_eval.evaluate_edge_pair state3 ~edges:(e1, e2))))
 
+(* dr_resilience kernels: chain routing and correlated-failure evaluation
+   on a loaded state carrying a non-singleton SRLG model. *)
+let srlg3 =
+  Dr_resilience.Srlg.random_partition ~seed:7
+    ~edge_count:(Dr_topo.Graph.edge_count graph3) ~mean_size:4
+
+let state3_srlg =
+  let scenario = Config.make_scenario cfg Config.UT ~lambda:0.5 in
+  let manager =
+    Drtp.Manager.create_srlg ~srlg:srlg3 ~graph:graph3
+      ~capacity:cfg.Config.capacity ~spare_policy:Net_state.Multiplexed
+      ~route:(Routing.chain_route_fn ~k:2 Routing.Dlsr)
+  in
+  let items = Dr_sim.Scenario.items scenario in
+  Array.iter
+    (fun item ->
+      if item.Dr_sim.Scenario.time <= cfg.Config.warmup then
+        Drtp.Manager.apply manager item)
+    items;
+  Drtp.Manager.state manager
+
+let test_chain_route =
+  (* [some_primary] is a route on the same graph; the chain search only
+     needs a primary to avoid, not one admissible under current load. *)
+  Test.make ~name:"resilience/backup-chain-k2"
+    (Staged.stage (fun () ->
+         ignore
+           (Routing.find_backup_chain Routing.Dlsr state3_srlg
+              ~primary:some_primary ~bw:1 ~k:2)))
+
+let test_group_eval =
+  let group = ref 0 in
+  Test.make ~name:"resilience/group-failure-evaluate"
+    (Staged.stage (fun () ->
+         group := (!group + 1) mod Dr_resilience.Srlg.group_count srlg3;
+         ignore (Drtp.Failure_eval.evaluate_group state3_srlg ~group:!group)))
+
 let test_scenario_parse =
   let text =
     Dr_sim.Scenario.to_string (Config.make_scenario cfg Config.UT ~lambda:0.2)
@@ -295,6 +332,8 @@ let all_tests =
     test_view_route;
     test_node_eval;
     test_double_eval;
+    test_chain_route;
+    test_group_eval;
     test_scenario_parse;
     test_telemetry_counter_off;
     test_telemetry_span_off;

@@ -587,7 +587,24 @@ let explain_cmd =
             "Write an annotated Graphviz overlay of the chosen routes (edges \
              labelled id/capacity/spare).")
   in
-  let run () _jobs degree traffic lambda scheme src dst bw top dot quick seed =
+  let chain_t =
+    Arg.(
+      value & opt int 0
+      & info [ "chain" ] ~docv:"K"
+          ~doc:
+            "Also build and print the $(docv)-resilient backup chain \
+             (failover order, per-member SRLG-disjointness).  0 = off.")
+  in
+  let srlg_size_t =
+    Arg.(
+      value & opt int 1
+      & info [ "srlg-size" ] ~docv:"S"
+          ~doc:
+            "Warm the network under a random SRLG partition of mean group \
+             size $(docv) (seeded); 1 = singleton model.")
+  in
+  let run () _jobs degree traffic lambda scheme src dst bw top dot chain
+      srlg_size quick seed =
     let cfg = config_of ~quick ~seed in
     let graph = Dr_exp.Config.make_graph cfg ~avg_degree:degree in
     let scenario = Dr_exp.Config.make_scenario cfg traffic ~lambda in
@@ -595,8 +612,16 @@ let explain_cmd =
       cfg.Dr_exp.Config.warmup
       (Dr_exp.Config.traffic_name traffic)
       lambda;
+    let srlg_model =
+      if srlg_size <= 1 then None
+      else
+        Some
+          (Dr_resilience.Srlg.random_partition ~seed:(seed + 2)
+             ~edge_count:(Dr_topo.Graph.edge_count graph)
+             ~mean_size:srlg_size)
+    in
     let state =
-      Dr_exp.Runner.load_state cfg ~graph ~scenario
+      Dr_exp.Runner.load_state ?srlg:srlg_model cfg ~graph ~scenario
         ~scheme:(Dr_exp.Runner.Lsr scheme) ~until:cfg.Dr_exp.Config.warmup
     in
     let n = Dr_topo.Graph.node_count graph in
@@ -634,6 +659,48 @@ let explain_cmd =
         | Some b ->
             Format.printf "chosen backup (%d hops): %a@." (Dr_topo.Path.hops b)
               pp_nodes b);
+        (if chain > 0 then begin
+           let srlg = Drtp.Net_state.srlg state in
+           let groups_of p =
+             Dr_resilience.Srlg.groups_of_edges srlg
+               (List.sort_uniq compare
+                  (List.map
+                     (fun l -> Dr_topo.Graph.edge_of_link l)
+                     (Dr_topo.Path.links p)))
+           in
+           let pp_groups ppf gs =
+             Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+               (fun ppf g ->
+                 Format.pp_print_string ppf
+                   (Dr_resilience.Srlg.group_name srlg g))
+               ppf gs
+           in
+           Format.printf
+             "@.k-resilient chain (k=%d, srlg model: %d groups, mean size \
+              %.1f):@."
+             chain
+             (Dr_resilience.Srlg.group_count srlg)
+             (Dr_resilience.Srlg.mean_group_size srlg);
+           Format.printf "primary crosses srlgs: %a@." pp_groups
+             (groups_of primary);
+           match
+             Drtp.Routing.find_backup_chain scheme state ~primary ~bw ~k:chain
+           with
+           | [] -> Format.printf "no chain member found@."
+           | members ->
+               List.iter
+                 (fun (m : Drtp.Routing.chain_member) ->
+                   Format.printf "member #%d (%d hops, %s): %a@."
+                     m.Drtp.Routing.cm_rank
+                     (Dr_topo.Path.hops m.Drtp.Routing.cm_path)
+                     (if m.Drtp.Routing.cm_disjoint then "srlg-disjoint"
+                      else "shares risk")
+                     pp_nodes m.Drtp.Routing.cm_path;
+                   Format.printf "  crosses srlgs: %a@." pp_groups
+                     (groups_of m.Drtp.Routing.cm_path))
+                 members
+         end);
         let chosen_links = Option.map Dr_topo.Path.links chosen in
         let cost = Drtp.Routing.backup_link_cost scheme state ~primary ~bw in
         let cands = Dr_topo.Yen.k_shortest graph ~cost ~src ~dst ~k:top in
@@ -706,7 +773,7 @@ let explain_cmd =
     Term.(
       const run $ telemetry_t $ jobs_t $ degree_t $ traffic_t
       $ lambda_t ~default:0.5 $ scheme_t $ src_t $ dst_t $ bw_t $ top_t $ dot_t
-      $ quick_t $ seed_t)
+      $ chain_t $ srlg_size_t $ quick_t $ seed_t)
 
 (* ---- check-routing: fast path vs reference oracle ----------------------- *)
 
@@ -862,6 +929,82 @@ let chaos_cmd =
       $ lambda_t ~default:0.5 $ scheme_t $ losses_t $ mtbfs_t $ mttr_t
       $ no_queue_t $ baseline_t $ quick_t $ seed_t)
 
+(* ---- srlg: k-resilient chains under correlated failures ------------------ *)
+
+let srlg_cmd =
+  let scheme_t =
+    let parse s =
+      Result.map_error (fun e -> `Msg e) (Drtp.Routing.scheme_of_string s)
+    in
+    let print ppf s = Format.pp_print_string ppf (Drtp.Routing.scheme_name s) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Drtp.Routing.Dlsr
+      & info [ "scheme" ] ~docv:"SCHEME"
+          ~doc:"Link-state scheme under test: d-lsr, p-lsr or spf.")
+  in
+  let ks_t =
+    Arg.(
+      value
+      & opt (list int) Dr_exp.Resilience_exp.default_ks
+      & info [ "ks" ] ~docv:"K,K,..."
+          ~doc:"Backup-chain depths to sweep (comma-separated).")
+  in
+  let sizes_t =
+    Arg.(
+      value
+      & opt (list int) Dr_exp.Resilience_exp.default_sizes
+      & info [ "sizes" ] ~docv:"S,S,..."
+          ~doc:
+            "Mean SRLG sizes to sweep; 1 is the singleton model (the \
+             paper's independent single-link failures).")
+  in
+  let mtbf_t =
+    Arg.(
+      value & opt float 300.0
+      & info [ "mtbf" ] ~docv:"S"
+          ~doc:"Mean time between correlated failure events (seconds).")
+  in
+  let mttr_t =
+    Arg.(
+      value & opt float 60.0
+      & info [ "mttr" ] ~docv:"S" ~doc:"Mean group outage duration (seconds).")
+  in
+  let baseline_t =
+    Arg.(
+      value & flag
+      & info [ "baseline" ]
+          ~doc:
+            "Route with SRLG-blind backup sets \
+             ($(b,link_state_route_fn ~backup_count:k)) instead of \
+             SRLG-disjoint chains.  At $(b,--sizes) 1 this must be \
+             byte-identical to the chain router — the singleton \
+             equivalence CI gate.")
+  in
+  let run () jobs degree traffic lambda scheme ks sizes mtbf mttr baseline
+      quick seed =
+    let cfg = config_of ~quick ~seed in
+    let rows =
+      with_pool jobs (fun pool ->
+          Dr_exp.Resilience_exp.run ~pool cfg ~avg_degree:degree ~traffic
+            ~lambda ~scheme ~ks ~mean_sizes:sizes ~mtbf ~mttr ~baseline
+            ~seed:((seed * 37) + 11) ())
+    in
+    Format.printf "%a@." Dr_exp.Resilience_exp.pp rows
+  in
+  Cmd.v
+    (Cmd.info "srlg"
+       ~doc:
+         "Correlated-failure sweep: k-resilient backup chains over random \
+          shared-risk link groups, failing whole groups at a time.  Shows \
+          the k=1 dependability degradation under correlated failures and \
+          how much deeper SRLG-disjoint chains win back, plus the \
+          acceptance-ratio cost of the generalised spare rule.")
+    Term.(
+      const run $ telemetry_t $ jobs_t $ degree_t $ traffic_t
+      $ lambda_t ~default:0.5 $ scheme_t $ ks_t $ sizes_t $ mtbf_t $ mttr_t
+      $ baseline_t $ quick_t $ seed_t)
+
 (* ---- inspect: summarise a journal file ---------------------------------- *)
 
 let inspect_cmd =
@@ -901,6 +1044,14 @@ let inspect_cmd =
     let spare_hw = Hashtbl.create 64 in
     let s_det = ref 0.0 and s_rep = ref 0.0 and s_act = ref 0.0 in
     let n_act = ref 0 and n_lost = ref 0 and n_cont = ref 0 in
+    (* Chain health: membership and disjointness at build time, residual
+       resilience (members left) after each failover, exhaustions. *)
+    let n_built = ref 0 and s_members = ref 0 and s_disjoint = ref 0 in
+    let remaining_hist = Hashtbl.create 8 in
+    let n_failover = ref 0 and n_exhausted = ref 0 in
+    (* Victim mass per SRLG across group-failed events: the risk groups
+       whose failure keeps hurting are the exposed ones. *)
+    let group_victims = Hashtbl.create 16 in
     let folded =
       Journal.fold_jsonl file ~init:() ~f:(fun () lineno parsed ->
           incr lines;
@@ -959,6 +1110,37 @@ let inspect_cmd =
                   | _ -> ())
               | "connection-lost" -> incr n_lost
               | "backup-contended" -> incr n_cont
+              | "chain-built" -> (
+                  match (num fields "members", num fields "disjoint") with
+                  | Some m, Some d ->
+                      incr n_built;
+                      s_members := !s_members + int_of_float m;
+                      s_disjoint := !s_disjoint + int_of_float d
+                  | _ -> ())
+              | "chain-failover" -> (
+                  incr n_failover;
+                  match num fields "remaining" with
+                  | Some r ->
+                      let r = int_of_float r in
+                      Hashtbl.replace remaining_hist r
+                        (1
+                        + Option.value
+                            (Hashtbl.find_opt remaining_hist r)
+                            ~default:0)
+                  | None -> ())
+              | "chain-exhausted" -> incr n_exhausted
+              | "group-failed" -> (
+                  match (num fields "group", num fields "victims") with
+                  | Some g, Some v ->
+                      let g = int_of_float g in
+                      let s, k =
+                        Option.value
+                          (Hashtbl.find_opt group_victims g)
+                          ~default:(0, 0)
+                      in
+                      Hashtbl.replace group_victims g
+                        (s + int_of_float v, k + 1)
+                  | _ -> ())
               | _ -> ()))
     in
     match folded with
@@ -1033,7 +1215,51 @@ let inspect_cmd =
             Format.printf "contended backups %d, connections lost %d@," !n_cont
               !n_lost;
             Format.printf "@]@."
-          end
+          end;
+          if !n_built > 0 || !n_failover > 0 || !n_exhausted > 0 then begin
+            Format.printf "@.@[<v># chain health@,";
+            (if !n_built > 0 then
+               let m = float_of_int !n_built in
+               Format.printf
+                 "chains built %d: mean members %.2f, mean srlg-disjoint \
+                  %.2f@,"
+                 !n_built
+                 (float_of_int !s_members /. m)
+                 (float_of_int !s_disjoint /. m));
+            Format.printf "failovers %d, chains exhausted %d@," !n_failover
+              !n_exhausted;
+            (match
+               List.sort compare
+                 (Hashtbl.fold (fun r c acc -> (r, c) :: acc) remaining_hist [])
+             with
+            | [] -> ()
+            | rows ->
+                Format.printf
+                  "residual resilience after failover (members left -> \
+                   connections):@,";
+                List.iter
+                  (fun (r, c) -> Format.printf "  %d left %8d@," r c)
+                  rows);
+            Format.printf "@]@."
+          end;
+          match
+            List.sort compare
+              (Hashtbl.fold
+                 (fun g (v, k) acc -> (-v, g, k) :: acc)
+                 group_victims [])
+          with
+          | [] -> ()
+          | rows ->
+              Format.printf
+                "@.@[<v># top srlgs by exposure (victims across group-failed \
+                 events)@,";
+              List.iteri
+                (fun i (neg_v, g, k) ->
+                  if i < top then
+                    Format.printf "group %-5d victims %6d over %d events@," g
+                      (-neg_v) k)
+                rows;
+              Format.printf "@]@."
         end
   in
   Cmd.v
@@ -1071,8 +1297,8 @@ let () =
       ablate_flood_cmd; ablate_spf_cmd; ablate_backups_cmd; ablate_qos_cmd;
       ablate_classes_cmd; replicate_cmd; staleness_cmd; availability_cmd;
       overhead_cmd;
-      recovery_cmd; chaos_cmd; topo_cmd; scenario_cmd; replay_cmd; explain_cmd;
-      inspect_cmd; check_routing_cmd;
+      recovery_cmd; chaos_cmd; srlg_cmd; topo_cmd; scenario_cmd; replay_cmd;
+      explain_cmd; inspect_cmd; check_routing_cmd;
     ]
   in
   exit (Cmd.eval (Cmd.group default_info cmds))

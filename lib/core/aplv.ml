@@ -64,3 +64,26 @@ let pp ppf t =
       Format.fprintf ppf "%d:%d" j c)
     entries;
   Format.fprintf ppf "} |.|=%d max=%d backups=%d@]" t.norm1 (max_element t) t.backups
+
+(* ---- per-SRLG aggregation ------------------------------------------------ *)
+
+(* The SRLG generalisation views a group of edges as one failure domain.
+   These aggregations take the edge->groups mapping as a function so the
+   module stays independent of the model's representation. *)
+
+let group_support t ~groups_of_edge =
+  support t |> List.concat_map groups_of_edge |> List.sort_uniq compare
+
+let group_conflict_count_with t ~groups ~edges_of_group =
+  List.fold_left
+    (fun acc g ->
+      if List.exists (fun j -> get t j > 0) (edges_of_group g) then acc + 1
+      else acc)
+    0 groups
+
+let group_max_weight t ~groups ~edges_of_group =
+  List.fold_left
+    (fun acc g ->
+      max acc
+        (List.fold_left (fun s j -> s + get t j) 0 (edges_of_group g)))
+    0 groups

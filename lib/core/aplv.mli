@@ -62,3 +62,29 @@ val overlap_weight_with : t -> edge_lset:int list -> int
     diagnostics). *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Per-SRLG aggregation}
+
+    The resilience extension treats a shared-risk link group as one
+    failure domain.  The mappings are passed as functions
+    (see {!Dr_resilience.Srlg}) so this module stays representation
+    agnostic.  With singleton groups ([groups_of_edge j = [j]],
+    [edges_of_group g = [g]]) each aggregate reduces exactly to its
+    per-edge original. *)
+
+val group_support : t -> groups_of_edge:(int -> int list) -> int list
+(** SRLG groups containing at least one conflicting failure point —
+    {!support} lifted to groups, sorted and deduplicated. *)
+
+val group_conflict_count_with :
+  t -> groups:int list -> edges_of_group:(int -> int list) -> int
+(** D-LSR's cost term lifted to failure domains: how many of the given
+    groups have some member edge with [a_{i,j} > 0].  With singleton
+    groups equals [conflict_count_with ~edge_lset:groups]. *)
+
+val group_max_weight :
+  t -> groups:int list -> edges_of_group:(int -> int list) -> int
+(** [max_g Σ_{j in g} a_{i,j}] over the given groups — the worst single
+    group failure's activation count on this link (the generalised §5
+    spare rule, in connection counts).  With singleton groups equals the
+    maximum [a_{i,j}] over [groups]. *)

@@ -239,3 +239,116 @@ let evaluate ?spare_only state =
     edges_evaluated = !evaluated;
     per_edge = List.rev !per_edge;
   }
+
+(* ---- correlated (SRLG / regional) failures ------------------------------- *)
+
+(* Shared core: fail a whole edge set at once.  Victims are primaries
+   crossing any member; a backup must avoid every member and win its
+   bandwidth on all links, greedily in connection-id order — the same
+   contention model as the single-edge evaluation. *)
+let evaluate_edges ?(spare_only = true) state ~edges =
+  let resources = Net_state.resources state in
+  let in_set = Hashtbl.create 8 in
+  List.iter (fun e -> Hashtbl.replace in_set e ()) edges;
+  let crosses_any p =
+    List.exists
+      (fun l -> Hashtbl.mem in_set (Graph.edge_of_link l))
+      (Path.links p)
+  in
+  let victims = Net_state.primaries_crossing_edges state ~edges in
+  let budget = Hashtbl.create 32 in
+  let budget_of l =
+    match Hashtbl.find_opt budget l with
+    | Some b -> b
+    | None ->
+        let b =
+          Resources.spare_bw resources l
+          + if spare_only then 0 else Resources.free resources l
+        in
+        Hashtbl.replace budget l b;
+        b
+  in
+  let activated = ref 0 in
+  let try_backup (conn : Net_state.conn) b =
+    if crosses_any b then false
+    else begin
+      let links = Path.links b in
+      if List.for_all (fun l -> budget_of l >= conn.bw) links then begin
+        List.iter (fun l -> Hashtbl.replace budget l (budget_of l - conn.bw)) links;
+        true
+      end
+      else false
+    end
+  in
+  List.iter
+    (fun (conn : Net_state.conn) ->
+      if List.exists (try_backup conn) conn.backups then incr activated)
+    victims;
+  (List.length victims, !activated)
+
+type group_outcome = { group : int; affected : int; activated : int }
+
+let evaluate_group ?spare_only state ~group =
+  let srlg = Net_state.srlg state in
+  let edges = Dr_resilience.Srlg.edges_of_group srlg group in
+  let affected, activated = evaluate_edges ?spare_only state ~edges in
+  { group; affected; activated }
+
+let evaluate_srlg ?spare_only state =
+  let srlg = Net_state.srlg state in
+  let attempts = ref 0 and successes = ref 0 and evaluated = ref 0 in
+  for g = 0 to Dr_resilience.Srlg.group_count srlg - 1 do
+    let o = evaluate_group ?spare_only state ~group:g in
+    if o.affected > 0 then begin
+      incr evaluated;
+      attempts := !attempts + o.affected;
+      successes := !successes + o.activated
+    end
+  done;
+  {
+    attempts = !attempts;
+    successes = !successes;
+    edges_evaluated = !evaluated;
+    per_edge = [];
+  }
+
+let evaluate_regional ?spare_only ?(samples = 200) ?(seed = 1) state ~radius =
+  if radius <= 0.0 then
+    invalid_arg "Failure_eval.evaluate_regional: radius must be positive";
+  let graph = Net_state.graph state in
+  match Graph.coords graph with
+  | None -> invalid_arg "Failure_eval.evaluate_regional: graph has no coordinates"
+  | Some coords ->
+      let edge_count = Graph.edge_count graph in
+      let midpoints =
+        Array.init edge_count (fun e ->
+            let u, v = Graph.edge_endpoints graph e in
+            let ux, uy = coords.(u) and vx, vy = coords.(v) in
+            ((ux +. vx) /. 2.0, (uy +. vy) /. 2.0))
+      in
+      let rng = Dr_rng.Splitmix64.create seed in
+      let attempts = ref 0 and successes = ref 0 and evaluated = ref 0 in
+      for _ = 1 to samples do
+        let cx = Dr_rng.Splitmix64.float rng 1.0
+        and cy = Dr_rng.Splitmix64.float rng 1.0 in
+        let hit = ref [] in
+        for e = edge_count - 1 downto 0 do
+          let mx, my = midpoints.(e) in
+          let dx = mx -. cx and dy = my -. cy in
+          if (dx *. dx) +. (dy *. dy) <= radius *. radius then hit := e :: !hit
+        done;
+        if !hit <> [] then begin
+          let affected, activated = evaluate_edges ?spare_only state ~edges:!hit in
+          if affected > 0 then begin
+            incr evaluated;
+            attempts := !attempts + affected;
+            successes := !successes + activated
+          end
+        end
+      done;
+      {
+        attempts = !attempts;
+        successes = !successes;
+        edges_evaluated = !evaluated;
+        per_edge = [];
+      }

@@ -104,3 +104,39 @@ val evaluate_double :
   result
 (** Monte-Carlo over random distinct edge pairs ([samples], default 200):
     the double-failure analogue of {!evaluate} ([per_edge] left empty). *)
+
+(** {1 Correlated (SRLG) failures}
+
+    The generalised multiplexing rule sizes spare for the worst single
+    {e shared-risk group}; these evaluations measure what it buys.  With
+    the singleton model, {!evaluate_srlg} is exactly {!evaluate} (group
+    id = edge id, identical greedy order). *)
+
+val evaluate_edges :
+  ?spare_only:bool -> Net_state.t -> edges:int list -> int * int
+(** Fail a whole edge set at once; returns [(affected, activated)].
+    Victims are primaries crossing any member (in connection-id order); a
+    backup must avoid every member and win its bandwidth on all its
+    links. *)
+
+type group_outcome = { group : int; affected : int; activated : int }
+
+val evaluate_group :
+  ?spare_only:bool -> Net_state.t -> group:int -> group_outcome
+(** {!evaluate_edges} over one SRLG group's members. *)
+
+val evaluate_srlg : ?spare_only:bool -> Net_state.t -> result
+(** Exact sweep over every group of the state's SRLG model ([per_edge]
+    left empty). *)
+
+val evaluate_regional :
+  ?spare_only:bool ->
+  ?samples:int ->
+  ?seed:int ->
+  Net_state.t ->
+  radius:float ->
+  result
+(** Monte-Carlo regional events: [samples] (default 200) random disc
+    centers in the unit square, each failing every edge whose midpoint
+    falls within [radius].  Raises [Invalid_argument] when the graph has
+    no coordinates or [radius <= 0]. *)

@@ -31,17 +31,34 @@ type reprotect_stats = {
   mutable unprotected_time : float;
 }
 
+type reprotect_router =
+  Routing.scheme ->
+  Net_state.t ->
+  primary:Dr_topo.Path.t ->
+  bw:int ->
+  existing:Dr_topo.Path.t list ->
+  count:int ->
+  Dr_topo.Path.t list
+
+let default_reprotect_router scheme state ~primary ~bw ~existing ~count =
+  Routing.additional_backups scheme state ~primary ~bw ~existing ~count
+
+let chain_reprotect_router scheme state ~primary ~bw ~existing ~count =
+  Routing.additional_chain_members scheme state ~primary ~bw ~existing ~count
+  |> List.map (fun m -> m.Routing.cm_path)
+
 type t = {
   state : Net_state.t;
   route : Routing.route_fn;
   stats : stats;
   mutable reprotect : reprotect_entry list;
+  mutable reprotect_router : reprotect_router;
   rstats : reprotect_stats;
 }
 
-let create ~graph ~capacity ~spare_policy ~route =
+let make ~state ~route =
   {
-    state = Net_state.create ~graph ~capacity ~spare_policy;
+    state;
     route;
     stats =
       {
@@ -54,6 +71,7 @@ let create ~graph ~capacity ~spare_policy ~route =
         unprotected = 0;
       };
     reprotect = [];
+    reprotect_router = default_reprotect_router;
     rstats =
       {
         queued = 0;
@@ -63,6 +81,14 @@ let create ~graph ~capacity ~spare_policy ~route =
         unprotected_time = 0.0;
       };
   }
+
+let create ~graph ~capacity ~spare_policy ~route =
+  make ~state:(Net_state.create ~graph ~capacity ~spare_policy) ~route
+
+let create_srlg ~srlg ~graph ~capacity ~spare_policy ~route =
+  make ~state:(Net_state.create_srlg ~srlg ~graph ~capacity ~spare_policy) ~route
+
+let set_reprotect_router t f = t.reprotect_router <- f
 
 let state t = t.state
 let stats t = t.stats
@@ -112,22 +138,26 @@ let drain_reprotect t ~now =
             else begin
               t.rstats.attempts <- t.rstats.attempts + 1;
               match
-                Routing.additional_backups e.re_scheme t.state
-                  ~primary:conn.primary ~bw:conn.bw ~existing:[]
-                  ~count:e.re_count
+                t.reprotect_router e.re_scheme t.state ~primary:conn.primary
+                  ~bw:conn.bw ~existing:[] ~count:e.re_count
               with
               | [] -> true (* still no resources; keep waiting *)
-              | fresh ->
-                  Net_state.replace_backups t.state ~id:e.re_id ~backups:fresh;
-                  incr drained;
-                  t.rstats.drained <- t.rstats.drained + 1;
-                  Tm.Counter.incr c_reprotect_drained;
-                  settle e;
-                  if !J.on then
-                    J.record
-                      (J.Reprotected
-                         { conn = e.re_id; fresh = List.length fresh });
-                  false
+              | fresh -> (
+                  match
+                    Net_state.replace_backups_drop t.state ~id:e.re_id
+                      ~backups:fresh
+                  with
+                  | [] -> true (* none could be hosted after all *)
+                  | kept ->
+                      incr drained;
+                      t.rstats.drained <- t.rstats.drained + 1;
+                      Tm.Counter.incr c_reprotect_drained;
+                      settle e;
+                      if !J.on then
+                        J.record
+                          (J.Reprotected
+                             { conn = e.re_id; fresh = List.length kept });
+                      false)
             end)
       t.reprotect
   in

@@ -51,6 +51,17 @@ val create :
   route:Routing.route_fn ->
   t
 
+val create_srlg :
+  srlg:Dr_resilience.Srlg.t ->
+  graph:Dr_topo.Graph.t ->
+  capacity:int ->
+  spare_policy:Net_state.spare_policy ->
+  route:Routing.route_fn ->
+  t
+(** {!create} over a shared-risk-group model
+    ({!Net_state.create_srlg}).  With a singleton model behaviour is
+    identical to {!create}. *)
+
 val state : t -> Net_state.t
 val stats : t -> stats
 
@@ -86,3 +97,25 @@ val reprotect_pending : t -> int
 (** Entries currently waiting. *)
 
 val reprotect_stats : t -> reprotect_stats
+
+type reprotect_router =
+  Routing.scheme ->
+  Net_state.t ->
+  primary:Dr_topo.Path.t ->
+  bw:int ->
+  existing:Dr_topo.Path.t list ->
+  count:int ->
+  Dr_topo.Path.t list
+(** How {!drain_reprotect} searches for replacement backups. *)
+
+val default_reprotect_router : reprotect_router
+(** {!Routing.additional_backups} — the pre-SRLG behaviour and the
+    default for every manager. *)
+
+val chain_reprotect_router : reprotect_router
+(** {!Routing.additional_chain_members} (paths only): replacements are
+    SRLG-disjoint from the primary where feasible.  With a singleton
+    model this selects exactly the same routes as the default. *)
+
+val set_reprotect_router : t -> reprotect_router -> unit
+(** Install the router used for subsequent {!drain_reprotect} calls. *)

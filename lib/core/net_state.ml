@@ -1,5 +1,6 @@
 module Graph = Dr_topo.Graph
 module Path = Dr_topo.Path
+module Srlg = Dr_resilience.Srlg
 module Tm = Dr_telemetry.Telemetry
 module J = Dr_obs.Journal
 
@@ -35,8 +36,11 @@ type t = {
          a hashtable probe.  Maintained with O(|LSET|) deltas per link
          visit, i.e. O(|LSET|·|route|) per admit/release. *)
   spare_weight : (int, int) Hashtbl.t array;
-      (* per directed link: failure edge -> total backup bandwidth that a
-         failure there would activate here *)
+      (* per directed link: SRLG group -> total backup bandwidth that the
+         group's failure would activate here.  Under the singleton model
+         group ids coincide with edge ids, so this is the paper's
+         per-failure-edge table exactly. *)
+  srlg : Srlg.t;
   backup_total : int array; (* per directed link: sum of backup bandwidths *)
   conns : (int, conn) Hashtbl.t;
   edge_primaries : (int, conn) Hashtbl.t array; (* per edge: id -> conn *)
@@ -45,9 +49,17 @@ type t = {
   mutable aplv_updates : int;
 }
 
-let create ~graph ~capacity ~spare_policy =
+let make ~srlg ~graph ~capacity ~spare_policy =
   let links = Graph.link_count graph in
   let edges = Graph.edge_count graph in
+  let srlg =
+    match srlg with
+    | None -> Srlg.singletons ~edge_count:edges
+    | Some s ->
+        if Srlg.edge_count s <> edges then
+          invalid_arg "Net_state.create: SRLG model edge count mismatch";
+        s
+  in
   {
     graph;
     resources = Resources.create ~link_count:links ~capacity;
@@ -57,13 +69,21 @@ let create ~graph ~capacity ~spare_policy =
     spare_weight = Array.init links (fun _ -> Hashtbl.create 8);
     backup_total = Array.make links 0;
     conns = Hashtbl.create 256;
+    srlg;
     edge_primaries = Array.init edges (fun _ -> Hashtbl.create 8);
     failed = Array.make edges false;
     spare_policy;
     aplv_updates = 0;
   }
 
+let create ~graph ~capacity ~spare_policy =
+  make ~srlg:None ~graph ~capacity ~spare_policy
+
+let create_srlg ~srlg ~graph ~capacity ~spare_policy =
+  make ~srlg:(Some srlg) ~graph ~capacity ~spare_policy
+
 let graph t = t.graph
+let srlg t = t.srlg
 let resources t = t.resources
 let spare_policy t = t.spare_policy
 let aplv t l = t.aplv.(l)
@@ -140,9 +160,16 @@ let adjust_spare_after_unregister t link =
   if have > req then Resources.shrink_spare t.resources ~link ~amount:(have - req)
 
 (* Register one backup on every link of its route, carrying the edge-LSET of
-   its primary (the backup-path register packet of §2.2).  Returns false if
-   some link could not reserve the full spare requirement. *)
+   its primary (the backup-path register packet of §2.2).  The spare table
+   is keyed by the primary's {e failure domains} — the SRLG groups its
+   edges belong to (one weight unit per group per backup, however many of
+   the group's edges the primary crosses) — so {!spare_required} sizes the
+   pool for the worst single {e group} failure.  Under the singleton model
+   the group list is the edge LSET itself and the bookkeeping is
+   bit-identical to the per-edge original.  Returns false if some link
+   could not reserve the full spare requirement. *)
 let register_backup t ~bw ~primary_edges ~backup_path =
+  let groups = Srlg.groups_of_edges t.srlg primary_edges in
   let fully_reserved = ref true in
   List.iter
     (fun l ->
@@ -153,16 +180,20 @@ let register_backup t ~bw ~primary_edges ~backup_path =
       List.iter
         (fun e ->
           counts.(e) <- counts.(e) + 1;
-          t.aplv_norm.(l) <- t.aplv_norm.(l) + 1;
-          let w = Option.value ~default:0 (Hashtbl.find_opt t.spare_weight.(l) e) in
-          Hashtbl.replace t.spare_weight.(l) e (w + bw))
+          t.aplv_norm.(l) <- t.aplv_norm.(l) + 1)
         primary_edges;
+      List.iter
+        (fun g ->
+          let w = Option.value ~default:0 (Hashtbl.find_opt t.spare_weight.(l) g) in
+          Hashtbl.replace t.spare_weight.(l) g (w + bw))
+        groups;
       t.backup_total.(l) <- t.backup_total.(l) + bw;
       if not (adjust_spare_after_register t l) then fully_reserved := false)
     (Path.links backup_path);
   !fully_reserved
 
 let unregister_backup t ~bw ~primary_edges ~backup_path =
+  let groups = Srlg.groups_of_edges t.srlg primary_edges in
   List.iter
     (fun l ->
       Aplv.unregister t.aplv.(l) ~edge_lset:primary_edges;
@@ -172,14 +203,17 @@ let unregister_backup t ~bw ~primary_edges ~backup_path =
       List.iter
         (fun e ->
           counts.(e) <- counts.(e) - 1;
-          t.aplv_norm.(l) <- t.aplv_norm.(l) - 1;
-          match Hashtbl.find_opt t.spare_weight.(l) e with
+          t.aplv_norm.(l) <- t.aplv_norm.(l) - 1)
+        primary_edges;
+      List.iter
+        (fun g ->
+          match Hashtbl.find_opt t.spare_weight.(l) g with
           | None -> invalid_arg "Net_state: spare-weight underflow"
           | Some w ->
               if w < bw then invalid_arg "Net_state: spare-weight underflow"
-              else if w = bw then Hashtbl.remove t.spare_weight.(l) e
-              else Hashtbl.replace t.spare_weight.(l) e (w - bw))
-        primary_edges;
+              else if w = bw then Hashtbl.remove t.spare_weight.(l) g
+              else Hashtbl.replace t.spare_weight.(l) g (w - bw))
+        groups;
       t.backup_total.(l) <- t.backup_total.(l) - bw;
       adjust_spare_after_unregister t l)
     (Path.links backup_path)
@@ -242,6 +276,18 @@ let iter_conns t f = Hashtbl.iter (fun _ c -> f c) t.conns
 let primaries_crossing_edge t e =
   Hashtbl.fold (fun _ c acc -> c :: acc) t.edge_primaries.(e) []
   |> List.sort (fun a b -> compare a.id b.id)
+
+let primaries_crossing_edges t ~edges =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Hashtbl.iter (fun id c -> Hashtbl.replace seen id c) t.edge_primaries.(e))
+    edges;
+  Hashtbl.fold (fun _ c acc -> c :: acc) seen []
+  |> List.sort (fun a b -> compare a.id b.id)
+
+let primaries_crossing_group t ~group =
+  primaries_crossing_edges t ~edges:(Srlg.edges_of_group t.srlg group)
 
 let remove_primary_index t conn =
   List.iter
@@ -422,12 +468,49 @@ let replace_backups t ~id ~backups =
         backups;
       conn.backups <- backups
 
+let replace_backups_drop t ~id ~backups =
+  match Hashtbl.find_opt t.conns id with
+  | None -> invalid_arg "Net_state.replace_backups_drop: unknown connection"
+  | Some conn ->
+      let primary_edges = edge_lset_of_path conn.primary in
+      unregister_all_backups t conn;
+      conn.backups <- [];
+      (* Same sequential admissibility walk as {!replace_backups}, but an
+         infeasible member is dropped instead of raising: under correlated
+         failures, earlier victims' activations may have converted spare to
+         prime on a surviving backup's links, and losing that member is the
+         graceful outcome (the reprotection queue can retry later). *)
+      let kept =
+        List.rev
+          (List.fold_left
+             (fun kept b ->
+               if
+                 backup_admissible t ~bw:conn.bw ~primary:conn.primary
+                   ~earlier_backups:kept b
+               then b :: kept
+               else kept)
+             [] backups)
+      in
+      List.iter
+        (fun b ->
+          if not (register_backup t ~bw:conn.bw ~primary_edges ~backup_path:b)
+          then conn.degraded <- true)
+        kept;
+      conn.backups <- kept;
+      kept
+
 let fail_edge t ~edge = t.failed.(edge) <- true
 let edge_failed t ~edge = t.failed.(edge)
 let restore_edge t ~edge = t.failed.(edge) <- false
 
 let incident_edges t node =
   Array.to_list (Graph.out_links t.graph node) |> List.map Graph.edge_of_link
+
+let fail_group t ~group =
+  List.iter (fun e -> fail_edge t ~edge:e) (Srlg.edges_of_group t.srlg group)
+
+let restore_group t ~group =
+  List.iter (fun e -> restore_edge t ~edge:e) (Srlg.edges_of_group t.srlg group)
 
 let fail_node t ~node =
   List.iter (fun e -> fail_edge t ~edge:e) (incident_edges t node)
@@ -477,7 +560,9 @@ let check_invariants t =
           List.iter
             (fun l -> expect_prime.(l) <- expect_prime.(l) + conn.bw)
             (Path.links conn.primary);
-          let edges = edge_lset_of_path conn.primary in
+          let groups =
+            Srlg.groups_of_edges t.srlg (edge_lset_of_path conn.primary)
+          in
           List.iter
             (fun b ->
               List.iter
@@ -485,12 +570,12 @@ let check_invariants t =
                   expect_backups.(l) <- expect_backups.(l) + 1;
                   expect_total.(l) <- expect_total.(l) + conn.bw;
                   List.iter
-                    (fun e ->
+                    (fun g ->
                       let w =
-                        Option.value ~default:0 (Hashtbl.find_opt expect_weight.(l) e)
+                        Option.value ~default:0 (Hashtbl.find_opt expect_weight.(l) g)
                       in
-                      Hashtbl.replace expect_weight.(l) e (w + conn.bw))
-                    edges)
+                      Hashtbl.replace expect_weight.(l) g (w + conn.bw))
+                    groups)
                 (Path.links b))
             conn.backups)
         t.conns;
@@ -507,14 +592,14 @@ let check_invariants t =
           fail "link %d: backup_total %d, expected %d" l t.backup_total.(l)
             expect_total.(l);
         Hashtbl.iter
-          (fun e w ->
-            let got = Option.value ~default:0 (Hashtbl.find_opt t.spare_weight.(l) e) in
-            if got <> w then fail "link %d edge %d: spare weight %d, expected %d" l e got w)
+          (fun g w ->
+            let got = Option.value ~default:0 (Hashtbl.find_opt t.spare_weight.(l) g) in
+            if got <> w then fail "link %d group %d: spare weight %d, expected %d" l g got w)
           expect_weight.(l);
         Hashtbl.iter
-          (fun e w ->
-            if Option.value ~default:0 (Hashtbl.find_opt expect_weight.(l) e) <> w then
-              fail "link %d edge %d: stale spare weight %d" l e w)
+          (fun g w ->
+            if Option.value ~default:0 (Hashtbl.find_opt expect_weight.(l) g) <> w then
+              fail "link %d group %d: stale spare weight %d" l g w)
           t.spare_weight.(l);
         let req = spare_required t ~link:l in
         let have = Resources.spare_bw t.resources l in

@@ -46,10 +46,29 @@ type t
 
 val create :
   graph:Dr_topo.Graph.t -> capacity:int -> spare_policy:spare_policy -> t
+(** Singleton SRLG model: one risk group per edge, the paper's
+    independent-failure world.  Equivalent to
+    [create_srlg ~srlg:(Srlg.singletons ...)]. *)
+
+val create_srlg :
+  srlg:Dr_resilience.Srlg.t ->
+  graph:Dr_topo.Graph.t ->
+  capacity:int ->
+  spare_policy:spare_policy ->
+  t
+(** Install a shared-risk-group model over the graph's edges.  The model
+    re-keys the spare-multiplexing rule: spare on a link is sized for the
+    worst single {e SRLG} failure instead of the worst single edge.  With
+    a singleton model every computation is bit-identical to {!create}'s
+    behaviour.  Raises [Invalid_argument] on an edge-count mismatch with
+    the graph. *)
 
 val graph : t -> Dr_topo.Graph.t
 val resources : t -> Resources.t
 val spare_policy : t -> spare_policy
+
+val srlg : t -> Dr_resilience.Srlg.t
+(** The installed shared-risk-group model. *)
 
 val aplv : t -> int -> Aplv.t
 (** The APLV of a directed link (do not mutate). *)
@@ -117,10 +136,18 @@ val primaries_crossing_edge : t -> int -> conn list
 (** Connections whose primary route crosses the given undirected edge —
     the set that must switch over when that edge fails.  Sorted by id. *)
 
+val primaries_crossing_edges : t -> edges:int list -> conn list
+(** Distinct connections whose primary crosses any of the given edges —
+    the victim set of a correlated failure.  Sorted by id. *)
+
+val primaries_crossing_group : t -> group:int -> conn list
+(** {!primaries_crossing_edges} over an SRLG group's member edges. *)
+
 val spare_required : t -> link:int -> int
 (** Spare the policy wants on the link, in bandwidth units: [Multiplexed]
-    → worst single-edge activation burst; [Dedicated] → total backup
-    bandwidth. *)
+    → worst single-{e SRLG} activation burst (the generalised §5 rule;
+    with singleton groups, exactly the paper's worst single edge);
+    [Dedicated] → total backup bandwidth. *)
 
 val spare_deficit : t -> link:int -> int
 (** [max 0 (spare_required - spare_bw)]: positive iff conflicting backups
@@ -164,6 +191,16 @@ val replace_backups : t -> id:int -> backups:Dr_topo.Path.t list -> unit
     and register the given set.  [[]] leaves the connection unprotected.
     Raises [Invalid_argument] if a new backup link cannot host it. *)
 
+val replace_backups_drop :
+  t -> id:int -> backups:Dr_topo.Path.t list -> Dr_topo.Path.t list
+(** Like {!replace_backups}, but a member whose links can no longer host
+    it is silently dropped (the same graceful policy {!promote_backup}
+    applies to survivors) instead of raising; returns the members kept.
+    The raising variant is right when the caller just computed the set
+    against current resources; this one is right for recovery drivers,
+    where concurrent activations may have converted a surviving backup's
+    spare into prime since it was found. *)
+
 val fail_edge : t -> edge:int -> unit
 (** Mark both directions of an edge as failed.  Failed links are excluded
     by the routing layers' feasibility predicates; existing reservations on
@@ -173,6 +210,12 @@ val fail_edge : t -> edge:int -> unit
 val edge_failed : t -> edge:int -> bool
 
 val restore_edge : t -> edge:int -> unit
+
+val fail_group : t -> group:int -> unit
+(** Fail every member edge of an SRLG group (correlated failure).
+    Restore with {!restore_group}. *)
+
+val restore_group : t -> group:int -> unit
 
 val fail_node : t -> node:int -> unit
 (** Fail every edge incident to the node (router breakdown, the other

@@ -19,6 +19,9 @@ let c_reattempts = Tm.Counter.make "recovery.reestablish.attempts"
 let c_msg_dropped = Tm.Counter.make "recovery.msg.dropped"
 let c_retransmits = Tm.Counter.make "recovery.msg.retransmits"
 let c_fallback_reroutes = Tm.Counter.make "recovery.fallback.reroutes"
+let c_group_failures = Tm.Counter.make "recovery.group.failures"
+let c_chain_failover = Tm.Counter.make "recovery.chain.failover"
+let c_chain_exhausted = Tm.Counter.make "recovery.chain.exhausted"
 let t_activation = Tm.Timer.make ~hist:(0.0, 0.1, 20) "recovery.activation_latency"
 let t_reroute = Tm.Timer.make "recovery.reroute_latency"
 
@@ -54,6 +57,7 @@ let outcome_is_recovered = function
 
 type report = {
   edge : int;
+  failed_edges : int list;
   outcomes : (int * outcome) list;
   backups_rerouted : int;
   backups_unprotected : int;
@@ -77,6 +81,22 @@ let report_hops conn edge =
   let rec scan i = function
     | [] -> invalid_arg "Recovery.report_hops: primary does not cross the edge"
     | l :: rest -> if Graph.edge_of_link l = edge then i else scan (i + 1) rest
+  in
+  scan 0 (Path.links conn.Net_state.primary)
+
+(* Undirected edges of a path, in hop order. *)
+let edge_list_of_path p = List.map Graph.edge_of_link (Path.links p)
+
+(* [report_hops] generalised to a failed edge *set*: hops to the first
+   primary hop lying in the set — that endpoint's report reaches the
+   source first. *)
+let report_hops_any (conn : Net_state.conn) in_group =
+  let rec scan i = function
+    | [] ->
+        invalid_arg "Recovery.report_hops_any: primary does not cross the group"
+    | l :: rest ->
+        if Hashtbl.mem in_group (Graph.edge_of_link l) then i
+        else scan (i + 1) rest
   in
   scan 0 (Path.links conn.Net_state.primary)
 
@@ -298,6 +318,7 @@ let fail_edge_drtp state ~scheme ?(timing = default_timing) ?(reconfigure = true
   Tm.Counter.add c_backup_unprotected !unprotected;
   {
     edge;
+    failed_edges = [ edge ];
     outcomes;
     backups_rerouted = !rerouted;
     backups_unprotected = !unprotected;
@@ -399,6 +420,7 @@ let fail_edge_local_detour state ?(timing = default_timing) ~edge () =
   in
   {
     edge;
+    failed_edges = [ edge ];
     outcomes;
     backups_rerouted = 0;
     backups_unprotected = 0;
@@ -468,10 +490,228 @@ let fail_edge_reactive state ?(timing = default_timing) ~edge () =
   in
   {
     edge;
+    failed_edges = [ edge ];
     outcomes;
     backups_rerouted = 0;
     backups_unprotected = 0;
     unprotected_ids = [];
     retransmits = 0;
     messages_dropped = 0;
+  }
+
+(* ---- correlated (SRLG) failures ------------------------------------------ *)
+
+(* [fail_edge_drtp] generalised to a whole shared-risk group failing as one
+   event.  Kept as a separate function — not a wrapper the single-edge
+   path routes through — so the single-edge code above stays bit-identical
+   to its pre-SRLG behaviour (latencies, journal and all). *)
+let fail_group_drtp state ~scheme ?(timing = default_timing)
+    ?(reconfigure = true) ?(backup_count = 1) ?faults
+    ?(retrans = default_retrans) ~group () =
+  let srlg = Net_state.srlg state in
+  let edges = Dr_resilience.Srlg.edges_of_group srlg group in
+  let in_group = Hashtbl.create 8 in
+  List.iter (fun e -> Hashtbl.replace in_group e ()) edges;
+  let crosses_failed p =
+    List.exists (fun e -> Hashtbl.mem in_group e) (edge_list_of_path p)
+  in
+  Net_state.fail_group state ~group;
+  Tm.Counter.incr c_group_failures;
+  let victims = Net_state.primaries_crossing_edges state ~edges in
+  let broken_backups = ref [] in
+  Net_state.iter_conns state (fun c ->
+      if
+        (not (crosses_failed c.primary))
+        && List.exists crosses_failed c.backups
+      then broken_backups := c.id :: !broken_backups);
+  if !J.on then
+    J.record
+      (J.Group_failed
+         { group; edges = List.length edges; victims = List.length victims });
+  let dropped = ref 0 and resent = ref 0 in
+  let fallback_unprotected = ref [] in
+  let switched = ref [] in
+  let fallback (conn : Net_state.conn) ~spent =
+    Net_state.drop state ~id:conn.id;
+    match Routing.find_primary state ~src:conn.src ~dst:conn.dst ~bw:conn.bw with
+    | Some p ->
+        let latency =
+          spent +. timing.route_computation
+          +. (timing.link_delay *. float_of_int (Path.hops p))
+        in
+        ignore (Net_state.admit state ~id:conn.id ~bw:conn.bw ~primary:p ~backups:[]);
+        Tm.Counter.incr c_fallback_reroutes;
+        fallback_unprotected := conn.id :: !fallback_unprotected;
+        if !J.on then
+          J.record (J.Rerouted { conn = conn.id; latency; retries = 0 });
+        `Fell_back latency
+    | None ->
+        if !J.on then
+          J.record (J.Connection_lost { conn = conn.id; latency = spent });
+        `Lost spent
+  in
+  (* First usable chain member at or past [from]: survives *every* failed
+     edge of the group and can get its bandwidth. *)
+  let usable_member ~from (conn : Net_state.conn) =
+    let rec scan i = function
+      | [] -> None
+      | b :: rest ->
+          if
+            i >= from
+            && (not (crosses_failed b))
+            && Net_state.activation_feasible state ~id:conn.id ~index:i ()
+          then Some (i, b)
+          else scan (i + 1) rest
+    in
+    scan 0 conn.backups
+  in
+  let tagged =
+    List.map
+      (fun (conn : Net_state.conn) ->
+        (* Detection happens at the failed primary hop nearest the source:
+           that endpoint's report arrives first. *)
+        let hops = report_hops_any conn in_group in
+        let detection = timing.detection_delay in
+        let report = timing.link_delay *. float_of_int hops in
+        let rep_ok, rep_extra =
+          transmit ~faults ~retrans ~cls:Faults.Report ~id:conn.id ~dropped
+            ~resent
+        in
+        let report = report +. rep_extra in
+        let notify = detection +. report in
+        if !J.on then
+          J.record (J.Report_hop { conn = conn.id; hops; detection; report });
+        if not rep_ok then (conn.id, fallback conn ~spent:notify)
+        else
+          (* Ordered failover down the chain: walk members in priority
+             order; a lost activation signal burns its budget and falls
+             through to the next member. *)
+          let rec activate from wasted tried =
+            match usable_member ~from conn with
+            | Some (index, b) ->
+                let act_ok, act_extra =
+                  transmit ~faults ~retrans ~cls:Faults.Activation ~id:conn.id
+                    ~dropped ~resent
+                in
+                if act_ok then begin
+                  let activation =
+                    wasted +. act_extra
+                    +. (timing.link_delay *. float_of_int (Path.hops b))
+                  in
+                  let latency = notify +. activation in
+                  Net_state.promote_backup state ~id:conn.id ~index ();
+                  Tm.Counter.incr c_chain_failover;
+                  if !J.on then begin
+                    J.record
+                      (J.Backup_activated
+                         { conn = conn.id; index; detection; report; activation });
+                    let remaining =
+                      match Net_state.find state conn.id with
+                      | Some c -> List.length c.backups
+                      | None -> 0
+                    in
+                    J.record
+                      (J.Chain_failover
+                         { conn = conn.id; depth = index; remaining })
+                  end;
+                  switched := (conn.id, latency) :: !switched;
+                  `Switched latency
+                end
+                else activate (index + 1) (wasted +. act_extra) true
+            | None ->
+                Tm.Counter.incr c_chain_exhausted;
+                if !J.on then J.record (J.Chain_exhausted { conn = conn.id });
+                if tried then fallback conn ~spent:(notify +. wasted)
+                else begin
+                  Net_state.drop state ~id:conn.id;
+                  if !J.on then begin
+                    J.record (J.Backup_contended { conn = conn.id });
+                    J.record
+                      (J.Connection_lost { conn = conn.id; latency = notify })
+                  end;
+                  `Lost notify
+                end
+          in
+          (conn.id, activate 0 0.0 false))
+      victims
+  in
+  (* Step 4, chain-aware: top exhausted chains back up with members that
+     avoid the still-failed group's SRLGs. *)
+  let reprotected = Hashtbl.create 8 in
+  let rerouted = ref 0 and unprotected = ref 0 in
+  let step4_unprotected = ref [] in
+  if reconfigure then begin
+    let top_up id =
+      match Net_state.find state id with
+      | None -> `Gone
+      | Some conn ->
+          let surviving = List.filter (fun b -> not (crosses_failed b)) conn.backups in
+          let fresh =
+            Routing.additional_chain_members scheme state ~primary:conn.primary
+              ~bw:conn.bw ~existing:surviving
+              ~count:(max 0 (backup_count - List.length surviving))
+            |> List.map (fun m -> m.Routing.cm_path)
+          in
+          (* Drop variant: earlier victims of the same burst may have
+             activated through a surviving member's links, converting the
+             spare it needs into prime. *)
+          let kept =
+            Net_state.replace_backups_drop state ~id
+              ~backups:(surviving @ fresh)
+          in
+          if kept = [] then `Unprotected
+          else begin
+            if !J.on then
+              J.record (J.Reprotected { conn = id; fresh = List.length fresh });
+            if fresh <> [] then `Rerouted else `Kept
+          end
+    in
+    List.iter
+      (fun (id, _) ->
+        match top_up id with
+        | `Gone -> ()
+        | `Unprotected -> step4_unprotected := id :: !step4_unprotected
+        | `Rerouted | `Kept -> Hashtbl.replace reprotected id ())
+      !switched;
+    List.iter
+      (fun id ->
+        match top_up id with
+        | `Gone | `Kept -> ()
+        | `Rerouted -> incr rerouted
+        | `Unprotected ->
+            incr unprotected;
+            step4_unprotected := id :: !step4_unprotected)
+      !broken_backups
+  end;
+  let outcomes =
+    List.map
+      (fun (id, tag) ->
+        match tag with
+        | `Lost latency ->
+            Tm.Counter.incr c_lost;
+            (id, Lost { latency })
+        | `Fell_back latency ->
+            Tm.Counter.incr c_rerouted;
+            Tm.Timer.record t_reroute latency;
+            (id, Rerouted { latency; retries = 0 })
+        | `Switched latency ->
+            Tm.Counter.incr c_switched;
+            Tm.Timer.record t_activation latency;
+            let reprotected = Hashtbl.mem reprotected id in
+            if reprotected then Tm.Counter.incr c_reprotected;
+            (id, Switched { latency; reprotected }))
+      tagged
+  in
+  Tm.Counter.add c_backup_rerouted !rerouted;
+  Tm.Counter.add c_backup_unprotected !unprotected;
+  {
+    edge = (match edges with e :: _ -> e | [] -> -1);
+    failed_edges = edges;
+    outcomes;
+    backups_rerouted = !rerouted;
+    backups_unprotected = !unprotected;
+    unprotected_ids =
+      List.rev !fallback_unprotected @ List.rev !step4_unprotected;
+    retransmits = !resent;
+    messages_dropped = !dropped;
   }

@@ -58,6 +58,11 @@ val outcome_is_recovered : outcome -> bool
 
 type report = {
   edge : int;
+      (** the failed edge ([fail_group_drtp]: the group's first member
+          edge, or -1 for an empty group) *)
+  failed_edges : int list;
+      (** every edge this event took down — [[edge]] for the single-edge
+          entry points, the group's member list for {!fail_group_drtp} *)
   outcomes : (int * outcome) list;  (** per affected connection id *)
   backups_rerouted : int;
       (** unaffected connections whose backup crossed the failed edge and
@@ -105,6 +110,31 @@ val fail_edge_drtp :
     backup, and past the last backup to the reactive fallback.  With no
     plan — or a {!Dr_faults.Faults.zero_spec} plan — behaviour, latencies
     and journal output are bit-identical to the lossless code path. *)
+
+val fail_group_drtp :
+  Net_state.t ->
+  scheme:Routing.scheme ->
+  ?timing:timing ->
+  ?reconfigure:bool ->
+  ?backup_count:int ->
+  ?faults:Dr_faults.Faults.t ->
+  ?retrans:retrans ->
+  group:int ->
+  unit ->
+  report
+(** Fail a whole shared-risk group (correlated failure) under DRTP: every
+    member edge goes down as one event, victims are the connections whose
+    primary crosses {e any} member, and each victim fails over down its
+    backup chain in priority order to the first member that survives the
+    entire group and can get its bandwidth.  A victim whose chain is
+    exhausted (no member survives — e.g. the group partitions the
+    topology — or none can get bandwidth) is reported [Lost], never an
+    exception; journal kinds [group-failed], [chain-failover] and
+    [chain-exhausted] trace the walk.  Reconfiguration (step 4) tops
+    chains back up to [backup_count] members with
+    {!Routing.additional_chain_members}, so replacements avoid the
+    still-failed group's SRLGs.  The group is left failed; restore with
+    {!Net_state.restore_group}. *)
 
 val fail_edge_reactive :
   Net_state.t -> ?timing:timing -> edge:int -> unit -> report

@@ -1,6 +1,7 @@
 module Graph = Dr_topo.Graph
 module Path = Dr_topo.Path
 module Shortest_path = Dr_topo.Shortest_path
+module Srlg = Dr_resilience.Srlg
 module Tm = Dr_telemetry.Telemetry
 module J = Dr_obs.Journal
 
@@ -67,22 +68,62 @@ let backup_link_verdict_general scheme state ~primary ~earlier_backups ~bw =
   let primary_edges = Path.edge_set primary in
   let primary_edge_list = Path.Link_set.elements primary_edges in
   let primary_links = Path.lset primary in
-  let earlier_links =
-    List.fold_left
-      (fun acc b -> Path.Link_set.union acc (Path.lset b))
-      Path.Link_set.empty earlier_backups
+  (* Directed-link share counts over the earlier backups: a link two
+     earlier members both use must host the new backup on top of BOTH
+     reservations, so multiplicity matters (admission counts occurrences
+     the same way). *)
+  let earlier_share_count =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun b ->
+        List.iter
+          (fun l ->
+            Hashtbl.replace tbl l
+              (1 + Option.value (Hashtbl.find_opt tbl l) ~default:0))
+          (Path.links b))
+      earlier_backups;
+    tbl
   in
   let earlier_edges =
     List.fold_left
       (fun acc b -> Path.Link_set.union acc (Path.edge_set b))
       Path.Link_set.empty earlier_backups
   in
+  (* Failure domains are SRLG groups: a link shares the primary's (or an
+     earlier backup's) fate when its edge belongs to any group one of
+     their edges belongs to.  With the singleton model this degenerates
+     to plain edge membership, bit-identically — that branch is the
+     pre-SRLG code verbatim. *)
+  let srlg = Net_state.srlg state in
+  let shares_primary, shares_earlier =
+    if Srlg.is_singleton srlg then
+      ( (fun e -> Path.Link_set.mem e primary_edges),
+        fun e -> Path.Link_set.mem e earlier_edges )
+    else
+      let group_set edges =
+        Path.Link_set.fold
+          (fun e acc ->
+            Array.fold_left
+              (fun acc g -> Path.Link_set.add g acc)
+              acc
+              (Srlg.groups_of_edge_arr srlg e))
+          edges Path.Link_set.empty
+      in
+      let primary_groups = group_set primary_edges
+      and earlier_groups = group_set earlier_edges in
+      let shares groups e =
+        Array.exists
+          (fun g -> Path.Link_set.mem g groups)
+          (Srlg.groups_of_edge_arr srlg e)
+      in
+      (shares primary_groups, shares earlier_groups)
+  in
   fun l ->
     (* A backup sharing a directed link with routes of its own connection
        must fit on top of their reservations there. *)
     let own_shares =
       (if Path.Link_set.mem l primary_links then 1 else 0)
-      + if Path.Link_set.mem l earlier_links then 1 else 0
+      + Option.value (Hashtbl.find_opt earlier_share_count l) ~default:0
     in
     let required = bw * (1 + own_shares) in
     if not (link_alive state l) then Dead
@@ -98,8 +139,8 @@ let backup_link_verdict_general scheme state ~primary ~earlier_backups ~bw =
            edges: a second backup matters exactly when the first cannot
            activate. *)
         let e = Graph.edge_of_link l in
-        (if Path.Link_set.mem e primary_edges then q_constant else 0.0)
-        +. if Path.Link_set.mem e earlier_edges then q_constant else 0.0
+        (if shares_primary e then q_constant else 0.0)
+        +. if shares_earlier e then q_constant else 0.0
       in
       match scheme with
       | Spf -> Cost { q; conflict = 1.0; eps = 0.0 }
@@ -157,8 +198,12 @@ module Ws = struct
   type t = {
     mutable prim_link : int array; (* per link: epoch when on the primary *)
     mutable earl_link : int array; (* per link: epoch when on an earlier backup *)
+    mutable earl_n : int array; (* per link: earlier backups using it (valid
+                                   when earl_link carries the epoch) *)
     mutable prim_edge : int array; (* per edge: epoch when under the primary *)
     mutable earl_edge : int array; (* per edge: epoch when under an earlier backup *)
+    mutable prim_group : int array; (* per SRLG: epoch when under the primary *)
+    mutable earl_group : int array; (* per SRLG: epoch when under an earlier backup *)
     mutable pedges : int array; (* the primary's edge LSET, staged *)
     mutable pedge_n : int;
     mutable epoch : int;
@@ -168,8 +213,11 @@ module Ws = struct
     {
       prim_link = [||];
       earl_link = [||];
+      earl_n = [||];
       prim_edge = [||];
       earl_edge = [||];
+      prim_group = [||];
+      earl_group = [||];
       pedges = [||];
       pedge_n = 0;
       epoch = 0;
@@ -177,16 +225,21 @@ module Ws = struct
 
   let key = Domain.DLS.new_key create
 
-  let get ~links ~edges =
+  let get ?(groups = 0) ~links ~edges () =
     let ws = Domain.DLS.get key in
     if Array.length ws.prim_link < links then begin
       ws.prim_link <- Array.make links 0;
-      ws.earl_link <- Array.make links 0
+      ws.earl_link <- Array.make links 0;
+      ws.earl_n <- Array.make links 0
     end;
     if Array.length ws.prim_edge < edges then begin
       ws.prim_edge <- Array.make edges 0;
       ws.earl_edge <- Array.make edges 0;
       ws.pedges <- Array.make edges 0
+    end;
+    if Array.length ws.prim_group < groups then begin
+      ws.prim_group <- Array.make groups 0;
+      ws.earl_group <- Array.make groups 0
     end;
     ws.epoch <- ws.epoch + 1;
     ws
@@ -200,14 +253,21 @@ end
 let fast_backup_link_cost scheme state ~primary ~earlier_backups ~bw =
   let graph = Net_state.graph state in
   let resources = Net_state.resources state in
+  let srlg = Net_state.srlg state in
+  let singleton = Srlg.is_singleton srlg in
   let ws =
-    Ws.get ~links:(Graph.link_count graph) ~edges:(Graph.edge_count graph)
+    Ws.get
+      ~groups:(if singleton then 0 else Srlg.group_count srlg)
+      ~links:(Graph.link_count graph) ~edges:(Graph.edge_count graph) ()
   in
   let ep = ws.Ws.epoch in
   let prim_link = ws.Ws.prim_link
   and earl_link = ws.Ws.earl_link
+  and earl_n = ws.Ws.earl_n
   and prim_edge = ws.Ws.prim_edge
   and earl_edge = ws.Ws.earl_edge
+  and prim_group = ws.Ws.prim_group
+  and earl_group = ws.Ws.earl_group
   and pedges = ws.Ws.pedges in
   List.iter (fun l -> prim_link.(l) <- ep) (Path.links primary);
   let n = ref 0 in
@@ -215,19 +275,37 @@ let fast_backup_link_cost scheme state ~primary ~earlier_backups ~bw =
     (fun e ->
       pedges.(!n) <- e;
       incr n;
-      prim_edge.(e) <- ep)
+      prim_edge.(e) <- ep;
+      if not singleton then
+        Array.iter
+          (fun g -> prim_group.(g) <- ep)
+          (Srlg.groups_of_edge_arr srlg e))
     (Path.edge_set primary);
   ws.Ws.pedge_n <- !n;
   List.iter
     (fun b ->
-      List.iter (fun l -> earl_link.(l) <- ep) (Path.links b);
-      Path.Link_set.iter (fun e -> earl_edge.(e) <- ep) (Path.edge_set b))
+      List.iter
+        (fun l ->
+          if earl_link.(l) = ep then earl_n.(l) <- earl_n.(l) + 1
+          else begin
+            earl_link.(l) <- ep;
+            earl_n.(l) <- 1
+          end)
+        (Path.links b);
+      Path.Link_set.iter
+        (fun e ->
+          earl_edge.(e) <- ep;
+          if not singleton then
+            Array.iter
+              (fun g -> earl_group.(g) <- ep)
+              (Srlg.groups_of_edge_arr srlg e))
+        (Path.edge_set b))
     earlier_backups;
   let pedge_n = ws.Ws.pedge_n in
   fun l ->
     let own_shares =
       (if prim_link.(l) = ep then 1 else 0)
-      + if earl_link.(l) = ep then 1 else 0
+      + if earl_link.(l) = ep then earl_n.(l) else 0
     in
     let required = bw * (1 + own_shares) in
     if not (link_alive state l) then begin
@@ -241,8 +319,21 @@ let fast_backup_link_cost scheme state ~primary ~earlier_backups ~bw =
     else
       let e = Graph.edge_of_link l in
       let q =
-        (if prim_edge.(e) = ep then q_constant else 0.0)
-        +. if earl_edge.(e) = ep then q_constant else 0.0
+        if singleton then
+          (if prim_edge.(e) = ep then q_constant else 0.0)
+          +. if earl_edge.(e) = ep then q_constant else 0.0
+        else
+          (* SRLG generalisation: the link shares a failure domain when any
+             group owning its edge is stamped.  Kept as a separate branch
+             so the singleton hot path above stays the pre-SRLG code
+             verbatim (and bit-identical). *)
+          let owners = Srlg.groups_of_edge_arr srlg e in
+          (if Array.exists (fun g -> prim_group.(g) = ep) owners then
+             q_constant
+           else 0.0)
+          +.
+          if Array.exists (fun g -> earl_group.(g) = ep) owners then q_constant
+          else 0.0
       in
       match scheme with
       | Spf -> q +. 1.0 +. 0.0
@@ -341,6 +432,159 @@ let find_backups ?max_hops scheme state ~primary ~bw ~count =
 let additional_backups ?max_hops scheme state ~primary ~bw ~existing ~count =
   collect_backups ?max_hops scheme state ~primary ~bw ~count ~existing
 
+(* ---- k-resilient backup chains ------------------------------------------- *)
+
+type chain_member = { cm_path : Path.t; cm_rank : int; cm_disjoint : bool }
+
+(* Post-hoc disjointness flags for a singleton-model chain: member i is
+   disjoint when it shares no failure group with the primary, the existing
+   backups, or any earlier member.  (With singleton groups that's plain
+   edge-disjointness.) *)
+let chain_disjoint_flags srlg ~primary ~existing paths =
+  let seen = ref Path.Link_set.empty in
+  let add p =
+    Path.Link_set.iter
+      (fun e ->
+        Array.iter
+          (fun g -> seen := Path.Link_set.add g !seen)
+          (Srlg.groups_of_edge_arr srlg e))
+      (Path.edge_set p)
+  in
+  add primary;
+  List.iter add existing;
+  List.map
+    (fun p ->
+      let disjoint =
+        Path.Link_set.for_all
+          (fun e ->
+            Array.for_all
+              (fun g -> not (Path.Link_set.mem g !seen))
+              (Srlg.groups_of_edge_arr srlg e))
+          (Path.edge_set p)
+      in
+      add p;
+      (p, disjoint))
+    paths
+
+let collect_chain ?max_hops scheme state ~primary ~bw ~count ~existing =
+  let srlg = Net_state.srlg state in
+  let base_rank = List.length existing in
+  if Srlg.is_singleton srlg then
+    (* Bit-identity by construction: with singleton groups the chain is
+       exactly the multi-backup selection the soft Q-penalised search
+       produces (the k=1 golden-fixture gate depends on this), with
+       disjointness recovered post hoc. *)
+    collect_backups ?max_hops scheme state ~primary ~bw ~count ~existing
+    |> chain_disjoint_flags srlg ~primary ~existing
+    |> List.mapi (fun i (p, disjoint) ->
+           { cm_path = p; cm_rank = base_rank + i; cm_disjoint = disjoint })
+  else begin
+    let graph = Net_state.graph state in
+    let src = Path.src primary and dst = Path.dst primary in
+    let banned = Array.make (Srlg.group_count srlg) false in
+    let ban p =
+      Path.Link_set.iter
+        (fun e ->
+          Array.iter
+            (fun g -> banned.(g) <- true)
+            (Srlg.groups_of_edge_arr srlg e))
+        (Path.edge_set p)
+    in
+    ban primary;
+    List.iter ban existing;
+    (* Strict pass: links whose edge lies in any banned group are pruned
+       outright, so a hit is fully SRLG-disjoint from the primary and
+       from every earlier chain member. *)
+    let find_strict earlier =
+      Tm.Timer.time t_find_backup (fun () ->
+          let base =
+            fast_backup_link_cost scheme state ~primary
+              ~earlier_backups:earlier ~bw
+          in
+          let cost l =
+            if
+              Array.exists
+                (fun g -> banned.(g))
+                (Srlg.groups_of_edge_arr srlg (Graph.edge_of_link l))
+            then infinity
+            else base l
+          in
+          match max_hops with
+          | None -> (
+              match Shortest_path.dijkstra_path graph ~cost ~src ~dst with
+              | None -> None
+              | Some (_, p) -> Some p)
+          | Some h -> (
+              match
+                Dr_topo.Constrained_path.cheapest_within_hops graph ~cost ~src
+                  ~dst ~max_hops:h
+              with
+              | None -> None
+              | Some (_, p) -> Some p))
+    in
+    let rec collect earlier fresh rank k =
+      if k = 0 then List.rev fresh
+      else
+        match find_strict earlier with
+        | Some p ->
+            (* A strict hit can never duplicate the primary or an earlier
+               member — their edges' groups are banned. *)
+            if !J.on then
+              journal_backup_chosen scheme state ~primary
+                ~earlier_backups:earlier ~bw p;
+            ban p;
+            collect (p :: earlier)
+              ({ cm_path = p; cm_rank = rank; cm_disjoint = true } :: fresh)
+              (rank + 1) (k - 1)
+        | None -> (
+            (* Graceful fallback when disjointness is infeasible: the soft
+               Q-penalised search (the paper requires *minimal*, not zero,
+               overlap).  Any fully disjoint route would have survived the
+               strict pass, so a fallback member is genuinely
+               non-disjoint. *)
+            match
+              find_backup_general ?max_hops scheme state ~primary
+                ~earlier_backups:earlier ~bw
+            with
+            | None -> List.rev fresh
+            | Some p ->
+                if
+                  Path.links p = Path.links primary
+                  || List.exists (fun b -> Path.links b = Path.links p) earlier
+                then List.rev fresh
+                else begin
+                  ban p;
+                  collect (p :: earlier)
+                    ({ cm_path = p; cm_rank = rank; cm_disjoint = false }
+                    :: fresh)
+                    (rank + 1) (k - 1)
+                end)
+    in
+    collect (List.rev existing) [] base_rank count
+  end
+
+let find_backup_chain ?max_hops scheme state ~primary ~bw ~k =
+  let chain =
+    collect_chain ?max_hops scheme state ~primary ~bw ~count:k ~existing:[]
+  in
+  (match chain with
+  | _ :: _ when !J.on ->
+      J.record
+        (J.Chain_built
+           {
+             src = Path.src primary;
+             dst = Path.dst primary;
+             members = List.length chain;
+             disjoint =
+               List.length (List.filter (fun m -> m.cm_disjoint) chain);
+           })
+  | _ -> ());
+  chain
+
+let additional_chain_members ?max_hops scheme state ~primary ~bw ~existing
+    ~count =
+  collect_chain ?max_hops scheme state ~primary ~bw ~count ~existing
+
 type reject_reason = No_primary | No_backup
 
 let reject_reason_name = function
@@ -383,6 +627,26 @@ let link_state_route_fn ?(backup_count = 1) ?backup_hop_slack scheme ~with_backu
               with
               | [] -> Error No_backup
               | backups -> Ok { primary; backups }))
+  in
+  count_route_result result;
+  result
+
+let chain_route_fn ?(k = 1) ?backup_hop_slack scheme : route_fn =
+ fun state ~src ~dst ~bw ->
+  let result =
+    Tm.Timer.time (route_timer scheme) (fun () ->
+        match find_primary state ~src ~dst ~bw with
+        | None -> Error No_primary
+        | Some primary -> (
+            let max_hops =
+              Option.map
+                (fun slack -> Path.hops primary + slack)
+                backup_hop_slack
+            in
+            match find_backup_chain ?max_hops scheme state ~primary ~bw ~k with
+            | [] -> Error No_backup
+            | chain ->
+                Ok { primary; backups = List.map (fun m -> m.cm_path) chain }))
   in
   count_route_result result;
   result

@@ -139,6 +139,54 @@ val additional_backups :
     recovery reconfiguration step to top a connection back up to its
     target protection level. *)
 
+(** {1 k-resilient backup chains (SRLG-aware)}
+
+    A {e chain} is an ordered list of up to [k] backups selected to
+    survive correlated (shared-risk-group) failures: each member is
+    first sought with every link of a banned SRLG — any group touched by
+    the primary or an earlier member — pruned outright, and only when no
+    such fully-disjoint route exists does the search fall back to the
+    soft Q-penalised selection of {!find_backups} ([cm_disjoint = false]
+    marks these graceful fallbacks).  With the singleton SRLG model the
+    chain {e is} {!find_backups}'s selection, path for path (the
+    k=1/singleton equivalence the golden-fixture CI gate checks), with
+    disjointness recovered as plain edge-disjointness. *)
+
+type chain_member = {
+  cm_path : Dr_topo.Path.t;
+  cm_rank : int;  (** 0-based priority (failover order) *)
+  cm_disjoint : bool;
+      (** fully SRLG-disjoint from the primary and all earlier members *)
+}
+
+val find_backup_chain :
+  ?max_hops:int ->
+  scheme ->
+  Net_state.t ->
+  primary:Dr_topo.Path.t ->
+  bw:int ->
+  k:int ->
+  chain_member list
+(** Up to [k] chain members in failover order; journals one
+    [chain-built] event (and a [backup-chosen] decomposition per member)
+    when the journal is on.  May return fewer than [k] members — or none
+    — when no further feasible route exists. *)
+
+val additional_chain_members :
+  ?max_hops:int ->
+  scheme ->
+  Net_state.t ->
+  primary:Dr_topo.Path.t ->
+  bw:int ->
+  existing:Dr_topo.Path.t list ->
+  count:int ->
+  chain_member list
+(** Extend an existing chain: up to [count] new members, each avoiding
+    the SRLGs of the primary, the existing members and the previously
+    returned routes ([cm_rank] continues from [List.length existing]).
+    The recovery reconfiguration step uses this to top an exhausted
+    chain back up. *)
+
 type reject_reason = No_primary | No_backup
 
 val reject_reason_name : reject_reason -> string
@@ -164,3 +212,9 @@ val link_state_route_fn :
     omitted = unbounded.  [with_backup:false] gives the no-backup
     baseline used to measure capacity overhead (it never returns
     [No_backup]). *)
+
+val chain_route_fn : ?k:int -> ?backup_hop_slack:int -> scheme -> route_fn
+(** {!find_backup_chain} as a {!route_fn}: primary first, then a
+    k-resilient chain (default [k = 1]) as the backup list in failover
+    order.  With the singleton SRLG model this is path-for-path identical
+    to [link_state_route_fn ~backup_count:k scheme ~with_backup:true]. *)

@@ -136,10 +136,19 @@ let backup_link_verdict_general scheme state ~primary ~earlier_backups ~bw =
   let primary_edges = Path.edge_set primary in
   let primary_edge_list = Path.Link_set.elements primary_edges in
   let primary_links = Path.lset primary in
-  let earlier_links =
-    List.fold_left
-      (fun acc b -> Path.Link_set.union acc (Path.lset b))
-      Path.Link_set.empty earlier_backups
+  (* Exact per-link share counts over the earlier backups (multiplicity
+     matters: admission requires fitting on top of every reservation). *)
+  let earlier_share_count =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun b ->
+        List.iter
+          (fun l ->
+            Hashtbl.replace tbl l
+              (1 + Option.value (Hashtbl.find_opt tbl l) ~default:0))
+          (Path.links b))
+      earlier_backups;
+    tbl
   in
   let earlier_edges =
     List.fold_left
@@ -149,7 +158,7 @@ let backup_link_verdict_general scheme state ~primary ~earlier_backups ~bw =
   fun l ->
     let own_shares =
       (if Path.Link_set.mem l primary_links then 1 else 0)
-      + if Path.Link_set.mem l earlier_links then 1 else 0
+      + Option.value (Hashtbl.find_opt earlier_share_count l) ~default:0
     in
     let required = bw * (1 + own_shares) in
     if not (link_alive state l) then Dead

@@ -1,0 +1,77 @@
+(** k-resilient chains under correlated (SRLG) failures.
+
+    The paper's dependability story assumes independent single-link
+    failures; this sweep measures what happens when that assumption breaks.
+    Each cell replays the standard workload over a seeded random SRLG
+    partition ({!Dr_resilience.Srlg.random_partition}) while a seeded
+    correlated-failure schedule fails whole groups at a time
+    ({!Dr_resilience.Srlg.group_schedule}), and connections carry
+    [k]-resilient backup chains ({!Drtp.Routing.chain_route_fn}).
+
+    The headline comparison: with [mean_size = 1] (singleton SRLGs, the
+    paper's world) k = 1 already covers single failures, while with larger
+    groups the k = 1 success ratio degrades and k >= 2 chains with
+    SRLG-disjoint members win the coverage back — at an acceptance-ratio
+    cost the table also shows. *)
+
+type row = {
+  k : int;  (** backup-chain depth *)
+  mean_size : int;  (** SRLG density knob; 1 = singleton model *)
+  groups : int;  (** group count of the cell's SRLG model *)
+  acceptance : float;  (** admission acceptance ratio *)
+  bursts : int;  (** correlated failure events replayed *)
+  affected : int;  (** primaries hit by a burst *)
+  recovered : int;  (** failovers that landed on a surviving member *)
+  lost : int;  (** chain exhausted, connection dropped *)
+  success_ratio : float;  (** recovered / affected; 1.0 if none affected *)
+  latency_mean_ms : float;  (** mean failover latency *)
+  srlg_coverage : float;
+      (** static {!Drtp.Failure_eval.evaluate_srlg} fault tolerance of the
+          end-of-run state (all groups repaired) *)
+}
+
+val default_ks : int list
+(** [[1; 2; 3]] — the chain depths the standard sweep compares. *)
+
+val default_sizes : int list
+(** [[1; 4]] — singleton control plus one correlated density. *)
+
+val run_cell :
+  Config.t ->
+  avg_degree:float ->
+  traffic:Config.traffic ->
+  lambda:float ->
+  scheme:Drtp.Routing.scheme ->
+  k:int ->
+  mean_size:int ->
+  mtbf:float ->
+  mttr:float ->
+  ?baseline:bool ->
+  seed:int ->
+  unit ->
+  row
+(** One (k, srlg-density) cell.  [baseline] routes with
+    [Routing.link_state_route_fn ~backup_count:k] (SRLG-blind backup
+    sets) instead of [Routing.chain_route_fn] — the control arm showing
+    what SRLG-aware chain construction buys.  Deterministic in [seed]. *)
+
+val run :
+  ?pool:Dr_parallel.Pool.t ->
+  Config.t ->
+  avg_degree:float ->
+  traffic:Config.traffic ->
+  lambda:float ->
+  scheme:Drtp.Routing.scheme ->
+  ?ks:int list ->
+  ?mean_sizes:int list ->
+  ?mtbf:float ->
+  ?mttr:float ->
+  ?baseline:bool ->
+  ?seed:int ->
+  unit ->
+  row list
+(** The k × density sweep (defaults k ∈ {1,2,3}, sizes ∈ {1,4}).  Cell
+    seeds are [seed + 1000·i]; journal entries are merged in task-index
+    order, so output is byte-identical for any [--jobs] count. *)
+
+val pp : Format.formatter -> row list -> unit

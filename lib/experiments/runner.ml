@@ -79,12 +79,15 @@ let spare_policy_of = function
   | Lsr _ | Lsr_k _ | Lsr_bounded _ | Bf _ | Bf_no_backup _ | No_backup ->
       Net_state.Multiplexed
 
-let load_state (cfg : Config.t) ~graph ~scenario ~scheme ~until =
+let load_state ?srlg (cfg : Config.t) ~graph ~scenario ~scheme ~until =
   let flood_stats = Bounded_flood.fresh_stats () in
+  let capacity = cfg.Config.capacity in
+  let spare_policy = spare_policy_of scheme in
+  let route = route_fn_of cfg scheme graph flood_stats in
   let manager =
-    Manager.create ~graph ~capacity:cfg.Config.capacity
-      ~spare_policy:(spare_policy_of scheme)
-      ~route:(route_fn_of cfg scheme graph flood_stats)
+    match srlg with
+    | None -> Manager.create ~graph ~capacity ~spare_policy ~route
+    | Some srlg -> Manager.create_srlg ~srlg ~graph ~capacity ~spare_policy ~route
   in
   Scenario.iter scenario (fun item ->
       if item.Scenario.time <= until then Manager.apply manager item);

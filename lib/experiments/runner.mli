@@ -84,6 +84,7 @@ val run_many :
     invoked from the calling domain in task order. *)
 
 val load_state :
+  ?srlg:Dr_resilience.Srlg.t ->
   Config.t ->
   graph:Dr_topo.Graph.t ->
   scenario:Dr_sim.Scenario.t ->
@@ -92,4 +93,5 @@ val load_state :
   Drtp.Net_state.t
 (** Replay events up to time [until] and hand back the loaded network
     state — for analyses the measurement loop does not perform (e.g. the
-    double-failure Monte-Carlo). *)
+    double-failure Monte-Carlo).  [srlg] installs a shared-risk model on
+    the state ({!Drtp.Net_state.create_srlg}); omitted = singletons. *)

@@ -55,6 +55,10 @@ type event =
   | Retransmit of { cls : string; conn : int; attempt : int }
   | Flood_truncated of { src : int; dst : int; messages : int }
   | Reprotect_queued of { conn : int; pending : int }
+  | Group_failed of { group : int; edges : int; victims : int }
+  | Chain_built of { src : int; dst : int; members : int; disjoint : int }
+  | Chain_failover of { conn : int; depth : int; remaining : int }
+  | Chain_exhausted of { conn : int }
 
 let kind_name = function
   | Request _ -> "request"
@@ -79,6 +83,10 @@ let kind_name = function
   | Retransmit _ -> "retransmit"
   | Flood_truncated _ -> "flood-truncated"
   | Reprotect_queued _ -> "reprotect-queued"
+  | Group_failed _ -> "group-failed"
+  | Chain_built _ -> "chain-built"
+  | Chain_failover _ -> "chain-failover"
+  | Chain_exhausted _ -> "chain-exhausted"
 
 let all_kinds =
   [
@@ -87,6 +95,7 @@ let all_kinds =
     "failure-detected"; "report-hop"; "backup-activated"; "backup-contended";
     "connection-lost"; "rerouted"; "reprotected"; "teardown";
     "message-dropped"; "retransmit"; "flood-truncated"; "reprotect-queued";
+    "group-failed"; "chain-built"; "chain-failover"; "chain-exhausted";
   ]
 
 type entry = { seq : int; time : float; event : event }
@@ -329,6 +338,20 @@ let add_event_fields b first = function
   | Reprotect_queued { conn; pending } ->
       int_field b first "conn" conn;
       int_field b first "pending" pending
+  | Group_failed { group; edges; victims } ->
+      int_field b first "group" group;
+      int_field b first "edges" edges;
+      int_field b first "victims" victims
+  | Chain_built { src; dst; members; disjoint } ->
+      int_field b first "src" src;
+      int_field b first "dst" dst;
+      int_field b first "members" members;
+      int_field b first "disjoint" disjoint
+  | Chain_failover { conn; depth; remaining } ->
+      int_field b first "conn" conn;
+      int_field b first "depth" depth;
+      int_field b first "remaining" remaining
+  | Chain_exhausted { conn } -> int_field b first "conn" conn
 
 let entry_to_json e =
   let b = Buffer.create 128 in

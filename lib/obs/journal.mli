@@ -112,6 +112,22 @@ type event =
   | Reprotect_queued of { conn : int; pending : int }
       (** step 4 left the connection with no backup; it joined the
           manager's reprotection queue ([pending] entries now queued) *)
+  | Group_failed of { group : int; edges : int; victims : int }
+      (** an SRLG group failed as one correlated event, taking [edges]
+          member edges down; [victims] is the group's
+          protected-connection exposure (primaries crossing it) *)
+  | Chain_built of { src : int; dst : int; members : int; disjoint : int }
+      (** a k-resilient backup chain was selected; [disjoint] of its
+          [members] are fully SRLG-disjoint from the primary and from the
+          chain's earlier members (the rest are graceful fallbacks) *)
+  | Chain_failover of { conn : int; depth : int; remaining : int }
+      (** a group failure activated chain member [depth] (0-based
+          priority), leaving [remaining] registered members — the
+          connection's residual resilience *)
+  | Chain_exhausted of { conn : int }
+      (** no chain member survived the correlated failure (or none could
+          get bandwidth); the connection is lost or queued for
+          reprotection *)
 
 val kind_name : event -> string
 (** Stable kebab-case kind tag, e.g. ["backup-chosen"]. *)

@@ -70,10 +70,20 @@ let backup_cost t state ~scheme ~primary ~earlier ~bw =
   let primary_edges = Path.edge_set primary in
   let primary_edge_list = Path.Link_set.elements primary_edges in
   let primary_links = Path.lset primary in
-  let earlier_links =
-    List.fold_left
-      (fun acc b -> Path.Link_set.union acc (Path.lset b))
-      Path.Link_set.empty earlier
+  (* Exact per-link share counts over the earlier backups, mirroring
+     {!Drtp.Routing}: multiplicity matters when two earlier members share
+     a link. *)
+  let earlier_share_count =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun b ->
+        List.iter
+          (fun l ->
+            Hashtbl.replace tbl l
+              (1 + Option.value (Hashtbl.find_opt tbl l) ~default:0))
+          (Path.links b))
+      earlier;
+    tbl
   in
   let earlier_edges =
     List.fold_left
@@ -83,7 +93,7 @@ let backup_cost t state ~scheme ~primary ~earlier ~bw =
   fun l ->
     let own_shares =
       (if Path.Link_set.mem l primary_links then 1 else 0)
-      + if Path.Link_set.mem l earlier_links then 1 else 0
+      + Option.value (Hashtbl.find_opt earlier_share_count l) ~default:0
     in
     let required = bw * (1 + own_shares) in
     if not (link_alive state l) then infinity

@@ -1,5 +1,10 @@
 let cheapest_within_hops g ~cost ~src ~dst ~max_hops =
   if max_hops < 1 then invalid_arg "Constrained_path: max_hops must be >= 1";
+  if src = dst then None
+    (* The zero-hop walk is not representable as a Path (and is useless as
+       a route); without this guard the layered rebuild below would hand
+       [Path.of_links g []] an empty link list and raise. *)
+  else
   let n = Graph.node_count g in
   (* prev.(h).(v) = incoming link of the cheapest <=h-hop path to v. *)
   let dist = Array.make_matrix (max_hops + 1) n infinity in

@@ -15,7 +15,8 @@ val cheapest_within_hops :
   max_hops:int ->
   (float * Path.t) option
 (** Cheapest [src]→[dst] path using at most [max_hops] links; [None] when
-    no such path exists.  Link costs must be non-negative ([infinity]
+    no such path exists (including [src = dst] — the zero-hop walk is not
+    a route).  Link costs must be non-negative ([infinity]
     excludes a link); raises [Invalid_argument] on negative costs or
     [max_hops < 1].  The returned path can contain repeated nodes only if
     that is genuinely cheaper within the budget (with non-negative costs a

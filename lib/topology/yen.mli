@@ -7,6 +7,19 @@
     enough k), and powers the disjoint-path diagnostics in
     {!Topo_metrics}. *)
 
+type iterator
+(** Lazy path enumerator: deviation candidates of the latest accepted
+    path are generated only when the next path is demanded, so pulling
+    [n] paths does exactly the work [k_shortest ~k:n] would. *)
+
+val iterator : Graph.t -> cost:(int -> float) -> src:int -> dst:int -> iterator
+
+val next : iterator -> (float * Path.t) option
+(** The next cheapest loopless path, or [None] once the path set is
+    exhausted (then forever).  The emitted sequence is simple (loopless),
+    duplicate-free and non-decreasing in cost — and identical to
+    {!k_shortest}'s list, element for element. *)
+
 val k_shortest :
   Graph.t ->
   cost:(int -> float) ->
@@ -14,5 +27,6 @@ val k_shortest :
   dst:int ->
   k:int ->
   (float * Path.t) list
-(** Up to [k] cheapest loopless paths in non-decreasing cost order.
-    A link with cost [infinity] is unusable.  Deterministic. *)
+(** Up to [k] cheapest loopless paths in non-decreasing cost order —
+    {!iterator} pulled [k] times.  A link with cost [infinity] is
+    unusable.  Deterministic. *)

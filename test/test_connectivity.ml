@@ -48,6 +48,24 @@ let test_pendant_edge () =
   Alcotest.(check (list int)) "pendant edge is a bridge" [ 4 ] (C.bridges g);
   Alcotest.(check (list int)) "its attachment articulates" [ 2 ] (C.articulation_points g)
 
+let test_single_node () =
+  let g = Graph.create ~node_count:1 ~edges:[] in
+  Alcotest.(check (list int)) "no bridges" [] (C.bridges g);
+  Alcotest.(check (list int)) "no articulation points" [] (C.articulation_points g);
+  Alcotest.(check bool) "trivially 2-edge-connected" true (C.is_two_edge_connected g)
+
+let test_disconnected_with_bridges () =
+  (* A bridge inside one component must still be found when the graph has
+     several components. *)
+  let g =
+    Graph.create ~node_count:7
+      ~edges:[ (0, 1); (1, 2); (2, 0); (2, 3); (4, 5); (5, 6); (6, 4) ]
+  in
+  Alcotest.(check (list int)) "pendant bridge in first component" [ 3 ] (C.bridges g);
+  Alcotest.(check (list int)) "its attachment articulates" [ 2 ]
+    (C.articulation_points g);
+  Alcotest.(check bool) "disconnected" false (C.is_two_edge_connected g)
+
 let test_bridges_match_flow () =
   (* Cross-check: an edge is a bridge iff some pair it separates has
      edge-disjoint-path count 1.  Sample a small random graph. *)
@@ -74,6 +92,9 @@ let suite =
         Alcotest.test_case "disconnected graph" `Quick test_disconnected_not_2ec;
         Alcotest.test_case "mesh bridge-free" `Quick test_mesh_no_bridges;
         Alcotest.test_case "pendant edge" `Quick test_pendant_edge;
+        Alcotest.test_case "single-node graph" `Quick test_single_node;
+        Alcotest.test_case "disconnected with bridges" `Quick
+          test_disconnected_with_bridges;
         Alcotest.test_case "bridges agree with max-flow" `Quick test_bridges_match_flow;
       ] );
   ]

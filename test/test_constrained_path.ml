@@ -71,6 +71,15 @@ let test_validation () =
        false
      with Invalid_argument _ -> true)
 
+let test_degenerate_queries () =
+  (* src = dst is a non-query, answered None rather than raised; a
+     disconnected destination is None at any budget. *)
+  let g = Graph.create ~node_count:4 ~edges:[ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "src = dst" true
+    (CP.cheapest_within_hops g ~cost:unit_cost ~src:2 ~dst:2 ~max_hops:3 = None);
+  Alcotest.(check bool) "disconnected dst" true
+    (CP.cheapest_within_hops g ~cost:unit_cost ~src:0 ~dst:3 ~max_hops:10 = None)
+
 let test_random_agreement_with_yen () =
   (* Oracle: the cheapest bounded path equals the cheapest of Yen's k
      shortest that fits the budget (for k large enough on small graphs). *)
@@ -166,6 +175,7 @@ let suite =
         Alcotest.test_case "budget/cost trade-off" `Quick test_respects_budget_and_cost_tradeoff;
         Alcotest.test_case "infinite cost excluded" `Quick test_infinite_cost_excluded;
         Alcotest.test_case "validation" `Quick test_validation;
+        Alcotest.test_case "degenerate queries" `Quick test_degenerate_queries;
         Alcotest.test_case "agrees with yen oracle" `Quick test_random_agreement_with_yen;
         Alcotest.test_case "reachability" `Quick test_reachable_within_hops;
         Alcotest.test_case "bounded backup routing" `Quick test_bounded_backup_routing;

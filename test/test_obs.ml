@@ -117,6 +117,10 @@ let one_of_each =
     J.Retransmit { cls = "activation"; conn = 1; attempt = 2 };
     J.Flood_truncated { src = 2; dst = 3; messages = 20000 };
     J.Reprotect_queued { conn = 1; pending = 4 };
+    J.Group_failed { group = 2; edges = 3; victims = 5 };
+    J.Chain_built { src = 0; dst = 4; members = 3; disjoint = 2 };
+    J.Chain_failover { conn = 1; depth = 1; remaining = 1 };
+    J.Chain_exhausted { conn = 1 };
   ]
 
 let test_jsonl_round_trip () =

@@ -77,6 +77,87 @@ let test_respects_weights () =
       Alcotest.(check int) "3 hops around" 3 (Path.hops p1)
   | [] -> Alcotest.fail "paths expected"
 
+(* --- lazy iterator ------------------------------------------------------ *)
+
+let pull it n =
+  let rec go acc n =
+    if n = 0 then List.rev acc
+    else
+      match Dr_topo.Yen.next it with
+      | None -> List.rev acc
+      | Some p -> go (p :: acc) (n - 1)
+  in
+  go [] n
+
+let test_iterator_matches_k_shortest () =
+  let g = Dr_topo.Gen.mesh ~rows:3 ~cols:3 in
+  let it = Dr_topo.Yen.iterator g ~cost:unit_cost ~src:0 ~dst:8 in
+  let pulled = pull it 10 in
+  let listed = Dr_topo.Yen.k_shortest g ~cost:unit_cost ~src:0 ~dst:8 ~k:10 in
+  Alcotest.(check int) "same count" (List.length listed) (List.length pulled);
+  List.iter2
+    (fun (c, p) (c', p') ->
+      Alcotest.(check (float 1e-9)) "same cost" c' c;
+      Alcotest.(check bool) "same path" true (Path.links p = Path.links p'))
+    pulled listed
+
+let test_iterator_exhausts_to_none () =
+  (* A ring has exactly two loopless s-t paths; the third pull and every
+     one after it must be None. *)
+  let g = Dr_topo.Gen.ring 6 in
+  let it = Dr_topo.Yen.iterator g ~cost:unit_cost ~src:0 ~dst:3 in
+  Alcotest.(check int) "two paths" 2 (List.length (pull it 5));
+  Alcotest.(check bool) "stays exhausted" true (Dr_topo.Yen.next it = None);
+  Alcotest.(check bool) "forever" true (Dr_topo.Yen.next it = None)
+
+let test_iterator_unreachable () =
+  let g = Graph.create ~node_count:4 ~edges:[ (0, 1); (2, 3) ] in
+  let it = Dr_topo.Yen.iterator g ~cost:unit_cost ~src:0 ~dst:3 in
+  Alcotest.(check bool) "no path at all" true (Dr_topo.Yen.next it = None)
+
+let prop_iterator_lazy_sequence =
+  (* On random weighted graphs the iterator's emitted sequence is simple,
+     duplicate-free, cost-monotone and equal to k_shortest's list. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:50 ~name:"iterator = k_shortest; simple, distinct, monotone"
+       (QCheck.int_range 0 1_000_000)
+       (fun seed ->
+         let rng = Dr_rng.Splitmix64.create seed in
+         let n = 6 + Dr_rng.Splitmix64.int rng 10 in
+         let g =
+           Dr_topo.Gen.erdos_renyi ~rng ~n
+             ~avg_degree:(2.2 +. Dr_rng.Splitmix64.float rng 1.5)
+         in
+         let costs =
+           Array.init (Graph.link_count g) (fun _ ->
+               0.1 +. Dr_rng.Splitmix64.float rng 5.0)
+         in
+         let cost l = costs.(l) in
+         let src = Dr_rng.Splitmix64.int rng n in
+         let dst = (src + 1 + Dr_rng.Splitmix64.int rng (n - 1)) mod n in
+         if src = dst then true
+         else begin
+           let k = 1 + Dr_rng.Splitmix64.int rng 8 in
+           let it = Dr_topo.Yen.iterator g ~cost ~src ~dst in
+           let pulled = pull it k in
+           let listed = Dr_topo.Yen.k_shortest g ~cost ~src ~dst ~k in
+           let same =
+             List.length pulled = List.length listed
+             && List.for_all2
+                  (fun (c, p) (c', p') ->
+                    Float.abs (c -. c') < 1e-9 && Path.links p = Path.links p')
+                  pulled listed
+           in
+           let links = List.map (fun (_, p) -> Path.links p) pulled in
+           let simple = List.for_all (fun (_, p) -> Path.is_simple g p) pulled in
+           let distinct = List.length links = List.length (List.sort_uniq compare links) in
+           let rec monotone = function
+             | (a, _) :: ((b, _) :: _ as rest) -> a <= b +. 1e-9 && monotone rest
+             | _ -> true
+           in
+           same && simple && distinct && monotone pulled
+         end))
+
 let suite =
   [
     ( "topology.yen",
@@ -90,5 +171,11 @@ let suite =
         Alcotest.test_case "k = 0" `Quick test_k_zero;
         Alcotest.test_case "ring has exactly two" `Quick test_ring_two_paths;
         Alcotest.test_case "respects link weights" `Quick test_respects_weights;
+        Alcotest.test_case "iterator matches k_shortest" `Quick
+          test_iterator_matches_k_shortest;
+        Alcotest.test_case "iterator exhausts to None" `Quick
+          test_iterator_exhausts_to_none;
+        Alcotest.test_case "iterator unreachable" `Quick test_iterator_unreachable;
+        prop_iterator_lazy_sequence;
       ] );
   ]
