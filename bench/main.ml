@@ -309,6 +309,26 @@ let test_faults_deliver_zero =
   Test.make ~name:"faults/deliver-zero-guard"
     (Staged.stage (fun () -> ignore (Dr_faults.Faults.deliver plan Dr_faults.Faults.Report)))
 
+(* Sharded control plane: the k-way partitioner (run once per sweep cell)
+   and the per-LSA cost of snapshotting a link's truth and applying it to
+   a remote shard's LSDB — the hot loop of dissemination. *)
+let test_shard_partition =
+  let seed = ref 0 in
+  Test.make ~name:"shard/partition-k8"
+    (Staged.stage (fun () ->
+         seed := !seed + 1;
+         ignore (Dr_shard.Partition.create ~seed:!seed graph3 ~parts:8)))
+
+let test_shard_lsa_apply =
+  let view = Dr_proto.Advertised_view.create state3 in
+  let links = Dr_topo.Graph.link_count graph3 in
+  let l = ref 0 in
+  Test.make ~name:"shard/lsa-snapshot-apply"
+    (Staged.stage (fun () ->
+         l := (!l + 1) mod links;
+         let s = Dr_proto.Advertised_view.snapshot state3 !l in
+         Dr_proto.Advertised_view.set_snapshot view !l s))
+
 let all_tests =
   [
     test_table1;
@@ -341,6 +361,8 @@ let all_tests =
     test_journal_record_on;
     test_faults_deliver_lossy;
     test_faults_deliver_zero;
+    test_shard_partition;
+    test_shard_lsa_apply;
   ]
 
 let run_benchmarks () =

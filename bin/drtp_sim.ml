@@ -981,13 +981,34 @@ let srlg_cmd =
              byte-identical to the chain router — the singleton \
              equivalence CI gate.")
   in
-  let run () jobs degree traffic lambda scheme ks sizes mtbf mttr baseline
-      quick seed =
+  let regional_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "regional" ] ~docv:"RADIUS"
+          ~doc:
+            "Merge a geographic burst schedule into the sweep: each event \
+             fails every alive edge whose midpoint lies within $(docv) of \
+             a random disc center in the unit square.")
+  in
+  let overlay_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "overlay" ] ~docv:"EXTRA"
+          ~doc:
+            "Replace the SRLG partition with singletons plus $(docv) \
+             random overlapping groups of $(b,--sizes) edges each \
+             (edges may belong to several risk groups).")
+  in
+  let run () jobs degree traffic lambda scheme ks sizes mtbf mttr regional
+      overlay baseline quick seed =
     let cfg = config_of ~quick ~seed in
     let rows =
       with_pool jobs (fun pool ->
           Dr_exp.Resilience_exp.run ~pool cfg ~avg_degree:degree ~traffic
-            ~lambda ~scheme ~ks ~mean_sizes:sizes ~mtbf ~mttr ~baseline
+            ~lambda ~scheme ~ks ~mean_sizes:sizes ~mtbf ~mttr ?regional
+            ?overlay ~baseline
             ~seed:((seed * 37) + 11) ())
     in
     Format.printf "%a@." Dr_exp.Resilience_exp.pp rows
@@ -1003,6 +1024,114 @@ let srlg_cmd =
     Term.(
       const run $ telemetry_t $ jobs_t $ degree_t $ traffic_t
       $ lambda_t ~default:0.5 $ scheme_t $ ks_t $ sizes_t $ mtbf_t $ mttr_t
+      $ regional_t $ overlay_t $ baseline_t $ quick_t $ seed_t)
+
+(* ---- shard: sharded control plane, convergence-lag sweep ----------------- *)
+
+let shard_cmd =
+  let scheme_t =
+    let parse s =
+      Result.map_error (fun e -> `Msg e) (Drtp.Routing.scheme_of_string s)
+    in
+    let print ppf s = Format.pp_print_string ppf (Drtp.Routing.scheme_name s) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Drtp.Routing.Dlsr
+      & info [ "scheme" ] ~docv:"SCHEME"
+          ~doc:"Link-state scheme under test: d-lsr, p-lsr or spf.")
+  in
+  let shards_t =
+    Arg.(
+      value
+      & opt (list int) Dr_exp.Shard_exp.default_parts
+      & info [ "shards" ] ~docv:"N,N,..."
+          ~doc:
+            "Shard counts to sweep (comma-separated); 1 is the centralised \
+             anchor configuration.")
+  in
+  let intervals_t =
+    Arg.(
+      value
+      & opt (list float) Dr_exp.Shard_exp.default_intervals
+      & info [ "intervals" ] ~docv:"S,S,..."
+          ~doc:
+            "Triggered-LSA damping intervals to sweep (seconds, \
+             comma-separated); 0 floods every change immediately.")
+  in
+  let losses_t =
+    Arg.(
+      value
+      & opt (list float) Dr_exp.Shard_exp.default_losses
+      & info [ "losses" ] ~docv:"P,P,..."
+          ~doc:"LSA/setup/ACK loss probabilities to sweep (comma-separated).")
+  in
+  let refresh_t =
+    Arg.(
+      value & opt float 30.0
+      & info [ "refresh" ] ~docv:"S"
+          ~doc:
+            "Periodic full re-advertisement period (seconds); 0 disables, \
+             leaving loss repair to triggered traffic.")
+  in
+  let flood_delay_t =
+    Arg.(
+      value & opt float 0.050
+      & info [ "flood-delay" ] ~docv:"S"
+          ~doc:"LSA origination-to-delivery latency (seconds).")
+  in
+  let hop_delay_t =
+    Arg.(
+      value & opt float 0.001
+      & info [ "hop-delay" ] ~docv:"S"
+          ~doc:"Per-hop setup/teardown latency (seconds).")
+  in
+  let retries_t =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Crankback budget per connection after a stale-view rejection.")
+  in
+  let backups_t =
+    Arg.(
+      value & opt int 1
+      & info [ "backups" ] ~docv:"N" ~doc:"Backups per DR-connection.")
+  in
+  let baseline_t =
+    Arg.(
+      value & flag
+      & info [ "baseline" ]
+          ~doc:
+            "Drive the same workload and sampling through the centralised \
+             $(b,Drtp.Manager) instead of the sharded control plane.  A \
+             sweep at $(b,--shards) 1 must be byte-identical to this — \
+             the single-shard equivalence CI gate.")
+  in
+  let run () jobs degree traffic lambda scheme shards intervals losses refresh
+      flood_delay hop_delay retries backups baseline quick seed =
+    let cfg = config_of ~quick ~seed in
+    let rows =
+      with_pool jobs (fun pool ->
+          Dr_exp.Shard_exp.run ~pool cfg ~avg_degree:degree ~traffic ~lambda
+            ~scheme ~backup_count:backups ~parts_list:shards ~intervals ~losses
+            ~lsa_refresh:refresh ~flood_delay ~hop_delay ~max_retries:retries
+            ~baseline
+            ~seed:((seed * 41) + 13) ())
+    in
+    Format.printf "%a@." Dr_exp.Shard_exp.pp rows
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Sharded-control-plane sweep: partition the topology into region \
+          shards exchanging sequence-numbered link-state advertisements \
+          over lossy channels, and measure convergence lag, advertisement \
+          age at decision time, and how often stale inter-shard routing \
+          diverges from the omniscient choice, over a shard-count x \
+          LSA-interval x loss grid.")
+    Term.(
+      const run $ telemetry_t $ jobs_t $ degree_t $ traffic_t
+      $ lambda_t ~default:0.5 $ scheme_t $ shards_t $ intervals_t $ losses_t
+      $ refresh_t $ flood_delay_t $ hop_delay_t $ retries_t $ backups_t
       $ baseline_t $ quick_t $ seed_t)
 
 (* ---- inspect: summarise a journal file ---------------------------------- *)
@@ -1297,7 +1426,8 @@ let () =
       ablate_flood_cmd; ablate_spf_cmd; ablate_backups_cmd; ablate_qos_cmd;
       ablate_classes_cmd; replicate_cmd; staleness_cmd; availability_cmd;
       overhead_cmd;
-      recovery_cmd; chaos_cmd; srlg_cmd; topo_cmd; scenario_cmd; replay_cmd;
+      recovery_cmd; chaos_cmd; srlg_cmd; shard_cmd; topo_cmd; scenario_cmd;
+      replay_cmd;
       explain_cmd; inspect_cmd; check_routing_cmd;
     ]
   in

@@ -501,21 +501,24 @@ let fail_edge_reactive state ?(timing = default_timing) ~edge () =
 
 (* ---- correlated (SRLG) failures ------------------------------------------ *)
 
-(* [fail_edge_drtp] generalised to a whole shared-risk group failing as one
+(* [fail_edge_drtp] generalised to an arbitrary edge set failing as one
    event.  Kept as a separate function — not a wrapper the single-edge
    path routes through — so the single-edge code above stays bit-identical
-   to its pre-SRLG behaviour (latencies, journal and all). *)
-let fail_group_drtp state ~scheme ?(timing = default_timing)
+   to its pre-SRLG behaviour (latencies, journal and all).  When [group] is
+   given the set is an SRLG and the state is failed/journalled under that
+   label; otherwise (regional bursts with no group identity) the edges are
+   failed individually and journalled as group [-1]. *)
+let fail_edges_drtp state ~scheme ?(timing = default_timing)
     ?(reconfigure = true) ?(backup_count = 1) ?faults
-    ?(retrans = default_retrans) ~group () =
-  let srlg = Net_state.srlg state in
-  let edges = Dr_resilience.Srlg.edges_of_group srlg group in
+    ?(retrans = default_retrans) ?group ~edges () =
   let in_group = Hashtbl.create 8 in
   List.iter (fun e -> Hashtbl.replace in_group e ()) edges;
   let crosses_failed p =
     List.exists (fun e -> Hashtbl.mem in_group e) (edge_list_of_path p)
   in
-  Net_state.fail_group state ~group;
+  (match group with
+  | Some group -> Net_state.fail_group state ~group
+  | None -> List.iter (fun edge -> Net_state.fail_edge state ~edge) edges);
   Tm.Counter.incr c_group_failures;
   let victims = Net_state.primaries_crossing_edges state ~edges in
   let broken_backups = ref [] in
@@ -527,7 +530,11 @@ let fail_group_drtp state ~scheme ?(timing = default_timing)
   if !J.on then
     J.record
       (J.Group_failed
-         { group; edges = List.length edges; victims = List.length victims });
+         {
+           group = (match group with Some g -> g | None -> -1);
+           edges = List.length edges;
+           victims = List.length victims;
+         });
   let dropped = ref 0 and resent = ref 0 in
   let fallback_unprotected = ref [] in
   let switched = ref [] in
@@ -715,3 +722,11 @@ let fail_group_drtp state ~scheme ?(timing = default_timing)
     retransmits = !resent;
     messages_dropped = !dropped;
   }
+
+let fail_group_drtp state ~scheme ?(timing = default_timing)
+    ?(reconfigure = true) ?(backup_count = 1) ?faults
+    ?(retrans = default_retrans) ~group () =
+  let srlg = Net_state.srlg state in
+  let edges = Dr_resilience.Srlg.edges_of_group srlg group in
+  fail_edges_drtp state ~scheme ~timing ~reconfigure ~backup_count ?faults
+    ~retrans ~group ~edges ()

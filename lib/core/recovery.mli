@@ -111,6 +111,27 @@ val fail_edge_drtp :
     plan — or a {!Dr_faults.Faults.zero_spec} plan — behaviour, latencies
     and journal output are bit-identical to the lossless code path. *)
 
+val fail_edges_drtp :
+  Net_state.t ->
+  scheme:Routing.scheme ->
+  ?timing:timing ->
+  ?reconfigure:bool ->
+  ?backup_count:int ->
+  ?faults:Dr_faults.Faults.t ->
+  ?retrans:retrans ->
+  ?group:int ->
+  edges:int list ->
+  unit ->
+  report
+(** Fail an arbitrary edge set as one correlated event — the core
+    {!fail_group_drtp} delegates to.  With [group] the set is failed as
+    that SRLG (via {!Net_state.fail_group}); without it — regional bursts
+    from {!Dr_resilience.Srlg.regional_schedule} carry no group identity —
+    each edge is failed individually (restore with
+    {!Net_state.restore_edge}) and the [group-failed] journal record
+    carries group [-1].  Failover, fallback, timing and reconfiguration
+    semantics are exactly those of {!fail_group_drtp}. *)
+
 val fail_group_drtp :
   Net_state.t ->
   scheme:Routing.scheme ->

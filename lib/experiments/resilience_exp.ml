@@ -25,25 +25,43 @@ type row = {
   srlg_coverage : float;
 }
 
-type event = Workload of Scenario.item | Fail of Srlg.burst | Repair of int
+type event =
+  | Workload of Scenario.item
+  | Fail of Srlg.burst
+  | Repair of int
+  | Repair_edges of int list
 
 (* One cell: a full workload replay under a seeded correlated-failure
    timeline over a seeded SRLG partition.  Both timelines derive from the
    cell's own [seed] — never shared across cells, which keeps the sweep
    [--jobs]-independent. *)
 let run_cell (cfg : Config.t) ~avg_degree ~traffic ~lambda ~scheme ~k
-    ~mean_size ~mtbf ~mttr ?(baseline = false) ~seed () =
+    ~mean_size ~mtbf ~mttr ?regional ?overlay ?(baseline = false) ~seed () =
   let graph = Config.make_graph cfg ~avg_degree in
   let scenario = Config.make_scenario cfg traffic ~lambda in
+  let edge_count = Graph.edge_count graph in
   let srlg =
-    if mean_size <= 1 then Srlg.singletons ~edge_count:(Graph.edge_count graph)
-    else
-      Srlg.random_partition ~seed:(seed + 2)
-        ~edge_count:(Graph.edge_count graph) ~mean_size
+    match overlay with
+    | Some extra ->
+        Srlg.random_overlay ~seed:(seed + 2) ~edge_count ~extra
+          ~size:(max 2 mean_size)
+    | None ->
+        if mean_size <= 1 then Srlg.singletons ~edge_count
+        else Srlg.random_partition ~seed:(seed + 2) ~edge_count ~mean_size
   in
   let bursts =
-    Srlg.group_schedule ~seed:(seed + 1) srlg ~mtbf ~mttr
-      ~horizon:cfg.Config.horizon ()
+    let base =
+      Srlg.group_schedule ~seed:(seed + 1) srlg ~mtbf ~mttr
+        ~horizon:cfg.Config.horizon ()
+    in
+    match regional with
+    | None -> base
+    | Some radius ->
+        let reg =
+          Srlg.regional_schedule ~seed:(seed + 4) ~graph ~radius ~mtbf ~mttr
+            ~horizon:cfg.Config.horizon ()
+        in
+        Srlg.merge_schedules ~edge_count base reg
   in
   let route =
     if baseline then Routing.link_state_route_fn ~backup_count:k scheme ~with_backup:true
@@ -69,29 +87,34 @@ let run_cell (cfg : Config.t) ~avg_degree ~traffic ~lambda ~scheme ~k
     | Repair g ->
         Net_state.restore_group state ~group:g;
         ignore (Manager.drain_reprotect manager ~now)
-    | Fail b -> (
-        match b.Srlg.group with
-        | None -> ()
-        | Some g ->
-            incr n_bursts;
-            let report =
+    | Repair_edges edges ->
+        List.iter (fun edge -> Net_state.restore_edge state ~edge) edges;
+        ignore (Manager.drain_reprotect manager ~now)
+    | Fail b ->
+        incr n_bursts;
+        let report =
+          match b.Srlg.group with
+          | Some g ->
               Recovery.fail_group_drtp state ~scheme ~backup_count:k ~group:g ()
-            in
-            affected := !affected + List.length report.Recovery.outcomes;
-            List.iter
-              (fun (_, outcome) ->
-                match outcome with
-                | Recovery.Switched { latency = l; _ }
-                | Recovery.Rerouted { latency = l; _ } ->
-                    incr recovered;
-                    Summary.add latency l
-                | Recovery.Lost _ -> incr lost)
-              report.Recovery.outcomes;
-            List.iter
-              (fun id ->
-                Manager.queue_reprotect manager ~id ~scheme ~backup_count:k
-                  ~now ())
-              report.Recovery.unprotected_ids)
+          | None ->
+              (* Regional bursts carry a bare edge set, no group identity. *)
+              Recovery.fail_edges_drtp state ~scheme ~backup_count:k
+                ~edges:b.Srlg.edges ()
+        in
+        affected := !affected + List.length report.Recovery.outcomes;
+        List.iter
+          (fun (_, outcome) ->
+            match outcome with
+            | Recovery.Switched { latency = l; _ }
+            | Recovery.Rerouted { latency = l; _ } ->
+                incr recovered;
+                Summary.add latency l
+            | Recovery.Lost _ -> incr lost)
+          report.Recovery.outcomes;
+        List.iter
+          (fun id ->
+            Manager.queue_reprotect manager ~id ~scheme ~backup_count:k ~now ())
+          report.Recovery.unprotected_ids
   in
   Scenario.iter scenario (fun item ->
       if item.Scenario.time <= cfg.Config.horizon then
@@ -101,7 +124,8 @@ let run_cell (cfg : Config.t) ~avg_degree ~traffic ~lambda ~scheme ~k
       Engine.schedule engine ~at:b.Srlg.fail_at (Fail b);
       match b.Srlg.group with
       | Some g -> Engine.schedule engine ~at:b.Srlg.repair_at (Repair g)
-      | None -> ())
+      | None ->
+          Engine.schedule engine ~at:b.Srlg.repair_at (Repair_edges b.Srlg.edges))
     bursts;
   Engine.run engine ~handler;
   (match Net_state.check_invariants state with
@@ -139,14 +163,14 @@ let cell_seed ~seed i = seed + (1000 * i)
 
 let run ?pool (cfg : Config.t) ~avg_degree ~traffic ~lambda ~scheme
     ?(ks = default_ks) ?(mean_sizes = default_sizes) ?(mtbf = 300.0)
-    ?(mttr = 60.0) ?(baseline = false) ?(seed = 4217) () =
+    ?(mttr = 60.0) ?regional ?overlay ?(baseline = false) ?(seed = 4217) () =
   let cells =
     List.concat_map (fun s -> List.map (fun k -> (k, s)) ks) mean_sizes
   in
   let tasks = Array.of_list (List.mapi (fun i c -> (i, c)) cells) in
   let f (i, (k, mean_size)) =
     run_cell cfg ~avg_degree ~traffic ~lambda ~scheme ~k ~mean_size ~mtbf ~mttr
-      ~baseline ~seed:(cell_seed ~seed i) ()
+      ?regional ?overlay ~baseline ~seed:(cell_seed ~seed i) ()
   in
   (* Same deterministic journal merge as {!Runner.run_many}: each cell
      records into a private buffer, re-appended in task-index order, so the

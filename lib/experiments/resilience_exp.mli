@@ -46,6 +46,8 @@ val run_cell :
   mean_size:int ->
   mtbf:float ->
   mttr:float ->
+  ?regional:float ->
+  ?overlay:int ->
   ?baseline:bool ->
   seed:int ->
   unit ->
@@ -53,7 +55,14 @@ val run_cell :
 (** One (k, srlg-density) cell.  [baseline] routes with
     [Routing.link_state_route_fn ~backup_count:k] (SRLG-blind backup
     sets) instead of [Routing.chain_route_fn] — the control arm showing
-    what SRLG-aware chain construction buys.  Deterministic in [seed]. *)
+    what SRLG-aware chain construction buys.  [regional] merges a
+    geographic burst schedule ({!Dr_resilience.Srlg.regional_schedule}
+    with that disc radius) into the group timeline — those bursts carry no
+    group identity and are replayed through
+    {!Drtp.Recovery.fail_edges_drtp}.  [overlay] swaps the SRLG partition
+    for {!Dr_resilience.Srlg.random_overlay}: singletons plus that many
+    random overlapping groups of [mean_size] edges.  Deterministic in
+    [seed]. *)
 
 val run :
   ?pool:Dr_parallel.Pool.t ->
@@ -66,6 +75,8 @@ val run :
   ?mean_sizes:int list ->
   ?mtbf:float ->
   ?mttr:float ->
+  ?regional:float ->
+  ?overlay:int ->
   ?baseline:bool ->
   ?seed:int ->
   unit ->

@@ -1,0 +1,96 @@
+(** Sharded-control-plane sweep: convergence lag and staleness divergence
+    over a shard-count × LSA-interval × loss grid.
+
+    Each cell replays the standard workload through
+    {!Dr_shard.Shard_sim}: the topology is partitioned into [parts]
+    regions, inter-shard admissions route on advertised (possibly stale)
+    link state disseminated by damped, lossy, sequence-numbered LSAs, and
+    the cell reports how often stale routing diverged from the omniscient
+    choice and how long advertisements lagged the changes they carried.
+
+    The [baseline] arm replays the same workload against the centralised
+    {!Drtp.Manager} with identical sampling — the ground the single-shard
+    configuration is required to match bit-for-bit (the CI gate): with
+    [parts = 1] no LSA is ever sent, every commit is synchronous, and the
+    row must be byte-identical to the baseline's. *)
+
+type row = {
+  parts : int;
+  interval : float;  (** triggered-LSA damping interval (s) *)
+  loss : float;  (** LSA/setup/ACK loss probability *)
+  cut : int;  (** partition cut edges *)
+  requests : int;
+  accepted : int;
+  acceptance : float;
+  inter_shard : int;  (** handshakes launched across a boundary *)
+  setup_failures : int;
+  crankbacks : int;
+  lost : int;  (** connections lost after the crankback budget *)
+  lsa_per_second : float;
+  avg_staleness : float;  (** mean stale LSDB entries per shard *)
+  decision_age : float;  (** mean advertisement age at decisions (s) *)
+  lag_mean : float;  (** mean convergence lag (s) *)
+  lag_max : float;
+  divergence : float;  (** divergent / inter-shard decisions *)
+  ft : float;
+  avg_active : float;
+}
+
+val default_parts : int list
+(** [[1; 2; 4; 8]] — the anchor plus three sharding depths. *)
+
+val default_intervals : float list
+(** [[0.0; 5.0; 30.0]] — flood-every-change through heavy damping. *)
+
+val default_losses : float list
+(** [[0.0; 0.1]]. *)
+
+val run_cell :
+  Config.t ->
+  avg_degree:float ->
+  traffic:Config.traffic ->
+  lambda:float ->
+  scheme:Drtp.Routing.scheme ->
+  backup_count:int ->
+  parts:int ->
+  interval:float ->
+  loss:float ->
+  lsa_refresh:float ->
+  flood_delay:float ->
+  hop_delay:float ->
+  max_retries:int ->
+  partition_seed:int ->
+  ?baseline:bool ->
+  seed:int ->
+  unit ->
+  row
+(** One grid cell (or its centralised baseline when [baseline] — then
+    [parts]/[interval]/[loss] only label the row).  Deterministic in
+    every argument. *)
+
+val run :
+  ?pool:Dr_parallel.Pool.t ->
+  Config.t ->
+  avg_degree:float ->
+  traffic:Config.traffic ->
+  lambda:float ->
+  scheme:Drtp.Routing.scheme ->
+  ?backup_count:int ->
+  ?parts_list:int list ->
+  ?intervals:float list ->
+  ?losses:float list ->
+  ?lsa_refresh:float ->
+  ?flood_delay:float ->
+  ?hop_delay:float ->
+  ?max_retries:int ->
+  ?baseline:bool ->
+  ?seed:int ->
+  unit ->
+  row list
+(** The parts × interval × loss sweep.  The partition seed derives from
+    [seed] alone (not the cell index), so every cell of one sweep uses
+    the same region layout per shard count; cell fault plans derive from
+    [seed + 1000·i].  Journal entries are merged in task-index order, so
+    output is byte-identical for any [--jobs] count. *)
+
+val pp : Format.formatter -> row list -> unit

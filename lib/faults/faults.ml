@@ -1,6 +1,6 @@
 module Sm = Dr_rng.Splitmix64
 
-type cls = Cdp | Report | Activation | Setup | Ack
+type cls = Cdp | Report | Activation | Setup | Ack | Lsa
 
 let cls_index = function
   | Cdp -> 0
@@ -8,6 +8,7 @@ let cls_index = function
   | Activation -> 2
   | Setup -> 3
   | Ack -> 4
+  | Lsa -> 5
 
 let cls_name = function
   | Cdp -> "cdp"
@@ -15,8 +16,11 @@ let cls_name = function
   | Activation -> "activation"
   | Setup -> "setup"
   | Ack -> "ack"
+  | Lsa -> "lsa"
 
-let all_classes = [ Cdp; Report; Activation; Setup; Ack ]
+(* [Lsa] last: streams are split off the seed in index order, so appending
+   a class keeps every pre-existing class's drop sequence bit-identical. *)
+let all_classes = [ Cdp; Report; Activation; Setup; Ack; Lsa ]
 let class_count = List.length all_classes
 
 type spec = {
@@ -25,13 +29,21 @@ type spec = {
   p_activation : float;
   p_setup : float;
   p_ack : float;
+  p_lsa : float;
 }
 
 let zero_spec =
-  { p_cdp = 0.0; p_report = 0.0; p_activation = 0.0; p_setup = 0.0; p_ack = 0.0 }
+  {
+    p_cdp = 0.0;
+    p_report = 0.0;
+    p_activation = 0.0;
+    p_setup = 0.0;
+    p_ack = 0.0;
+    p_lsa = 0.0;
+  }
 
 let uniform_spec p =
-  { p_cdp = p; p_report = p; p_activation = p; p_setup = p; p_ack = p }
+  { p_cdp = p; p_report = p; p_activation = p; p_setup = p; p_ack = p; p_lsa = p }
 
 let spec_loss spec = function
   | Cdp -> spec.p_cdp
@@ -39,6 +51,7 @@ let spec_loss spec = function
   | Activation -> spec.p_activation
   | Setup -> spec.p_setup
   | Ack -> spec.p_ack
+  | Lsa -> spec.p_lsa
 
 type t = {
   spec : spec;

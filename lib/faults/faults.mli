@@ -30,11 +30,12 @@ type cls =
   | Activation  (** backup-activation signal along the backup route *)
   | Setup  (** connection setup packet (distributed protocol) *)
   | Ack  (** setup acknowledgement back to the source *)
+  | Lsa  (** inter-shard link-state advertisement ({!Dr_shard}) *)
 
 val cls_name : cls -> string
 (** Stable lowercase tag: ["cdp"], ["report"], ["activation"], ["setup"],
-    ["ack"] — the [cls] field of message-dropped / retransmit journal
-    events. *)
+    ["ack"], ["lsa"] — the [cls] field of message-dropped / retransmit
+    journal events. *)
 
 val all_classes : cls list
 
@@ -45,6 +46,7 @@ type spec = {
   p_activation : float;
   p_setup : float;
   p_ack : float;
+  p_lsa : float;
 }
 
 val zero_spec : spec

@@ -59,6 +59,11 @@ type event =
   | Chain_built of { src : int; dst : int; members : int; disjoint : int }
   | Chain_failover of { conn : int; depth : int; remaining : int }
   | Chain_exhausted of { conn : int }
+  | Lsa_originated of { shard : int; link : int; lsa_seq : int }
+  | Lsa_delivered of { shard : int; link : int; lsa_seq : int; lag : float }
+  | Shard_setup of { conn : int; shards : int; attempt : int }
+  | Shard_crankback of { conn : int; attempt : int; reason : string }
+  | Stale_decision of { conn : int; age : float; divergent : bool }
 
 let kind_name = function
   | Request _ -> "request"
@@ -87,6 +92,11 @@ let kind_name = function
   | Chain_built _ -> "chain-built"
   | Chain_failover _ -> "chain-failover"
   | Chain_exhausted _ -> "chain-exhausted"
+  | Lsa_originated _ -> "lsa-originated"
+  | Lsa_delivered _ -> "lsa-delivered"
+  | Shard_setup _ -> "shard-setup"
+  | Shard_crankback _ -> "shard-crankback"
+  | Stale_decision _ -> "stale-decision"
 
 let all_kinds =
   [
@@ -96,6 +106,8 @@ let all_kinds =
     "connection-lost"; "rerouted"; "reprotected"; "teardown";
     "message-dropped"; "retransmit"; "flood-truncated"; "reprotect-queued";
     "group-failed"; "chain-built"; "chain-failover"; "chain-exhausted";
+    "lsa-originated"; "lsa-delivered"; "shard-setup"; "shard-crankback";
+    "stale-decision";
   ]
 
 type entry = { seq : int; time : float; event : event }
@@ -352,6 +364,27 @@ let add_event_fields b first = function
       int_field b first "depth" depth;
       int_field b first "remaining" remaining
   | Chain_exhausted { conn } -> int_field b first "conn" conn
+  | Lsa_originated { shard; link; lsa_seq } ->
+      int_field b first "shard" shard;
+      int_field b first "link" link;
+      int_field b first "lsa_seq" lsa_seq
+  | Lsa_delivered { shard; link; lsa_seq; lag } ->
+      int_field b first "shard" shard;
+      int_field b first "link" link;
+      int_field b first "lsa_seq" lsa_seq;
+      float_field b first "lag_s" lag
+  | Shard_setup { conn; shards; attempt } ->
+      int_field b first "conn" conn;
+      int_field b first "shards" shards;
+      int_field b first "attempt" attempt
+  | Shard_crankback { conn; attempt; reason } ->
+      int_field b first "conn" conn;
+      int_field b first "attempt" attempt;
+      str_field b first "reason" reason
+  | Stale_decision { conn; age; divergent } ->
+      int_field b first "conn" conn;
+      float_field b first "age_s" age;
+      bool_field b first "divergent" divergent
 
 let entry_to_json e =
   let b = Buffer.create 128 in

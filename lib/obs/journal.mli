@@ -128,6 +128,24 @@ type event =
       (** no chain member survived the correlated failure (or none could
           get bandwidth); the connection is lost or queued for
           reprotection *)
+  | Lsa_originated of { shard : int; link : int; lsa_seq : int }
+      (** a shard originated a sequence-numbered link-state advertisement
+          for one of its own links ({!Dr_shard.Shard_sim}) *)
+  | Lsa_delivered of { shard : int; link : int; lsa_seq : int; lag : float }
+      (** an LSA reached shard [shard]; [lag] is the convergence lag —
+          delivery time minus the instant the link's state first diverged
+          from its last advertisement (0 for pure periodic refreshes) *)
+  | Shard_setup of { conn : int; shards : int; attempt : int }
+      (** an inter-shard setup handshake was launched across [shards]
+          involved shards (attempt 1 = first try, >1 = after crankback) *)
+  | Shard_crankback of { conn : int; attempt : int; reason : string }
+      (** an inter-shard setup was rejected against ground truth (the
+          source routed on a stale view); the source cranks back and
+          re-routes with the piggybacked fresh state *)
+  | Stale_decision of { conn : int; age : float; divergent : bool }
+      (** an inter-shard admission decision was taken on a view whose
+          remote entries averaged [age] seconds old; [divergent] marks
+          the route differing from the omniscient route *)
 
 val kind_name : event -> string
 (** Stable kebab-case kind tag, e.g. ["backup-chosen"]. *)

@@ -24,6 +24,23 @@ let refresh_link t state l =
   t.norm1.(l) <- norm1;
   t.cv.(l) <- cv
 
+type snapshot = {
+  s_free : int;
+  s_avail : int;
+  s_norm1 : int;
+  s_cv : Drtp.Conflict_vector.t;
+}
+
+let snapshot state l =
+  let s_free, s_avail, s_norm1, s_cv = snapshot_link state l in
+  { s_free; s_avail; s_norm1; s_cv }
+
+let set_snapshot t l s =
+  t.free.(l) <- s.s_free;
+  t.avail.(l) <- s.s_avail;
+  t.norm1.(l) <- s.s_norm1;
+  t.cv.(l) <- s.s_cv
+
 let create state =
   let links = Graph.link_count (Net_state.graph state) in
   let t =

@@ -27,6 +27,28 @@ val refresh_link : t -> Drtp.Net_state.t -> int -> unit
 
 val refresh_all : t -> Drtp.Net_state.t -> unit
 
+(** {1 Snapshot payloads}
+
+    A link-state advertisement carries the advertised quantities as they
+    stood at {e origination} time; {!Dr_shard.Shard_sim} captures a
+    {!snapshot} when an LSA is built and applies it with {!set_snapshot}
+    when the (possibly delayed, possibly lost-and-retried) advertisement
+    is finally delivered — so a receiver's view reflects the sender's
+    past, not the shared present. *)
+
+type snapshot = {
+  s_free : int;
+  s_avail : int;
+  s_norm1 : int;
+  s_cv : Drtp.Conflict_vector.t;
+}
+
+val snapshot : Drtp.Net_state.t -> int -> snapshot
+(** Capture one link's advertised quantities from the ground truth now. *)
+
+val set_snapshot : t -> int -> snapshot -> unit
+(** Apply a previously captured payload to the view's entry for the link. *)
+
 val free : t -> int -> int
 (** Advertised free bandwidth of a link. *)
 

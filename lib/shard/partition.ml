@@ -1,0 +1,176 @@
+module Graph = Dr_topo.Graph
+module Sp = Dr_topo.Shortest_path
+module Sm = Dr_rng.Splitmix64
+
+type t = {
+  graph : Graph.t;
+  parts : int;
+  region : int array;  (* node -> region *)
+  owner : int array;  (* edge -> region of first endpoint *)
+  cut : int;
+}
+
+let graph t = t.graph
+let parts t = t.parts
+let region_of_node t n = t.region.(n)
+let owner_of_edge t e = t.owner.(e)
+let owner_of_link t l = t.owner.(Graph.edge_of_link l)
+let cut_edges t = t.cut
+
+let nodes_of t r =
+  List.filter
+    (fun n -> t.region.(n) = r)
+    (List.init (Graph.node_count t.graph) Fun.id)
+
+let finish graph parts region =
+  let owner =
+    Array.init (Graph.edge_count graph) (fun e ->
+        region.(fst (Graph.edge_endpoints graph e)))
+  in
+  let cut = ref 0 in
+  Graph.iter_edges graph (fun e ->
+      let u, v = Graph.edge_endpoints graph e in
+      if region.(u) <> region.(v) then incr cut);
+  { graph; parts; region; owner; cut = !cut }
+
+let of_regions graph region =
+  let n = Graph.node_count graph in
+  if Array.length region <> n then
+    invalid_arg "Partition.of_regions: assignment length <> node_count";
+  Array.iter
+    (fun r -> if r < 0 then invalid_arg "Partition.of_regions: negative region")
+    region;
+  let parts = 1 + Array.fold_left max 0 region in
+  let seen = Array.make parts false in
+  Array.iter (fun r -> seen.(r) <- true) region;
+  Array.iteri
+    (fun r present ->
+      if not present then
+        invalid_arg
+          (Printf.sprintf "Partition.of_regions: region %d has no nodes" r))
+    seen;
+  finish graph parts (Array.copy region)
+
+(* Farthest-point seed spreading: the first seed is a random node, each
+   subsequent seed maximises its minimum hop distance to the seeds chosen
+   so far (ties -> lowest node id). *)
+let spread_seeds rng graph parts =
+  let n = Graph.node_count graph in
+  let first = Sm.int rng n in
+  let min_dist = Array.make n max_int in
+  let add s =
+    let hops = Sp.bfs_hops graph ~src:s in
+    for v = 0 to n - 1 do
+      if hops.(v) < min_dist.(v) then min_dist.(v) <- hops.(v)
+    done
+  in
+  add first;
+  let seeds = ref [ first ] in
+  for _ = 2 to parts do
+    let best = ref (-1) and best_d = ref (-1) in
+    for v = 0 to n - 1 do
+      if min_dist.(v) > !best_d then begin
+        best := v;
+        best_d := min_dist.(v)
+      end
+    done;
+    seeds := !best :: !seeds;
+    add !best
+  done;
+  List.rev !seeds
+
+let create ?(seed = 0) graph ~parts =
+  let n = Graph.node_count graph in
+  if parts < 1 || parts > n then
+    invalid_arg
+      (Printf.sprintf "Partition.create: parts %d outside [1, %d]" parts n);
+  let rng = Sm.create seed in
+  let seeds = spread_seeds rng graph parts in
+  let region = Array.make n (-1) in
+  let sizes = Array.make parts 0 in
+  let queues = Array.init parts (fun _ -> Queue.create ()) in
+  List.iteri
+    (fun r s ->
+      region.(s) <- r;
+      sizes.(r) <- 1;
+      Queue.push s queues.(r))
+    seeds;
+  let remaining = ref (n - parts) in
+  (* Balanced multi-source BFS: always grow the smallest region that still
+     has a frontier (ties -> lowest region id). *)
+  let pick () =
+    let best = ref (-1) in
+    for r = parts - 1 downto 0 do
+      if
+        (not (Queue.is_empty queues.(r)))
+        && (!best < 0 || sizes.(r) <= sizes.(!best))
+      then best := r
+    done;
+    !best
+  in
+  let rec pop_unassigned q =
+    match Queue.take_opt q with
+    | None -> None
+    | Some v -> if region.(v) < 0 then Some v else pop_unassigned q
+  in
+  let assign r v =
+    region.(v) <- r;
+    sizes.(r) <- sizes.(r) + 1;
+    decr remaining;
+    Array.iter
+      (fun l ->
+        let w = Graph.link_dst graph l in
+        if region.(w) < 0 then Queue.push w queues.(r))
+      (Graph.out_links graph v)
+  in
+  let rec grow () =
+    if !remaining > 0 then
+      match pick () with
+      | -1 ->
+          (* Disconnected leftovers: sweep them into the smallest region. *)
+          for v = 0 to n - 1 do
+            if region.(v) < 0 then begin
+              let best = ref 0 in
+              for r = 1 to parts - 1 do
+                if sizes.(r) < sizes.(!best) then best := r
+              done;
+              region.(v) <- !best;
+              sizes.(!best) <- sizes.(!best) + 1;
+              decr remaining
+            end
+          done
+      | r -> (
+          match pop_unassigned queues.(r) with
+          | None -> grow ()
+          | Some v ->
+              assign r v;
+              grow ())
+  in
+  grow ();
+  (* One boundary-refinement pass: move a node to its neighbour-majority
+     region when strictly better, never emptying a region. *)
+  let counts = Array.make parts 0 in
+  for v = 0 to n - 1 do
+    Array.fill counts 0 parts 0;
+    Array.iter
+      (fun w -> counts.(region.(w)) <- counts.(region.(w)) + 1)
+      (Graph.neighbors graph v);
+    let cur = region.(v) in
+    let best = ref cur in
+    for r = 0 to parts - 1 do
+      if counts.(r) > counts.(!best) then best := r
+    done;
+    if !best <> cur && counts.(!best) > counts.(cur) && sizes.(cur) > 1 then begin
+      region.(v) <- !best;
+      sizes.(cur) <- sizes.(cur) - 1;
+      sizes.(!best) <- sizes.(!best) + 1
+    end
+  done;
+  finish graph parts region
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>partition: %d regions, %d cut edges@," t.parts t.cut;
+  for r = 0 to t.parts - 1 do
+    Format.fprintf ppf "region %d: %d nodes@," r (List.length (nodes_of t r))
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,51 @@
+(** Seeded k-way edge-cut partition of a topology into control-plane
+    regions.
+
+    Each shard of {!Shard_sim} owns the links of one region; the partition
+    decides which setup handshakes stay intra-shard (synchronous, exact
+    state) and which must cross a region boundary (asynchronous, routed on
+    advertised state).  The partitioner therefore aims for balanced
+    regions with few cut edges: seeds are spread by farthest-point hop
+    distance ({!Dr_topo.Shortest_path.bfs_hops}), regions grow by balanced
+    multi-source BFS (always extending the currently-smallest region), and
+    one deterministic boundary-refinement pass moves each node to its
+    neighbour-majority region when that strictly helps.
+
+    Every undirected edge is owned by exactly one region — the region of
+    its first endpoint in creation order — so both directed links of an
+    edge share an owner and the owned link sets partition the link ids.
+    Deterministic in [(seed, graph, parts)]. *)
+
+type t
+
+val create : ?seed:int -> Dr_topo.Graph.t -> parts:int -> t
+(** Partition into [parts] regions.  Raises [Invalid_argument] unless
+    [1 <= parts <= node_count].  [seed] defaults to 0. *)
+
+val of_regions : Dr_topo.Graph.t -> int array -> t
+(** Adopt an explicit node→region assignment (length [node_count], region
+    ids dense from 0) — used by tests that need a hand-built layout.
+    Raises [Invalid_argument] on a bad length, a negative id, or a region
+    id with no member node. *)
+
+val graph : t -> Dr_topo.Graph.t
+val parts : t -> int
+
+val region_of_node : t -> int -> int
+
+val owner_of_edge : t -> int -> int
+(** The region owning an undirected edge: the region of the edge's first
+    endpoint. *)
+
+val owner_of_link : t -> int -> int
+(** [owner_of_edge] of the link's edge — both directions of an edge have
+    the same owner. *)
+
+val nodes_of : t -> int -> int list
+(** Member nodes of one region, ascending. *)
+
+val cut_edges : t -> int
+(** Edges whose endpoints lie in different regions — the inter-shard
+    surface the LSA protocol has to keep coherent. *)
+
+val pp : Format.formatter -> t -> unit

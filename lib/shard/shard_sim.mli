@@ -1,0 +1,107 @@
+(** Sharded control plane with asynchronous link-state dissemination.
+
+    The paper's distributed schemes assume every router decides on a
+    possibly-stale local link-state database; the centralised
+    {!Drtp.Manager} hides that entirely.  This simulator splits the
+    control plane into region shards over a {!Partition}: each shard owns
+    the ground truth of its region's links and keeps an
+    {!Dr_proto.Advertised_view} LSDB whose {e own-region} entries are
+    refreshed synchronously on every commit while {e remote} entries only
+    change when a sequence-numbered link-state advertisement arrives —
+    periodically refreshed and trigger-flooded (OSPF-style MinLSInterval
+    damping) over lossy {!Dr_faults.Faults} channels.
+
+    Admissions are decided by the source node's shard on its LSDB.  A
+    route staying inside the shard commits synchronously (exact state); a
+    route touching links owned by other shards launches an asynchronous
+    setup handshake — setup-loss draws with {!Dr_faults.Backoff}
+    retransmission, admission re-checked against ground truth on arrival,
+    and {e crankback} on stale-view rejection: the reject notice carries
+    fresh snapshots of the failed route's remote links (PNNI-style), the
+    source applies them seq-checked to its LSDB and re-routes.
+
+    {b Metrics.}  Every inter-shard decision records the mean age of the
+    advertisements it routed on and whether the chosen route differs from
+    the omniscient (ground-truth) route; every applied advertisement that
+    conveyed a change records its convergence lag (delivery time minus the
+    instant the link first diverged from its previous advertisement).
+
+    {b Single-shard anchor.}  With [parts = 1] every link is owned by the
+    deciding shard: all commits are synchronous, no LSA is ever sent (so
+    the fault plan is never consulted), and the run is bit-identical to
+    the centralised manager — the correctness gate in CI. *)
+
+type config = {
+  scheme : Drtp.Routing.scheme;
+  backup_count : int;
+  parts : int;  (** shard count (1 = centralised anchor) *)
+  partition_seed : int;
+  lsa_interval : float;
+      (** MinLSInterval damping for triggered advertisements (seconds);
+          0 floods every change immediately *)
+  lsa_refresh : float;
+      (** periodic full re-advertisement period; 0 disables (loss repair
+          then relies on triggered traffic only) *)
+  lsa_flood_delay : float;  (** origination-to-delivery latency *)
+  hop_delay : float;  (** per-hop setup/teardown latency *)
+  max_retries : int;  (** crankback budget per connection *)
+  faults : Dr_faults.Faults.t option;
+      (** loss plan for [Lsa]/[Setup]/[Ack] draws; [None] = lossless *)
+  setup_rto : float;
+  max_retransmits : int;
+}
+
+val default_config : config
+
+type stats = {
+  mutable requests : int;
+  mutable accepted : int;
+  mutable rejected_no_route : int;
+  mutable intra_shard : int;  (** admissions committed synchronously *)
+  mutable inter_shard : int;  (** setup handshakes launched *)
+  mutable setup_failures : int;
+      (** arrivals rejected against ground truth (stale view) or lost *)
+  mutable crankbacks : int;
+  mutable lost_after_retries : int;
+  mutable released : int;
+  mutable lsa_originated : int;
+  mutable lsa_dropped : int;
+  mutable retransmits : int;
+  mutable setup_dropped : int;
+  mutable ack_dropped : int;
+  mutable stale_decisions : int;  (** inter-shard routing decisions *)
+  mutable divergent_decisions : int;
+      (** decisions whose route differs from the omniscient route *)
+}
+
+type result = {
+  stats : stats;
+  cut_edges : int;
+  acceptance : float;
+  ft_overall : float;
+  avg_active : float;
+  lsa_per_second : float;
+  avg_staleness : float;
+      (** mean over samples of the per-shard stale-entry count *)
+  decision_age_mean : float;
+      (** mean advertisement age (s) at inter-shard decisions *)
+  convergence_lag_mean : float;
+  convergence_lag_max : float;
+  divergence_fraction : float;
+      (** divergent / inter-shard decisions; 0 when there were none *)
+}
+
+val run :
+  ?config:config ->
+  ?partition:Partition.t ->
+  graph:Dr_topo.Graph.t ->
+  capacity:int ->
+  scenario:Dr_sim.Scenario.t ->
+  warmup:float ->
+  horizon:float ->
+  sample_every:float ->
+  unit ->
+  result
+(** Replay a scenario through the sharded control plane.  [partition]
+    overrides the seeded partitioner (tests with hand-built layouts);
+    it must be over [graph].  Deterministic in all arguments. *)

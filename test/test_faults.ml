@@ -67,7 +67,7 @@ let test_create_validation () =
 
 let test_cls_names_stable () =
   Alcotest.(check (list string)) "journal tags"
-    [ "cdp"; "report"; "activation"; "setup"; "ack" ]
+    [ "cdp"; "report"; "activation"; "setup"; "ack"; "lsa" ]
     (List.map Faults.cls_name Faults.all_classes)
 
 (* ---- flap schedules ----------------------------------------------------- *)

@@ -121,6 +121,11 @@ let one_of_each =
     J.Chain_built { src = 0; dst = 4; members = 3; disjoint = 2 };
     J.Chain_failover { conn = 1; depth = 1; remaining = 1 };
     J.Chain_exhausted { conn = 1 };
+    J.Lsa_originated { shard = 0; link = 14; lsa_seq = 3 };
+    J.Lsa_delivered { shard = 1; link = 14; lsa_seq = 3; lag = 0.05 };
+    J.Shard_setup { conn = 1; shards = 2; attempt = 0 };
+    J.Shard_crankback { conn = 1; attempt = 1; reason = "stale-reject" };
+    J.Stale_decision { conn = 1; age = 1.5; divergent = true };
   ]
 
 let test_jsonl_round_trip () =

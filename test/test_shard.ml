@@ -1,0 +1,309 @@
+(* Tests for the dr_shard subsystem: the seeded edge-cut partitioner and
+   the sharded control plane's correctness anchors.
+
+   The load-bearing gates: with a single shard the sharded simulator must
+   reproduce the centralised manager's row exactly (every commit is
+   synchronous and no LSA is ever sent); with any sharding but zero LSA
+   loss, zero flood delay and no damping, inter-shard routing must
+   converge to the omniscient routes (zero divergence, zero lag, the
+   centralised acceptance); and as LSA damping grows, staleness
+   divergence must grow with it — the paper-facing claim the `shard`
+   sweep exists to measure.  A pinned 6-node layout walks the
+   stale-rejection -> crankback handshake deterministically. *)
+
+module Graph = Dr_topo.Graph
+module Scenario = Dr_sim.Scenario
+module Routing = Drtp.Routing
+module Partition = Dr_shard.Partition
+module Shard_sim = Dr_shard.Shard_sim
+module Shard_exp = Dr_exp.Shard_exp
+module Config = Dr_exp.Config
+module Faults = Dr_faults.Faults
+module Rng = Dr_rng.Splitmix64
+module J = Dr_obs.Journal
+
+let property ?(count = 100) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+let seed_gen = QCheck.int_range 0 1_000_000
+
+let random_graph seed =
+  let rng = Rng.create seed in
+  let n = 6 + Rng.int rng 15 in
+  let avg_degree = 2.2 +. Rng.float rng 1.5 in
+  Dr_topo.Gen.erdos_renyi ~rng ~n ~avg_degree
+
+(* --- the partitioner ----------------------------------------------------- *)
+
+let prop_partition_well_formed =
+  property ~count:80 "partition: dense cover, consistent ownership"
+    QCheck.(pair seed_gen (int_range 1 5))
+    (fun (seed, parts) ->
+      let g = random_graph seed in
+      let parts = min parts (Graph.node_count g) in
+      let p = Partition.create ~seed g ~parts in
+      let seen = Array.make parts false in
+      for v = 0 to Graph.node_count g - 1 do
+        let r = Partition.region_of_node p v in
+        if r < 0 || r >= parts then QCheck.Test.fail_report "region out of range";
+        seen.(r) <- true
+      done;
+      if not (Array.for_all Fun.id seen) then
+        QCheck.Test.fail_report "empty region";
+      let cut = ref 0 in
+      Graph.iter_edges g (fun e ->
+          let u, v = Graph.edge_endpoints g e in
+          let owner = Partition.owner_of_edge p e in
+          if owner <> Partition.region_of_node p u then
+            QCheck.Test.fail_report "edge not owned by its first endpoint";
+          if
+            Partition.owner_of_link p (2 * e) <> owner
+            || Partition.owner_of_link p ((2 * e) + 1) <> owner
+          then QCheck.Test.fail_report "links of an edge disagree on owner";
+          if Partition.region_of_node p u <> Partition.region_of_node p v then
+            incr cut);
+      !cut = Partition.cut_edges p)
+
+let prop_partition_deterministic =
+  property ~count:40 "partition: deterministic in (seed, graph, parts)"
+    QCheck.(pair seed_gen (int_range 1 5))
+    (fun (seed, parts) ->
+      let g = random_graph seed in
+      let parts = min parts (Graph.node_count g) in
+      let a = Partition.create ~seed g ~parts in
+      let b = Partition.create ~seed g ~parts in
+      let same = ref (Partition.cut_edges a = Partition.cut_edges b) in
+      for v = 0 to Graph.node_count g - 1 do
+        if Partition.region_of_node a v <> Partition.region_of_node b v then
+          same := false
+      done;
+      !same)
+
+let test_partition_extremes () =
+  let g = random_graph 11 in
+  let n = Graph.node_count g in
+  let one = Partition.create ~seed:3 g ~parts:1 in
+  for v = 0 to n - 1 do
+    Alcotest.(check int) "single part: region 0" 0
+      (Partition.region_of_node one v)
+  done;
+  Alcotest.(check int) "single part: no cut" 0 (Partition.cut_edges one);
+  let full = Partition.create ~seed:3 g ~parts:n in
+  let seen = Array.make n false in
+  for v = 0 to n - 1 do
+    seen.(Partition.region_of_node full v) <- true
+  done;
+  Alcotest.(check bool) "n parts: regions are singletons" true
+    (Array.for_all Fun.id seen);
+  Alcotest.(check int) "n parts: every edge cut" (Graph.edge_count g)
+    (Partition.cut_edges full)
+
+let test_partition_validation () =
+  let g = random_graph 5 in
+  let n = Graph.node_count g in
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "parts = 0 rejected" true
+    (raises (fun () -> Partition.create g ~parts:0));
+  Alcotest.(check bool) "parts > nodes rejected" true
+    (raises (fun () -> Partition.create g ~parts:(n + 1)));
+  Alcotest.(check bool) "of_regions: wrong length rejected" true
+    (raises (fun () -> Partition.of_regions g (Array.make (n + 1) 0)));
+  Alcotest.(check bool) "of_regions: sparse region ids rejected" true
+    (raises (fun () ->
+         let a = Array.make n 0 in
+         a.(0) <- 2;
+         Partition.of_regions g a));
+  let a = Array.make n 0 in
+  a.(0) <- 1;
+  let p = Partition.of_regions g a in
+  Alcotest.(check int) "of_regions adopts the layout" 1
+    (Partition.region_of_node p 0);
+  Alcotest.(check int) "of_regions: parts inferred" 2 (Partition.parts p)
+
+(* --- equivalence anchors -------------------------------------------------- *)
+
+(* A miniature configuration so full workload replays stay fast. *)
+let tiny_cfg =
+  {
+    Config.default with
+    Config.warmup = 600.0;
+    horizon = 1800.0;
+    sample_every = 300.0;
+    lifetime_lo = 300.0;
+    lifetime_hi = 600.0;
+  }
+
+let cell ?(parts = 1) ?(interval = 5.0) ?(flood_delay = 0.05)
+    ?(hop_delay = 0.001) ?(lsa_refresh = 30.0) ?(partition_seed = 3)
+    ?(baseline = false) ~seed () =
+  Shard_exp.run_cell tiny_cfg ~avg_degree:3.0 ~traffic:Config.UT ~lambda:0.5
+    ~scheme:Routing.Dlsr ~backup_count:1 ~parts ~interval ~loss:0.0
+    ~lsa_refresh ~flood_delay ~hop_delay ~max_retries:1 ~partition_seed
+    ~baseline ~seed ()
+
+let test_single_shard_matches_centralised () =
+  (* The CI anchor: one shard owns every link, so every commit is
+     synchronous and the fault plan is never consulted — the run must be
+     bit-identical to the centralised manager, shard-only columns zero. *)
+  let sharded = cell ~parts:1 ~seed:99 () in
+  let central = cell ~parts:1 ~baseline:true ~seed:99 () in
+  Alcotest.(check int) "requests" central.Shard_exp.requests
+    sharded.Shard_exp.requests;
+  Alcotest.(check int) "accepted" central.Shard_exp.accepted
+    sharded.Shard_exp.accepted;
+  Alcotest.(check (float 0.0)) "acceptance bit-identical"
+    central.Shard_exp.acceptance sharded.Shard_exp.acceptance;
+  Alcotest.(check (float 0.0)) "fault tolerance bit-identical"
+    central.Shard_exp.ft sharded.Shard_exp.ft;
+  Alcotest.(check (float 0.0)) "mean active bit-identical"
+    central.Shard_exp.avg_active sharded.Shard_exp.avg_active;
+  Alcotest.(check int) "no inter-shard handshakes" 0
+    sharded.Shard_exp.inter_shard;
+  Alcotest.(check (float 0.0)) "no LSA traffic" 0.0
+    sharded.Shard_exp.lsa_per_second;
+  Alcotest.(check bool) "whole rows structurally equal" true (sharded = central)
+
+let prop_zero_delay_sharding_is_omniscient =
+  (* With zero LSA loss, zero flood delay and no damping every view is
+     refreshed before the next decision, so inter-shard routing converges
+     to the omniscient routes: no divergence, no lag, and exactly the
+     centralised acceptance trajectory. *)
+  property ~count:4 "zero-loss zero-delay sharding = centralised routes"
+    QCheck.(pair seed_gen (int_range 2 5))
+    (fun (seed, parts) ->
+      let sharded =
+        cell ~parts ~interval:0.0 ~flood_delay:0.0 ~hop_delay:0.0
+          ~lsa_refresh:0.0 ~partition_seed:seed ~seed ()
+      in
+      let central = cell ~baseline:true ~seed () in
+      if sharded.Shard_exp.divergence <> 0.0 then
+        QCheck.Test.fail_report "divergent decision under fresh views";
+      if sharded.Shard_exp.lag_max <> 0.0 then
+        QCheck.Test.fail_report "nonzero convergence lag at zero delay";
+      if sharded.Shard_exp.inter_shard = 0 then
+        QCheck.Test.fail_report "sweep never crossed a shard boundary";
+      sharded.Shard_exp.requests = central.Shard_exp.requests
+      && sharded.Shard_exp.accepted = central.Shard_exp.accepted
+      && sharded.Shard_exp.acceptance = central.Shard_exp.acceptance
+      && sharded.Shard_exp.ft = central.Shard_exp.ft
+      && sharded.Shard_exp.avg_active = central.Shard_exp.avg_active)
+
+(* --- pinned stale-rejection -> crankback walk ----------------------------- *)
+
+(* Two regions over a 6-node diamond; every LSA is dropped (p_lsa = 1, no
+   randomness consumed), so region B decides on its initial view:
+
+        B: 4 --- 0 --- 1 --- 3     conn 1 (region A, 0->3) takes 0-1-3;
+                  \         /      conn 2 (region B, 4->3) prefers the
+                   2 ------ 5      stale 3-hop 4-0-1-3, is rejected
+                                   against ground truth, and cranks back
+   onto 4-0-2-5-3 with the piggybacked fresh snapshots. *)
+let test_pinned_crankback () =
+  let graph =
+    Graph.create ~node_count:6
+      ~edges:[ (4, 0); (0, 1); (1, 3); (0, 2); (2, 5); (5, 3) ]
+  in
+  let partition = Partition.of_regions graph [| 0; 0; 0; 0; 1; 0 |] in
+  let scenario =
+    Scenario.of_items
+      [
+        {
+          Scenario.time = 1.0;
+          event = Scenario.Request { conn = 1; src = 0; dst = 3; bw = 1; duration = 100.0 };
+        };
+        {
+          Scenario.time = 2.0;
+          event = Scenario.Request { conn = 2; src = 4; dst = 3; bw = 1; duration = 100.0 };
+        };
+      ]
+  in
+  let config =
+    {
+      Shard_sim.default_config with
+      Shard_sim.scheme = Routing.Dlsr;
+      backup_count = 0;
+      lsa_interval = 0.0;
+      lsa_refresh = 0.0;
+      lsa_flood_delay = 0.0;
+      max_retries = 1;
+      faults =
+        Some (Faults.create ~seed:1 { Faults.zero_spec with Faults.p_lsa = 1.0 });
+    }
+  in
+  let r =
+    Shard_sim.run ~config ~partition ~graph ~capacity:1 ~scenario ~warmup:0.0
+      ~horizon:10.0 ~sample_every:5.0 ()
+  in
+  let s = r.Shard_sim.stats in
+  Alcotest.(check int) "both requests admitted" 2 s.Shard_sim.accepted;
+  Alcotest.(check int) "conn 1 committed synchronously" 1 s.Shard_sim.intra_shard;
+  Alcotest.(check int) "conn 2 crossed the boundary twice" 2
+    s.Shard_sim.inter_shard;
+  Alcotest.(check int) "stale route rejected against truth" 1
+    s.Shard_sim.setup_failures;
+  Alcotest.(check int) "exactly one crankback" 1 s.Shard_sim.crankbacks;
+  Alcotest.(check int) "first decision diverged from omniscient" 1
+    s.Shard_sim.divergent_decisions;
+  Alcotest.(check int) "nothing lost" 0 s.Shard_sim.lost_after_retries;
+  Alcotest.(check bool) "every LSA was dropped" true
+    (s.Shard_sim.lsa_dropped > 0 && s.Shard_sim.lsa_originated > 0)
+
+(* --- the acceptance gate: divergence grows with damping ------------------- *)
+
+let test_divergence_monotone_in_interval () =
+  let rows =
+    Shard_exp.run tiny_cfg ~avg_degree:3.0 ~traffic:Config.UT ~lambda:0.5
+      ~scheme:Routing.Dlsr ~parts_list:[ 4 ] ~intervals:[ 0.0; 2.0; 20.0 ]
+      ~losses:[ 0.0 ] ~lsa_refresh:0.0 ~flood_delay:0.0 ~seed:6311 ()
+  in
+  match rows with
+  | [ r0; r2; r20 ] ->
+      Alcotest.(check (float 0.0)) "no damping, no divergence" 0.0
+        r0.Shard_exp.divergence;
+      Alcotest.(check bool) "divergence grows 0 -> 2s" true
+        (r0.Shard_exp.divergence <= r2.Shard_exp.divergence);
+      Alcotest.(check bool) "divergence grows 2s -> 20s" true
+        (r2.Shard_exp.divergence <= r20.Shard_exp.divergence);
+      Alcotest.(check bool) "heavy damping diverges" true
+        (r20.Shard_exp.divergence > 0.0);
+      Alcotest.(check bool) "heavy damping lags" true
+        (r20.Shard_exp.lag_mean > 0.0
+        && r20.Shard_exp.lag_max >= r20.Shard_exp.lag_mean);
+      Alcotest.(check bool) "decisions aged" true
+        (r20.Shard_exp.decision_age > 0.0)
+  | _ -> Alcotest.fail "expected three rows"
+
+(* --- journal integration -------------------------------------------------- *)
+
+let test_shard_kinds_registered () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " registered") true (List.mem k J.all_kinds))
+    [
+      "lsa-originated"; "lsa-delivered"; "shard-setup"; "shard-crankback";
+      "stale-decision";
+    ]
+
+let suite =
+  [
+    ( "shard.partition",
+      [
+        prop_partition_well_formed;
+        prop_partition_deterministic;
+        Alcotest.test_case "single and full partitions" `Quick
+          test_partition_extremes;
+        Alcotest.test_case "argument validation" `Quick test_partition_validation;
+      ] );
+    ( "shard.sim",
+      [
+        Alcotest.test_case "single shard = centralised manager" `Quick
+          test_single_shard_matches_centralised;
+        prop_zero_delay_sharding_is_omniscient;
+        Alcotest.test_case "pinned stale-reject crankback" `Quick
+          test_pinned_crankback;
+        Alcotest.test_case "divergence monotone in LSA interval" `Quick
+          test_divergence_monotone_in_interval;
+        Alcotest.test_case "journal kinds registered" `Quick
+          test_shard_kinds_registered;
+      ] );
+  ]
