@@ -295,6 +295,30 @@ let test_journal_record_on =
              Journal.record (Journal.Teardown { conn = 1 }));
          Journal.set_enabled false))
 
+(* Causal-span primitives: the disabled cost is the call-site guard alone
+   (one load + one branch to [Causal.null] — the [?conn]/[?t0] optional
+   arguments are only boxed on the enabled path); the enabled cost is two
+   ring appends per span (open + close). *)
+let test_span_off =
+  Test.make ~name:"journal/causal-span-disabled"
+    (Staged.stage (fun () ->
+         let sp =
+           if !Journal.on then Journal.Causal.root ~conn:1 "bench.span"
+           else Journal.Causal.null
+         in
+         if !Journal.on then Journal.Causal.close sp ~dur:0.0))
+
+let test_span_on =
+  let buf = Journal.create ~capacity:4096 () in
+  Test.make ~name:"journal/causal-span-enabled-ring"
+    (Staged.stage (fun () ->
+         Journal.set_enabled true;
+         Journal.with_buffer buf (fun () ->
+             let sp = Journal.Causal.root ~conn:1 "bench.span" in
+             Journal.Causal.leaf ~parent:sp ~dur:0.0 "bench.leaf";
+             Journal.Causal.close sp ~dur:0.0);
+         Journal.set_enabled false))
+
 (* Fault-injection primitives: the per-message draw on a lossy plan, and
    the zero-probability guard every message pays when a plan is installed
    but its class is lossless (must stay branch-cheap, since the chaos CI
@@ -359,6 +383,8 @@ let all_tests =
     test_telemetry_span_off;
     test_journal_record_off;
     test_journal_record_on;
+    test_span_off;
+    test_span_on;
     test_faults_deliver_lossy;
     test_faults_deliver_zero;
     test_shard_partition;
@@ -769,9 +795,25 @@ let regenerate () =
     (Dr_exp.Availability_exp.run cfg ~avg_degree:3.0 ~traffic:Config.UT
        ~lambda:0.5 ())
 
+(* GC/memory high-water report: informational, never a gate — absolute
+   allocation totals shift with compiler versions and flambda settings,
+   so CI archives this line instead of asserting on it. *)
+let gc_report () =
+  Telemetry.set_enabled true;
+  Telemetry.observe_gc ();
+  Telemetry.set_enabled false;
+  let s = Gc.quick_stat () in
+  Printf.printf
+    "# GC telemetry (non-gating): minor_words=%.3e major_words=%.3e \
+     promoted_words=%.3e top_heap=%d words (%.1f MiB), %d major collections\n\n"
+    s.Gc.minor_words s.Gc.major_words s.Gc.promoted_words s.Gc.top_heap_words
+    (float_of_int s.Gc.top_heap_words *. 8.0 /. (1024.0 *. 1024.0))
+    s.Gc.major_collections
+
 let () =
   run_benchmarks ();
   overhead_check ();
+  gc_report ();
   fastpath_check ();
   scaling_check ();
   print_endline "# Reproduction of every table and figure";

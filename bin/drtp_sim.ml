@@ -70,8 +70,12 @@ let telemetry_t =
             close_out_noerr oc));
     if metrics then
       (* Registered after the sink hook, so LIFO order prints the table
-         before the trace file is finalised. *)
-      at_exit (fun () -> Format.printf "@.%a@." Telemetry.pp_summary ())
+         before the trace file is finalised.  The GC sample lands just
+         before the table renders, so the [gc.*] gauges report the whole
+         run's allocation odometers and top-heap high-water mark. *)
+      at_exit (fun () ->
+          Telemetry.observe_gc ();
+          Format.printf "@.%a@." Telemetry.pp_summary ())
   in
   Term.(const setup $ trace_t $ metrics_t $ journal_t)
 
@@ -1181,6 +1185,9 @@ let inspect_cmd =
     (* Victim mass per SRLG across group-failed events: the risk groups
        whose failure keeps hurting are the exposed ones. *)
     let group_victims = Hashtbl.create 16 in
+    (* Events the bounded ring overwrote before export ([ring-dropped]
+       lines): the journal is a suffix of what the run recorded. *)
+    let ring_dropped = ref 0 in
     let folded =
       Journal.fold_jsonl file ~init:() ~f:(fun () lineno parsed ->
           incr lines;
@@ -1258,6 +1265,10 @@ let inspect_cmd =
                             ~default:0)
                   | None -> ())
               | "chain-exhausted" -> incr n_exhausted
+              | "ring-dropped" -> (
+                  match num fields "count" with
+                  | Some c -> ring_dropped := !ring_dropped + int_of_float c
+                  | None -> ())
               | "group-failed" -> (
                   match (num fields "group", num fields "victims") with
                   | Some g, Some v ->
@@ -1289,6 +1300,11 @@ let inspect_cmd =
             (if !error_count > 0 then
                Printf.sprintf " (%d malformed lines!)" !error_count
              else "");
+          if !ring_dropped > 0 then
+            Format.printf
+              "# warning: ring overwrote %d events before export — the \
+               journal is a suffix of the run; traces may be incomplete@."
+              !ring_dropped;
           Format.printf "@.@[<v># events by kind@,";
           List.iter
             (fun k ->
@@ -1371,6 +1387,80 @@ let inspect_cmd =
                   rows);
             Format.printf "@]@."
           end;
+          (* Critical-path quantiles from the causal spans, when the
+             journal carries any: per root phase, the end-to-end tail and
+             which child phase dominated it. *)
+          (if Hashtbl.mem kind_counts "span-open" then
+             match Dr_trace.Trace.of_file file with
+             | Error _ -> ()
+             | Ok t ->
+                 let module Tr = Dr_trace.Trace in
+                 let groups = Hashtbl.create 8 in
+                 let order = ref [] in
+                 List.iter
+                   (fun tr ->
+                     if Tr.complete tr then
+                       match Tr.root tr with
+                       | None -> ()
+                       | Some r ->
+                           let key = r.Tr.sp_phase in
+                           if not (Hashtbl.mem groups key) then begin
+                             order := key :: !order;
+                             Hashtbl.replace groups key []
+                           end;
+                           Hashtbl.replace groups key
+                             (tr :: Hashtbl.find groups key))
+                   (Tr.traces t);
+                 if !order <> [] then begin
+                   Format.printf
+                     "@.@[<v># critical paths (complete traces; durations \
+                      in s)@,";
+                   Format.printf "%-14s %8s %10s %10s %10s  %s@," "root"
+                     "traces" "p50" "p95" "p99" "dominant";
+                   List.iter
+                     (fun key ->
+                       let trs = Hashtbl.find groups key in
+                       let durs =
+                         Array.of_list
+                           (List.filter_map
+                              (fun tr ->
+                                Option.map
+                                  (fun r -> r.Tr.sp_dur)
+                                  (Tr.root tr))
+                              trs)
+                       in
+                       let q p = Dr_stats.Histogram.quantile durs p in
+                       (* Most frequent dominant child phase across the
+                          group's critical paths. *)
+                       let dom = Hashtbl.create 8 in
+                       List.iter
+                         (fun tr ->
+                           match Tr.critical_path tr with
+                           | _ :: step :: _ ->
+                               Hashtbl.replace dom step.Tr.sp_phase
+                                 (1
+                                 + Option.value
+                                     (Hashtbl.find_opt dom step.Tr.sp_phase)
+                                     ~default:0)
+                           | _ -> ())
+                         trs;
+                       let dominant =
+                         match
+                           List.sort compare
+                             (Hashtbl.fold
+                                (fun p c acc -> (-c, p) :: acc)
+                                dom [])
+                         with
+                         | (neg_c, p) :: _ ->
+                             Printf.sprintf "%s (%d)" p (-neg_c)
+                         | [] -> "-"
+                       in
+                       Format.printf "%-14s %8d %10.6f %10.6f %10.6f  %s@,"
+                         key (Array.length durs) (q 0.5) (q 0.95) (q 0.99)
+                         dominant)
+                     (List.rev !order);
+                   Format.printf "@]@."
+                 end);
           match
             List.sort compare
               (Hashtbl.fold
@@ -1398,6 +1488,85 @@ let inspect_cmd =
           event histogram, top contended links, spare-capacity high-water \
           marks and the recovery-latency phase breakdown.")
     Term.(const run $ telemetry_t $ file_t $ check_t $ top_t)
+
+(* ---- trace: causal-trace assembly and critical-path report -------------- *)
+
+let trace_cmd =
+  let file_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JOURNAL"
+          ~doc:
+            "Journal JSONL file (written with $(b,--journal)) carrying \
+             span-open/span-close records.")
+  in
+  let perfetto_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:
+            "Also write the traces as Chrome trace-event JSON to $(docv) — \
+             load in ui.perfetto.dev to inspect tails visually.")
+  in
+  let check_t =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Validate trace structure only: duplicate spans, unclosed \
+             spans, dangling parent/cause edges, cycles, multi-root \
+             traces.  Exit 1 on structural errors; ring-overwrite \
+             incompleteness is reported as a warning, not an error.")
+  in
+  let top_t =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Slowest traces whose critical paths are spelled out.")
+  in
+  let run () file perfetto check top =
+    let module Tr = Dr_trace.Trace in
+    match Tr.of_file file with
+    | Error msg ->
+        Printf.eprintf "drtp_sim: cannot read %s (%s)\n" file msg;
+        exit 2
+    | Ok t ->
+        (match perfetto with
+        | None -> ()
+        | Some out ->
+            let oc =
+              try open_out out
+              with Sys_error msg ->
+                Printf.eprintf "drtp_sim: cannot open perfetto file (%s)\n"
+                  msg;
+                exit 2
+            in
+            Tr.write_perfetto t oc;
+            close_out oc);
+        if check then begin
+          let issues = Tr.check t in
+          let errors = List.filter Tr.is_error issues in
+          Printf.printf "%s: %d spans in %d traces, %d errors, %d warnings\n"
+            file (Tr.span_count t)
+            (List.length (Tr.traces t))
+            (List.length errors)
+            (List.length issues - List.length errors);
+          List.iter (fun m -> Printf.printf "  %s\n" m) issues;
+          if errors <> [] then exit 1
+        end
+        else Tr.report ~top Format.std_formatter t
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Assemble the causal traces recorded in a flight-recorder journal \
+          and report sim-time critical paths: per-phase attribution tables \
+          with p50/p95/p99 quantiles, the slowest traces spelled out, \
+          optional Perfetto (Chrome trace-event) export, and a structural \
+          validation mode ($(b,--check)).")
+    Term.(const run $ telemetry_t $ file_t $ perfetto_t $ check_t $ top_t)
 
 let default_info =
   Cmd.info "drtp_sim" ~version:"1.0.0"
@@ -1428,7 +1597,7 @@ let () =
       overhead_cmd;
       recovery_cmd; chaos_cmd; srlg_cmd; shard_cmd; topo_cmd; scenario_cmd;
       replay_cmd;
-      explain_cmd; inspect_cmd; check_routing_cmd;
+      explain_cmd; inspect_cmd; trace_cmd; check_routing_cmd;
     ]
   in
   exit (Cmd.eval (Cmd.group default_info cmds))

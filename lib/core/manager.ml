@@ -1,4 +1,5 @@
 module J = Dr_obs.Journal
+module C = Dr_obs.Journal.Causal
 module Tm = Dr_telemetry.Telemetry
 
 let c_reprotect_queued = Tm.Counter.make "manager.reprotect.queued"
@@ -21,6 +22,9 @@ type reprotect_entry = {
   re_scheme : Routing.scheme;
   re_count : int;
   re_since : float;
+  re_span : C.span;
+      (* open [reprotect-dwell] span, closed when the entry settles with
+         the exact unprotected dwell time *)
 }
 
 type reprotect_stats = {
@@ -101,9 +105,20 @@ let queue_reprotect t ~id ~scheme ?(backup_count = 1) ~now () =
   | Some conn ->
       if conn.backups = [] && not (List.exists (fun e -> e.re_id = id) t.reprotect)
       then begin
+        let span =
+          if !J.on then C.root ~conn:id ~t0:now "reprotect-dwell" else C.null
+        in
         t.reprotect <-
           t.reprotect
-          @ [ { re_id = id; re_scheme = scheme; re_count = backup_count; re_since = now } ];
+          @ [
+              {
+                re_id = id;
+                re_scheme = scheme;
+                re_count = backup_count;
+                re_since = now;
+                re_span = span;
+              };
+            ];
         t.rstats.queued <- t.rstats.queued + 1;
         Tm.Counter.incr c_reprotect_queued;
         if !J.on then
@@ -115,7 +130,8 @@ let drain_reprotect t ~now =
   let drained = ref 0 in
   let settle e =
     t.rstats.unprotected_time <-
-      t.rstats.unprotected_time +. (now -. e.re_since)
+      t.rstats.unprotected_time +. (now -. e.re_since);
+    if !J.on then C.close e.re_span ~dur:(now -. e.re_since)
   in
   let keep =
     List.filter
@@ -169,7 +185,8 @@ let flush_reprotect t ~now =
     (fun e ->
       t.rstats.abandoned <- t.rstats.abandoned + 1;
       t.rstats.unprotected_time <-
-        t.rstats.unprotected_time +. (now -. e.re_since))
+        t.rstats.unprotected_time +. (now -. e.re_since);
+      if !J.on then C.close e.re_span ~dur:(now -. e.re_since))
     t.reprotect;
   t.reprotect <- []
 
@@ -181,26 +198,46 @@ let apply t (item : Dr_sim.Scenario.item) =
   | Dr_sim.Scenario.Request { conn; src; dst; bw; duration = _ } -> (
       t.stats.requests <- t.stats.requests + 1;
       if !J.on then J.record (J.Request { conn; src; dst; bw });
-      match t.route t.state ~src ~dst ~bw with
+      (* Admission trace: a root span with a [route] child pushed as the
+         ambient current span, so the flooding layer can attach its own
+         span without a signature change.  Admission is instantaneous in
+         simulation time; the spans carry structure, not duration. *)
+      let sp_adm = if !J.on then C.root ~conn "admission" else C.null in
+      let sp_route =
+        if !J.on then C.child ~parent:sp_adm ~conn "route" else C.null
+      in
+      let routed =
+        if !J.on then
+          C.with_current sp_route (fun () -> t.route t.state ~src ~dst ~bw)
+        else t.route t.state ~src ~dst ~bw
+      in
+      if !J.on then C.close sp_route ~dur:0.0;
+      match routed with
       | Error Routing.No_primary ->
           t.stats.rejected_no_primary <- t.stats.rejected_no_primary + 1;
-          if !J.on then
+          if !J.on then begin
+            C.close sp_adm ~dur:0.0;
             J.record
               (J.Rejected { conn; reason = Routing.reject_reason_name Routing.No_primary })
+          end
       | Error Routing.No_backup ->
           t.stats.rejected_no_backup <- t.stats.rejected_no_backup + 1;
-          if !J.on then
+          if !J.on then begin
+            C.close sp_adm ~dur:0.0;
             J.record
               (J.Rejected { conn; reason = Routing.reject_reason_name Routing.No_backup })
+          end
       | Ok { Routing.primary; backups } ->
           let c = Net_state.admit t.state ~id:conn ~bw ~primary ~backups in
           t.stats.accepted <- t.stats.accepted + 1;
           if backups = [] then t.stats.unprotected <- t.stats.unprotected + 1;
           if c.degraded then t.stats.degraded <- t.stats.degraded + 1;
-          if !J.on then
+          if !J.on then begin
+            C.close sp_adm ~dur:0.0;
             J.record
               (J.Admitted
-                 { conn; backups = List.length backups; degraded = c.degraded }))
+                 { conn; backups = List.length backups; degraded = c.degraded })
+          end)
   | Dr_sim.Scenario.Release { conn } -> (
       (* Rejected connections have no state to tear down. *)
       match Net_state.find t.state conn with

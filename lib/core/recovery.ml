@@ -2,6 +2,7 @@ module Graph = Dr_topo.Graph
 module Path = Dr_topo.Path
 module Tm = Dr_telemetry.Telemetry
 module J = Dr_obs.Journal
+module C = Dr_obs.Journal.Causal
 module Faults = Dr_faults.Faults
 module Backoff = Dr_faults.Backoff
 
@@ -121,7 +122,7 @@ let usable_backup_index ?(from = 0) state (conn : Net_state.conn) edge =
    the backoff time the sender slept on timeouts — exactly 0.0 without a
    plan, so zero-fault latencies stay bit-identical to the lossless
    code path. *)
-let transmit ~faults ~retrans ~cls ~id ~dropped ~resent =
+let transmit ~faults ~retrans ~cls ~id ~dropped ~resent ~span ~at =
   match faults with
   | None -> (true, 0.0)
   | Some f ->
@@ -135,16 +136,27 @@ let transmit ~faults ~retrans ~cls ~id ~dropped ~resent =
           Tm.Counter.incr c_msg_dropped;
           if !J.on then
             J.record (J.Message_dropped { cls = Faults.cls_name cls; id });
-          if Backoff.exhausted b ~attempt then
+          if Backoff.exhausted b ~attempt then begin
             (* The sender learns of the final loss by one more timeout. *)
+            if !J.on then
+              C.leaf ~parent:span ~conn:id
+                ~t0:(at +. Backoff.total_before b ~attempt)
+                ~dur:(Backoff.delay b ~attempt:(attempt + 1))
+                "timeout-wait";
             (false, Backoff.total_before b ~attempt:(attempt + 1))
+          end
           else begin
             incr resent;
             Tm.Counter.incr c_retransmits;
-            if !J.on then
+            if !J.on then begin
               J.record
                 (J.Retransmit
                    { cls = Faults.cls_name cls; conn = id; attempt = attempt + 1 });
+              C.leaf ~parent:span ~conn:id
+                ~t0:(at +. Backoff.total_before b ~attempt)
+                ~dur:(Backoff.delay b ~attempt:(attempt + 1))
+                "retransmit-wait"
+            end;
             go (attempt + 1)
           end
         end
@@ -171,23 +183,30 @@ let fail_edge_drtp state ~scheme ?(timing = default_timing) ?(reconfigure = true
   (* Reactive fallback once a signal's retransmissions are exhausted: tear
      the connection down and try a fresh (unprotected) primary, as the
      reactive scheme would. *)
-  let fallback (conn : Net_state.conn) ~spent =
+  let fallback (conn : Net_state.conn) ~sp_root ~base ~spent =
     Net_state.drop state ~id:conn.id;
     match Routing.find_primary state ~src:conn.src ~dst:conn.dst ~bw:conn.bw with
     | Some p ->
-        let latency =
-          spent +. timing.route_computation
-          +. (timing.link_delay *. float_of_int (Path.hops p))
-        in
+        let wire = timing.link_delay *. float_of_int (Path.hops p) in
+        let latency = spent +. timing.route_computation +. wire in
         ignore (Net_state.admit state ~id:conn.id ~bw:conn.bw ~primary:p ~backups:[]);
         Tm.Counter.incr c_fallback_reroutes;
         fallback_unprotected := conn.id :: !fallback_unprotected;
-        if !J.on then
-          J.record (J.Rerouted { conn = conn.id; latency; retries = 0 });
+        if !J.on then begin
+          C.leaf ~parent:sp_root ~conn:conn.id ~t0:(base +. spent)
+            ~dur:timing.route_computation "route-comp";
+          C.leaf ~parent:sp_root ~conn:conn.id
+            ~t0:(base +. spent +. timing.route_computation)
+            ~dur:wire "wire";
+          C.close sp_root ~dur:latency;
+          J.record (J.Rerouted { conn = conn.id; latency; retries = 0 })
+        end;
         `Fell_back latency
     | None ->
-        if !J.on then
-          J.record (J.Connection_lost { conn = conn.id; latency = spent });
+        if !J.on then begin
+          C.close sp_root ~dur:spent;
+          J.record (J.Connection_lost { conn = conn.id; latency = spent })
+        end;
         `Lost spent
   in
   let tagged =
@@ -195,53 +214,97 @@ let fail_edge_drtp state ~scheme ?(timing = default_timing) ?(reconfigure = true
       (fun (conn : Net_state.conn) ->
         let hops = report_hops conn edge in
         let detection = timing.detection_delay in
+        let base = J.now () in
+        let sp_root =
+          if !J.on then C.root ~conn:conn.id "recovery" else C.null
+        in
+        if !J.on then
+          C.leaf ~parent:sp_root ~conn:conn.id ~t0:base ~dur:detection
+            "detect";
         let report = timing.link_delay *. float_of_int hops in
+        let sp_report =
+          if !J.on then
+            C.child ~parent:sp_root ~conn:conn.id ~t0:(base +. detection)
+              "report"
+          else C.null
+        in
         let rep_ok, rep_extra =
           transmit ~faults ~retrans ~cls:Faults.Report ~id:conn.id ~dropped
-            ~resent
+            ~resent ~span:sp_report
+            ~at:(base +. detection +. report)
         in
         (* Retransmission time rides on the phase that spent it, so the
            journal's detection/report/activation decomposition still sums
            to the full recovery latency. *)
         let report = report +. rep_extra in
+        if !J.on then C.close sp_report ~dur:report;
         let notify = detection +. report in
         if !J.on then
           J.record (J.Report_hop { conn = conn.id; hops; detection; report });
-        if not rep_ok then (conn.id, fallback conn ~spent:notify)
+        if not rep_ok then (conn.id, fallback conn ~sp_root ~base ~spent:notify)
         else
           (* Walk the surviving backups in priority order; a lost
              activation signal burns its retransmission budget and falls
-             through to the next backup. *)
-          let rec activate from wasted tried =
+             through to the next backup.  [tries] buffers each burned
+             member's (start, cost) so the spans can attach to whichever
+             phase the outcome settles on (activate vs failover-wasted). *)
+          let rec activate from wasted tries tried =
             match usable_backup_index ~from state conn edge with
             | Some (index, b) ->
                 let act_ok, act_extra =
                   transmit ~faults ~retrans ~cls:Faults.Activation ~id:conn.id
-                    ~dropped ~resent
+                    ~dropped ~resent ~span:C.null ~at:0.0
                 in
                 if act_ok then begin
-                  let activation =
-                    wasted +. act_extra
-                    +. (timing.link_delay *. float_of_int (Path.hops b))
-                  in
+                  let wire = timing.link_delay *. float_of_int (Path.hops b) in
+                  let activation = wasted +. act_extra +. wire in
                   let latency = notify +. activation in
                   Net_state.promote_backup state ~id:conn.id ~index ();
-                  if !J.on then
+                  if !J.on then begin
+                    let sp_act =
+                      C.child ~parent:sp_root ~conn:conn.id
+                        ~t0:(base +. notify) "activate"
+                    in
+                    List.iter
+                      (fun (t0, dur) ->
+                        C.leaf ~parent:sp_act ~conn:conn.id ~t0 ~dur
+                          "failover-wait")
+                      (List.rev tries);
+                    if act_extra > 0.0 then
+                      C.leaf ~parent:sp_act ~conn:conn.id
+                        ~t0:(base +. notify +. wasted) ~dur:act_extra
+                        "retransmit-wait";
+                    C.leaf ~parent:sp_act ~conn:conn.id
+                      ~t0:(base +. notify +. wasted +. act_extra) ~dur:wire
+                      "wire";
+                    C.close sp_act ~dur:activation;
+                    C.close sp_root ~dur:latency;
                     J.record
                       (J.Backup_activated
-                         { conn = conn.id; index; detection; report; activation });
+                         { conn = conn.id; index; detection; report; activation })
+                  end;
                   switched := (conn.id, latency) :: !switched;
                   `Switched latency
                 end
-                else activate (index + 1) (wasted +. act_extra) true
+                else
+                  activate (index + 1) (wasted +. act_extra)
+                    (if !J.on then
+                       (base +. notify +. wasted, act_extra) :: tries
+                     else tries)
+                    true
             | None ->
-                if tried then
+                if tried then begin
                   (* Backups existed, but every activation signal was
                      lost: fall back to a reactive reroute. *)
-                  fallback conn ~spent:(notify +. wasted)
+                  if !J.on then
+                    C.leaf ~parent:sp_root ~conn:conn.id ~t0:(base +. notify)
+                      ~dur:wasted "failover-wasted";
+                  fallback conn ~sp_root ~base ~spent:(notify +. wasted)
+                end
                 else begin
                   Net_state.drop state ~id:conn.id;
                   if !J.on then begin
+                    C.close sp_root ~dur:notify;
                     J.record (J.Backup_contended { conn = conn.id });
                     J.record
                       (J.Connection_lost { conn = conn.id; latency = notify })
@@ -249,7 +312,7 @@ let fail_edge_drtp state ~scheme ?(timing = default_timing) ?(reconfigure = true
                   `Lost notify
                 end
           in
-          (conn.id, activate 0 0.0 false))
+          (conn.id, activate 0 0.0 [] false))
       victims
   in
   (* DRTP step 4: re-protect the promoted connections and re-route the
@@ -358,6 +421,18 @@ let fail_edge_local_detour state ?(timing = default_timing) ~edge () =
       (fun (conn : Net_state.conn) ->
         (* The upstream endpoint of the failed link detects and repairs
            locally — no report to the source. *)
+        let base = J.now () in
+        let sp_root =
+          if !J.on then C.root ~conn:conn.id "recovery" else C.null
+        in
+        let lost_phases latency =
+          C.leaf ~parent:sp_root ~conn:conn.id ~t0:base
+            ~dur:timing.detection_delay "detect";
+          C.leaf ~parent:sp_root ~conn:conn.id
+            ~t0:(base +. timing.detection_delay)
+            ~dur:timing.route_computation "route-comp";
+          C.close sp_root ~dur:latency
+        in
         let primary_nodes = Path.nodes graph conn.primary in
         let rec find_failed prefix = function
           | l :: rest when Graph.edge_of_link l <> edge ->
@@ -379,8 +454,10 @@ let fail_edge_local_detour state ?(timing = default_timing) ~edge () =
             let latency = timing.detection_delay +. timing.route_computation in
             Net_state.drop state ~id:conn.id;
             Tm.Counter.incr c_lost;
-            if !J.on then
-              J.record (J.Connection_lost { conn = conn.id; latency });
+            if !J.on then begin
+              lost_phases latency;
+              J.record (J.Connection_lost { conn = conn.id; latency })
+            end;
             (conn.id, Lost { latency })
         | Some d ->
             (* Splice the detour in place of the failed hop and drop any
@@ -400,21 +477,34 @@ let fail_edge_local_detour state ?(timing = default_timing) ~edge () =
             let new_primary = Path.of_nodes graph new_nodes in
             (try
                Net_state.reroute_primary state ~id:conn.id ~primary:new_primary;
+               let wire = timing.link_delay *. float_of_int (Path.hops d) in
                let latency =
-                 timing.detection_delay +. timing.route_computation
-                 +. (timing.link_delay *. float_of_int (Path.hops d))
+                 timing.detection_delay +. timing.route_computation +. wire
                in
                Tm.Counter.incr c_rerouted;
                Tm.Timer.record t_reroute latency;
-               if !J.on then
-                 J.record (J.Rerouted { conn = conn.id; latency; retries = 0 });
+               if !J.on then begin
+                 C.leaf ~parent:sp_root ~conn:conn.id ~t0:base
+                   ~dur:timing.detection_delay "detect";
+                 C.leaf ~parent:sp_root ~conn:conn.id
+                   ~t0:(base +. timing.detection_delay)
+                   ~dur:timing.route_computation "route-comp";
+                 C.leaf ~parent:sp_root ~conn:conn.id
+                   ~t0:(base +. timing.detection_delay
+                        +. timing.route_computation)
+                   ~dur:wire "wire";
+                 C.close sp_root ~dur:latency;
+                 J.record (J.Rerouted { conn = conn.id; latency; retries = 0 })
+               end;
                (conn.id, Rerouted { latency; retries = 0 })
              with Invalid_argument _ ->
                let latency = timing.detection_delay +. timing.route_computation in
                Net_state.drop state ~id:conn.id;
                Tm.Counter.incr c_lost;
-               if !J.on then
-                 J.record (J.Connection_lost { conn = conn.id; latency });
+               if !J.on then begin
+                 lost_phases latency;
+                 J.record (J.Connection_lost { conn = conn.id; latency })
+               end;
                (conn.id, Lost { latency })))
       victims
   in
@@ -443,9 +533,18 @@ let fail_edge_reactive state ?(timing = default_timing) ~edge () =
       let detection = timing.detection_delay in
       let report = timing.link_delay *. float_of_int hops in
       let notify = detection +. report in
-      if !J.on then
-        J.record (J.Report_hop { conn = conn.id; hops; detection; report });
-      Hashtbl.replace notify_of conn.id (notify, conn.src, conn.dst, conn.bw);
+      let base = J.now () in
+      let sp_root =
+        if !J.on then C.root ~conn:conn.id "recovery" else C.null
+      in
+      if !J.on then begin
+        C.leaf ~parent:sp_root ~conn:conn.id ~t0:base ~dur:detection "detect";
+        C.leaf ~parent:sp_root ~conn:conn.id ~t0:(base +. detection)
+          ~dur:report "report";
+        J.record (J.Report_hop { conn = conn.id; hops; detection; report })
+      end;
+      Hashtbl.replace notify_of conn.id
+        (notify, conn.src, conn.dst, conn.bw, sp_root, base);
       Net_state.drop state ~id:conn.id)
     victims;
   (* Retry pacing: doubling backoff before attempt [n] (0-based).
@@ -457,7 +556,20 @@ let fail_edge_reactive state ?(timing = default_timing) ~edge () =
   let outcomes =
     List.map
       (fun (conn : Net_state.conn) ->
-        let notify, src, dst, bw = Hashtbl.find notify_of conn.id in
+        let notify, src, dst, bw, sp_root, base =
+          Hashtbl.find notify_of conn.id
+        in
+        let backoff_phases n =
+          (* Phase leaves for the n-attempt search: total backoff slept,
+             then the per-attempt route computations — folded after
+             detect/report they re-compose [spent] bit-exactly. *)
+          let bt = Backoff.total_before backoff ~attempt:n in
+          let rct = timing.route_computation *. float_of_int (n + 1) in
+          C.leaf ~parent:sp_root ~conn:conn.id ~t0:(base +. notify) ~dur:bt
+            "backoff-wait";
+          C.leaf ~parent:sp_root ~conn:conn.id ~t0:(base +. notify +. bt)
+            ~dur:rct "route-comp"
+        in
         let rec attempt n =
           Tm.Counter.incr c_reattempts;
           let spent =
@@ -467,20 +579,27 @@ let fail_edge_reactive state ?(timing = default_timing) ~edge () =
           in
           match Routing.find_primary state ~src ~dst ~bw with
           | Some p ->
-              let latency =
-                spent +. (timing.link_delay *. float_of_int (Path.hops p))
-              in
+              let wire = timing.link_delay *. float_of_int (Path.hops p) in
+              let latency = spent +. wire in
               ignore (Net_state.admit state ~id:conn.id ~bw ~primary:p ~backups:[]);
               Tm.Counter.incr c_rerouted;
               Tm.Timer.record t_reroute latency;
-              if !J.on then
-                J.record (J.Rerouted { conn = conn.id; latency; retries = n });
+              if !J.on then begin
+                backoff_phases n;
+                C.leaf ~parent:sp_root ~conn:conn.id ~t0:(base +. spent)
+                  ~dur:wire "wire";
+                C.close sp_root ~dur:latency;
+                J.record (J.Rerouted { conn = conn.id; latency; retries = n })
+              end;
               (conn.id, Rerouted { latency; retries = n })
           | None ->
               if Backoff.exhausted backoff ~attempt:n then begin
                 Tm.Counter.incr c_lost;
-                if !J.on then
-                  J.record (J.Connection_lost { conn = conn.id; latency = spent });
+                if !J.on then begin
+                  backoff_phases n;
+                  C.close sp_root ~dur:spent;
+                  J.record (J.Connection_lost { conn = conn.id; latency = spent })
+                end;
                 (conn.id, Lost { latency = spent })
               end
               else attempt (n + 1)
@@ -538,23 +657,30 @@ let fail_edges_drtp state ~scheme ?(timing = default_timing)
   let dropped = ref 0 and resent = ref 0 in
   let fallback_unprotected = ref [] in
   let switched = ref [] in
-  let fallback (conn : Net_state.conn) ~spent =
+  let fallback (conn : Net_state.conn) ~sp_root ~base ~spent =
     Net_state.drop state ~id:conn.id;
     match Routing.find_primary state ~src:conn.src ~dst:conn.dst ~bw:conn.bw with
     | Some p ->
-        let latency =
-          spent +. timing.route_computation
-          +. (timing.link_delay *. float_of_int (Path.hops p))
-        in
+        let wire = timing.link_delay *. float_of_int (Path.hops p) in
+        let latency = spent +. timing.route_computation +. wire in
         ignore (Net_state.admit state ~id:conn.id ~bw:conn.bw ~primary:p ~backups:[]);
         Tm.Counter.incr c_fallback_reroutes;
         fallback_unprotected := conn.id :: !fallback_unprotected;
-        if !J.on then
-          J.record (J.Rerouted { conn = conn.id; latency; retries = 0 });
+        if !J.on then begin
+          C.leaf ~parent:sp_root ~conn:conn.id ~t0:(base +. spent)
+            ~dur:timing.route_computation "route-comp";
+          C.leaf ~parent:sp_root ~conn:conn.id
+            ~t0:(base +. spent +. timing.route_computation)
+            ~dur:wire "wire";
+          C.close sp_root ~dur:latency;
+          J.record (J.Rerouted { conn = conn.id; latency; retries = 0 })
+        end;
         `Fell_back latency
     | None ->
-        if !J.on then
-          J.record (J.Connection_lost { conn = conn.id; latency = spent });
+        if !J.on then begin
+          C.close sp_root ~dur:spent;
+          J.record (J.Connection_lost { conn = conn.id; latency = spent })
+        end;
         `Lost spent
   in
   (* First usable chain member at or past [from]: survives *every* failed
@@ -579,36 +705,67 @@ let fail_edges_drtp state ~scheme ?(timing = default_timing)
            that endpoint's report arrives first. *)
         let hops = report_hops_any conn in_group in
         let detection = timing.detection_delay in
+        let base = J.now () in
+        let sp_root =
+          if !J.on then C.root ~conn:conn.id "recovery" else C.null
+        in
+        if !J.on then
+          C.leaf ~parent:sp_root ~conn:conn.id ~t0:base ~dur:detection
+            "detect";
         let report = timing.link_delay *. float_of_int hops in
+        let sp_report =
+          if !J.on then
+            C.child ~parent:sp_root ~conn:conn.id ~t0:(base +. detection)
+              "report"
+          else C.null
+        in
         let rep_ok, rep_extra =
           transmit ~faults ~retrans ~cls:Faults.Report ~id:conn.id ~dropped
-            ~resent
+            ~resent ~span:sp_report
+            ~at:(base +. detection +. report)
         in
         let report = report +. rep_extra in
+        if !J.on then C.close sp_report ~dur:report;
         let notify = detection +. report in
         if !J.on then
           J.record (J.Report_hop { conn = conn.id; hops; detection; report });
-        if not rep_ok then (conn.id, fallback conn ~spent:notify)
+        if not rep_ok then (conn.id, fallback conn ~sp_root ~base ~spent:notify)
         else
           (* Ordered failover down the chain: walk members in priority
              order; a lost activation signal burns its budget and falls
              through to the next member. *)
-          let rec activate from wasted tried =
+          let rec activate from wasted tries tried =
             match usable_member ~from conn with
             | Some (index, b) ->
                 let act_ok, act_extra =
                   transmit ~faults ~retrans ~cls:Faults.Activation ~id:conn.id
-                    ~dropped ~resent
+                    ~dropped ~resent ~span:C.null ~at:0.0
                 in
                 if act_ok then begin
-                  let activation =
-                    wasted +. act_extra
-                    +. (timing.link_delay *. float_of_int (Path.hops b))
-                  in
+                  let wire = timing.link_delay *. float_of_int (Path.hops b) in
+                  let activation = wasted +. act_extra +. wire in
                   let latency = notify +. activation in
                   Net_state.promote_backup state ~id:conn.id ~index ();
                   Tm.Counter.incr c_chain_failover;
                   if !J.on then begin
+                    let sp_act =
+                      C.child ~parent:sp_root ~conn:conn.id
+                        ~t0:(base +. notify) "activate"
+                    in
+                    List.iter
+                      (fun (t0, dur) ->
+                        C.leaf ~parent:sp_act ~conn:conn.id ~t0 ~dur
+                          "failover-wait")
+                      (List.rev tries);
+                    if act_extra > 0.0 then
+                      C.leaf ~parent:sp_act ~conn:conn.id
+                        ~t0:(base +. notify +. wasted) ~dur:act_extra
+                        "retransmit-wait";
+                    C.leaf ~parent:sp_act ~conn:conn.id
+                      ~t0:(base +. notify +. wasted +. act_extra) ~dur:wire
+                      "wire";
+                    C.close sp_act ~dur:activation;
+                    C.close sp_root ~dur:latency;
                     J.record
                       (J.Backup_activated
                          { conn = conn.id; index; detection; report; activation });
@@ -624,14 +781,25 @@ let fail_edges_drtp state ~scheme ?(timing = default_timing)
                   switched := (conn.id, latency) :: !switched;
                   `Switched latency
                 end
-                else activate (index + 1) (wasted +. act_extra) true
+                else
+                  activate (index + 1) (wasted +. act_extra)
+                    (if !J.on then
+                       (base +. notify +. wasted, act_extra) :: tries
+                     else tries)
+                    true
             | None ->
                 Tm.Counter.incr c_chain_exhausted;
                 if !J.on then J.record (J.Chain_exhausted { conn = conn.id });
-                if tried then fallback conn ~spent:(notify +. wasted)
+                if tried then begin
+                  if !J.on then
+                    C.leaf ~parent:sp_root ~conn:conn.id ~t0:(base +. notify)
+                      ~dur:wasted "failover-wasted";
+                  fallback conn ~sp_root ~base ~spent:(notify +. wasted)
+                end
                 else begin
                   Net_state.drop state ~id:conn.id;
                   if !J.on then begin
+                    C.close sp_root ~dur:notify;
                     J.record (J.Backup_contended { conn = conn.id });
                     J.record
                       (J.Connection_lost { conn = conn.id; latency = notify })
@@ -639,7 +807,7 @@ let fail_edges_drtp state ~scheme ?(timing = default_timing)
                   `Lost notify
                 end
           in
-          (conn.id, activate 0 0.0 false))
+          (conn.id, activate 0 0.0 [] false))
       victims
   in
   (* Step 4, chain-aware: top exhausted chains back up with members that

@@ -232,7 +232,12 @@ let run_many ?pool ?on_result (cfg : Config.t) tasks =
     | None -> Pool.with_pool ~jobs:1 (fun pool -> Pool.map ?on_result pool plain tasks)
   else begin
     let coordinator = J.current () in
-    let f task = J.capture (fun () -> plain task) in
+    (* Trace-id seeds must not depend on which worker domain runs which
+       task: reserve one epoch per task index here, before dispatch, so
+       the merged journal's trace ids are independent of [--jobs]. *)
+    let base = J.Causal.alloc_trace_epochs coordinator (Array.length tasks) in
+    let seeded = Array.mapi (fun i task -> (base + i, task)) tasks in
+    let f (seed, task) = J.capture ~trace_seed:seed (fun () -> plain task) in
     let merge i r =
       let forwarded =
         match r with
@@ -245,9 +250,10 @@ let run_many ?pool ?on_result (cfg : Config.t) tasks =
     in
     let results =
       match pool with
-      | Some pool -> Pool.map ~on_result:merge pool f tasks
+      | Some pool -> Pool.map ~on_result:merge pool f seeded
       | None ->
-          Pool.with_pool ~jobs:1 (fun pool -> Pool.map ~on_result:merge pool f tasks)
+          Pool.with_pool ~jobs:1 (fun pool ->
+              Pool.map ~on_result:merge pool f seeded)
     in
     Array.map (function Ok (m, _) -> Ok m | Error e -> Error e) results
   end

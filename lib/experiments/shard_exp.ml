@@ -204,7 +204,9 @@ let run ?pool (cfg : Config.t) ~avg_degree ~traffic ~lambda ~scheme
       | None -> Pool.with_pool ~jobs:1 (fun pool -> Pool.map pool f tasks)
     else begin
       let coordinator = J.current () in
-      let g task = J.capture (fun () -> f task) in
+      let g ((i, _) as task) =
+        J.capture ~trace_seed:(cell_seed ~seed i) (fun () -> f task)
+      in
       let merge _i = function
         | Ok (_, journal_entries) -> J.append_entries coordinator journal_entries
         | Error _ -> ()

@@ -6,6 +6,7 @@ module Resources = Drtp.Resources
 module Routing = Drtp.Routing
 module Tm = Dr_telemetry.Telemetry
 module J = Dr_obs.Journal
+module C = Dr_obs.Journal.Causal
 module Faults = Dr_faults.Faults
 
 (* Telemetry: per-flood message accounting (§4's CDP traffic is the
@@ -72,8 +73,16 @@ let discover ?faults cfg state ~hop_matrix ~src ~dst ~bw =
   let graph = Net_state.graph state in
   let resources = Net_state.resources state in
   let d_min = hop_matrix.(src).(dst) in
-  if d_min = Dr_topo.Shortest_path.unreachable then
+  (* Attach the flood to whatever span is ambient (the admission trace's
+     [route] child when the manager drives us); a null parent makes this
+     free-standing floods a no-op. *)
+  let sp_flood =
+    if !J.on then C.child ~parent:(C.current ()) "flood" else C.null
+  in
+  if d_min = Dr_topo.Shortest_path.unreachable then begin
+    if !J.on then C.close sp_flood ~dur:0.0;
     { candidates = []; messages = 0; truncated = false }
+  end
   else begin
     let hc_limit =
       int_of_float (Float.round (cfg.rho *. float_of_int d_min)) + cfg.beta0
@@ -180,7 +189,8 @@ let discover ?faults cfg state ~hop_matrix ~src ~dst ~bw =
         J.record (J.Flood_truncated { src; dst; messages = !messages });
       !on_truncated ~src ~dst ~messages:!messages
     end;
-    if !J.on then
+    if !J.on then begin
+      C.close sp_flood ~dur:0.0;
       J.record
         (J.Flood_done
            {
@@ -189,7 +199,8 @@ let discover ?faults cfg state ~hop_matrix ~src ~dst ~bw =
              messages = !messages;
              candidates = !candidate_count;
              truncated = !truncated;
-           });
+           })
+    end;
     { candidates = List.rev !candidates; messages = !messages; truncated = !truncated }
   end
 

@@ -1,3 +1,5 @@
+module Rng = Dr_rng.Splitmix64
+
 let on = ref false
 let enabled () = !on
 let set_enabled b = on := b
@@ -64,6 +66,17 @@ type event =
   | Shard_setup of { conn : int; shards : int; attempt : int }
   | Shard_crankback of { conn : int; attempt : int; reason : string }
   | Stale_decision of { conn : int; age : float; divergent : bool }
+  | Span_open of {
+      trace : int;
+      span : int;
+      parent : int;
+      cause : int;
+      phase : string;
+      conn : int;
+      t0 : float;
+    }
+  | Span_close of { trace : int; span : int; dur : float }
+  | Ring_dropped of { count : int }
 
 let kind_name = function
   | Request _ -> "request"
@@ -97,6 +110,9 @@ let kind_name = function
   | Shard_setup _ -> "shard-setup"
   | Shard_crankback _ -> "shard-crankback"
   | Stale_decision _ -> "stale-decision"
+  | Span_open _ -> "span-open"
+  | Span_close _ -> "span-close"
+  | Ring_dropped _ -> "ring-dropped"
 
 let all_kinds =
   [
@@ -107,7 +123,7 @@ let all_kinds =
     "message-dropped"; "retransmit"; "flood-truncated"; "reprotect-queued";
     "group-failed"; "chain-built"; "chain-failover"; "chain-exhausted";
     "lsa-originated"; "lsa-delivered"; "shard-setup"; "shard-crankback";
-    "stale-decision";
+    "stale-decision"; "span-open"; "span-close"; "ring-dropped";
   ]
 
 type entry = { seq : int; time : float; event : event }
@@ -119,11 +135,12 @@ let default_capacity = 1 lsl 18
 type t = {
   ring : entry option array;
   mutable appended : int; (* total ever appended; next seq *)
+  mutable trace_epochs : int; (* next per-buffer trace-seed epoch *)
 }
 
 let create ?(capacity = default_capacity) () =
   if capacity < 1 then invalid_arg "Journal.create: capacity must be >= 1";
-  { ring = Array.make capacity None; appended = 0 }
+  { ring = Array.make capacity None; appended = 0; trace_epochs = 0 }
 
 let capacity t = Array.length t.ring
 let length t = min t.appended (Array.length t.ring)
@@ -146,7 +163,8 @@ let entries t =
 
 let clear t =
   Array.fill t.ring 0 (Array.length t.ring) None;
-  t.appended <- 0
+  t.appended <- 0;
+  t.trace_epochs <- 0
 
 (* ---- per-domain recording context --------------------------------------- *)
 
@@ -154,10 +172,27 @@ let clear t =
    pool workers never interleave entries; drivers that fan tasks out wrap
    each task in [capture] and re-append in task-index order, which is what
    makes journal output byte-identical across --jobs counts. *)
-type ctx = { mutable buf : t; mutable sim_now : float }
+type ctx = {
+  mutable buf : t;
+  mutable sim_now : float;
+  (* causal-tracing state: a dedicated RNG for trace ids (never shared with
+     the simulation streams, so tracing cannot perturb behaviour), a span-id
+     counter, and the ambient current-span stack used to thread causality
+     across module boundaries without signature churn *)
+  mutable c_rng : Rng.t;
+  mutable c_next_span : int;
+  mutable c_stack : (int * int) list; (* (trace, span) *)
+}
 
 let ctx_key =
-  Domain.DLS.new_key (fun () -> { buf = create (); sim_now = 0.0 })
+  Domain.DLS.new_key (fun () ->
+      {
+        buf = create ();
+        sim_now = 0.0;
+        c_rng = Rng.create 0;
+        c_next_span = 0;
+        c_stack = [];
+      })
 
 let ctx () = Domain.DLS.get ctx_key
 
@@ -169,6 +204,103 @@ let record event =
   if !on then
     let c = ctx () in
     append c.buf ~time:c.sim_now event
+
+(* ---- causal spans -------------------------------------------------------- *)
+
+module Causal = struct
+  type span = { sp_trace : int; sp_id : int }
+
+  let null = { sp_trace = -1; sp_id = -1 }
+  let is_null s = s.sp_id < 0
+  let trace_id s = s.sp_trace
+  let span_id s = s.sp_id
+
+  let reset ~seed =
+    let c = ctx () in
+    c.c_rng <- Rng.create seed;
+    c.c_next_span <- 0;
+    c.c_stack <- []
+
+  (* Per-buffer, not process-global: a journal's bytes must depend only
+     on the run that produced it, never on how many runs preceded it in
+     the same process. *)
+  let alloc_trace_epochs t n =
+    if n < 0 then invalid_arg "Causal.alloc_trace_epochs: n must be >= 0";
+    let base = t.trace_epochs in
+    t.trace_epochs <- base + n;
+    base
+
+  (* Trace ids are the top 48 bits of a SplitMix64 draw: always a
+     non-negative OCaml int, and collisions between independently seeded
+     tasks are negligible. *)
+  let fresh_trace c =
+    Int64.to_int (Int64.shift_right_logical (Rng.next_int64 c.c_rng) 16)
+
+  let fresh_span c =
+    let id = c.c_next_span in
+    c.c_next_span <- id + 1;
+    id
+
+  let open_span c ~trace ~parent ~cause ~conn ~t0 phase =
+    let id = fresh_span c in
+    append c.buf ~time:c.sim_now
+      (Span_open
+         {
+           trace;
+           span = id;
+           parent;
+           cause = (if is_null cause then -1 else cause.sp_id);
+           phase;
+           conn;
+           t0 = (match t0 with Some t -> t | None -> c.sim_now);
+         });
+    { sp_trace = trace; sp_id = id }
+
+  let root ?(cause = null) ?(conn = -1) ?t0 phase =
+    if not !on then null
+    else
+      let c = ctx () in
+      open_span c ~trace:(fresh_trace c) ~parent:(-1) ~cause ~conn ~t0 phase
+
+  let child ?(cause = null) ?(conn = -1) ?t0 ~parent phase =
+    if (not !on) || is_null parent then null
+    else
+      let c = ctx () in
+      open_span c ~trace:parent.sp_trace ~parent:parent.sp_id ~cause ~conn ~t0
+        phase
+
+  let close s ~dur =
+    if !on && not (is_null s) then
+      record (Span_close { trace = s.sp_trace; span = s.sp_id; dur })
+
+  let leaf ?cause ?conn ?t0 ~parent ~dur phase =
+    let s = child ?cause ?conn ?t0 ~parent phase in
+    close s ~dur
+
+  let current () =
+    if not !on then null
+    else
+      match (ctx ()).c_stack with
+      | [] -> null
+      | (tr, id) :: _ -> { sp_trace = tr; sp_id = id }
+
+  let with_current s f =
+    if (not !on) || is_null s then f ()
+    else begin
+      let c = ctx () in
+      c.c_stack <- (s.sp_trace, s.sp_id) :: c.c_stack;
+      let pop () =
+        match c.c_stack with [] -> () | _ :: tl -> c.c_stack <- tl
+      in
+      match f () with
+      | v ->
+          pop ();
+          v
+      | exception e ->
+          pop ();
+          raise e
+    end
+end
 
 let with_buffer buf f =
   let c = ctx () in
@@ -182,16 +314,43 @@ let with_buffer buf f =
       c.buf <- saved;
       raise e
 
-let capture ?capacity f =
+let capture ?capacity ?trace_seed f =
   let c = ctx () in
   let saved_now = c.sim_now in
+  let saved_rng = c.c_rng in
+  let saved_span = c.c_next_span in
+  let saved_stack = c.c_stack in
   c.sim_now <- 0.0;
+  (match trace_seed with
+  | Some seed ->
+      c.c_rng <- Rng.create seed;
+      c.c_next_span <- 0;
+      c.c_stack <- []
+  | None -> ());
   let buf = create ?capacity () in
-  let finish () = c.sim_now <- saved_now in
+  let finish () =
+    c.sim_now <- saved_now;
+    (match trace_seed with
+    | Some _ ->
+        c.c_rng <- saved_rng;
+        c.c_next_span <- saved_span;
+        c.c_stack <- saved_stack
+    | None -> ())
+  in
+  let captured () =
+    let es = entries buf in
+    (* Surface ring overwrite instead of silently handing back a window:
+       downstream consumers (trace assembly in particular) must know the
+       DAG may be missing its oldest spans. *)
+    if dropped buf > 0 then
+      { seq = 0; time = 0.0; event = Ring_dropped { count = dropped buf } }
+      :: es
+    else es
+  in
   match with_buffer buf f with
   | v ->
       finish ();
-      (v, entries buf)
+      (v, captured ())
   | exception e ->
       finish ();
       raise e
@@ -385,6 +544,19 @@ let add_event_fields b first = function
       int_field b first "conn" conn;
       float_field b first "age_s" age;
       bool_field b first "divergent" divergent
+  | Span_open { trace; span; parent; cause; phase; conn; t0 } ->
+      int_field b first "trace" trace;
+      int_field b first "span" span;
+      int_field b first "parent" parent;
+      int_field b first "cause" cause;
+      str_field b first "phase" phase;
+      int_field b first "conn" conn;
+      float_field b first "t0_s" t0
+  | Span_close { trace; span; dur } ->
+      int_field b first "trace" trace;
+      int_field b first "span" span;
+      float_field b first "dur_s" dur
+  | Ring_dropped { count } -> int_field b first "count" count
 
 let entry_to_json e =
   let b = Buffer.create 128 in
@@ -397,12 +569,22 @@ let entry_to_json e =
   Buffer.add_char b '}';
   Buffer.contents b
 
+(* A wrapped ring leads its export with a [ring-dropped] line (seq =
+   total appended, so it never clashes with a retained entry's seq) — the
+   reader side uses it to warn that the oldest events are gone. *)
+let export_entries t =
+  let es = entries t in
+  if dropped t > 0 then
+    { seq = recorded t; time = 0.0; event = Ring_dropped { count = dropped t } }
+    :: es
+  else es
+
 let write_jsonl t oc =
   List.iter
     (fun e ->
       output_string oc (entry_to_json e);
       output_char oc '\n')
-    (entries t)
+    (export_entries t)
 
 let to_jsonl_string t =
   let b = Buffer.create 4096 in
@@ -410,7 +592,7 @@ let to_jsonl_string t =
     (fun e ->
       Buffer.add_string b (entry_to_json e);
       Buffer.add_char b '\n')
-    (entries t);
+    (export_entries t);
   Buffer.contents b
 
 (* ---- JSONL reader -------------------------------------------------------- *)

@@ -146,6 +146,30 @@ type event =
       (** an inter-shard admission decision was taken on a view whose
           remote entries averaged [age] seconds old; [divergent] marks
           the route differing from the omniscient route *)
+  | Span_open of {
+      trace : int;  (** 48-bit trace id drawn from the causal RNG *)
+      span : int;  (** span id, unique within the trace *)
+      parent : int;  (** enclosing span id, [-1] for a trace root *)
+      cause : int;
+          (** causal-predecessor span id ([-1] for none): the span whose
+              completion triggered this one without containing it — e.g. a
+              crankback attempt caused by the rejected previous attempt *)
+      phase : string;  (** phase label, e.g. ["recovery"], ["report"] *)
+      conn : int;  (** connection id, [-1] when not connection-scoped *)
+      t0 : float;
+          (** logical start time.  Distinct from the entry's [t] stamp
+              because analytic recovery computes a whole latency
+              decomposition at one simulation instant: [t0]/[dur] carry the
+              reconstructed timeline. *)
+    }
+  | Span_close of { trace : int; span : int; dur : float }
+      (** closes [span]; [dur] is the span's {e exact} duration as the
+          emitting code computed it, so per-phase durations re-folded in
+          emission order sum bit-exactly to the composed latency *)
+  | Ring_dropped of { count : int }
+      (** the bounded ring overwrote [count] entries before this export:
+          the journal's oldest events (and any spans they carried) are
+          gone.  Synthesised at export time, never recorded live. *)
 
 val kind_name : event -> string
 (** Stable kebab-case kind tag, e.g. ["backup-chosen"]. *)
@@ -197,15 +221,97 @@ val now : unit -> float
 val current : unit -> t
 (** The calling domain's current buffer. *)
 
+(** {1 Causal spans}
+
+    A lightweight causal-context layer over the journal: spans are
+    [Span_open]/[Span_close] event pairs carrying a trace id, a parent
+    edge (containment) and an optional cause edge (triggering), from
+    which {!Dr_trace.Trace} reconstructs per-connection DAGs and critical
+    paths.
+
+    {b Determinism.}  Trace ids are drawn from a dedicated per-domain
+    SplitMix64 stream (never shared with simulation RNGs, so tracing is
+    behaviour-neutral), and span ids count up from a per-context counter.
+    Parallel drivers hand each task a distinct [trace_seed] (via
+    {!capture}) in task-index order, which keeps merged journals
+    byte-identical for any [--jobs] count.
+
+    {b Cost.}  Every operation is a no-op returning {!Causal.null} while
+    the journal is disabled — same one-load-one-branch budget as
+    {!record}. *)
+
+module Causal : sig
+  type span
+  (** A handle to an open span: trace id + span id.  Copyable, cheap. *)
+
+  val null : span
+  (** The absent span: all operations on it are no-ops, and passing it as
+      [?cause] means "no causal predecessor". *)
+
+  val is_null : span -> bool
+  val trace_id : span -> int
+  val span_id : span -> int
+
+  val reset : seed:int -> unit
+  (** Re-seed the calling domain's causal context (trace-id RNG, span
+      counter, ambient stack).  Unpooled drivers call this once per run;
+      pooled tasks get it implicitly from [capture ~trace_seed]. *)
+
+  val alloc_trace_epochs : t -> int -> int
+  (** [alloc_trace_epochs buf n] reserves a block of [n] distinct
+      trace-seed epochs on the coordinator buffer [buf] and returns the
+      first: give task [i] seed [base + i] (before any parallel
+      dispatch) and the merged journal is independent of the job count.
+      The counter is per-buffer — a journal's bytes depend only on the
+      run that produced it, not on earlier runs in the same process —
+      and advances across successive fan-outs into the same buffer, so
+      seed streams never repeat within a journal.  {!clear} resets
+      it. *)
+
+  val root : ?cause:span -> ?conn:int -> ?t0:float -> string -> span
+  (** Open a root span of a fresh trace.  [t0] defaults to {!now}.
+      Returns {!null} (and records nothing) while disabled. *)
+
+  val child : ?cause:span -> ?conn:int -> ?t0:float -> parent:span -> string -> span
+  (** Open a span under [parent] (same trace).  {!null} parent begets a
+      {!null} child, so call sites need no enabled-check of their own. *)
+
+  val leaf : ?cause:span -> ?conn:int -> ?t0:float -> parent:span -> dur:float -> string -> unit
+  (** [child] + immediate {!close}: a span with no children of its own. *)
+
+  val close : span -> dur:float -> unit
+  (** Close the span with its exact duration, as computed by the caller
+      — the assembler folds these durations verbatim, preserving
+      bit-exactness against composed latencies. *)
+
+  val current : unit -> span
+  (** Innermost span pushed by {!with_current} on this domain ({!null}
+      when none): lets a callee (e.g. the flooding layer) attach children
+      to its caller's span without a signature change. *)
+
+  val with_current : span -> (unit -> 'a) -> 'a
+  (** Run the thunk with the span pushed as the ambient {!current}
+      (popped on exit, also on exception). *)
+end
+
 val with_buffer : t -> (unit -> 'a) -> 'a
 (** Run the thunk with [t] installed as the current buffer (restored on
     exit, also on exception). *)
 
-val capture : ?capacity:int -> (unit -> 'a) -> 'a * entry list
+val capture : ?capacity:int -> ?trace_seed:int -> (unit -> 'a) -> 'a * entry list
 (** Run the thunk against a fresh buffer with simulation time reset to 0,
     and return what it recorded.  The worker-side half of deterministic
     parallel journalling: the coordinator re-appends each task's entries
-    in task-index order with {!append_entries}. *)
+    in task-index order with {!append_entries}.
+
+    [trace_seed] additionally resets the causal context ({!Causal.reset})
+    for the thunk's duration and restores it after — give each task a
+    distinct, task-indexed seed (a per-cell seed or a
+    {!Causal.alloc_trace_epochs} block) and span ids in the merged
+    journal are byte-identical for any job count.
+
+    If the thunk wraps its private ring, the returned list is prefixed
+    with a [Ring_dropped] entry so the overwrite is not silent. *)
 
 val append_entries : t -> entry list -> unit
 (** Re-append captured entries (coordinator side).  Sequence numbers are
@@ -219,6 +325,10 @@ val entry_to_json : entry -> string
     inlined at top level. *)
 
 val write_jsonl : t -> out_channel -> unit
+(** One line per retained entry, oldest first.  A buffer that wrapped its
+    ring leads with a synthetic [ring-dropped] line (seq = total appended)
+    announcing how many entries were overwritten. *)
+
 val to_jsonl_string : t -> string
 
 (** {1 JSONL reader}

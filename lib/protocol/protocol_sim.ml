@@ -9,6 +9,7 @@ module Faults = Dr_faults.Faults
 module Backoff = Dr_faults.Backoff
 module Tm = Dr_telemetry.Telemetry
 module J = Dr_obs.Journal
+module C = Dr_obs.Journal.Causal
 
 let c_setup_dropped = Tm.Counter.make "proto.setup.dropped"
 let c_ack_dropped = Tm.Counter.make "proto.ack.dropped"
@@ -156,6 +157,15 @@ let run ?(config = default_config) ~graph ~capacity ~scenario ~warmup ~horizon
   let lsa_scheduled = Array.make links false in
   (* Releases that arrived while the connection's setup was in flight. *)
   let released_early = Hashtbl.create 16 in
+  (* Causal tracing: one [setup] root per request still in flight, plus the
+     current attempt child (crankback chains attempts by cause edges).  The
+     tables are only touched when the journal is on. *)
+  let setup_spans : (int, C.span * float * C.span * float) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  (* Per-link FIFO of in-flight [lsa] root spans, paired by the matching
+     [Lsa_deliver] (deliveries for one link are processed in order). *)
+  let lsa_pending : (C.span * float) list array = Array.make links [] in
   (* Measurement accumulators. *)
   let attempts = ref 0 and successes = ref 0 in
   let samples = ref 0 in
@@ -197,17 +207,26 @@ let run ?(config = default_config) ~graph ~capacity ~scenario ~warmup ~horizon
         stats.setup_dropped <- stats.setup_dropped + 1;
         Tm.Counter.incr c_setup_dropped;
         if !J.on then J.record (J.Message_dropped { cls = "setup"; id = conn });
-        if Backoff.exhausted rto_backoff ~attempt:retransmit then
-          Engine.schedule engine
-            ~at:(now +. Backoff.delay rto_backoff ~attempt:(retransmit + 1))
+        let wait = Backoff.delay rto_backoff ~attempt:(retransmit + 1) in
+        let wait_leaf phase =
+          if !J.on then
+            match Hashtbl.find_opt setup_spans conn with
+            | Some (_, _, sp_att, _) ->
+                C.leaf ~parent:sp_att ~conn ~t0:now ~dur:wait phase
+            | None -> ()
+        in
+        if Backoff.exhausted rto_backoff ~attempt:retransmit then begin
+          wait_leaf "timeout-wait";
+          Engine.schedule engine ~at:(now +. wait)
             (Setup_abandoned { conn; bw; attempt; pair })
+        end
         else begin
           stats.retransmits <- stats.retransmits + 1;
           Tm.Counter.incr c_retransmits;
           if !J.on then
             J.record (J.Retransmit { cls = "setup"; conn; attempt = retransmit + 1 });
-          Engine.schedule engine
-            ~at:(now +. Backoff.delay rto_backoff ~attempt:(retransmit + 1))
+          wait_leaf "retransmit-wait";
+          Engine.schedule engine ~at:(now +. wait)
             (Setup_retransmit { conn; bw; attempt; retransmit = retransmit + 1; pair })
         end
     | _ ->
@@ -218,16 +237,39 @@ let run ?(config = default_config) ~graph ~capacity ~scenario ~warmup ~horizon
   (* Crankback: the failure notice travels back and the source re-routes
      on whatever the view says by then. *)
   let crankback now ~conn ~bw ~attempt (pair : Routing.route_pair) =
+    (* The failing attempt's span closes here; a retry opens the next
+       attempt cause-chained to it, so crankback storms read as an
+       attempt -> attempt -> ... causal chain in the trace. *)
+    let entry = if !J.on then Hashtbl.find_opt setup_spans conn else None in
+    (match entry with
+    | Some (_, _, sp_att, att_t0) -> C.close sp_att ~dur:(now -. att_t0)
+    | None -> ());
+    let lost () =
+      stats.lost_after_retries <- stats.lost_after_retries + 1;
+      match entry with
+      | Some (sp_root, root_t0, _, _) ->
+          C.close sp_root ~dur:(now -. root_t0);
+          Hashtbl.remove setup_spans conn
+      | None -> ()
+    in
     if not (Backoff.exhausted crank ~attempt) then begin
       stats.retries <- stats.retries + 1;
       match
         route_from_view ~src:(Path.src pair.Routing.primary)
           ~dst:(Path.dst pair.Routing.primary) ~bw
       with
-      | Error _ -> stats.lost_after_retries <- stats.lost_after_retries + 1
-      | Ok pair' -> launch_setup now ~conn ~bw ~attempt:(attempt + 1) pair'
+      | Error _ -> lost ()
+      | Ok pair' ->
+          (match entry with
+          | Some (sp_root, root_t0, sp_att, _) ->
+              let sp' =
+                C.child ~cause:sp_att ~conn ~t0:now ~parent:sp_root "attempt"
+              in
+              Hashtbl.replace setup_spans conn (sp_root, root_t0, sp', now)
+          | None -> ());
+          launch_setup now ~conn ~bw ~attempt:(attempt + 1) pair'
     end
-    else stats.lost_after_retries <- stats.lost_after_retries + 1
+    else lost ()
   in
   (* The destination's ACK back to the source, drawn analytically with the
      same retransmission budget (a duplicate setup re-elicits it). *)
@@ -262,8 +304,20 @@ let run ?(config = default_config) ~graph ~capacity ~scenario ~warmup ~horizon
       -> (
         stats.requests <- stats.requests + 1;
         match route_from_view ~src ~dst ~bw with
-        | Error _ -> stats.rejected_no_route <- stats.rejected_no_route + 1
-        | Ok pair -> launch_setup now ~conn ~bw ~attempt:0 pair)
+        | Error _ ->
+            stats.rejected_no_route <- stats.rejected_no_route + 1;
+            if !J.on then begin
+              (* Rejected before any packet left: a zero-length trace. *)
+              let sp = C.root ~conn ~t0:now "setup" in
+              C.close sp ~dur:0.0
+            end
+        | Ok pair ->
+            if !J.on then begin
+              let sp_root = C.root ~conn ~t0:now "setup" in
+              let sp_att = C.child ~conn ~t0:now ~parent:sp_root "attempt" in
+              Hashtbl.replace setup_spans conn (sp_root, now, sp_att, now)
+            end;
+            launch_setup now ~conn ~bw ~attempt:0 pair)
     | Workload { event = Scenario.Release { conn }; _ } -> (
         match Net_state.find state conn with
         | Some c ->
@@ -285,6 +339,14 @@ let run ?(config = default_config) ~graph ~capacity ~scenario ~warmup ~horizon
               (Net_state.admit state ~id:conn ~bw ~primary:pair.Routing.primary
                  ~backups:pair.Routing.backups);
             stats.accepted <- stats.accepted + 1;
+            if !J.on then begin
+              (match Hashtbl.find_opt setup_spans conn with
+              | Some (sp_root, root_t0, sp_att, att_t0) ->
+                  C.close sp_att ~dur:(now -. att_t0);
+                  C.close sp_root ~dur:(now -. root_t0);
+                  Hashtbl.remove setup_spans conn
+              | None -> ())
+            end;
             trigger_pair_lsas now pair;
             if Hashtbl.mem released_early conn then begin
               Hashtbl.remove released_early conn;
@@ -314,8 +376,23 @@ let run ?(config = default_config) ~graph ~capacity ~scenario ~warmup ~horizon
         lsa_scheduled.(l) <- false;
         lsa_next_ok.(l) <- now +. config.min_lsa_interval;
         stats.lsa_originated <- stats.lsa_originated + 1;
+        if !J.on then begin
+          (* One [lsa] trace per origination, closed at delivery; the conn
+             field carries the directed link id. *)
+          let sp = C.root ~conn:l ~t0:now "lsa" in
+          lsa_pending.(l) <- lsa_pending.(l) @ [ (sp, now) ]
+        end;
         Engine.schedule engine ~at:(now +. config.lsa_flood_delay) (Lsa_deliver l)
-    | Lsa_deliver l -> Advertised_view.refresh_link view state l
+    | Lsa_deliver l ->
+        if !J.on then begin
+          match lsa_pending.(l) with
+          | (sp, t0) :: rest ->
+              lsa_pending.(l) <- rest;
+              C.leaf ~conn:l ~t0 ~dur:(now -. t0) ~parent:sp "flight";
+              C.close sp ~dur:(now -. t0)
+          | [] -> ()
+        end;
+        Advertised_view.refresh_link view state l
     | Sample ->
         incr samples;
         let r = Drtp.Failure_eval.evaluate state in

@@ -10,6 +10,7 @@ module Backoff = Dr_faults.Backoff
 module Tm = Dr_telemetry.Telemetry
 module Summary = Dr_stats.Summary
 module J = Dr_obs.Journal
+module C = Dr_obs.Journal.Causal
 
 let c_lsa_sent = Tm.Counter.make "shard.lsa.sent"
 let c_lsa_dropped = Tm.Counter.make "shard.lsa.dropped"
@@ -212,6 +213,17 @@ let run ?(config = default_config) ?partition ~graph ~capacity ~scenario ~warmup
   in
   let crank = Backoff.make ~base:0.0 ~max_attempts:config.max_retries () in
   let released_early = Hashtbl.create 16 in
+  (* Causal tracing: one [shard-setup] root per in-flight request plus its
+     current attempt child; crankbacks chain attempts by cause edges.  One
+     [lsa] root per origination, closed when its last scheduled delivery
+     lands (per-destination [flight] leaves).  Touched only when the
+     journal is on. *)
+  let setup_spans : (int, C.span * float * C.span * float) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let lsa_spans : (int * int, C.span * float * int ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
   (* Omniscient comparator: an always-fresh view routed with exactly the
      same algorithm as the shards' LSDBs, so a divergent decision measures
      staleness and nothing else (and, unlike {!Routing.link_state_route_fn},
@@ -261,6 +273,8 @@ let run ?(config = default_config) ?partition ~graph ~capacity ~scenario ~warmup
     Tm.Counter.incr c_lsa_sent;
     if !J.on then
       J.record (J.Lsa_originated { shard = owner; link = l; lsa_seq = sq });
+    let sp_lsa = if !J.on then C.root ~conn:l ~t0:now "lsa" else C.null in
+    let scheduled = ref 0 in
     for d = 0 to parts - 1 do
       if d <> owner then
         match config.faults with
@@ -269,10 +283,18 @@ let run ?(config = default_config) ?partition ~graph ~capacity ~scenario ~warmup
             Tm.Counter.incr c_lsa_dropped;
             if !J.on then J.record (J.Message_dropped { cls = "lsa"; id = l })
         | _ ->
+            incr scheduled;
             Engine.schedule engine ~at:(now +. config.lsa_flood_delay)
               (Lsa_deliver
                  { dst_shard = d; link = l; lsa_seq = sq; origin = now; dirty; payload })
-    done
+    done;
+    if !J.on then begin
+      if !scheduled = 0 then
+        (* Every copy was dropped (or the origination had no remote
+           audience): the dissemination never leaves the origin. *)
+        C.close sp_lsa ~dur:0.0
+      else Hashtbl.replace lsa_spans (l, sq) (sp_lsa, now, ref !scheduled)
+    end
   in
   let release_now now conn =
     match Net_state.find truth conn with
@@ -290,6 +312,14 @@ let run ?(config = default_config) ?partition ~graph ~capacity ~scenario ~warmup
       (Net_state.admit truth ~id:conn ~bw ~primary:pair.Routing.primary
          ~backups:pair.Routing.backups);
     stats.accepted <- stats.accepted + 1;
+    if !J.on then begin
+      match Hashtbl.find_opt setup_spans conn with
+      | Some (sp_root, root_t0, sp_att, att_t0) ->
+          C.close sp_att ~dur:(now -. att_t0);
+          C.close sp_root ~dur:(now -. root_t0);
+          Hashtbl.remove setup_spans conn
+      | None -> ()
+    end;
     touch_pair now pair;
     if Hashtbl.mem released_early conn then begin
       Hashtbl.remove released_early conn;
@@ -306,17 +336,26 @@ let run ?(config = default_config) ?partition ~graph ~capacity ~scenario ~warmup
         stats.setup_dropped <- stats.setup_dropped + 1;
         Tm.Counter.incr c_setup_dropped;
         if !J.on then J.record (J.Message_dropped { cls = "setup"; id = conn });
-        if Backoff.exhausted rto_backoff ~attempt:retransmit then
-          Engine.schedule engine
-            ~at:(now +. Backoff.delay rto_backoff ~attempt:(retransmit + 1))
+        let wait = Backoff.delay rto_backoff ~attempt:(retransmit + 1) in
+        let wait_leaf phase =
+          if !J.on then
+            match Hashtbl.find_opt setup_spans conn with
+            | Some (_, _, sp_att, _) ->
+                C.leaf ~parent:sp_att ~conn ~t0:now ~dur:wait phase
+            | None -> ()
+        in
+        if Backoff.exhausted rto_backoff ~attempt:retransmit then begin
+          wait_leaf "timeout-wait";
+          Engine.schedule engine ~at:(now +. wait)
             (Setup_abandoned { conn; bw; attempt; shard; pair })
+        end
         else begin
           stats.retransmits <- stats.retransmits + 1;
           Tm.Counter.incr c_retransmits;
           if !J.on then
             J.record (J.Retransmit { cls = "setup"; conn; attempt = retransmit + 1 });
-          Engine.schedule engine
-            ~at:(now +. Backoff.delay rto_backoff ~attempt:(retransmit + 1))
+          wait_leaf "retransmit-wait";
+          Engine.schedule engine ~at:(now +. wait)
             (Setup_retransmit
                { conn; bw; attempt; retransmit = retransmit + 1; shard; pair })
         end
@@ -362,7 +401,16 @@ let run ?(config = default_config) ?partition ~graph ~capacity ~scenario ~warmup
         stats.divergent_decisions <- stats.divergent_decisions + 1;
         Tm.Counter.incr c_divergent
       end;
-      if !J.on then J.record (J.Stale_decision { conn; age; divergent });
+      if !J.on then begin
+        J.record (J.Stale_decision { conn; age; divergent });
+        (* The decision instant leaves a marker leaf on the attempt; its
+           cost (if the staleness bites) shows up as the crankback chain
+           this attempt causes. *)
+        match Hashtbl.find_opt setup_spans conn with
+        | Some (_, _, sp_att, _) ->
+            C.leaf ~parent:sp_att ~conn ~t0:now ~dur:0.0 "stale-decision"
+        | None -> ()
+      end;
       let shards =
         List.length
           (List.sort_uniq compare
@@ -379,8 +427,21 @@ let run ?(config = default_config) ?partition ~graph ~capacity ~scenario ~warmup
      source applies seq-checked before re-routing. *)
   let crankback now ~conn ~bw ~attempt ~shard ~reason (pair : Routing.route_pair)
       =
-    if Backoff.exhausted crank ~attempt then
-      stats.lost_after_retries <- stats.lost_after_retries + 1
+    (* Close the failing attempt; a retry's fresh attempt span is
+       cause-chained to it so crankback storms read as causal chains. *)
+    let entry = if !J.on then Hashtbl.find_opt setup_spans conn else None in
+    (match entry with
+    | Some (_, _, sp_att, att_t0) -> C.close sp_att ~dur:(now -. att_t0)
+    | None -> ());
+    let lost () =
+      stats.lost_after_retries <- stats.lost_after_retries + 1;
+      match entry with
+      | Some (sp_root, root_t0, _, _) ->
+          C.close sp_root ~dur:(now -. root_t0);
+          Hashtbl.remove setup_spans conn
+      | None -> ()
+    in
+    if Backoff.exhausted crank ~attempt then lost ()
     else begin
       stats.crankbacks <- stats.crankbacks + 1;
       Tm.Counter.incr c_crankbacks;
@@ -398,8 +459,16 @@ let run ?(config = default_config) ?partition ~graph ~capacity ~scenario ~warmup
         route_from_view shard ~src:(Path.src pair.Routing.primary)
           ~dst:(Path.dst pair.Routing.primary) ~bw
       with
-      | Error _ -> stats.lost_after_retries <- stats.lost_after_retries + 1
-      | Ok pair' -> dispatch now ~conn ~bw ~attempt:(attempt + 1) ~shard pair'
+      | Error _ -> lost ()
+      | Ok pair' ->
+          (match entry with
+          | Some (sp_root, root_t0, sp_att, _) ->
+              let sp' =
+                C.child ~cause:sp_att ~conn ~t0:now ~parent:sp_root "attempt"
+              in
+              Hashtbl.replace setup_spans conn (sp_root, root_t0, sp', now)
+          | None -> ());
+          dispatch now ~conn ~bw ~attempt:(attempt + 1) ~shard pair'
     end
   in
   (* The destination's ACK back to the source, drawn analytically with the
@@ -435,8 +504,20 @@ let run ?(config = default_config) ?partition ~graph ~capacity ~scenario ~warmup
         stats.requests <- stats.requests + 1;
         let shard = Partition.region_of_node part src in
         match route_from_view shard ~src ~dst ~bw with
-        | Error _ -> stats.rejected_no_route <- stats.rejected_no_route + 1
-        | Ok pair -> dispatch now ~conn ~bw ~attempt:0 ~shard pair)
+        | Error _ ->
+            stats.rejected_no_route <- stats.rejected_no_route + 1;
+            if !J.on then begin
+              (* Rejected before any packet left: a zero-length trace. *)
+              let sp = C.root ~conn ~t0:now "shard-setup" in
+              C.close sp ~dur:0.0
+            end
+        | Ok pair ->
+            if !J.on then begin
+              let sp_root = C.root ~conn ~t0:now "shard-setup" in
+              let sp_att = C.child ~conn ~t0:now ~parent:sp_root "attempt" in
+              Hashtbl.replace setup_spans conn (sp_root, now, sp_att, now)
+            end;
+            dispatch now ~conn ~bw ~attempt:0 ~shard pair)
     | Workload { event = Scenario.Release { conn }; _ } -> (
         match Net_state.find truth conn with
         | None ->
@@ -491,6 +572,17 @@ let run ?(config = default_config) ?partition ~graph ~capacity ~scenario ~warmup
         if now +. config.lsa_refresh <= horizon then
           Engine.schedule engine ~at:(now +. config.lsa_refresh) Lsa_refresh
     | Lsa_deliver { dst_shard; link; lsa_seq = sq; origin; dirty; payload } ->
+        if !J.on then begin
+          match Hashtbl.find_opt lsa_spans (link, sq) with
+          | Some (sp, t0, remaining) ->
+              C.leaf ~conn:link ~t0 ~dur:(now -. t0) ~parent:sp "flight";
+              decr remaining;
+              if !remaining = 0 then begin
+                C.close sp ~dur:(now -. t0);
+                Hashtbl.remove lsa_spans (link, sq)
+              end
+          | None -> ()
+        end;
         if sq > applied.(dst_shard).(link) then begin
           applied.(dst_shard).(link) <- sq;
           applied_origin.(dst_shard).(link) <- origin;

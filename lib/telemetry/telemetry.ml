@@ -314,6 +314,29 @@ module Span = struct
     end
 end
 
+(* ---- GC / memory high-water --------------------------------------------- *)
+
+(* Registered eagerly (registration is cheap and the table omits untouched
+   metrics); sampled only on demand — [Gc.quick_stat] reads no heap census
+   so a per-run sample costs nothing measurable. *)
+let g_gc_minor_words = Gauge.make "gc.minor_words"
+let g_gc_major_words = Gauge.make "gc.major_words"
+let g_gc_promoted_words = Gauge.make "gc.promoted_words"
+let g_gc_heap_words = Gauge.make "gc.heap_words"
+let g_gc_top_heap_words = Gauge.make "gc.top_heap_words"
+let g_gc_major_collections = Gauge.make "gc.major_collections"
+
+let observe_gc () =
+  if !on then begin
+    let s = Gc.quick_stat () in
+    Gauge.set g_gc_minor_words s.Gc.minor_words;
+    Gauge.set g_gc_major_words s.Gc.major_words;
+    Gauge.set g_gc_promoted_words s.Gc.promoted_words;
+    Gauge.set g_gc_heap_words (float_of_int s.Gc.heap_words);
+    Gauge.set g_gc_top_heap_words (float_of_int s.Gc.top_heap_words);
+    Gauge.set g_gc_major_collections (float_of_int s.Gc.major_collections)
+  end
+
 (* ---- end-of-run summary ------------------------------------------------- *)
 
 let pp_time ppf seconds =

@@ -126,6 +126,14 @@ module Sink : sig
       close the channel) and restore {!noop}. *)
 end
 
+val observe_gc : unit -> unit
+(** Sample [Gc.quick_stat] into the [gc.*] gauges: allocation odometers
+    ([gc.minor_words], [gc.major_words], [gc.promoted_words]) and the
+    memory high-water mark ([gc.top_heap_words], with [gc.heap_words] and
+    [gc.major_collections] alongside).  The gauges' high-water tracking
+    makes repeated samples cumulative-max.  No-op while disabled; cheap
+    enough to call once per run or sample point. *)
+
 val pp_summary : Format.formatter -> unit -> unit
 (** The end-of-run summary: one table per metric kind, sorted by name,
     plus the histograms of timers that carry one.  Metrics that were never

@@ -1,0 +1,501 @@
+module J = Dr_obs.Journal
+module Histogram = Dr_stats.Histogram
+
+type span = {
+  sp_trace : int;
+  sp_id : int;
+  sp_parent : int;
+  sp_cause : int;
+  sp_phase : string;
+  sp_conn : int;
+  sp_t0 : float;
+  mutable sp_dur : float;
+  mutable sp_closed : bool;
+  mutable sp_children : int list;
+}
+
+type trace = {
+  tr_id : int;
+  tr_tbl : (int, span) Hashtbl.t;
+  mutable tr_order : int list; (* span ids, reversed during build *)
+  mutable tr_spans : span list; (* emission order, set at finalize *)
+  mutable tr_root : span option;
+  mutable tr_roots : int;
+  mutable tr_complete : bool;
+  mutable tr_anoms : string list; (* reversed; structural anomalies *)
+}
+
+type t = {
+  mutable all_ring_dropped : int;
+  mutable all_errors : (int * string) list; (* reversed during build *)
+  all_tbl : (int, trace) Hashtbl.t;
+  mutable all_order : int list; (* trace ids, reversed during build *)
+  mutable all_spans : int;
+  mutable all_traces : trace list; (* first-seen order, set at finalize *)
+}
+
+(* ---- field extraction ---------------------------------------------------- *)
+
+let fint fields name =
+  match List.assoc_opt name fields with
+  | Some (J.Num v) when Float.is_integer v -> Some (int_of_float v)
+  | _ -> None
+
+let fnum fields name =
+  match List.assoc_opt name fields with Some (J.Num v) -> Some v | _ -> None
+
+let fstr fields name =
+  match List.assoc_opt name fields with Some (J.Str s) -> Some s | _ -> None
+
+(* ---- assembly ------------------------------------------------------------ *)
+
+let get_trace t id =
+  match Hashtbl.find_opt t.all_tbl id with
+  | Some tr -> tr
+  | None ->
+      let tr =
+        {
+          tr_id = id;
+          tr_tbl = Hashtbl.create 16;
+          tr_order = [];
+          tr_spans = [];
+          tr_root = None;
+          tr_roots = 0;
+          tr_complete = false;
+          tr_anoms = [];
+        }
+      in
+      Hashtbl.replace t.all_tbl id tr;
+      t.all_order <- id :: t.all_order;
+      tr
+
+let anom tr msg = tr.tr_anoms <- msg :: tr.tr_anoms
+
+let feed t lineno = function
+  | Error msg -> t.all_errors <- (lineno, msg) :: t.all_errors
+  | Ok p -> (
+      let fields = p.J.p_fields in
+      match p.J.p_kind with
+      | "ring-dropped" -> (
+          match fint fields "count" with
+          | Some c -> t.all_ring_dropped <- t.all_ring_dropped + c
+          | None ->
+              t.all_errors <-
+                (lineno, "ring-dropped: missing count") :: t.all_errors)
+      | "span-open" -> (
+          match
+            ( fint fields "trace",
+              fint fields "span",
+              fint fields "parent",
+              fint fields "cause",
+              fstr fields "phase",
+              fint fields "conn",
+              fnum fields "t0_s" )
+          with
+          | Some trace, Some id, Some parent, Some cause, Some phase,
+            Some conn, Some t0 ->
+              let tr = get_trace t trace in
+              if Hashtbl.mem tr.tr_tbl id then
+                anom tr (Printf.sprintf "duplicate span id %d" id)
+              else begin
+                Hashtbl.replace tr.tr_tbl id
+                  {
+                    sp_trace = trace;
+                    sp_id = id;
+                    sp_parent = parent;
+                    sp_cause = cause;
+                    sp_phase = phase;
+                    sp_conn = conn;
+                    sp_t0 = t0;
+                    sp_dur = 0.0;
+                    sp_closed = false;
+                    sp_children = [];
+                  };
+                tr.tr_order <- id :: tr.tr_order;
+                t.all_spans <- t.all_spans + 1
+              end
+          | _ ->
+              t.all_errors <-
+                (lineno, "span-open: missing or ill-typed field")
+                :: t.all_errors)
+      | "span-close" -> (
+          match
+            (fint fields "trace", fint fields "span", fnum fields "dur_s")
+          with
+          | Some trace, Some id, Some dur -> (
+              let tr = get_trace t trace in
+              match Hashtbl.find_opt tr.tr_tbl id with
+              | Some sp ->
+                  if sp.sp_closed then
+                    anom tr (Printf.sprintf "span %d closed twice" id)
+                  else begin
+                    sp.sp_dur <- dur;
+                    sp.sp_closed <- true
+                  end
+              | None ->
+                  anom tr (Printf.sprintf "span-close %d without open" id))
+          | _ ->
+              t.all_errors <-
+                (lineno, "span-close: missing or ill-typed field")
+                :: t.all_errors)
+      | _ -> ())
+
+let finalize t =
+  t.all_errors <- List.rev t.all_errors;
+  t.all_order <- List.rev t.all_order;
+  t.all_traces <-
+    List.map
+      (fun id ->
+        let tr = Hashtbl.find t.all_tbl id in
+        tr.tr_order <- List.rev tr.tr_order;
+        tr.tr_spans <-
+          List.map (fun sid -> Hashtbl.find tr.tr_tbl sid) tr.tr_order;
+        let complete = ref true in
+        List.iter
+          (fun sp ->
+            if not sp.sp_closed then begin
+              complete := false;
+              anom tr (Printf.sprintf "span %d never closed" sp.sp_id)
+            end;
+            if sp.sp_parent < 0 then begin
+              tr.tr_roots <- tr.tr_roots + 1;
+              if tr.tr_root = None then tr.tr_root <- Some sp
+            end
+            else begin
+              match Hashtbl.find_opt tr.tr_tbl sp.sp_parent with
+              | Some parent ->
+                  parent.sp_children <- sp.sp_id :: parent.sp_children
+              | None ->
+                  complete := false;
+                  anom tr
+                    (Printf.sprintf "span %d: dangling parent %d" sp.sp_id
+                       sp.sp_parent)
+            end;
+            if sp.sp_cause >= 0 && not (Hashtbl.mem tr.tr_tbl sp.sp_cause)
+            then begin
+              complete := false;
+              anom tr
+                (Printf.sprintf "span %d: dangling cause %d" sp.sp_id
+                   sp.sp_cause)
+            end)
+          tr.tr_spans;
+        (* children were prepended in emission (= ascending id) order *)
+        List.iter
+          (fun sp -> sp.sp_children <- List.rev sp.sp_children)
+          tr.tr_spans;
+        if tr.tr_roots <> 1 then begin
+          complete := false;
+          anom tr
+            (if tr.tr_roots = 0 then "no root span"
+             else Printf.sprintf "%d root spans" tr.tr_roots)
+        end;
+        tr.tr_anoms <- List.rev tr.tr_anoms;
+        tr.tr_complete <- !complete;
+        tr)
+      t.all_order;
+  t
+
+let empty () =
+  {
+    all_ring_dropped = 0;
+    all_errors = [];
+    all_tbl = Hashtbl.create 64;
+    all_order = [];
+    all_spans = 0;
+    all_traces = [];
+  }
+
+let of_file path =
+  let t = empty () in
+  match J.fold_jsonl path ~init:() ~f:(fun () lineno res -> feed t lineno res) with
+  | Error msg -> Error msg
+  | Ok () -> Ok (finalize t)
+
+let of_string s =
+  let t = empty () in
+  let lineno = ref 0 in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         incr lineno;
+         if String.trim line <> "" then feed t !lineno (J.parse_line line));
+  finalize t
+
+(* ---- accessors ----------------------------------------------------------- *)
+
+let traces t = t.all_traces
+let ring_dropped t = t.all_ring_dropped
+let parse_errors t = t.all_errors
+let span_count t = t.all_spans
+let trace_id tr = tr.tr_id
+let root tr = tr.tr_root
+let spans tr = tr.tr_spans
+let complete tr = tr.tr_complete
+let find_span tr id = Hashtbl.find_opt tr.tr_tbl id
+
+(* ---- analysis ------------------------------------------------------------ *)
+
+let children tr sp =
+  List.filter_map (fun id -> Hashtbl.find_opt tr.tr_tbl id) sp.sp_children
+
+let phases tr = match tr.tr_root with None -> [] | Some r -> children tr r
+
+(* Left-associated, first element as the accumulator seed: the same shape
+   as [((d1 +. d2) +. d3) ...], which is how every emitter composes its
+   end-to-end latency — so the sum is bit-identical, not merely close. *)
+let phase_sum tr =
+  match phases tr with
+  | [] -> 0.0
+  | p :: rest -> List.fold_left (fun acc q -> acc +. q.sp_dur) p.sp_dur rest
+
+let critical_path tr =
+  match tr.tr_root with
+  | None -> []
+  | Some r ->
+      let n = List.length tr.tr_spans in
+      let rec descend acc steps sp =
+        let acc = sp :: acc in
+        if steps > n then List.rev acc (* cycle guard: corrupt input *)
+        else
+          match children tr sp with
+          | [] -> List.rev acc
+          | c :: cs ->
+              let dominant =
+                List.fold_left
+                  (fun best q -> if q.sp_dur > best.sp_dur then q else best)
+                  c cs
+              in
+              descend acc (steps + 1) dominant
+      in
+      descend [] 0 r
+
+(* ---- validation ---------------------------------------------------------- *)
+
+let is_error s = not (String.length s >= 8 && String.sub s 0 8 = "warning:")
+
+let check t =
+  let out = ref [] in
+  let add s = out := s :: !out in
+  List.iter
+    (fun (lineno, msg) -> add (Printf.sprintf "line %d: %s" lineno msg))
+    t.all_errors;
+  let lossy = t.all_ring_dropped > 0 in
+  List.iter
+    (fun tr ->
+      (* Overwrite-induced incompleteness (lost opens/closes/roots) is a
+         warning when the journal announced the loss; corruption that no
+         overwrite can produce (duplicates, cycles) stays an error. *)
+      List.iter
+        (fun msg ->
+          let hard =
+            String.length msg >= 9 && String.sub msg 0 9 = "duplicate"
+          in
+          if hard || not lossy then
+            add (Printf.sprintf "trace %x: %s" tr.tr_id msg)
+          else add (Printf.sprintf "warning: trace %x: %s" tr.tr_id msg))
+        tr.tr_anoms;
+      (* parent-edge cycle detection: walk up from every span *)
+      List.iter
+        (fun sp ->
+          let n = List.length tr.tr_spans in
+          let rec up steps id =
+            if id < 0 then ()
+            else if steps > n then
+              add (Printf.sprintf "trace %x: parent cycle at span %d" tr.tr_id
+                     sp.sp_id)
+            else
+              match Hashtbl.find_opt tr.tr_tbl id with
+              | None -> ()
+              | Some p -> up (steps + 1) p.sp_parent
+          in
+          up 0 sp.sp_parent)
+        tr.tr_spans)
+    t.all_traces;
+  if lossy then
+    add
+      (Printf.sprintf
+         "warning: ring overwrote %d events; incomplete traces downgraded"
+         t.all_ring_dropped);
+  List.rev !out
+
+(* ---- reporting ----------------------------------------------------------- *)
+
+let quantiles durs =
+  let a = Array.of_list durs in
+  let p50 = Histogram.quantile a 0.5 in
+  let p95 = Histogram.quantile a 0.95 in
+  let p99 = Histogram.quantile a 0.99 in
+  (p50, p95, p99)
+
+(* Stable first-seen ordering of group keys, so reports are deterministic
+   byte-for-byte given a deterministic journal. *)
+let group_by keys_of items =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun item ->
+      let k = keys_of item in
+      (match Hashtbl.find_opt tbl k with
+      | Some l -> Hashtbl.replace tbl k (item :: l)
+      | None ->
+          Hashtbl.replace tbl k [ item ];
+          order := k :: !order))
+    items;
+  List.rev_map (fun k -> (k, List.rev (Hashtbl.find tbl k))) !order
+  |> List.rev
+
+let report ?(top = 5) fmt t =
+  let complete_traces = List.filter complete t.all_traces in
+  let incomplete = List.length t.all_traces - List.length complete_traces in
+  Format.fprintf fmt "# traces %d (spans %d), complete %d, incomplete %d@."
+    (List.length t.all_traces) t.all_spans
+    (List.length complete_traces)
+    incomplete;
+  if t.all_ring_dropped > 0 then
+    Format.fprintf fmt
+      "warning: journal ring overwrote %d events — incomplete traces are \
+       excluded from the tables below@."
+      t.all_ring_dropped;
+  let rooted =
+    List.filter_map
+      (fun tr -> match root tr with Some r -> Some (tr, r) | None -> None)
+      complete_traces
+  in
+  List.iter
+    (fun (root_phase, group) ->
+      let n = List.length group in
+      Format.fprintf fmt "@.## %s — %d traces@." root_phase n;
+      let e2e = List.map (fun (_, r) -> r.sp_dur) group in
+      let p50, p95, p99 = quantiles e2e in
+      Format.fprintf fmt "end-to-end dur_s: p50=%.6f p95=%.6f p99=%.6f@." p50
+        p95 p99;
+      (* critical-path attribution: which phase bounded each trace *)
+      let dominants = Hashtbl.create 8 in
+      List.iter
+        (fun (tr, _) ->
+          match critical_path tr with
+          | _root :: dom :: _ ->
+              Hashtbl.replace dominants dom.sp_phase
+                (1
+                + Option.value
+                    (Hashtbl.find_opt dominants dom.sp_phase)
+                    ~default:0)
+          | _ -> ())
+        group;
+      let phase_rows =
+        group_by
+          (fun sp -> sp.sp_phase)
+          (List.concat_map (fun (tr, _) -> phases tr) group)
+      in
+      if phase_rows <> [] then begin
+        Format.fprintf fmt
+          "%-18s %8s %9s %12s %12s %12s@." "phase" "count" "dominant"
+          "p50_s" "p95_s" "p99_s";
+        List.iter
+          (fun (phase, sps) ->
+            let durs = List.map (fun sp -> sp.sp_dur) sps in
+            let p50, p95, p99 = quantiles durs in
+            let dom =
+              Option.value (Hashtbl.find_opt dominants phase) ~default:0
+            in
+            Format.fprintf fmt "%-18s %8d %8.1f%% %12.6f %12.6f %12.6f@."
+              phase (List.length sps)
+              (100.0 *. float_of_int dom /. float_of_int n)
+              p50 p95 p99)
+          phase_rows
+      end;
+      (* slowest traces, critical path spelled out *)
+      let ranked =
+        List.stable_sort
+          (fun (_, a) (_, b) -> compare b.sp_dur a.sp_dur)
+          group
+      in
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | x :: rest -> x :: take (k - 1) rest
+      in
+      let slowest = take top ranked in
+      if slowest <> [] then begin
+        Format.fprintf fmt "slowest %s traces (critical path):@." root_phase;
+        List.iteri
+          (fun i (tr, r) ->
+            let chain = critical_path tr in
+            Format.fprintf fmt "%2d. trace %012x%s dur %.6f: %s@." (i + 1)
+              tr.tr_id
+              (if r.sp_conn >= 0 then Printf.sprintf " conn %d" r.sp_conn
+               else "")
+              r.sp_dur
+              (String.concat " > "
+                 (List.map
+                    (fun sp -> Printf.sprintf "%s(%.6f)" sp.sp_phase sp.sp_dur)
+                    chain)))
+          slowest
+      end)
+    (group_by (fun (_, r) -> r.sp_phase) rooted)
+
+(* ---- Perfetto export ----------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | ch when Char.code ch < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char b ch)
+    s;
+  Buffer.contents b
+
+let write_perfetto t oc =
+  output_string oc "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else output_char oc ',';
+    output_string oc "\n";
+    output_string oc s
+  in
+  let flow_id = ref 0 in
+  List.iteri
+    (fun tid tr ->
+      let label =
+        match root tr with
+        | Some r when r.sp_conn >= 0 ->
+            Printf.sprintf "%s conn %d [%012x]" r.sp_phase r.sp_conn tr.tr_id
+        | Some r -> Printf.sprintf "%s [%012x]" r.sp_phase tr.tr_id
+        | None -> Printf.sprintf "incomplete [%012x]" tr.tr_id
+      in
+      emit
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           tid (json_escape label));
+      List.iter
+        (fun sp ->
+          if sp.sp_closed then
+            emit
+              (Printf.sprintf
+                 "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"trace\":%d,\"span\":%d,\"parent\":%d,\"cause\":%d,\"conn\":%d}}"
+                 (json_escape sp.sp_phase) (sp.sp_t0 *. 1e6)
+                 (sp.sp_dur *. 1e6) tid sp.sp_trace sp.sp_id sp.sp_parent
+                 sp.sp_cause sp.sp_conn);
+          if sp.sp_cause >= 0 then
+            match find_span tr sp.sp_cause with
+            | Some c when c.sp_closed ->
+                let id = !flow_id in
+                incr flow_id;
+                emit
+                  (Printf.sprintf
+                     "{\"name\":\"cause\",\"cat\":\"cause\",\"ph\":\"s\",\"id\":%d,\"ts\":%.3f,\"pid\":0,\"tid\":%d}"
+                     id
+                     ((c.sp_t0 +. c.sp_dur) *. 1e6)
+                     tid);
+                emit
+                  (Printf.sprintf
+                     "{\"name\":\"cause\",\"cat\":\"cause\",\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"ts\":%.3f,\"pid\":0,\"tid\":%d}"
+                     id (sp.sp_t0 *. 1e6) tid)
+            | _ -> ())
+        tr.tr_spans)
+    t.all_traces;
+  output_string oc "\n]}\n"

@@ -1,0 +1,122 @@
+(** Trace assembly and critical-path analysis over flight-recorder
+    journals.
+
+    {!Dr_obs.Journal} records causal spans ([span-open]/[span-close]
+    pairs carrying trace, parent and cause edges); this module
+    reconstructs from a journal the per-connection event DAG of each
+    trace, computes its sim-time critical path, and aggregates per-phase
+    critical-path attribution into quantile tables — turning the flight
+    recorder from a "what happened" log into a "what bounded the
+    latency" explanation engine.
+
+    {b Bit-exactness contract.}  A trace root's direct children are its
+    {e phases}, in emission order.  Every emitter composes its
+    end-to-end latency as the left-associated sum of exactly those phase
+    durations, so {!phase_sum} (a left fold in the same order) equals
+    the journalled latency {e bit-for-bit} — the property the test
+    suite pins.
+
+    {b Determinism.}  Assembly order, report layout and Perfetto output
+    depend only on journal content, which is byte-identical across
+    [--jobs] counts; so is everything here. *)
+
+type span = {
+  sp_trace : int;
+  sp_id : int;
+  sp_parent : int;  (** [-1] for a trace root *)
+  sp_cause : int;  (** causal predecessor span id, [-1] for none *)
+  sp_phase : string;
+  sp_conn : int;  (** [-1] when not connection-scoped *)
+  sp_t0 : float;
+  mutable sp_dur : float;  (** 0 until closed *)
+  mutable sp_closed : bool;
+  mutable sp_children : int list;  (** direct children, ascending span id *)
+}
+
+type trace
+(** One assembled trace: a root span and its DAG. *)
+
+type t
+(** All traces assembled from one journal. *)
+
+(** {1 Loading} *)
+
+val of_file : string -> (t, string) result
+(** Assemble every trace in a journal JSONL file.  [Error] only for I/O
+    failure; malformed lines are collected in {!parse_errors}. *)
+
+val of_string : string -> t
+(** Same, from an in-memory JSONL string (tests, captured buffers). *)
+
+(** {1 Accessors} *)
+
+val traces : t -> trace list
+(** First-seen order — deterministic given the journal. *)
+
+val ring_dropped : t -> int
+(** Entries the journal's bounded ring overwrote before export (sum of
+    [ring-dropped] lines): when positive, traces whose oldest spans were
+    overwritten assemble as incomplete. *)
+
+val parse_errors : t -> (int * string) list
+(** [(lineno, message)] for lines that failed schema validation. *)
+
+val span_count : t -> int
+
+val trace_id : trace -> int
+val root : trace -> span option
+(** The unique parentless span; [None] if it was lost to ring overwrite
+    (or never emitted). *)
+
+val spans : trace -> span list
+(** Ascending span id = emission order. *)
+
+val complete : trace -> bool
+(** Every span closed, every parent and cause edge resolving to a span
+    of the trace, and exactly one root: the DAG is whole, so critical
+    paths and phase sums are trustworthy. *)
+
+val find_span : trace -> int -> span option
+
+(** {1 Analysis} *)
+
+val phases : trace -> span list
+(** The root's direct children in emission order — the sequential phases
+    whose durations compose the root's duration. *)
+
+val phase_sum : trace -> float
+(** Left-associated fold of {!phases} durations, bit-identical to the
+    emitting code's latency composition for complete traces. *)
+
+val critical_path : trace -> span list
+(** Root-first dominant descent: at each span, step into the direct
+    child with the largest duration (earliest emitted wins ties) until a
+    leaf — the chain of spans that actually bounded the end-to-end
+    latency, e.g. [recovery -> report -> retransmit-wait]. *)
+
+(** {1 Validation} *)
+
+val check : t -> string list
+(** Structural validation: parse errors, duplicate span ids, closes
+    without opens, unclosed spans, dangling parent/cause edges, parent
+    cycles, multi-root traces.  Ring-overwritten incompleteness is
+    downgraded to a single warning line (prefixed ["warning:"]) rather
+    than an error when {!ring_dropped} is positive, since the loss is
+    announced by the journal itself.  Empty list = structurally sound. *)
+
+val is_error : string -> bool
+(** [true] unless the line is a ["warning:"]-prefixed downgrade. *)
+
+(** {1 Reporting} *)
+
+val report : ?top:int -> Format.formatter -> t -> unit
+(** Text report: per-root-phase trace counts with end-to-end
+    p50/p95/p99, per-phase critical-path attribution tables (count,
+    dominant share, duration quantiles via {!Dr_stats.Histogram}), and
+    the [top] slowest traces with their critical paths spelled out. *)
+
+val write_perfetto : t -> out_channel -> unit
+(** Chrome trace-event JSON (one complete ["X"] event per closed span,
+    µs timestamps, one Perfetto thread row per trace, cause edges as
+    flow events) — load in [ui.perfetto.dev] to inspect tails
+    visually. *)

@@ -126,6 +126,18 @@ let one_of_each =
     J.Shard_setup { conn = 1; shards = 2; attempt = 0 };
     J.Shard_crankback { conn = 1; attempt = 1; reason = "stale-reject" };
     J.Stale_decision { conn = 1; age = 1.5; divergent = true };
+    J.Span_open
+      {
+        trace = 0x123456789ab;
+        span = 4;
+        parent = 3;
+        cause = -1;
+        phase = "activate";
+        conn = 17;
+        t0 = 1.25;
+      };
+    J.Span_close { trace = 0x123456789ab; span = 4; dur = 0.012 };
+    J.Ring_dropped { count = 42 };
   ]
 
 let test_jsonl_round_trip () =
