@@ -740,6 +740,39 @@ let scaling_check () =
     [ 2; 4 ];
   print_newline ()
 
+(* --- serve-loop sustained throughput --------------------------------------- *)
+
+(* Sustained admissions/sec through the batched service path, with what-if
+   queries and failure probes interleaved the way [drtp_sim serve] runs
+   them.  Informational, never a gate: absolute throughput is machine-
+   dependent, so CI greps the line into the archived bench log instead of
+   asserting on it.  Correctness of the same path (batch == sequential,
+   --jobs byte-identity) is gated by the test suite. *)
+let serve_throughput () =
+  let module Serve = Dr_service.Serve in
+  let cfg =
+    { cfg with Config.warmup = 2400.0; horizon = (if quick then 2400.0 else 4800.0) }
+  in
+  let params =
+    { Dr_exp.Serve_exp.default with Dr_exp.Serve_exp.lambda = 0.4 }
+  in
+  let r = Dr_exp.Serve_exp.run cfg params in
+  Printf.printf
+    "# Serve-loop throughput (non-gating): admissions/sec=%.0f over %d \
+     requests (accepted %d, %d what-ifs, %d probes)\n"
+    r.Serve.rp_requests_per_sec r.Serve.rp_requests r.Serve.rp_accepted
+    r.Serve.rp_what_ifs r.Serve.rp_fail_probes;
+  Printf.printf
+    "#   latency p50=%.1fus p95=%.1fus p99=%.1fus   alloc %.2f KB/req, %d \
+     major collections\n\n"
+    r.Serve.rp_lat_p50_us r.Serve.rp_lat_p95_us r.Serve.rp_lat_p99_us
+    r.Serve.rp_alloc_kb_per_req r.Serve.rp_major_collections;
+  if r.Serve.rp_invariant_failures > 0 then begin
+    Printf.printf "FAIL: serve loop reported %d invariant violations\n"
+      r.Serve.rp_invariant_failures;
+    exit 1
+  end
+
 (* --- full table/figure regeneration --------------------------------------- *)
 
 let progress line =
@@ -815,6 +848,7 @@ let () =
   overhead_check ();
   gc_report ();
   fastpath_check ();
+  serve_throughput ();
   scaling_check ();
   print_endline "# Reproduction of every table and figure";
   print_newline ();

@@ -779,6 +779,123 @@ let explain_cmd =
       $ lambda_t ~default:0.5 $ scheme_t $ src_t $ dst_t $ bw_t $ top_t $ dot_t
       $ chain_t $ srlg_size_t $ quick_t $ seed_t)
 
+(* ---- serve: throughput-gated admission-control service loop ------------- *)
+
+let serve_cmd =
+  let module Serve = Dr_service.Serve in
+  let module Serve_exp = Dr_exp.Serve_exp in
+  let scheme_t =
+    let parse s =
+      Result.map_error (fun e -> `Msg e) (Drtp.Routing.scheme_of_string s)
+    in
+    let print ppf s = Format.pp_print_string ppf (Drtp.Routing.scheme_name s) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Drtp.Routing.Dlsr
+      & info [ "scheme" ] ~docv:"SCHEME"
+          ~doc:
+            "Link-state scheme to serve with: d-lsr, p-lsr or spf (bounded \
+             flooding shares mutable flood statistics and is not servable).")
+  in
+  let batch_t =
+    Arg.(
+      value
+      & opt int Serve.default.Serve.sv_batch
+      & info [ "batch" ] ~docv:"N" ~doc:"Requests per admission batch.")
+  in
+  let reorder_t =
+    Arg.(
+      value & flag
+      & info [ "reorder" ]
+          ~doc:
+            "Commit each batch in locality order (grouped by source, then \
+             destination) instead of arrival order.")
+  in
+  let what_if_every_t =
+    Arg.(
+      value
+      & opt int Serve.default.Serve.sv_what_if_every
+      & info [ "what-if-every" ] ~docv:"N"
+          ~doc:"Inject a what-if query burst every $(docv) batches (0 = never).")
+  in
+  let what_if_burst_t =
+    Arg.(
+      value
+      & opt int Serve.default.Serve.sv_what_if_burst
+      & info [ "what-if-burst" ] ~docv:"N" ~doc:"Queries per what-if burst.")
+  in
+  let probe_every_t =
+    Arg.(
+      value
+      & opt int Serve.default.Serve.sv_probe_every
+      & info [ "probe-every" ] ~docv:"N"
+          ~doc:
+            "Evaluate a seeded link-failure probe every $(docv) batches (0 = \
+             never).")
+  in
+  let check_every_t =
+    Arg.(
+      value
+      & opt int Serve.default.Serve.sv_check_every
+      & info [ "check-every" ] ~docv:"N"
+          ~doc:
+            "Audit state invariants and routing caches every $(docv) batches \
+             (a final audit always runs).")
+  in
+  let smoke_t =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Tiny fixed-seed run for CI: a short horizon, frequent invariant \
+             audits, nonzero exit on any violation.")
+  in
+  let run () jobs degree traffic lambda scheme batch reorder what_if_every
+      what_if_burst probe_every check_every quick smoke seed =
+    let cfg = config_of ~quick:(quick || smoke) ~seed in
+    let cfg =
+      if smoke then { cfg with Dr_exp.Config.warmup = 600.0; horizon = 1200.0 }
+      else cfg
+    in
+    let serve_cfg =
+      {
+        Serve.default with
+        Serve.sv_batch = batch;
+        sv_reorder = reorder;
+        sv_what_if_every = what_if_every;
+        sv_what_if_burst = what_if_burst;
+        sv_probe_every = probe_every;
+        sv_check_every = (if smoke then min check_every 4 else check_every);
+        sv_bw = cfg.Dr_exp.Config.bw_req;
+        sv_seed = seed;
+      }
+    in
+    let params =
+      { Serve_exp.scheme; traffic; lambda; avg_degree = degree; serve = serve_cfg }
+    in
+    let report = with_pool jobs (fun pool -> Serve_exp.run ~pool cfg params) in
+    (* Deterministic counts on stdout (CI diffs them across --jobs);
+       wall-clock throughput/latency/GC on stderr. *)
+    Format.printf "%a%!" Serve.pp_deterministic report;
+    Format.eprintf "%a%!" Serve.pp_timing report;
+    if report.Serve.rp_invariant_failures > 0 then exit 1;
+    if smoke && report.Serve.rp_accepted = 0 then begin
+      prerr_endline "drtp_sim serve --smoke: no admissions were accepted";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Drive a seeded open-loop request stream through the batched \
+          admission service, with interleaved what-if queries and failure \
+          probes; reports sustained admissions/sec and latency quantiles.")
+    Term.(
+      const run $ telemetry_t $ jobs_t $ degree_t $ traffic_t
+      $ lambda_t ~default:0.4 $ scheme_t $ batch_t $ reorder_t
+      $ what_if_every_t $ what_if_burst_t $ probe_every_t $ check_every_t
+      $ quick_t $ smoke_t $ seed_t)
+
 (* ---- check-routing: fast path vs reference oracle ----------------------- *)
 
 let check_routing_cmd =
@@ -1597,7 +1714,7 @@ let () =
       overhead_cmd;
       recovery_cmd; chaos_cmd; srlg_cmd; shard_cmd; topo_cmd; scenario_cmd;
       replay_cmd;
-      explain_cmd; inspect_cmd; trace_cmd; check_routing_cmd;
+      explain_cmd; serve_cmd; inspect_cmd; trace_cmd; check_routing_cmd;
     ]
   in
   exit (Cmd.eval (Cmd.group default_info cmds))

@@ -65,6 +65,26 @@ val create_srlg :
 val state : t -> Net_state.t
 val stats : t -> stats
 
+val route_fn : t -> Routing.route_fn
+(** The route function this manager admits with — lets the service layer
+    build bit-exact replica managers for parallel what-if evaluation. *)
+
+(** {1 Snapshot / rollback}
+
+    {!Net_state.Snapshot} extended with the manager's own mutable truth —
+    admission statistics, the reprotection queue and its counters — so a
+    speculative admission (the service layer's what-if path) can be rolled
+    back without leaving a trace anywhere a later decision reads. *)
+
+type snapshot
+
+val snapshot : ?into:snapshot -> t -> snapshot
+(** Capture the manager and its state.  [~into] reuses a previous
+    snapshot's buffers when the topology matches. *)
+
+val rollback : t -> snapshot -> unit
+(** Restore manager and state, in place, to the captured truth. *)
+
 val apply : t -> Dr_sim.Scenario.item -> unit
 (** Process one request or release event. *)
 

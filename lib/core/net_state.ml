@@ -518,6 +518,117 @@ let fail_node t ~node =
 let restore_node t ~node =
   List.iter (fun e -> restore_edge t ~edge:e) (incident_edges t node)
 
+(* ---- snapshot / rollback -------------------------------------------------
+   Speculative admissions and what-if failure probes must never mutate the
+   truth.  A snapshot deep-copies every mutable piece of the state —
+   resource pools, APLVs and both PR 4 mirrors, the SRLG spare-weight
+   tables, the connection table (with fresh [conn] records, since those are
+   themselves mutable), the primary index and the failure flags — and a
+   rollback writes it all back {e in place}, preserving the physical
+   identity of [t] (route functions and managers close over it).  The
+   graph, SRLG model and capacities are immutable and shared.
+
+   Capture with [~into] reuses a previous snapshot's arrays and hashtables,
+   so the steady-state cost of a what-if is two memcpy-style sweeps of the
+   mutable state, with no per-capture large allocations. *)
+
+module Snapshot = struct
+  type state = t
+
+  type t = {
+    s_resources : Resources.snapshot;
+    s_aplv : Aplv.t array;
+    s_aplv_norm : int array;
+    s_conflict : int array array;
+    s_spare_weight : (int, int) Hashtbl.t array;
+    s_backup_total : int array;
+    mutable s_conns : conn list; (* deep copies, sorted by id *)
+    s_failed : bool array;
+    mutable s_aplv_updates : int;
+  }
+
+  let copy_conn (c : conn) =
+    {
+      id = c.id;
+      src = c.src;
+      dst = c.dst;
+      bw = c.bw;
+      primary = c.primary;
+      backups = c.backups;
+      degraded = c.degraded;
+    }
+
+  let copy_table ~into ~from =
+    Hashtbl.reset into;
+    Hashtbl.iter (fun k v -> Hashtbl.replace into k v) from
+
+  let conn_list (st : state) =
+    Hashtbl.fold (fun _ c acc -> copy_conn c :: acc) st.conns []
+    |> List.sort (fun a b -> compare a.id b.id)
+
+  let capture ?into (st : state) =
+    let links = Graph.link_count st.graph in
+    let edges = Graph.edge_count st.graph in
+    let fresh () =
+      {
+        s_resources = Resources.capture st.resources;
+        s_aplv = Array.map Aplv.copy st.aplv;
+        s_aplv_norm = Array.copy st.aplv_norm;
+        s_conflict = Array.map Array.copy st.conflict_counts;
+        s_spare_weight = Array.map Hashtbl.copy st.spare_weight;
+        s_backup_total = Array.copy st.backup_total;
+        s_conns = conn_list st;
+        s_failed = Array.copy st.failed;
+        s_aplv_updates = st.aplv_updates;
+      }
+    in
+    match into with
+    | Some s
+      when Array.length s.s_aplv = links && Array.length s.s_failed = edges ->
+        ignore (Resources.capture ~into:s.s_resources st.resources : Resources.snapshot);
+        for l = 0 to links - 1 do
+          Aplv.assign ~into:s.s_aplv.(l) ~from:st.aplv.(l);
+          Array.blit st.conflict_counts.(l) 0 s.s_conflict.(l) 0 edges;
+          copy_table ~into:s.s_spare_weight.(l) ~from:st.spare_weight.(l)
+        done;
+        Array.blit st.aplv_norm 0 s.s_aplv_norm 0 links;
+        Array.blit st.backup_total 0 s.s_backup_total 0 links;
+        Array.blit st.failed 0 s.s_failed 0 edges;
+        s.s_conns <- conn_list st;
+        s.s_aplv_updates <- st.aplv_updates;
+        s
+    | Some _ | None -> fresh ()
+
+  let rollback (st : state) s =
+    let links = Graph.link_count st.graph in
+    let edges = Graph.edge_count st.graph in
+    if Array.length s.s_aplv <> links || Array.length s.s_failed <> edges then
+      invalid_arg "Net_state.Snapshot.rollback: snapshot shape mismatch";
+    Resources.restore st.resources s.s_resources;
+    for l = 0 to links - 1 do
+      Aplv.assign ~into:st.aplv.(l) ~from:s.s_aplv.(l);
+      Array.blit s.s_conflict.(l) 0 st.conflict_counts.(l) 0 edges;
+      copy_table ~into:st.spare_weight.(l) ~from:s.s_spare_weight.(l)
+    done;
+    Array.blit s.s_aplv_norm 0 st.aplv_norm 0 links;
+    Array.blit s.s_backup_total 0 st.backup_total 0 links;
+    Array.blit s.s_failed 0 st.failed 0 edges;
+    (* Restore the connection table from fresh copies — the speculative run
+       may have mutated the live records in place — and rebuild the
+       primary index to point at the restored records. *)
+    Hashtbl.reset st.conns;
+    Array.iter Hashtbl.reset st.edge_primaries;
+    List.iter
+      (fun saved ->
+        let c = copy_conn saved in
+        Hashtbl.add st.conns c.id c;
+        List.iter
+          (fun e -> Hashtbl.replace st.edge_primaries.(e) c.id c)
+          (edge_lset_of_path c.primary))
+      s.s_conns;
+    st.aplv_updates <- s.s_aplv_updates
+end
+
 (* The routing fast path never reads the APLV hashtables — only the dense
    [aplv_norm]/[conflict_counts] mirrors.  This check recomputes both from
    the authoritative {!Aplv.t} per link and reports the first slot where a

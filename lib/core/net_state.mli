@@ -223,6 +223,36 @@ val fail_node : t -> node:int -> unit
 
 val restore_node : t -> node:int -> unit
 
+(** {1 Snapshot / rollback}
+
+    Speculative admissions and what-if failure probes (the service layer's
+    [what_if_admit] / [what_if_fail_edge]) run against the truth and then
+    roll it back, so the mutable state must be restorable {e bit-exactly}:
+    resource pools, per-link APLVs, the PR 4 [aplv_norm]/conflict-count
+    mirrors, the SRLG spare-weight tables ([SC_i] sizing), the connection
+    table, the primary index and the failure flags.  The immutable model
+    (graph, SRLG, capacities) is shared, not copied. *)
+
+module Snapshot : sig
+  type state := t
+
+  type t
+  (** A deep copy of one state's mutable truth. *)
+
+  val capture : ?into:t -> state -> t
+  (** Snapshot the state.  [~into] reuses the buffers of a previous
+      snapshot of the same topology (allocation-light steady state; a
+      shape mismatch falls back to a fresh snapshot). *)
+
+  val rollback : state -> t -> unit
+  (** Restore the state, in place, to exactly the captured truth —
+      including fresh connection records (speculative runs may have
+      mutated the live ones) and a rebuilt primary index.  The state
+      value's physical identity is preserved: closures and managers
+      holding it stay valid.  Raises [Invalid_argument] if the snapshot
+      came from a different topology. *)
+end
+
 (** {1 Integrity} *)
 
 val check_invariants : t -> (unit, string) result

@@ -57,6 +57,31 @@ let spare_to_prime t ~link ~bw =
   t.spare.(link) <- t.spare.(link) - bw;
   t.prime.(link) <- t.prime.(link) + bw
 
+(* ---- snapshots ----------------------------------------------------------- *)
+
+(* Capacities are immutable after construction, so a snapshot carries only
+   the two mutable pools.  [capture ~into] reuses the buffers of an earlier
+   snapshot of a same-shaped state, making steady-state captures
+   allocation-free. *)
+
+type snapshot = { s_prime : int array; s_spare : int array }
+
+let capture ?into t =
+  let n = Array.length t.prime in
+  match into with
+  | Some s when Array.length s.s_prime = n ->
+      Array.blit t.prime 0 s.s_prime 0 n;
+      Array.blit t.spare 0 s.s_spare 0 n;
+      s
+  | Some _ | None -> { s_prime = Array.copy t.prime; s_spare = Array.copy t.spare }
+
+let restore t s =
+  let n = Array.length t.prime in
+  if Array.length s.s_prime <> n then
+    invalid_arg "Resources.restore: snapshot link count mismatch";
+  Array.blit s.s_prime 0 t.prime 0 n;
+  Array.blit s.s_spare 0 t.spare 0 n
+
 let sum arr = Array.fold_left ( + ) 0 arr
 let total_capacity t = sum t.capacity
 let total_prime t = sum t.prime

@@ -59,6 +59,22 @@ val spare_to_prime : t -> link:int -> bw:int -> unit
     on this link (the promoted channel now carries traffic).  Raises
     [Invalid_argument] if [spare_bw < bw]. *)
 
+(** {1 Snapshots}
+
+    Capacities are immutable, so a snapshot records only the prime and
+    spare pools.  Used by {!Net_state}'s snapshot/rollback layer. *)
+
+type snapshot
+
+val capture : ?into:snapshot -> t -> snapshot
+(** Copy the mutable pools.  [~into] reuses a previous snapshot's buffers
+    when the link counts match (allocation-free steady state); otherwise a
+    fresh snapshot is returned. *)
+
+val restore : t -> snapshot -> unit
+(** Overwrite the pools from a snapshot.  Raises [Invalid_argument] on a
+    link-count mismatch (snapshot taken from a different topology). *)
+
 val total_capacity : t -> int
 val total_prime : t -> int
 val total_spare : t -> int

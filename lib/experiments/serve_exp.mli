@@ -1,0 +1,24 @@
+(** Serve-loop experiment wiring: Table-1 configuration → topology,
+    scenario and router → {!Dr_service.Serve.run}.
+
+    Keeps the CLI thin: [drtp_sim serve] builds {!params} from flags and
+    calls {!run}; tests call {!run} directly for jobs-identity checks.
+    Restricted to the link-state schemes — bounded flooding shares mutable
+    flood statistics across admissions and cannot back concurrent what-if
+    replicas (see {!Dr_service.Serve.run}). *)
+
+type params = {
+  scheme : Drtp.Routing.scheme;
+  traffic : Config.traffic;
+  lambda : float;
+  avg_degree : float;
+  serve : Dr_service.Serve.config;
+}
+
+val default : params
+(** D-LSR, UT traffic, λ = 0.4, E = 4, {!Dr_service.Serve.default}. *)
+
+val label : params -> string
+
+val run :
+  ?pool:Dr_parallel.Pool.t -> Config.t -> params -> Dr_service.Serve.report

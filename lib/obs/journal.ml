@@ -66,6 +66,8 @@ type event =
   | Shard_setup of { conn : int; shards : int; attempt : int }
   | Shard_crankback of { conn : int; attempt : int; reason : string }
   | Stale_decision of { conn : int; age : float; divergent : bool }
+  | What_if of { conn : int; src : int; dst : int; verdict : string }
+  | Batch_done of { size : int; accepted : int }
   | Span_open of {
       trace : int;
       span : int;
@@ -110,6 +112,8 @@ let kind_name = function
   | Shard_setup _ -> "shard-setup"
   | Shard_crankback _ -> "shard-crankback"
   | Stale_decision _ -> "stale-decision"
+  | What_if _ -> "what-if"
+  | Batch_done _ -> "batch-done"
   | Span_open _ -> "span-open"
   | Span_close _ -> "span-close"
   | Ring_dropped _ -> "ring-dropped"
@@ -123,7 +127,8 @@ let all_kinds =
     "message-dropped"; "retransmit"; "flood-truncated"; "reprotect-queued";
     "group-failed"; "chain-built"; "chain-failover"; "chain-exhausted";
     "lsa-originated"; "lsa-delivered"; "shard-setup"; "shard-crankback";
-    "stale-decision"; "span-open"; "span-close"; "ring-dropped";
+    "stale-decision"; "what-if"; "batch-done"; "span-open"; "span-close";
+    "ring-dropped";
   ]
 
 type entry = { seq : int; time : float; event : event }
@@ -544,6 +549,14 @@ let add_event_fields b first = function
       int_field b first "conn" conn;
       float_field b first "age_s" age;
       bool_field b first "divergent" divergent
+  | What_if { conn; src; dst; verdict } ->
+      int_field b first "conn" conn;
+      int_field b first "src" src;
+      int_field b first "dst" dst;
+      str_field b first "verdict" verdict
+  | Batch_done { size; accepted } ->
+      int_field b first "size" size;
+      int_field b first "accepted" accepted
   | Span_open { trace; span; parent; cause; phase; conn; t0 } ->
       int_field b first "trace" trace;
       int_field b first "span" span;

@@ -146,6 +146,14 @@ type event =
       (** an inter-shard admission decision was taken on a view whose
           remote entries averaged [age] seconds old; [divergent] marks
           the route differing from the omniscient route *)
+  | What_if of { conn : int; src : int; dst : int; verdict : string }
+      (** a speculative admission probe ran against a snapshot and was
+          rolled back: the truth is unchanged, [verdict] records what the
+          admission would have returned ("accepted", "no-primary",
+          "no-backup") *)
+  | Batch_done of { size : int; accepted : int }
+      (** the batched admission path committed [size] requests, of which
+          [accepted] were admitted *)
   | Span_open of {
       trace : int;  (** 48-bit trace id drawn from the causal RNG *)
       span : int;  (** span id, unique within the trace *)

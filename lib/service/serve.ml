@@ -1,0 +1,302 @@
+module Manager = Drtp.Manager
+module Net_state = Drtp.Net_state
+module Scenario = Dr_sim.Scenario
+module Graph = Dr_topo.Graph
+module Pool = Dr_parallel.Pool
+module Sm = Dr_rng.Splitmix64
+module Histogram = Dr_stats.Histogram
+module Tm = Dr_telemetry.Telemetry
+module J = Dr_obs.Journal
+
+type config = {
+  sv_batch : int;
+  sv_reorder : bool;
+  sv_what_if_every : int;
+  sv_what_if_burst : int;
+  sv_probe_every : int;
+  sv_check_every : int;
+  sv_bw : int;
+  sv_seed : int;
+  sv_warmup_frac : float;
+}
+
+let default =
+  {
+    sv_batch = 32;
+    sv_reorder = false;
+    sv_what_if_every = 4;
+    sv_what_if_burst = 8;
+    sv_probe_every = 8;
+    sv_check_every = 16;
+    sv_bw = 1;
+    sv_seed = 42;
+    sv_warmup_frac = 0.1;
+  }
+
+type report = {
+  (* Deterministic: identical for a given (scenario, config) regardless of
+     --jobs or machine speed; printed by pp_deterministic and diffed in CI. *)
+  rp_requests : int;
+  rp_accepted : int;
+  rp_rejected_no_primary : int;
+  rp_rejected_no_backup : int;
+  rp_releases : int;
+  rp_batches : int;
+  rp_what_ifs : int;
+  rp_what_if_accepted : int;
+  rp_fail_probes : int;
+  rp_probe_affected : int;
+  rp_invariant_checks : int;
+  rp_invariant_failures : int;
+  rp_final_active : int;
+  rp_lat_samples : int;
+  (* Wall-clock: machine-dependent; printed by pp_timing, never diffed. *)
+  rp_elapsed_s : float;
+  rp_requests_per_sec : float;
+  rp_lat_p50_us : float;
+  rp_lat_p95_us : float;
+  rp_lat_p99_us : float;
+  rp_alloc_mb : float;
+  rp_alloc_kb_per_req : float;
+  rp_major_collections : int;
+}
+
+let pp_deterministic ppf r =
+  Format.fprintf ppf "serve: requests=%d accepted=%d no-primary=%d no-backup=%d@."
+    r.rp_requests r.rp_accepted r.rp_rejected_no_primary r.rp_rejected_no_backup;
+  Format.fprintf ppf "serve: releases=%d batches=%d final-active=%d@."
+    r.rp_releases r.rp_batches r.rp_final_active;
+  Format.fprintf ppf "serve: what-ifs=%d what-if-accepted=%d fail-probes=%d probe-affected=%d@."
+    r.rp_what_ifs r.rp_what_if_accepted r.rp_fail_probes r.rp_probe_affected;
+  Format.fprintf ppf "serve: invariant-checks=%d invariant-failures=%d lat-samples=%d@."
+    r.rp_invariant_checks r.rp_invariant_failures r.rp_lat_samples
+
+let pp_timing ppf r =
+  Format.fprintf ppf
+    "serve-timing: elapsed=%.3fs admissions/sec=%.0f@." r.rp_elapsed_s
+    r.rp_requests_per_sec;
+  Format.fprintf ppf
+    "serve-timing: latency p50=%.1fus p95=%.1fus p99=%.1fus@." r.rp_lat_p50_us
+    r.rp_lat_p95_us r.rp_lat_p99_us;
+  Format.fprintf ppf
+    "serve-timing: alloc=%.1fMB (%.2fKB/req) major-collections=%d@."
+    r.rp_alloc_mb r.rp_alloc_kb_per_req r.rp_major_collections
+
+(* One speculative-admission slice, executed on a dedicated replica manager
+   (possibly in a worker domain).  The replica is first rolled back to the
+   shared truth snapshot, then each query runs through the exact
+   {!Service.what_if_admit} path against it.  The whole slice is wrapped in
+   {!J.capture} so worker-side journal events and causal-RNG draws are
+   discarded — the coordinator re-records the [what-if] events in query
+   order, which is what makes the serve journal byte-identical across
+   [--jobs] values. *)
+let eval_slice replica snap ~now queries =
+  fst
+    (J.capture ~capacity:1024 ~trace_seed:0 (fun () ->
+         Manager.rollback (Service.manager replica) snap;
+         List.map
+           (fun (conn, src, dst, bw) ->
+             Service.what_if_admit ~conn replica ~now ~src ~dst ~bw)
+           queries))
+
+let slice_of queries ~jobs ~index =
+  let n = Array.length queries in
+  let base = n / jobs and extra = n mod jobs in
+  let start = (index * base) + min index extra in
+  let len = base + if index < extra then 1 else 0 in
+  Array.to_list (Array.sub queries start len)
+
+let run ?pool config ~graph ~capacity ~spare_policy ~route ~scenario =
+  let jobs = match pool with Some p -> Pool.jobs p | None -> 1 in
+  let manager = Manager.create ~graph ~capacity ~spare_policy ~route in
+  let service = Service.create manager in
+  let rng = Sm.create config.sv_seed in
+  let nodes = Graph.node_count graph in
+  let edges = Graph.edge_count graph in
+  let what_ifs_on = config.sv_what_if_every > 0 && config.sv_what_if_burst > 0 in
+  (* Replica managers for what-if fanout: same constructor arguments as the
+     truth manager, brought to the truth by rollback before every slice.
+     One per pool slot so concurrent slices never share mutable state. *)
+  let replicas =
+    if what_ifs_on then
+      Array.init jobs (fun _ ->
+          Service.create (Manager.create ~graph ~capacity ~spare_policy ~route))
+    else [||]
+  in
+  let truth_snap = ref None in
+  let next_probe = ref 900_000_000 in
+  (* Counters for the deterministic report. *)
+  let requests = ref 0 and accepted = ref 0 in
+  let no_primary = ref 0 and no_backup = ref 0 in
+  let releases = ref 0 and batches = ref 0 in
+  let what_ifs = ref 0 and what_if_accepted = ref 0 in
+  let fail_probes = ref 0 and probe_affected = ref 0 in
+  let inv_checks = ref 0 and inv_failures = ref 0 in
+  let latencies = ref [] in
+  let sim_now = ref 0.0 in
+  let what_if_round () =
+    what_ifs := !what_ifs + config.sv_what_if_burst;
+    (* All RNG draws happen here, in the coordinator, so the query stream —
+       and with it the whole deterministic report — is independent of the
+       jobs split. *)
+    let queries =
+      Array.init config.sv_what_if_burst (fun _ ->
+          let src = Sm.int rng nodes in
+          let dst = (src + 1 + Sm.int rng (nodes - 1)) mod nodes in
+          let conn = !next_probe in
+          incr next_probe;
+          (conn, src, dst, config.sv_bw))
+    in
+    let snap = Manager.snapshot ?into:!truth_snap manager in
+    truth_snap := Some snap;
+    let now = !sim_now in
+    let tasks = Array.init jobs (fun i -> (i, slice_of queries ~jobs ~index:i)) in
+    let eval (i, qs) = eval_slice replicas.(i) snap ~now qs in
+    let verdict_slices =
+      match pool with
+      | Some p ->
+          Array.map
+            (function
+              | Ok vs -> vs
+              | Error (e : Pool.error) ->
+                  failwith ("serve: what-if slice failed: " ^ e.message))
+            (Pool.map p eval tasks)
+      | None -> Array.map eval tasks
+    in
+    let verdicts = Array.to_list verdict_slices |> List.concat in
+    List.iteri
+      (fun i v ->
+        let conn, src, dst, _bw = queries.(i) in
+        (match v with
+        | Service.Accepted _ -> incr what_if_accepted
+        | Service.Rejected _ -> ());
+        if !J.on then
+          J.record
+            (J.What_if { conn; src; dst; verdict = Service.verdict_name v }))
+      verdicts
+  in
+  let probe_round () =
+    incr fail_probes;
+    let edge = Sm.int rng edges in
+    let p = Service.what_if_fail_edge service ~edge in
+    probe_affected := !probe_affected + p.Service.fp_affected
+  in
+  let check_round () =
+    incr inv_checks;
+    let fail msg =
+      incr inv_failures;
+      Printf.eprintf "serve: invariant violation at batch %d: %s\n%!" !batches msg
+    in
+    (match Net_state.check_invariants (Manager.state manager) with
+    | Ok () -> ()
+    | Error msg -> fail msg);
+    match Net_state.check_routing_caches (Manager.state manager) with
+    | Ok () -> ()
+    | Error msg -> fail msg
+  in
+  let after_batch () =
+    if what_ifs_on && !batches mod config.sv_what_if_every = 0 then
+      what_if_round ();
+    if config.sv_probe_every > 0 && !batches mod config.sv_probe_every = 0 then
+      probe_round ();
+    if config.sv_check_every > 0 && !batches mod config.sv_check_every = 0 then
+      check_round ()
+  in
+  let buf = ref [] and nbuf = ref 0 in
+  let flush () =
+    if !nbuf > 0 then begin
+      let reqs = Array.of_list (List.rev !buf) in
+      buf := [];
+      nbuf := 0;
+      let n = Array.length reqs in
+      let timings = Array.make n 0.0 in
+      let verdicts =
+        Tm.Span.with_ ~name:"serve.batch"
+          ~attrs:[ ("size", Tm.Int n) ]
+        @@ fun () -> Batch.admit ~reorder:config.sv_reorder ~timings service reqs
+      in
+      requests := !requests + n;
+      Array.iter
+        (function
+          | Service.Accepted _ -> incr accepted
+          | Service.Rejected Drtp.Routing.No_primary -> incr no_primary
+          | Service.Rejected _ -> incr no_backup)
+        verdicts;
+      Array.iter (fun t -> latencies := t :: !latencies) timings;
+      incr batches;
+      after_batch ()
+    end
+  in
+  let gc0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  Scenario.iter scenario (fun item ->
+      sim_now := item.Scenario.time;
+      match item.Scenario.event with
+      | Scenario.Request { conn; src; dst; bw; duration = _ } ->
+          buf :=
+            {
+              Batch.rq_conn = conn;
+              rq_time = item.Scenario.time;
+              rq_src = src;
+              rq_dst = dst;
+              rq_bw = bw;
+            }
+            :: !buf;
+          incr nbuf;
+          if !nbuf >= config.sv_batch then flush ()
+      | Scenario.Release { conn } ->
+          (* A release must observe every admission that precedes it in the
+             stream, so the pending batch flushes first. *)
+          flush ();
+          Service.release_now service ~now:item.Scenario.time ~conn;
+          incr releases);
+  flush ();
+  let t1 = Unix.gettimeofday () in
+  let gc1 = Gc.quick_stat () in
+  let final_check = Net_state.check_invariants (Manager.state manager) in
+  incr inv_checks;
+  (match final_check with
+  | Ok () -> ()
+  | Error msg ->
+      incr inv_failures;
+      Printf.eprintf "serve: final invariant violation: %s\n%!" msg);
+  let lat = Array.of_list (List.rev !latencies) in
+  let warmup = int_of_float (config.sv_warmup_frac *. float_of_int (Array.length lat)) in
+  let measured = Array.sub lat warmup (Array.length lat - warmup) in
+  let q p =
+    if Array.length measured = 0 then 0.0
+    else 1e6 *. Histogram.quantile (Array.copy measured) p
+  in
+  let elapsed = t1 -. t0 in
+  let alloc_words =
+    gc1.Gc.minor_words -. gc0.Gc.minor_words
+    +. (gc1.Gc.major_words -. gc0.Gc.major_words)
+    -. (gc1.Gc.promoted_words -. gc0.Gc.promoted_words)
+  in
+  {
+    rp_requests = !requests;
+    rp_accepted = !accepted;
+    rp_rejected_no_primary = !no_primary;
+    rp_rejected_no_backup = !no_backup;
+    rp_releases = !releases;
+    rp_batches = !batches;
+    rp_what_ifs = !what_ifs;
+    rp_what_if_accepted = !what_if_accepted;
+    rp_fail_probes = !fail_probes;
+    rp_probe_affected = !probe_affected;
+    rp_invariant_checks = !inv_checks;
+    rp_invariant_failures = !inv_failures;
+    rp_final_active = Net_state.active_count (Manager.state manager);
+    rp_lat_samples = Array.length measured;
+    rp_elapsed_s = elapsed;
+    rp_requests_per_sec =
+      (if elapsed > 0.0 then float_of_int !requests /. elapsed else 0.0);
+    rp_lat_p50_us = q 0.5;
+    rp_lat_p95_us = q 0.95;
+    rp_lat_p99_us = q 0.99;
+    rp_alloc_mb = alloc_words *. 8.0 /. 1e6;
+    rp_alloc_kb_per_req =
+      (if !requests > 0 then alloc_words *. 8.0 /. 1e3 /. float_of_int !requests
+       else 0.0);
+    rp_major_collections = gc1.Gc.major_collections - gc0.Gc.major_collections;
+  }

@@ -1,0 +1,83 @@
+(** The serve loop: a seeded open-loop request stream driven through the
+    batched admission path, with interleaved what-if queries and failure
+    probes — the throughput harness behind [drtp_sim serve].
+
+    The loop replays a {!Dr_sim.Scenario} (arrivals and departures), packs
+    consecutive requests into batches of [sv_batch] for {!Batch.admit}
+    (flushing early at every release so ordering semantics are unchanged),
+    and after every batch optionally injects speculative work: a burst of
+    {!Service.what_if_admit} queries every [sv_what_if_every] batches, a
+    {!Service.what_if_fail_edge} probe every [sv_probe_every], and a full
+    {!Drtp.Net_state.check_invariants} + [check_routing_caches] audit every
+    [sv_check_every].
+
+    {b Determinism.}  The report splits into a deterministic half (all the
+    counts — printed by {!pp_deterministic}, diffed across [--jobs] in CI)
+    and a wall-clock half ({!pp_timing}).  What-if queries are drawn from a
+    seeded generator in the coordinator and evaluated on {e replica}
+    managers (same constructor arguments, rolled back to a truth snapshot
+    before each slice), with worker-side journal traffic captured and
+    discarded and the [what-if] events re-recorded by the coordinator in
+    query order — so counts, journal bytes and trace ids are independent of
+    the jobs split. *)
+
+type config = {
+  sv_batch : int;  (** requests per batch *)
+  sv_reorder : bool;  (** commit batches in {!Batch.locality_order} *)
+  sv_what_if_every : int;  (** what-if burst every N batches; 0 = never *)
+  sv_what_if_burst : int;  (** queries per burst *)
+  sv_probe_every : int;  (** fail-edge probe every N batches; 0 = never *)
+  sv_check_every : int;  (** invariant audit every N batches; 0 = final only *)
+  sv_bw : int;  (** bandwidth units per what-if query *)
+  sv_seed : int;  (** what-if/probe stream seed *)
+  sv_warmup_frac : float;  (** leading fraction of latency samples discarded *)
+}
+
+val default : config
+
+type report = {
+  rp_requests : int;
+  rp_accepted : int;
+  rp_rejected_no_primary : int;
+  rp_rejected_no_backup : int;
+  rp_releases : int;
+  rp_batches : int;
+  rp_what_ifs : int;
+  rp_what_if_accepted : int;
+  rp_fail_probes : int;
+  rp_probe_affected : int;  (** sum of primaries the probed edges would cut *)
+  rp_invariant_checks : int;
+  rp_invariant_failures : int;
+  rp_final_active : int;
+  rp_lat_samples : int;  (** latency samples kept after warm-up discard *)
+  rp_elapsed_s : float;
+  rp_requests_per_sec : float;  (** sustained admissions/sec over the run *)
+  rp_lat_p50_us : float;
+  rp_lat_p95_us : float;
+  rp_lat_p99_us : float;
+  rp_alloc_mb : float;  (** words allocated (minor + direct major), as MB *)
+  rp_alloc_kb_per_req : float;
+  rp_major_collections : int;
+}
+
+val pp_deterministic : Format.formatter -> report -> unit
+(** The diffable half: counts only, identical across [--jobs] and machines
+    for a fixed scenario and config. *)
+
+val pp_timing : Format.formatter -> report -> unit
+(** The wall-clock half: throughput, latency quantiles, allocation rate. *)
+
+val run :
+  ?pool:Dr_parallel.Pool.t ->
+  config ->
+  graph:Dr_topo.Graph.t ->
+  capacity:int ->
+  spare_policy:Drtp.Net_state.spare_policy ->
+  route:Drtp.Routing.route_fn ->
+  scenario:Dr_sim.Scenario.t ->
+  report
+(** Drive [scenario] through a fresh manager.  [route] must be safe to run
+    concurrently on independent managers (the link-state routers are;
+    bounded flooding shares mutable flood statistics and is not supported
+    here).  Without [pool] everything runs on the calling domain; with one,
+    what-if bursts fan out across its workers. *)

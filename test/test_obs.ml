@@ -126,6 +126,8 @@ let one_of_each =
     J.Shard_setup { conn = 1; shards = 2; attempt = 0 };
     J.Shard_crankback { conn = 1; attempt = 1; reason = "stale-reject" };
     J.Stale_decision { conn = 1; age = 1.5; divergent = true };
+    J.What_if { conn = 900001; src = 2; dst = 3; verdict = "accepted" };
+    J.Batch_done { size = 32; accepted = 29 };
     J.Span_open
       {
         trace = 0x123456789ab;

@@ -110,6 +110,54 @@ let test_sanity () =
     "finds test_registration.ml" true
     (List.mem "test_registration" (test_modules ()))
 
+(* The same guard idea applied to the journal's event registry: every kind
+   declared in lib/obs/journal.ml ([J.all_kinds]) must have an instance in
+   [Test_obs.one_of_each] — otherwise a new event ships with no test ever
+   serialising it — and every instance must actually survive the
+   JSONL round trip ([to_jsonl_string] -> [parse_line]).  A constructor
+   added to the event type but forgotten in [parse_line]'s kind table (or
+   vice versa) fails here, not in production journal tooling. *)
+
+module J = Dr_obs.Journal
+
+let test_all_journal_kinds_have_instances () =
+  let covered =
+    List.sort_uniq compare (List.map J.kind_name Test_obs.one_of_each)
+  in
+  let missing = List.filter (fun k -> not (List.mem k covered)) J.all_kinds in
+  if missing <> [] then
+    Alcotest.failf
+      "journal kind(s) no test round-trips — add an instance to \
+       Test_obs.one_of_each: %s"
+      (String.concat ", " missing);
+  let unknown = List.filter (fun k -> not (List.mem k J.all_kinds)) covered in
+  if unknown <> [] then
+    Alcotest.failf
+      "Test_obs.one_of_each has kind(s) missing from Journal.all_kinds: %s"
+      (String.concat ", " unknown)
+
+let test_all_journal_kinds_round_trip () =
+  J.set_enabled true;
+  Fun.protect ~finally:(fun () -> J.set_enabled false) @@ fun () ->
+  let t = J.create () in
+  J.with_buffer t (fun () -> List.iter J.record Test_obs.one_of_each);
+  let lines = String.split_on_char '\n' (String.trim (J.to_jsonl_string t)) in
+  Alcotest.(check int) "every instance serialises to one line"
+    (List.length Test_obs.one_of_each)
+    (List.length lines);
+  List.iteri
+    (fun i line ->
+      match J.parse_line line with
+      | Error msg ->
+          Alcotest.failf "kind %s does not parse back: %s (%s)"
+            (J.kind_name (List.nth Test_obs.one_of_each i))
+            msg line
+      | Ok p ->
+          Alcotest.(check string) "kind survives the round trip"
+            (J.kind_name (List.nth Test_obs.one_of_each i))
+            p.J.p_kind)
+    lines
+
 let suite =
   [
     ( "registration-guard",
@@ -121,5 +169,9 @@ let suite =
           test_all_modules_registered;
         Alcotest.test_case "no registered suite lacks a source file" `Quick
           test_no_phantom_registrations;
+        Alcotest.test_case "every journal kind has a round-trip instance"
+          `Quick test_all_journal_kinds_have_instances;
+        Alcotest.test_case "every journal kind survives the JSONL round trip"
+          `Quick test_all_journal_kinds_round_trip;
       ] );
   ]

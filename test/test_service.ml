@@ -1,0 +1,504 @@
+(* Admission-control service layer: snapshot/rollback bit-identity under a
+   random mutation walk, what-if side-effect freedom, the batched-vs-
+   sequential admission differential (including bounded flooding under a
+   message-loss plan), and the serve loop's --jobs independence and smoke
+   checks. *)
+
+module Graph = Dr_topo.Graph
+module Path = Dr_topo.Path
+module Gen = Dr_topo.Gen
+module Net_state = Drtp.Net_state
+module Resources = Drtp.Resources
+module Aplv = Drtp.Aplv
+module Routing = Drtp.Routing
+module Routing_reference = Drtp.Routing_reference
+module Manager = Drtp.Manager
+module Bounded_flood = Dr_flood.Bounded_flood
+module Faults = Dr_faults.Faults
+module Scenario = Dr_sim.Scenario
+module Workload = Dr_sim.Workload
+module Pool = Dr_parallel.Pool
+module Rng = Dr_rng.Splitmix64
+module Dist = Dr_rng.Dist
+module Service = Dr_service.Service
+module Batch = Dr_service.Batch
+module Serve = Dr_service.Serve
+module J = Dr_obs.Journal
+module Trace = Dr_trace.Trace
+
+let property ?(count = 100) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+let seed_gen = QCheck.int_range 0 1_000_000
+
+(* --- full observable digest of a network state --------------------------- *)
+
+(* Serialise everything the public accessors can see — per-link resources,
+   both incremental routing mirrors (aplv_norm and the per-edge conflict
+   counts), APLV contents, spare bookkeeping, the failure flags, every
+   connection's routes and the aplv-updates odometer — into one string.
+   Used below as the bit-identity witness for snapshot/rollback. *)
+let digest graph state =
+  let b = Buffer.create (1 lsl 12) in
+  let links = Graph.link_count graph in
+  let edges = Graph.edge_count graph in
+  let res = Net_state.resources state in
+  let one_edge = [| 0 |] in
+  for l = 0 to links - 1 do
+    Buffer.add_string b
+      (Printf.sprintf "L%d c%d p%d s%d f%d ab%d n%d bc%d sr%d sd%d bl%d|" l
+         (Resources.capacity res l) (Resources.prime_bw res l)
+         (Resources.spare_bw res l) (Resources.free res l)
+         (Resources.available_for_backup res l)
+         (Net_state.aplv_norm state l)
+         (Aplv.backup_count (Net_state.aplv state l))
+         (Net_state.spare_required state ~link:l)
+         (Net_state.spare_deficit state ~link:l)
+         (Net_state.backup_count_on_link state ~link:l));
+    let a = Net_state.aplv state l in
+    List.iter
+      (fun e -> Buffer.add_string b (Printf.sprintf "e%d:%d," e (Aplv.get a e)))
+      (Aplv.support a);
+    for e = 0 to edges - 1 do
+      one_edge.(0) <- e;
+      let c = Net_state.conflict_count_arr state ~link:l ~edges:one_edge ~n:1 in
+      if c <> 0 then Buffer.add_string b (Printf.sprintf "C%d:%d;" e c)
+    done;
+    Buffer.add_char b '\n'
+  done;
+  for e = 0 to edges - 1 do
+    if Net_state.edge_failed state ~edge:e then
+      Buffer.add_string b (Printf.sprintf "F%d;" e)
+  done;
+  let conns = ref [] in
+  Net_state.iter_conns state (fun c -> conns := c :: !conns);
+  let conns =
+    List.sort (fun a b -> compare a.Net_state.id b.Net_state.id) !conns
+  in
+  List.iter
+    (fun c ->
+      Buffer.add_string b
+        (Printf.sprintf "K%d %d->%d bw%d d%b P[%s] B[%s]\n" c.Net_state.id
+           c.Net_state.src c.Net_state.dst c.Net_state.bw c.Net_state.degraded
+           (String.concat "," (List.map string_of_int (Path.links c.Net_state.primary)))
+           (String.concat "|"
+              (List.map
+                 (fun p -> String.concat "," (List.map string_of_int (Path.links p)))
+                 c.Net_state.backups))))
+    conns;
+  Buffer.add_string b
+    (Printf.sprintf "U%d A%d\n" (Net_state.aplv_updates state)
+       (Net_state.active_count state));
+  Buffer.contents b
+
+let manager_digest graph m =
+  let st = Manager.stats m in
+  let rs = Manager.reprotect_stats m in
+  Printf.sprintf "%s|req%d acc%d rnp%d rnb%d rel%d deg%d unp%d|pend%d q%d d%d a%d ab%d ut%.9f"
+    (digest graph (Manager.state m))
+    st.Manager.requests st.Manager.accepted st.Manager.rejected_no_primary
+    st.Manager.rejected_no_backup st.Manager.released st.Manager.degraded
+    st.Manager.unprotected
+    (Manager.reprotect_pending m)
+    rs.Manager.queued rs.Manager.drained rs.Manager.attempts
+    rs.Manager.abandoned rs.Manager.unprotected_time
+
+(* --- shared setup --------------------------------------------------------- *)
+
+let small_scenario ~seed ~rate ~horizon n =
+  let rng = Rng.create seed in
+  Workload.generate rng ~node_count:n
+    {
+      Workload.arrival_rate = rate;
+      horizon;
+      lifetime_lo = 10.0;
+      lifetime_hi = 40.0;
+      bw = Workload.Constant 1;
+      pattern = Workload.Uniform;
+    }
+
+let dlsr_route () = Routing.link_state_route_fn Routing.Dlsr ~with_backup:true
+
+let make_service ?(capacity = 12) graph route =
+  Service.create
+    (Manager.create ~graph ~capacity ~spare_policy:Net_state.Multiplexed ~route)
+
+(* Admit a handful of connections so snapshots cover a non-trivial state. *)
+let preload svc rng graph ~count =
+  let n = Graph.node_count graph in
+  for conn = 0 to count - 1 do
+    let src, dst = Dist.pick_distinct_pair rng n in
+    ignore
+      (Service.admit_now svc ~now:0.0 ~conn ~src ~dst ~bw:1 : Service.verdict)
+  done
+
+(* --- random mutation walk over the whole Net_state surface ---------------- *)
+
+let mutation_walk ~steps ~scheme rng graph state next_id =
+  let n = Graph.node_count graph in
+  let active () =
+    let ids = ref [] in
+    Net_state.iter_conns state (fun c -> ids := c.Net_state.id :: !ids);
+    List.sort compare !ids
+  in
+  let pick_active () =
+    match active () with
+    | [] -> None
+    | ids -> Some (List.nth ids (Dist.uniform_int rng ~lo:0 ~hi:(List.length ids - 1)))
+  in
+  for _ = 1 to steps do
+    match Dist.uniform_int rng ~lo:0 ~hi:7 with
+    | 0 | 1 | 2 -> (
+        let src, dst = Dist.pick_distinct_pair rng n in
+        let bw = Dist.uniform_int rng ~lo:1 ~hi:3 in
+        match Routing.find_primary state ~src ~dst ~bw with
+        | None -> ()
+        | Some primary -> (
+            match Routing.find_backups scheme state ~primary ~bw ~count:2 with
+            | [] -> ()
+            | backups ->
+                let id = !next_id in
+                incr next_id;
+                ignore (Net_state.admit state ~id ~bw ~primary ~backups : Net_state.conn)))
+    | 3 -> (
+        match pick_active () with
+        | Some id -> Net_state.release state ~id
+        | None -> ())
+    | 4 ->
+        let e = Dist.uniform_int rng ~lo:0 ~hi:(Graph.edge_count graph - 1) in
+        if not (Net_state.edge_failed state ~edge:e) then
+          Net_state.fail_edge state ~edge:e
+    | 5 ->
+        let e = Dist.uniform_int rng ~lo:0 ~hi:(Graph.edge_count graph - 1) in
+        if Net_state.edge_failed state ~edge:e then
+          Net_state.restore_edge state ~edge:e
+    | 6 -> (
+        match pick_active () with
+        | None -> ()
+        | Some id -> (
+            match Net_state.find state id with
+            | Some c
+              when c.Net_state.backups <> []
+                   && Net_state.activation_feasible state ~id () ->
+                Net_state.promote_backup state ~id ()
+            | _ -> ()))
+    | _ ->
+        let v = Dist.uniform_int rng ~lo:0 ~hi:(n - 1) in
+        if Dist.uniform_int rng ~lo:0 ~hi:1 = 0 then Net_state.fail_node state ~node:v
+        else Net_state.restore_node state ~node:v
+  done
+
+(* --- property: capture -> walk -> rollback is bit-identical --------------- *)
+
+let prop_rollback_bit_identity =
+  property ~count:25 "snapshot -> random walk -> rollback is bit-identical"
+    seed_gen
+    (fun seed ->
+      let rng = Rng.create ((seed * 7) + 1) in
+      let graph = Gen.waxman ~rng ~n:16 ~avg_degree:4.0 () in
+      let scheme = if seed mod 2 = 0 then Routing.Dlsr else Routing.Plsr in
+      let route = Routing.link_state_route_fn scheme ~with_backup:true in
+      let svc = make_service graph route in
+      let m = Service.manager svc in
+      let state = Manager.state m in
+      preload svc rng graph ~count:8;
+      let before = manager_digest graph m in
+      let snap = Manager.snapshot m in
+      let next_id = ref 10_000 in
+      mutation_walk ~steps:40 ~scheme rng graph state next_id;
+      Manager.rollback m snap;
+      (match Net_state.check_invariants state with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_reportf "invariants after rollback: %s" msg);
+      (match Net_state.check_routing_caches state with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_reportf "caches after rollback: %s" msg);
+      (* The fast routing path must still agree with the reference oracle on
+         the rolled-back state (a stale mirror would diverge here). *)
+      let n = Graph.node_count graph in
+      for _ = 1 to 4 do
+        let src, dst = Dist.pick_distinct_pair rng n in
+        let bw = Dist.uniform_int rng ~lo:1 ~hi:2 in
+        let fast = Routing.find_primary state ~src ~dst ~bw in
+        let oracle = Routing_reference.find_primary state ~src ~dst ~bw in
+        let links = Option.map Path.links in
+        if links fast <> links oracle then
+          QCheck.Test.fail_reportf "primary fast<>oracle after rollback";
+        match fast with
+        | None -> ()
+        | Some primary ->
+            let fb = Routing.find_backups scheme state ~primary ~bw ~count:2 in
+            let ob =
+              Routing_reference.find_backups scheme state ~primary ~bw ~count:2
+            in
+            if List.map Path.links fb <> List.map Path.links ob then
+              QCheck.Test.fail_reportf "backups fast<>oracle after rollback"
+      done;
+      let after = manager_digest graph m in
+      if before <> after then
+        QCheck.Test.fail_reportf "state digest changed across rollback";
+      true)
+
+(* Reusing one snapshot buffer (the service's steady-state path) must be as
+   good as a fresh capture every time. *)
+let test_snapshot_buffer_reuse () =
+  let rng = Rng.create 77 in
+  let graph = Gen.waxman ~rng ~n:14 ~avg_degree:4.0 () in
+  let svc = make_service graph (dlsr_route ()) in
+  let m = Service.manager svc in
+  preload svc rng graph ~count:6;
+  let next_id = ref 20_000 in
+  let snap = ref (Manager.snapshot m) in
+  for round = 1 to 5 do
+    let before = manager_digest graph m in
+    snap := Manager.snapshot ~into:!snap m;
+    mutation_walk ~steps:15 ~scheme:Routing.Dlsr rng graph (Manager.state m)
+      next_id;
+    Manager.rollback m !snap;
+    Alcotest.(check string)
+      (Printf.sprintf "round %d: reused-buffer rollback is bit-identical" round)
+      before (manager_digest graph m)
+  done
+
+(* --- what-if queries leave no trace --------------------------------------- *)
+
+let test_what_if_side_effect_free () =
+  let rng = Rng.create 5 in
+  let graph = Gen.waxman ~rng ~n:16 ~avg_degree:4.0 () in
+  let svc = make_service graph (dlsr_route ()) in
+  let m = Service.manager svc in
+  preload svc rng graph ~count:10;
+  let n = Graph.node_count graph in
+  let before = manager_digest graph m in
+  let src, dst = Dist.pick_distinct_pair rng n in
+  let v1 = Service.what_if_admit svc ~now:1.0 ~src ~dst ~bw:1 in
+  let src2, dst2 = Dist.pick_distinct_pair rng n in
+  let _set =
+    Service.what_if_admit_set svc ~now:1.0 [ (src2, dst2, 1); (dst2, src2, 1) ]
+  in
+  let _probe = Service.what_if_fail_edge svc ~edge:0 in
+  Alcotest.(check string) "what-ifs leave the truth bit-identical" before
+    (manager_digest graph m);
+  (* The speculative verdict is truthful: committing the same request now
+     yields the same verdict. *)
+  let v2 = Service.admit_now svc ~now:1.0 ~conn:777 ~src ~dst ~bw:1 in
+  Alcotest.(check bool) "what-if verdict matches the real admission" true
+    (Service.equal_verdict v1 v2)
+
+let test_what_if_journal_silent () =
+  let rng = Rng.create 6 in
+  let graph = Gen.waxman ~rng ~n:14 ~avg_degree:4.0 () in
+  J.set_enabled true;
+  Fun.protect ~finally:(fun () -> J.set_enabled false) @@ fun () ->
+  let buf = J.create () in
+  let kinds =
+    J.with_buffer buf (fun () ->
+        let svc = make_service graph (dlsr_route ()) in
+        preload svc rng graph ~count:4;
+        let n = Graph.node_count graph in
+        let src, dst = Dist.pick_distinct_pair rng n in
+        let recorded0 = J.recorded buf in
+        let _v = Service.what_if_admit svc ~now:2.0 ~src ~dst ~bw:1 in
+        let entries = J.entries buf in
+        let fresh = List.filteri (fun i _ -> i >= recorded0) entries in
+        List.map (fun (e : J.entry) -> J.kind_name e.J.event) fresh)
+  in
+  (* Exactly one event escapes a speculative admission: the what-if record
+     itself.  Everything the speculation journalled internally (request,
+     admitted, spare changes, spans) was captured and discarded. *)
+  Alcotest.(check (list string)) "one what-if event, nothing else"
+    [ "what-if" ] kinds
+
+(* --- batched admissions == sequential admissions --------------------------- *)
+
+let requests_of_scenario scenario =
+  Scenario.items scenario |> Array.to_list
+  |> List.filter_map (fun (it : Scenario.item) ->
+         match it.Scenario.event with
+         | Scenario.Request { conn; src; dst; bw; duration = _ } ->
+             Some
+               {
+                 Batch.rq_conn = conn;
+                 rq_time = it.Scenario.time;
+                 rq_src = src;
+                 rq_dst = dst;
+                 rq_bw = bw;
+               }
+         | Scenario.Release _ -> None)
+  |> Array.of_list
+
+let batch_vs_sequential ~label mk_route =
+  let rng = Rng.create 91 in
+  let graph = Gen.waxman ~rng ~n:18 ~avg_degree:4.0 () in
+  let scenario = small_scenario ~seed:404 ~rate:1.0 ~horizon:150.0 18 in
+  let reqs = requests_of_scenario scenario in
+  Alcotest.(check bool) (label ^ ": scenario is non-trivial") true
+    (Array.length reqs > 20);
+  let svc_batch = make_service graph (mk_route ()) in
+  let svc_seq = make_service graph (mk_route ()) in
+  let batch_verdicts = Batch.admit svc_batch reqs in
+  let seq_verdicts =
+    Array.map
+      (fun r ->
+        Service.admit_now svc_seq ~now:r.Batch.rq_time ~conn:r.Batch.rq_conn
+          ~src:r.Batch.rq_src ~dst:r.Batch.rq_dst ~bw:r.Batch.rq_bw)
+      reqs
+  in
+  Array.iteri
+    (fun i bv ->
+      if not (Service.equal_verdict bv seq_verdicts.(i)) then
+        Alcotest.failf "%s: request %d: batch %s <> sequential %s" label i
+          (Service.verdict_name bv)
+          (Service.verdict_name seq_verdicts.(i)))
+    batch_verdicts;
+  Alcotest.(check string)
+    (label ^ ": end state is bit-identical")
+    (manager_digest graph (Service.manager svc_seq))
+    (manager_digest graph (Service.manager svc_batch))
+
+let test_batch_differential_dlsr () =
+  batch_vs_sequential ~label:"d-lsr" dlsr_route
+
+let test_batch_differential_bf_faults () =
+  (* Bounded flooding with a message-loss plan: admissions consult the
+     fault injector's RNG, so identical call order (which the default
+     batch preserves) must yield identical drops, verdicts and state. *)
+  let rng = Rng.create 92 in
+  let graph = Gen.waxman ~rng ~n:18 ~avg_degree:4.0 () in
+  let hop_matrix = Dr_topo.Shortest_path.hop_matrix graph in
+  let mk_route () =
+    let faults = Faults.create ~seed:5 (Faults.uniform_spec 0.2) in
+    Bounded_flood.route_fn ~stats:(Bounded_flood.fresh_stats ()) ~faults
+      ~hop_matrix ()
+  in
+  let scenario = small_scenario ~seed:405 ~rate:1.0 ~horizon:120.0 18 in
+  let reqs = requests_of_scenario scenario in
+  let svc_batch = make_service graph (mk_route ()) in
+  let svc_seq = make_service graph (mk_route ()) in
+  let batch_verdicts = Batch.admit svc_batch reqs in
+  let seq_verdicts =
+    Array.map
+      (fun r ->
+        Service.admit_now svc_seq ~now:r.Batch.rq_time ~conn:r.Batch.rq_conn
+          ~src:r.Batch.rq_src ~dst:r.Batch.rq_dst ~bw:r.Batch.rq_bw)
+      reqs
+  in
+  Array.iteri
+    (fun i bv ->
+      if not (Service.equal_verdict bv seq_verdicts.(i)) then
+        Alcotest.failf "bf+faults: request %d: batch %s <> sequential %s" i
+          (Service.verdict_name bv)
+          (Service.verdict_name seq_verdicts.(i)))
+    batch_verdicts;
+  Alcotest.(check string) "bf+faults: end state is bit-identical"
+    (manager_digest graph (Service.manager svc_seq))
+    (manager_digest graph (Service.manager svc_batch))
+
+let test_batch_reorder_verdict_positions () =
+  (* Reordering is a policy change, but verdicts must still come back at
+     the original indices: every accepted verdict corresponds to a request
+     that is actually active afterwards, under its own connection id. *)
+  let rng = Rng.create 93 in
+  let graph = Gen.waxman ~rng ~n:16 ~avg_degree:4.0 () in
+  let scenario = small_scenario ~seed:406 ~rate:0.8 ~horizon:100.0 16 in
+  let reqs = requests_of_scenario scenario in
+  let svc = make_service graph (dlsr_route ()) in
+  let verdicts = Batch.admit ~reorder:true svc reqs in
+  let state = Manager.state (Service.manager svc) in
+  Array.iteri
+    (fun i v ->
+      let active = Net_state.find state reqs.(i).Batch.rq_conn <> None in
+      match v with
+      | Service.Accepted _ ->
+          if not active then
+            Alcotest.failf "request %d reported accepted but is not active" i
+      | Service.Rejected _ ->
+          if active then
+            Alcotest.failf "request %d reported rejected but is active" i)
+    verdicts;
+  (* And the permutation itself is deterministic and a real permutation. *)
+  let order = Batch.locality_order reqs in
+  let seen = Array.make (Array.length reqs) false in
+  Array.iter (fun i -> seen.(i) <- true) order;
+  Alcotest.(check bool) "locality order is a permutation" true
+    (Array.for_all Fun.id seen)
+
+(* --- serve loop ------------------------------------------------------------ *)
+
+let serve_config =
+  {
+    Serve.default with
+    Serve.sv_batch = 16;
+    sv_what_if_every = 2;
+    sv_what_if_burst = 6;
+    sv_probe_every = 3;
+    sv_check_every = 4;
+    sv_seed = 42;
+  }
+
+let serve_once ~jobs =
+  let rng = Rng.create 7 in
+  let graph = Gen.waxman ~rng ~n:20 ~avg_degree:4.0 () in
+  let scenario = small_scenario ~seed:42 ~rate:2.0 ~horizon:120.0 20 in
+  J.set_enabled true;
+  Fun.protect ~finally:(fun () -> J.set_enabled false) @@ fun () ->
+  let buf = J.create () in
+  J.with_buffer buf (fun () ->
+      J.Causal.reset ~seed:9;
+      let report =
+        Pool.with_pool ~jobs (fun pool ->
+            Serve.run ~pool serve_config ~graph ~capacity:12
+              ~spare_policy:Net_state.Multiplexed ~route:(dlsr_route ())
+              ~scenario)
+      in
+      (report, J.to_jsonl_string buf))
+
+let test_serve_jobs_identity () =
+  let r1, journal1 = serve_once ~jobs:1 in
+  let r2, journal2 = serve_once ~jobs:2 in
+  Alcotest.(check string) "deterministic report identical for --jobs 1 and 2"
+    (Format.asprintf "%a" Serve.pp_deterministic r1)
+    (Format.asprintf "%a" Serve.pp_deterministic r2);
+  Alcotest.(check string) "journal bytes identical for --jobs 1 and 2" journal1
+    journal2;
+  Alcotest.(check bool) "what-ifs actually ran" true (r1.Serve.rp_what_ifs > 0)
+
+let test_serve_smoke () =
+  (* The tier-1 smoke: a fixed-seed serve run must admit something, violate
+     no invariant, and emit a journal the trace checker accepts. *)
+  let report, journal = serve_once ~jobs:1 in
+  Alcotest.(check bool) "admissions happened" true (report.Serve.rp_accepted > 0);
+  Alcotest.(check int) "zero invariant violations" 0
+    report.Serve.rp_invariant_failures;
+  Alcotest.(check bool) "invariants were audited" true
+    (report.Serve.rp_invariant_checks > 1);
+  Alcotest.(check bool) "throughput is positive" true
+    (report.Serve.rp_requests_per_sec > 0.0);
+  let tr = Trace.of_string journal in
+  let errors = List.filter Trace.is_error (Trace.check tr) in
+  if errors <> [] then
+    Alcotest.failf "trace check reported errors: %s" (String.concat "; " errors)
+
+let suite =
+  [
+    ( "service",
+      [
+        prop_rollback_bit_identity;
+        Alcotest.test_case "snapshot buffer reuse rolls back bit-identically"
+          `Quick test_snapshot_buffer_reuse;
+        Alcotest.test_case "what-if queries leave no trace on the truth" `Quick
+          test_what_if_side_effect_free;
+        Alcotest.test_case "what-if records one journal event, discards the rest"
+          `Quick test_what_if_journal_silent;
+        Alcotest.test_case "batch == sequential (d-lsr)" `Quick
+          test_batch_differential_dlsr;
+        Alcotest.test_case "batch == sequential (bf + loss plan)" `Quick
+          test_batch_differential_bf_faults;
+        Alcotest.test_case "reordered batch keeps verdict positions" `Quick
+          test_batch_reorder_verdict_positions;
+        Alcotest.test_case "serve report and journal independent of --jobs"
+          `Quick test_serve_jobs_identity;
+        Alcotest.test_case "serve smoke: admissions, invariants, trace check"
+          `Quick test_serve_smoke;
+      ] );
+  ]
