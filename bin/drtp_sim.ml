@@ -850,8 +850,70 @@ let serve_cmd =
             "Tiny fixed-seed run for CI: a short horizon, frequent invariant \
              audits, nonzero exit on any violation.")
   in
+  let wal_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"PATH"
+          ~doc:
+            "Write-ahead-log every admission and release to $(docv) (the \
+             checkpoint lives at $(docv).ckpt); enables crash recovery.")
+  in
+  let checkpoint_every_t =
+    Arg.(
+      value
+      & opt int Serve.default.Serve.sv_checkpoint_every
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Checkpoint the manager once the WAL tail reaches $(docv) \
+             records (at the next batch boundary); 0 = never.")
+  in
+  let crash_every_t =
+    Arg.(
+      value
+      & opt int Serve.default.Serve.sv_crash_every
+      & info [ "crash-every" ] ~docv:"N"
+          ~doc:
+            "Crash the manager every $(docv) batches and recover it from \
+             the checkpoint + WAL tail (requires $(b,--wal)); 0 = never.")
+  in
+  let queue_cap_t =
+    Arg.(
+      value
+      & opt int Serve.default.Serve.sv_queue_cap
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Bound the admission queue at $(docv) requests; excess arrivals \
+             are shed with a journalled verdict (0 = unbounded).")
+  in
+  let deadline_t =
+    Arg.(
+      value
+      & opt float Serve.default.Serve.sv_deadline
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Shed queued requests whose simulated wait exceeds $(docv) at \
+             flush time (0 = off).")
+  in
+  let overload_every_t =
+    Arg.(
+      value
+      & opt int Serve.default.Serve.sv_overload_every
+      & info [ "overload-every" ] ~docv:"N"
+          ~doc:
+            "Inject a seeded synthetic request burst every $(docv) batches \
+             (0 = off).")
+  in
+  let overload_burst_t =
+    Arg.(
+      value
+      & opt int Serve.default.Serve.sv_overload_burst
+      & info [ "overload-burst" ] ~docv:"N"
+          ~doc:"Synthetic requests per overload burst.")
+  in
   let run () jobs degree traffic lambda scheme batch reorder what_if_every
-      what_if_burst probe_every check_every quick smoke seed =
+      what_if_burst probe_every check_every quick smoke wal checkpoint_every
+      crash_every queue_cap deadline overload_every overload_burst seed =
     let cfg = config_of ~quick:(quick || smoke) ~seed in
     let cfg =
       if smoke then { cfg with Dr_exp.Config.warmup = 600.0; horizon = 1200.0 }
@@ -868,6 +930,13 @@ let serve_cmd =
         sv_check_every = (if smoke then min check_every 4 else check_every);
         sv_bw = cfg.Dr_exp.Config.bw_req;
         sv_seed = seed;
+        sv_wal = wal;
+        sv_checkpoint_every = checkpoint_every;
+        sv_crash_every = crash_every;
+        sv_queue_cap = queue_cap;
+        sv_deadline = deadline;
+        sv_overload_every = overload_every;
+        sv_overload_burst = overload_burst;
       }
     in
     let params =
@@ -894,7 +963,87 @@ let serve_cmd =
       const run $ telemetry_t $ jobs_t $ degree_t $ traffic_t
       $ lambda_t ~default:0.4 $ scheme_t $ batch_t $ reorder_t
       $ what_if_every_t $ what_if_burst_t $ probe_every_t $ check_every_t
-      $ quick_t $ smoke_t $ seed_t)
+      $ quick_t $ smoke_t $ wal_t $ checkpoint_every_t $ crash_every_t
+      $ queue_cap_t $ deadline_t $ overload_every_t $ overload_burst_t
+      $ seed_t)
+
+(* ---- recover: rebuild a manager from checkpoint + WAL ------------------- *)
+
+let recover_cmd =
+  let module Persist = Dr_persist.Persist in
+  let scheme_t =
+    let parse s =
+      Result.map_error (fun e -> `Msg e) (Drtp.Routing.scheme_of_string s)
+    in
+    let print ppf s = Format.pp_print_string ppf (Drtp.Routing.scheme_name s) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Drtp.Routing.Dlsr
+      & info [ "scheme" ] ~docv:"SCHEME"
+          ~doc:
+            "Link-state scheme the logged run served with (d-lsr, p-lsr or \
+             spf) — replay must route exactly as the live run did.")
+  in
+  let wal_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"PATH"
+          ~doc:
+            "Write-ahead log to recover from (the checkpoint is read from \
+             $(docv).ckpt when present).")
+  in
+  let smoke_t =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Use the serve $(b,--smoke) topology parameters, so the digest \
+             is comparable with a smoke run's.")
+  in
+  let run () degree scheme quick smoke wal seed =
+    let cfg = config_of ~quick:(quick || smoke) ~seed in
+    let graph = Dr_exp.Config.make_graph cfg ~avg_degree:degree in
+    let route = Drtp.Routing.link_state_route_fn scheme ~with_backup:true in
+    let manager =
+      Drtp.Manager.create ~graph ~capacity:cfg.Dr_exp.Config.capacity
+        ~spare_policy:Drtp.Net_state.Multiplexed ~route
+    in
+    match Persist.recover (Persist.default_config ~wal_path:wal) ~manager with
+    | Error e ->
+        Printf.eprintf "drtp_sim recover: %s\n%!" e;
+        exit 1
+    | Ok rv ->
+        let state = Drtp.Manager.state manager in
+        let audit name = function
+          | Ok () -> ()
+          | Error m ->
+              (* Flush pending stdout before the stderr diagnostic so the
+                 two streams never interleave mid-line. *)
+              Format.print_flush ();
+              Printf.eprintf "drtp_sim recover: %s failed: %s\n%!" name m;
+              exit 1
+        in
+        audit "check_invariants" (Drtp.Net_state.check_invariants state);
+        audit "check_routing_caches" (Drtp.Net_state.check_routing_caches state);
+        Format.printf "recover: checkpoint-seq=%d replayed=%d wal-seq=%d@."
+          rv.Persist.rv_checkpoint_seq rv.Persist.rv_replayed
+          rv.Persist.rv_wal_seq;
+        Format.printf "recover: active=%d digest=%s@."
+          (Drtp.Net_state.active_count state)
+          (Dr_persist.State_digest.manager_hex graph manager);
+        Format.print_flush ()
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Rebuild admission-control state from a serve run's checkpoint and \
+          write-ahead-log tail, audit its invariants, and print the state \
+          digest — compare with the serve run's $(b,digest=) line to verify \
+          crash-recovery equivalence.")
+    Term.(
+      const run $ telemetry_t $ degree_t $ scheme_t $ quick_t $ smoke_t
+      $ wal_t $ seed_t)
 
 (* ---- check-routing: fast path vs reference oracle ----------------------- *)
 
@@ -1714,7 +1863,8 @@ let () =
       overhead_cmd;
       recovery_cmd; chaos_cmd; srlg_cmd; shard_cmd; topo_cmd; scenario_cmd;
       replay_cmd;
-      explain_cmd; serve_cmd; inspect_cmd; trace_cmd; check_routing_cmd;
+      explain_cmd; serve_cmd; recover_cmd; inspect_cmd; trace_cmd;
+      check_routing_cmd;
     ]
   in
   exit (Cmd.eval (Cmd.group default_info cmds))

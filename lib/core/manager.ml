@@ -155,6 +155,71 @@ let rollback t s =
   t.reprotect <- s.sn_reprotect;
   copy_rstats_into t.rstats s.sn_rstats
 
+(* ---- serialization (checkpoint) ------------------------------------------
+   The manager's mutable truth beyond the {!Net_state}: admission stats,
+   reprotection counters, and the reprotection queue.  Queue entries carry
+   their open dwell span's (trace, span) ids so a recovered manager closes
+   the {e same} spans an uncrashed run would — keeping post-recovery
+   journal bytes identical. *)
+
+module Serial = struct
+  type reprotect_repr = {
+    rr_id : int;
+    rr_scheme : string;
+    rr_count : int;
+    rr_since : float;
+    rr_trace : int;
+    rr_span : int;
+  }
+
+  type repr = {
+    m_state : Net_state.Serial.repr;
+    m_stats : stats;
+    m_rstats : reprotect_stats;
+    m_reprotect : reprotect_repr list;
+  }
+
+  let dump t =
+    {
+      m_state = Net_state.Serial.dump t.state;
+      m_stats = { t.stats with requests = t.stats.requests };
+      m_rstats = { t.rstats with queued = t.rstats.queued };
+      m_reprotect =
+        List.map
+          (fun e ->
+            {
+              rr_id = e.re_id;
+              rr_scheme = Routing.scheme_name e.re_scheme;
+              rr_count = e.re_count;
+              rr_since = e.re_since;
+              rr_trace = C.trace_id e.re_span;
+              rr_span = C.span_id e.re_span;
+            })
+          t.reprotect;
+    }
+
+  let restore t (r : repr) =
+    Net_state.Serial.restore t.state r.m_state;
+    copy_stats_into t.stats r.m_stats;
+    copy_rstats_into t.rstats r.m_rstats;
+    t.reprotect <-
+      List.map
+        (fun e ->
+          let scheme =
+            match Routing.scheme_of_string e.rr_scheme with
+            | Ok s -> s
+            | Error msg -> invalid_arg ("Manager.Serial.restore: " ^ msg)
+          in
+          {
+            re_id = e.rr_id;
+            re_scheme = scheme;
+            re_count = e.rr_count;
+            re_since = e.rr_since;
+            re_span = C.of_ids ~trace:e.rr_trace ~span:e.rr_span;
+          })
+        r.m_reprotect
+end
+
 let queue_reprotect t ~id ~scheme ?(backup_count = 1) ~now () =
   match Net_state.find t.state id with
   | None -> ()

@@ -85,6 +85,37 @@ val snapshot : ?into:snapshot -> t -> snapshot
 val rollback : t -> snapshot -> unit
 (** Restore manager and state, in place, to the captured truth. *)
 
+(** {1 Serialization (checkpoints)}
+
+    {!Net_state.Serial} extended with the manager's own mutable truth:
+    admission stats, reprotection counters, and the reprotection queue.
+    Queue entries carry their open dwell span's (trace, span) ids so a
+    recovered manager closes the same spans an uncrashed run would. *)
+
+module Serial : sig
+  type reprotect_repr = {
+    rr_id : int;
+    rr_scheme : string;  (** {!Routing.scheme_name} form *)
+    rr_count : int;
+    rr_since : float;
+    rr_trace : int;
+    rr_span : int;
+  }
+
+  type repr = {
+    m_state : Net_state.Serial.repr;
+    m_stats : stats;
+    m_rstats : reprotect_stats;
+    m_reprotect : reprotect_repr list;
+  }
+
+  val dump : t -> repr
+
+  val restore : t -> repr -> unit
+  (** Overwrite a same-topology manager in place.  Raises
+      [Invalid_argument] on shape mismatch or an unknown scheme name. *)
+end
+
 val apply : t -> Dr_sim.Scenario.item -> unit
 (** Process one request or release event. *)
 

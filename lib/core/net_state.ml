@@ -629,6 +629,134 @@ module Snapshot = struct
     st.aplv_updates <- s.s_aplv_updates
 end
 
+(* ---- serialization (checkpoint) ------------------------------------------
+   A checkpoint cannot re-run admissions: the digest includes the
+   [aplv_updates] odometer and history-dependent spare pools / [degraded]
+   flags, none of which a logical replay of the surviving connections would
+   reproduce.  Instead [Serial.dump] captures the minimal mutable truth —
+   the raw resource pools, failure flags, odometer, and the connection
+   table with routes as link-id lists — and [Serial.restore] rebuilds every
+   derived structure (APLVs, both PR 4 mirrors, SRLG spare weights, backup
+   totals, primary index) by replaying the registration {e arithmetic}
+   only: no spare-pool adjustment (pools are blitted verbatim afterwards),
+   no telemetry, no journal events.  APLV registration is commutative
+   hashtable arithmetic and every digest-visible read of it is sorted or
+   aggregate, so the rebuilt state is bit-identical under the accessor
+   digest. *)
+
+module Serial = struct
+  type conn_repr = {
+    r_id : int;
+    r_src : int;
+    r_dst : int;
+    r_bw : int;
+    r_degraded : bool;
+    r_primary : int list;
+    r_backups : int list list;
+  }
+
+  type repr = {
+    r_prime : int array;
+    r_spare : int array;
+    r_failed : bool array;
+    r_aplv_updates : int;
+    r_conns : conn_repr list; (* sorted by id *)
+  }
+
+  let dump (t : t) =
+    let prime, spare = Resources.pools t.resources in
+    let conns =
+      Hashtbl.fold
+        (fun _ (c : conn) acc ->
+          {
+            r_id = c.id;
+            r_src = c.src;
+            r_dst = c.dst;
+            r_bw = c.bw;
+            r_degraded = c.degraded;
+            r_primary = Path.links c.primary;
+            r_backups = List.map Path.links c.backups;
+          }
+          :: acc)
+        t.conns []
+      |> List.sort (fun a b -> compare a.r_id b.r_id)
+    in
+    {
+      r_prime = prime;
+      r_spare = spare;
+      r_failed = Array.copy t.failed;
+      r_aplv_updates = t.aplv_updates;
+      r_conns = conns;
+    }
+
+  (* Registration arithmetic only — compare {!register_backup}. *)
+  let register_arith (t : t) ~bw ~primary_edges ~groups ~backup_path =
+    List.iter
+      (fun l ->
+        Aplv.register t.aplv.(l) ~edge_lset:primary_edges;
+        let counts = t.conflict_counts.(l) in
+        List.iter
+          (fun e ->
+            counts.(e) <- counts.(e) + 1;
+            t.aplv_norm.(l) <- t.aplv_norm.(l) + 1)
+          primary_edges;
+        List.iter
+          (fun g ->
+            let w = Option.value ~default:0 (Hashtbl.find_opt t.spare_weight.(l) g) in
+            Hashtbl.replace t.spare_weight.(l) g (w + bw))
+          groups;
+        t.backup_total.(l) <- t.backup_total.(l) + bw)
+      (Path.links backup_path)
+
+  let restore (t : t) (r : repr) =
+    let links = Graph.link_count t.graph in
+    let edges = Graph.edge_count t.graph in
+    if
+      Array.length r.r_prime <> links
+      || Array.length r.r_failed <> edges
+    then invalid_arg "Net_state.Serial.restore: topology shape mismatch";
+    let empty = Aplv.create () in
+    for l = 0 to links - 1 do
+      Aplv.assign ~into:t.aplv.(l) ~from:empty;
+      Array.fill t.conflict_counts.(l) 0 edges 0;
+      t.aplv_norm.(l) <- 0;
+      t.backup_total.(l) <- 0;
+      Hashtbl.reset t.spare_weight.(l)
+    done;
+    Hashtbl.reset t.conns;
+    Array.iter Hashtbl.reset t.edge_primaries;
+    List.iter
+      (fun cr ->
+        let primary = Path.of_links t.graph cr.r_primary in
+        let backups = List.map (Path.of_links t.graph) cr.r_backups in
+        let conn =
+          {
+            id = cr.r_id;
+            src = cr.r_src;
+            dst = cr.r_dst;
+            bw = cr.r_bw;
+            primary;
+            backups;
+            degraded = cr.r_degraded;
+          }
+        in
+        if conn.src <> Path.src primary || conn.dst <> Path.dst primary then
+          invalid_arg "Net_state.Serial.restore: endpoint mismatch";
+        let primary_edges = edge_lset_of_path primary in
+        let groups = Srlg.groups_of_edges t.srlg primary_edges in
+        List.iter
+          (fun b -> register_arith t ~bw:conn.bw ~primary_edges ~groups ~backup_path:b)
+          backups;
+        List.iter
+          (fun e -> Hashtbl.replace t.edge_primaries.(e) conn.id conn)
+          primary_edges;
+        Hashtbl.add t.conns conn.id conn)
+      r.r_conns;
+    Array.blit r.r_failed 0 t.failed 0 edges;
+    Resources.set_pools t.resources ~prime:r.r_prime ~spare:r.r_spare;
+    t.aplv_updates <- r.r_aplv_updates
+end
+
 (* The routing fast path never reads the APLV hashtables — only the dense
    [aplv_norm]/[conflict_counts] mirrors.  This check recomputes both from
    the authoritative {!Aplv.t} per link and reports the first slot where a

@@ -253,6 +253,49 @@ module Snapshot : sig
       came from a different topology. *)
 end
 
+(** {1 Serialization (checkpoints)}
+
+    A checkpoint cannot logically re-admit the surviving connections — the
+    accessor digest includes the [aplv_updates] odometer and
+    history-dependent spare pools and [degraded] flags that a replay of
+    admissions would not reproduce.  [Serial.dump] therefore captures the
+    minimal mutable truth (raw resource pools, failure flags, odometer,
+    connection table with routes as link-id lists) and [Serial.restore]
+    rebuilds every derived structure — APLVs, the dense mirrors, SRLG
+    spare weights, backup totals, the primary index — by replaying the
+    registration arithmetic only, then blitting the pools verbatim.  The
+    result is bit-identical under the accessor digest; used by
+    [dr_persist]'s on-disk checkpoints. *)
+
+module Serial : sig
+  type conn_repr = {
+    r_id : int;
+    r_src : int;
+    r_dst : int;
+    r_bw : int;
+    r_degraded : bool;
+    r_primary : int list;  (** primary route as link ids *)
+    r_backups : int list list;  (** backups, in priority order *)
+  }
+
+  type repr = {
+    r_prime : int array;
+    r_spare : int array;
+    r_failed : bool array;
+    r_aplv_updates : int;
+    r_conns : conn_repr list;  (** sorted by id *)
+  }
+
+  val dump : t -> repr
+  (** Copy out the minimal mutable truth. *)
+
+  val restore : t -> repr -> unit
+  (** Overwrite a same-topology state, in place, with the dumped truth.
+      Emits no journal events and touches no telemetry counters.  Raises
+      [Invalid_argument] on a topology shape mismatch or if a dumped route
+      is not a valid path of the state's graph. *)
+end
+
 (** {1 Integrity} *)
 
 val check_invariants : t -> (unit, string) result

@@ -82,6 +82,21 @@ let restore t s =
   Array.blit s.s_prime 0 t.prime 0 n;
   Array.blit s.s_spare 0 t.spare 0 n
 
+(* ---- serialization hooks ------------------------------------------------- *)
+
+(* Checkpointing (dr_persist) needs the raw pools: copies out, blits in.
+   [set_pools] validates lengths but not the pool invariants — callers run
+   [check_invariants] after a full state restore. *)
+
+let pools t = (Array.copy t.prime, Array.copy t.spare)
+
+let set_pools t ~prime ~spare =
+  let n = Array.length t.prime in
+  if Array.length prime <> n || Array.length spare <> n then
+    invalid_arg "Resources.set_pools: link count mismatch";
+  Array.blit prime 0 t.prime 0 n;
+  Array.blit spare 0 t.spare 0 n
+
 let sum arr = Array.fold_left ( + ) 0 arr
 let total_capacity t = sum t.capacity
 let total_prime t = sum t.prime

@@ -75,6 +75,15 @@ val restore : t -> snapshot -> unit
 (** Overwrite the pools from a snapshot.  Raises [Invalid_argument] on a
     link-count mismatch (snapshot taken from a different topology). *)
 
+val pools : t -> int array * int array
+(** [(prime, spare)] as fresh copies — the raw material a checkpoint
+    serialises. *)
+
+val set_pools : t -> prime:int array -> spare:int array -> unit
+(** Overwrite both pools from arrays (checkpoint restore).  Raises
+    [Invalid_argument] on a length mismatch; pool invariants are {e not}
+    re-checked here — run {!check_invariants} after a full restore. *)
+
 val total_capacity : t -> int
 val total_prime : t -> int
 val total_spare : t -> int

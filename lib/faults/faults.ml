@@ -101,6 +101,34 @@ let dropped_of t c = t.drops.(cls_index c)
 
 type flap = { fail_at : float; edge : int; repair_at : float }
 
+(* ---- crash schedules ----------------------------------------------------- *)
+
+(* Control-plane crash points, as op (or batch) ordinals rather than sim
+   times: the persistence layer injects a crash exactly at an op boundary,
+   so a schedule of indices composes with any workload.  Geometric gaps
+   (the discrete analogue of the flap schedule's exponential inter-arrival
+   times), strictly increasing, first crash at index >= 1. *)
+let crash_schedule ~seed ~mean_gap ?(count = max_int) ~horizon () =
+  if mean_gap < 1.0 then
+    invalid_arg "Faults.crash_schedule: mean_gap must be >= 1";
+  if horizon < 0 then invalid_arg "Faults.crash_schedule: negative horizon";
+  let rng = Sm.create seed in
+  let events = ref [] in
+  let n = ref 0 in
+  let at = ref 0 in
+  let gap () =
+    (* Exponential draw rounded up: support {1, 2, ...}, mean ~ mean_gap. *)
+    let d = Dr_rng.Dist.exponential rng ~rate:(1.0 /. mean_gap) in
+    max 1 (int_of_float (Float.ceil d))
+  in
+  at := !at + gap ();
+  while !at <= horizon && !n < count do
+    events := !at :: !events;
+    incr n;
+    at := !at + gap ()
+  done;
+  List.rev !events
+
 let flap_schedule ~seed ~edge_count ~mtbf ~mttr ?(after = 0.0) ~horizon () =
   if mtbf <= 0.0 then invalid_arg "Faults.flap_schedule: mtbf must be positive";
   if mttr <= 0.0 then invalid_arg "Faults.flap_schedule: mttr must be positive";

@@ -87,6 +87,23 @@ val dropped_of : t -> cls -> int
     down.  Failure inter-arrivals and repair durations are exponential
     ([mtbf], [mttr]), the same process {!Dr_exp.Availability_exp} uses. *)
 
+(** {1 Crash schedules}
+
+    Control-plane crash points for the durability layer ({!Dr_persist}):
+    ordinals of ops (or batches) after which the manager — or one shard in
+    {!Dr_shard} — is killed and must recover from checkpoint + WAL
+    replay.  Indices rather than sim times, so a schedule composes with
+    any workload and a crash lands exactly on an op boundary. *)
+
+val crash_schedule :
+  seed:int -> mean_gap:float -> ?count:int -> horizon:int -> unit -> int list
+(** Strictly increasing crash indices in [[1], [horizon]], at most [count]
+    of them (default unbounded), with geometric-ish gaps of mean
+    [mean_gap] (an exponential draw rounded up — the discrete analogue of
+    {!flap_schedule}'s inter-arrival process).  Deterministic in every
+    argument.  Raises [Invalid_argument] if [mean_gap < 1] or [horizon]
+    is negative. *)
+
 type flap = {
   fail_at : float;
   edge : int;

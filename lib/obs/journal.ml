@@ -79,6 +79,11 @@ type event =
     }
   | Span_close of { trace : int; span : int; dur : float }
   | Ring_dropped of { count : int }
+  | Checkpoint_written of { seq : int; conns : int; bytes : int }
+  | Wal_appended of { seq : int; op : string }
+  | Crash_injected of { at_batch : int; wal_seq : int }
+  | Recovery_replayed of { checkpoint_seq : int; replayed : int; conns : int }
+  | Request_shed of { conn : int; reason : string; queued : int }
 
 let kind_name = function
   | Request _ -> "request"
@@ -117,6 +122,11 @@ let kind_name = function
   | Span_open _ -> "span-open"
   | Span_close _ -> "span-close"
   | Ring_dropped _ -> "ring-dropped"
+  | Checkpoint_written _ -> "checkpoint-written"
+  | Wal_appended _ -> "wal-appended"
+  | Crash_injected _ -> "crash-injected"
+  | Recovery_replayed _ -> "recovery-replayed"
+  | Request_shed _ -> "request-shed"
 
 let all_kinds =
   [
@@ -128,7 +138,8 @@ let all_kinds =
     "group-failed"; "chain-built"; "chain-failover"; "chain-exhausted";
     "lsa-originated"; "lsa-delivered"; "shard-setup"; "shard-crankback";
     "stale-decision"; "what-if"; "batch-done"; "span-open"; "span-close";
-    "ring-dropped";
+    "ring-dropped"; "checkpoint-written"; "wal-appended"; "crash-injected";
+    "recovery-replayed"; "request-shed";
   ]
 
 type entry = { seq : int; time : float; event : event }
@@ -219,6 +230,7 @@ module Causal = struct
   let is_null s = s.sp_id < 0
   let trace_id s = s.sp_trace
   let span_id s = s.sp_id
+  let of_ids ~trace ~span = { sp_trace = trace; sp_id = span }
 
   let reset ~seed =
     let c = ctx () in
@@ -570,6 +582,24 @@ let add_event_fields b first = function
       int_field b first "span" span;
       float_field b first "dur_s" dur
   | Ring_dropped { count } -> int_field b first "count" count
+  | Checkpoint_written { seq; conns; bytes } ->
+      int_field b first "seq_wal" seq;
+      int_field b first "conns" conns;
+      int_field b first "bytes" bytes
+  | Wal_appended { seq; op } ->
+      int_field b first "seq_wal" seq;
+      str_field b first "op" op
+  | Crash_injected { at_batch; wal_seq } ->
+      int_field b first "at_batch" at_batch;
+      int_field b first "wal_seq" wal_seq
+  | Recovery_replayed { checkpoint_seq; replayed; conns } ->
+      int_field b first "checkpoint_seq" checkpoint_seq;
+      int_field b first "replayed" replayed;
+      int_field b first "conns" conns
+  | Request_shed { conn; reason; queued } ->
+      int_field b first "conn" conn;
+      str_field b first "reason" reason;
+      int_field b first "queued" queued
 
 let entry_to_json e =
   let b = Buffer.create 128 in

@@ -178,6 +178,25 @@ type event =
       (** the bounded ring overwrote [count] entries before this export:
           the journal's oldest events (and any spans they carried) are
           gone.  Synthesised at export time, never recorded live. *)
+  | Checkpoint_written of { seq : int; conns : int; bytes : int }
+      (** the persistence layer serialised a checkpoint covering WAL
+          records up to [seq]; [conns] connections, [bytes] on disk *)
+  | Wal_appended of { seq : int; op : string }
+      (** a write-ahead record was durably appended ({e sampled} — the
+          persistence layer journals every [wal_sample]-th append, so the
+          journal carries the WAL's progress without doubling it) *)
+  | Crash_injected of { at_batch : int; wal_seq : int }
+      (** fault injection killed the manager at a batch boundary; the WAL
+          had [wal_seq] records — everything after the last checkpoint
+          must come back through replay *)
+  | Recovery_replayed of { checkpoint_seq : int; replayed : int; conns : int }
+      (** recovery restored the checkpoint at [checkpoint_seq] and
+          replayed [replayed] WAL-tail records through [Manager.apply],
+          leaving [conns] live connections *)
+  | Request_shed of { conn : int; reason : string; queued : int }
+      (** overload control rejected the request without admission work;
+          [reason] is ["queue-full"] or ["deadline"], [queued] the
+          admission-queue depth at the decision *)
 
 val kind_name : event -> string
 (** Stable kebab-case kind tag, e.g. ["backup-chosen"]. *)
@@ -259,6 +278,12 @@ module Causal : sig
   val is_null : span -> bool
   val trace_id : span -> int
   val span_id : span -> int
+
+  val of_ids : trace:int -> span:int -> span
+  (** Rebuild a span handle from serialised (trace, span) ids — the
+      persistence layer's checkpoint restore uses it so a recovered
+      manager closes the {e same} spans the uncrashed run would.
+      [of_ids ~trace:(-1) ~span:(-1)] is {!null}. *)
 
   val reset : seed:int -> unit
   (** Re-seed the calling domain's causal context (trace-id RNG, span

@@ -1,0 +1,26 @@
+(** Checkpoint files: a full {!Drtp.Manager.Serial.repr} as one
+    CRC-guarded JSON line, written atomically (tmp + rename) so a crash
+    mid-checkpoint can never destroy the previous checkpoint.
+
+    A checkpoint records [ck_wal_seq], the WAL sequence number it covers:
+    recovery restores the checkpoint and replays only WAL records with a
+    larger sequence number.  Times serialise as exact IEEE-754 bits, so
+    restore → dump round-trips bit-exactly. *)
+
+type t = {
+  ck_wal_seq : int;  (** last WAL sequence number folded into this state *)
+  ck_time : float;  (** simulation time at capture *)
+  ck_repr : Drtp.Manager.Serial.repr;
+}
+
+val encode : t -> string
+(** One JSON line, no trailing newline, CRC included. *)
+
+val decode : string -> (t, string) result
+
+val save : string -> t -> int
+(** Write atomically (via [path ^ ".tmp"] + rename); returns bytes
+    written including the newline. *)
+
+val load : string -> (t option, string) result
+(** [Ok None] if the file does not exist; [Error] on corruption. *)

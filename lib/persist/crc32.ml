@@ -1,0 +1,26 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+   The repo carries no checksum dependency; WAL and checkpoint records
+   carry one of these over their serialised prefix so a torn or corrupted
+   line is detected at recovery time instead of silently replayed. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let mask32 = 0xFFFFFFFF
+
+let update crc s =
+  let t = Lazy.force table in
+  let crc = ref (crc lxor mask32) in
+  String.iter
+    (fun ch ->
+      crc := t.((!crc lxor Char.code ch) land 0xFF) lxor (!crc lsr 8))
+    s;
+  !crc lxor mask32
+
+let string s = update 0 s

@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE 802.3), table-driven — the checksum on every WAL and
+    checkpoint record.  Values are non-negative and fit 32 bits, so they
+    serialise as plain JSON integers. *)
+
+val string : string -> int
+(** Checksum of a whole string. *)
+
+val update : int -> string -> int
+(** Fold more bytes into a running checksum ([string s = update 0 s]). *)

@@ -19,7 +19,27 @@
     before each slice), with worker-side journal traffic captured and
     discarded and the [what-if] events re-recorded by the coordinator in
     query order — so counts, journal bytes and trace ids are independent of
-    the jobs split. *)
+    the jobs split.  Invariant violations are buffered into the report
+    ([rp_violations]) instead of written to stderr mid-run, so stdout and
+    stderr never interleave and each stream is byte-stable on its own.
+
+    {b Durability} ([sv_wal]).  With a WAL path set, every admission and
+    release is appended through {!Dr_persist.Persist} {e before} it mutates
+    the manager (in {!Batch.locality_order} when [sv_reorder] commits in
+    that order), checkpoints fire at batch boundaries once the WAL tail
+    reaches [sv_checkpoint_every] records, and [sv_crash_every] kills the
+    manager every N batches and rebuilds it via checkpoint restore +
+    WAL-tail replay.  A crashed-and-recovered run's deterministic report —
+    including the full state digest [rp_digest] — is bit-identical to the
+    uncrashed run's, except for the [serve-crash:] accounting line.
+
+    {b Overload control.}  [sv_queue_cap] bounds the admission queue
+    (excess arrivals are shed with a journalled [request-shed] verdict,
+    never stalled); [sv_deadline] sheds requests whose queue wait exceeds
+    their deadline at flush time; [sv_overload_every]/[sv_overload_burst]
+    inject seeded synthetic request bursts to provoke both.  All decisions
+    are made on simulation time and coordinator-drawn randomness, so
+    shedding is deterministic and jobs-independent. *)
 
 type config = {
   sv_batch : int;  (** requests per batch *)
@@ -31,6 +51,19 @@ type config = {
   sv_bw : int;  (** bandwidth units per what-if query *)
   sv_seed : int;  (** what-if/probe stream seed *)
   sv_warmup_frac : float;  (** leading fraction of latency samples discarded *)
+  sv_wal : string option;  (** write-ahead log path; [None] = durability off *)
+  sv_checkpoint_every : int;
+      (** checkpoint once the WAL tail reaches N records (at the next
+          batch boundary); 0 = never *)
+  sv_wal_sample : int;  (** journal every Nth WAL append; 0 = never *)
+  sv_crash_every : int;
+      (** crash + recover the manager every N batches; 0 = never.
+          Requires [sv_wal]. *)
+  sv_queue_cap : int;  (** admission-queue bound; 0 = unbounded *)
+  sv_deadline : float;
+      (** max simulated queue wait before a request is shed; 0 = off *)
+  sv_overload_every : int;  (** synthetic burst every N batches; 0 = off *)
+  sv_overload_burst : int;  (** synthetic requests per burst *)
 }
 
 val default : config
@@ -50,6 +83,18 @@ type report = {
   rp_invariant_failures : int;
   rp_final_active : int;
   rp_lat_samples : int;  (** latency samples kept after warm-up discard *)
+  rp_shed_queue : int;  (** requests shed at the queue bound *)
+  rp_shed_deadline : int;  (** requests shed for exceeding their deadline *)
+  rp_overload_injected : int;  (** synthetic burst requests injected *)
+  rp_crashes : int;  (** crashes injected (and recovered from) *)
+  rp_replayed : int;  (** WAL-tail records replayed across all recoveries *)
+  rp_wal_records : int;  (** records appended across all handles *)
+  rp_checkpoints : int;  (** checkpoints written *)
+  rp_digest : string;
+      (** MD5 hex of {!Dr_persist.State_digest.manager_digest} over the
+          final manager — the crash-equivalence witness *)
+  rp_violations : (int * string) list;
+      (** buffered invariant violations (batch, message), oldest first *)
   rp_elapsed_s : float;
   rp_requests_per_sec : float;  (** sustained admissions/sec over the run *)
   rp_lat_p50_us : float;

@@ -34,6 +34,13 @@ type config = {
   faults : Faults.t option;
   setup_rto : float;
   max_retransmits : int;
+  crash_mean_gap : float;
+      (* mean workload ops between shard crashes (Faults.crash_schedule);
+         0 = no crashes *)
+  crash_seed : int;
+  view_checkpoint_every : float;
+      (* seconds between in-memory LSDB checkpoints; 0 = initial
+         checkpoint only *)
 }
 
 let default_config =
@@ -50,6 +57,9 @@ let default_config =
     faults = None;
     setup_rto = 0.050;
     max_retransmits = 4;
+    crash_mean_gap = 0.0;
+    crash_seed = 11;
+    view_checkpoint_every = 0.0;
   }
 
 type stats = {
@@ -69,6 +79,11 @@ type stats = {
   mutable ack_dropped : int;
   mutable stale_decisions : int;
   mutable divergent_decisions : int;
+  mutable shard_crashes : int;
+  mutable view_rollbacks : int;
+      (* remote-link LSDB entries that regressed to checkpoint state
+         across all crashes — re-converged by later (refresh) LSAs *)
+  mutable view_checkpoints : int;
 }
 
 type result = {
@@ -120,6 +135,7 @@ type event =
       payload : View.snapshot;
     }
   | Lsa_refresh
+  | View_checkpoint
   | Sample
 
 (* The admission checks of Net_state.admit, evaluated without committing,
@@ -194,6 +210,9 @@ let run ?(config = default_config) ?partition ~graph ~capacity ~scenario ~warmup
       ack_dropped = 0;
       stale_decisions = 0;
       divergent_decisions = 0;
+      shard_crashes = 0;
+      view_rollbacks = 0;
+      view_checkpoints = 0;
     }
   in
   let links = Graph.link_count graph in
@@ -208,6 +227,84 @@ let run ?(config = default_config) ?partition ~graph ~capacity ~scenario ~warmup
   (* First instant a link's truth diverged from its last advertisement
      (< 0 = clean) — the convergence-lag clock. *)
   let dirty_since = Array.make links (-1.0) in
+  (* In-memory LSDB checkpoints: per-shard copies of the applied-sequence
+     rows and of every view entry, captured periodically.  A crashed shard
+     loses its LSDB and restarts from the latest checkpoint; the regressed
+     applied sequence numbers let newer (refresh) LSAs re-apply, which is
+     how the shard re-converges. *)
+  let view_entry v l =
+    {
+      View.s_free = View.free v l;
+      s_avail = View.available_for_backup v l;
+      s_norm1 = View.norm1 v l;
+      s_cv = View.conflict_vector v l;
+    }
+  in
+  let ck_applied = Array.make_matrix parts links 0 in
+  let ck_origin = Array.make_matrix parts links 0.0 in
+  let ck_snap =
+    Array.init parts (fun s -> Array.init links (view_entry views.(s)))
+  in
+  let ck_version = ref 0 in
+  let take_checkpoint () =
+    for s = 0 to parts - 1 do
+      Array.blit applied.(s) 0 ck_applied.(s) 0 links;
+      Array.blit applied_origin.(s) 0 ck_origin.(s) 0 links;
+      for l = 0 to links - 1 do
+        ck_snap.(s).(l) <- view_entry views.(s) l
+      done
+    done;
+    incr ck_version;
+    stats.view_checkpoints <- stats.view_checkpoints + 1
+  in
+  let crash_points =
+    ref
+      (if config.crash_mean_gap > 0.0 then
+         Faults.crash_schedule ~seed:config.crash_seed
+           ~mean_gap:config.crash_mean_gap ~horizon:(Scenario.length scenario) ()
+       else [])
+  in
+  let op_ord = ref 0 in
+  let crash_shard now ~ord =
+    let s = ord mod parts in
+    stats.shard_crashes <- stats.shard_crashes + 1;
+    if !J.on then begin
+      J.set_now now;
+      J.record (J.Crash_injected { at_batch = ord; wal_seq = !ck_version })
+    end;
+    let rolled = ref 0 in
+    for l = 0 to links - 1 do
+      if applied.(s).(l) > ck_applied.(s).(l) then incr rolled
+    done;
+    Array.blit ck_applied.(s) 0 applied.(s) 0 links;
+    Array.blit ck_origin.(s) 0 applied_origin.(s) 0 links;
+    for l = 0 to links - 1 do
+      View.set_snapshot views.(s) l ck_snap.(s).(l)
+    done;
+    (* A restarting router re-reads its own links from its interfaces:
+       own-shard entries come back fresh from the ground truth. *)
+    for l = 0 to links - 1 do
+      if Partition.owner_of_link part l = s then
+        View.refresh_link views.(s) truth l
+    done;
+    stats.view_rollbacks <- stats.view_rollbacks + !rolled;
+    if !J.on then
+      J.record
+        (J.Recovery_replayed
+           {
+             checkpoint_seq = !ck_version;
+             replayed = !rolled;
+             conns = Net_state.active_count truth;
+           })
+  in
+  let maybe_crash now =
+    incr op_ord;
+    match !crash_points with
+    | next :: rest when next = !op_ord ->
+        crash_points := rest;
+        crash_shard now ~ord:!op_ord
+    | _ -> ()
+  in
   let rto_backoff =
     Backoff.make ~base:config.setup_rto ~max_attempts:config.max_retransmits ()
   in
@@ -501,6 +598,7 @@ let run ?(config = default_config) ?partition ~graph ~capacity ~scenario ~warmup
     match event with
     | Workload { event = Scenario.Request { conn; src; dst; bw; duration = _ }; _ }
       -> (
+        maybe_crash now;
         stats.requests <- stats.requests + 1;
         let shard = Partition.region_of_node part src in
         match route_from_view shard ~src ~dst ~bw with
@@ -519,6 +617,7 @@ let run ?(config = default_config) ?partition ~graph ~capacity ~scenario ~warmup
             end;
             dispatch now ~conn ~bw ~attempt:0 ~shard pair)
     | Workload { event = Scenario.Release { conn }; _ } -> (
+        maybe_crash now;
         match Net_state.find truth conn with
         | None ->
             (* Setup still in flight (or the request was rejected): remember
@@ -571,6 +670,15 @@ let run ?(config = default_config) ?partition ~graph ~capacity ~scenario ~warmup
         done;
         if now +. config.lsa_refresh <= horizon then
           Engine.schedule engine ~at:(now +. config.lsa_refresh) Lsa_refresh
+    | View_checkpoint ->
+        take_checkpoint ();
+        if
+          config.view_checkpoint_every > 0.0
+          && now +. config.view_checkpoint_every <= horizon
+        then
+          Engine.schedule engine
+            ~at:(now +. config.view_checkpoint_every)
+            View_checkpoint
     | Lsa_deliver { dst_shard; link; lsa_seq = sq; origin; dirty; payload } ->
         if !J.on then begin
           match Hashtbl.find_opt lsa_spans (link, sq) with
@@ -614,6 +722,10 @@ let run ?(config = default_config) ?partition ~graph ~capacity ~scenario ~warmup
   schedule_samples warmup;
   if parts > 1 && config.lsa_refresh > 0.0 && config.lsa_refresh <= horizon then
     Engine.schedule engine ~at:config.lsa_refresh Lsa_refresh;
+  if
+    config.view_checkpoint_every > 0.0
+    && config.view_checkpoint_every <= horizon
+  then Engine.schedule engine ~at:config.view_checkpoint_every View_checkpoint;
   Engine.run engine ~handler;
   integrate_to horizon;
   let window = horizon -. warmup in

@@ -29,7 +29,18 @@
     {b Single-shard anchor.}  With [parts = 1] every link is owned by the
     deciding shard: all commits are synchronous, no LSA is ever sent (so
     the fault plan is never consulted), and the run is bit-identical to
-    the centralised manager — the correctness gate in CI. *)
+    the centralised manager — the correctness gate in CI.
+
+    {b Crash-restart.}  With [crash_mean_gap > 0], a seeded
+    {!Dr_faults.Faults.crash_schedule} kills one shard's control plane at
+    workload-op boundaries: the shard's LSDB (remote-entry snapshots and
+    applied LSA sequence rows) reverts to the latest in-memory checkpoint
+    (period [view_checkpoint_every]), its own-region entries are re-read
+    from the ground truth (a restarting router re-reads its interfaces),
+    and the regressed sequence numbers let subsequent triggered/refresh
+    LSAs re-converge the view.  Ground truth (admitted connections) is
+    unaffected — only the crashed shard's {e knowledge} is lost, which
+    shows up as extra staleness, crankbacks and divergent decisions. *)
 
 type config = {
   scheme : Drtp.Routing.scheme;
@@ -49,6 +60,13 @@ type config = {
       (** loss plan for [Lsa]/[Setup]/[Ack] draws; [None] = lossless *)
   setup_rto : float;
   max_retransmits : int;
+  crash_mean_gap : float;
+      (** mean workload ops between shard crashes
+          ({!Dr_faults.Faults.crash_schedule}); 0 = no crashes *)
+  crash_seed : int;
+  view_checkpoint_every : float;
+      (** seconds between in-memory LSDB checkpoints; 0 = the implicit
+          initial checkpoint only *)
 }
 
 val default_config : config
@@ -72,6 +90,11 @@ type stats = {
   mutable stale_decisions : int;  (** inter-shard routing decisions *)
   mutable divergent_decisions : int;
       (** decisions whose route differs from the omniscient route *)
+  mutable shard_crashes : int;  (** crash-restarts injected *)
+  mutable view_rollbacks : int;
+      (** LSDB entries that regressed to checkpoint state across all
+          crashes (re-converged by later LSAs) *)
+  mutable view_checkpoints : int;  (** periodic LSDB checkpoints taken *)
 }
 
 type result = {

@@ -140,6 +140,11 @@ let one_of_each =
       };
     J.Span_close { trace = 0x123456789ab; span = 4; dur = 0.012 };
     J.Ring_dropped { count = 42 };
+    J.Checkpoint_written { seq = 448; conns = 37; bytes = 20912 };
+    J.Wal_appended { seq = 449; op = "request" };
+    J.Crash_injected { at_batch = 15; wal_seq = 480 };
+    J.Recovery_replayed { checkpoint_seq = 448; replayed = 32; conns = 37 };
+    J.Request_shed { conn = 900017; reason = "queue-full"; queued = 24 };
   ]
 
 let test_jsonl_round_trip () =

@@ -33,75 +33,12 @@ let seed_gen = QCheck.int_range 0 1_000_000
 
 (* --- full observable digest of a network state --------------------------- *)
 
-(* Serialise everything the public accessors can see — per-link resources,
-   both incremental routing mirrors (aplv_norm and the per-edge conflict
-   counts), APLV contents, spare bookkeeping, the failure flags, every
-   connection's routes and the aplv-updates odometer — into one string.
-   Used below as the bit-identity witness for snapshot/rollback. *)
-let digest graph state =
-  let b = Buffer.create (1 lsl 12) in
-  let links = Graph.link_count graph in
-  let edges = Graph.edge_count graph in
-  let res = Net_state.resources state in
-  let one_edge = [| 0 |] in
-  for l = 0 to links - 1 do
-    Buffer.add_string b
-      (Printf.sprintf "L%d c%d p%d s%d f%d ab%d n%d bc%d sr%d sd%d bl%d|" l
-         (Resources.capacity res l) (Resources.prime_bw res l)
-         (Resources.spare_bw res l) (Resources.free res l)
-         (Resources.available_for_backup res l)
-         (Net_state.aplv_norm state l)
-         (Aplv.backup_count (Net_state.aplv state l))
-         (Net_state.spare_required state ~link:l)
-         (Net_state.spare_deficit state ~link:l)
-         (Net_state.backup_count_on_link state ~link:l));
-    let a = Net_state.aplv state l in
-    List.iter
-      (fun e -> Buffer.add_string b (Printf.sprintf "e%d:%d," e (Aplv.get a e)))
-      (Aplv.support a);
-    for e = 0 to edges - 1 do
-      one_edge.(0) <- e;
-      let c = Net_state.conflict_count_arr state ~link:l ~edges:one_edge ~n:1 in
-      if c <> 0 then Buffer.add_string b (Printf.sprintf "C%d:%d;" e c)
-    done;
-    Buffer.add_char b '\n'
-  done;
-  for e = 0 to edges - 1 do
-    if Net_state.edge_failed state ~edge:e then
-      Buffer.add_string b (Printf.sprintf "F%d;" e)
-  done;
-  let conns = ref [] in
-  Net_state.iter_conns state (fun c -> conns := c :: !conns);
-  let conns =
-    List.sort (fun a b -> compare a.Net_state.id b.Net_state.id) !conns
-  in
-  List.iter
-    (fun c ->
-      Buffer.add_string b
-        (Printf.sprintf "K%d %d->%d bw%d d%b P[%s] B[%s]\n" c.Net_state.id
-           c.Net_state.src c.Net_state.dst c.Net_state.bw c.Net_state.degraded
-           (String.concat "," (List.map string_of_int (Path.links c.Net_state.primary)))
-           (String.concat "|"
-              (List.map
-                 (fun p -> String.concat "," (List.map string_of_int (Path.links p)))
-                 c.Net_state.backups))))
-    conns;
-  Buffer.add_string b
-    (Printf.sprintf "U%d A%d\n" (Net_state.aplv_updates state)
-       (Net_state.active_count state));
-  Buffer.contents b
-
-let manager_digest graph m =
-  let st = Manager.stats m in
-  let rs = Manager.reprotect_stats m in
-  Printf.sprintf "%s|req%d acc%d rnp%d rnb%d rel%d deg%d unp%d|pend%d q%d d%d a%d ab%d ut%.9f"
-    (digest graph (Manager.state m))
-    st.Manager.requests st.Manager.accepted st.Manager.rejected_no_primary
-    st.Manager.rejected_no_backup st.Manager.released st.Manager.degraded
-    st.Manager.unprotected
-    (Manager.reprotect_pending m)
-    rs.Manager.queued rs.Manager.drained rs.Manager.attempts
-    rs.Manager.abandoned rs.Manager.unprotected_time
+(* The digest used below as the bit-identity witness for snapshot/rollback
+   originated here and now lives in {!Dr_persist.State_digest}, where the
+   crash-recovery machinery uses the same serialisation as its equivalence
+   witness.  Delegate so test and production can never drift apart. *)
+let digest = Dr_persist.State_digest.digest
+let manager_digest = Dr_persist.State_digest.manager_digest
 
 (* --- shared setup --------------------------------------------------------- *)
 

@@ -273,6 +273,88 @@ let test_divergence_monotone_in_interval () =
         (r20.Shard_exp.decision_age > 0.0)
   | _ -> Alcotest.fail "expected three rows"
 
+(* --- crash-restart -------------------------------------------------------- *)
+
+let crash_scenario seed =
+  let rng = Rng.create seed in
+  Dr_sim.Workload.generate rng ~node_count:16
+    {
+      Dr_sim.Workload.arrival_rate = 1.0;
+      horizon = 300.0;
+      lifetime_lo = 30.0;
+      lifetime_hi = 80.0;
+      bw = Dr_sim.Workload.Constant 1;
+      pattern = Dr_sim.Workload.Uniform;
+    }
+
+let crash_graph seed =
+  let rng = Rng.create seed in
+  Dr_topo.Gen.waxman ~rng ~n:16 ~avg_degree:4.0 ()
+
+let run_with_crashes ~parts ~crash_mean_gap () =
+  let config =
+    {
+      Shard_sim.default_config with
+      Shard_sim.scheme = Routing.Dlsr;
+      parts;
+      lsa_interval = 1.0;
+      lsa_refresh = 10.0;
+      lsa_flood_delay = 0.05;
+      crash_mean_gap;
+      crash_seed = 11;
+      view_checkpoint_every = 25.0;
+    }
+  in
+  Shard_sim.run ~config ~graph:(crash_graph 31) ~capacity:6
+    ~scenario:(crash_scenario 808) ~warmup:0.0 ~horizon:320.0
+    ~sample_every:50.0 ()
+
+let test_single_shard_crashes_harmless () =
+  (* With one shard every link is its own, so a restart re-reads the whole
+     LSDB from ground truth: crash-restarts must not change a single
+     decision — the shard-layer analogue of the serve crash gate. *)
+  let crashed = run_with_crashes ~parts:1 ~crash_mean_gap:15.0 () in
+  let clean = run_with_crashes ~parts:1 ~crash_mean_gap:0.0 () in
+  Alcotest.(check bool) "crashes actually injected" true
+    (crashed.Shard_sim.stats.Shard_sim.shard_crashes > 0);
+  Alcotest.(check int) "requests identical"
+    clean.Shard_sim.stats.Shard_sim.requests
+    crashed.Shard_sim.stats.Shard_sim.requests;
+  Alcotest.(check int) "accepted identical"
+    clean.Shard_sim.stats.Shard_sim.accepted
+    crashed.Shard_sim.stats.Shard_sim.accepted;
+  Alcotest.(check (float 0.0)) "acceptance bit-identical"
+    clean.Shard_sim.acceptance crashed.Shard_sim.acceptance;
+  Alcotest.(check (float 0.0)) "fault tolerance bit-identical"
+    clean.Shard_sim.ft_overall crashed.Shard_sim.ft_overall;
+  Alcotest.(check (float 0.0)) "mean active bit-identical"
+    clean.Shard_sim.avg_active crashed.Shard_sim.avg_active
+
+let test_multi_shard_crash_restart () =
+  (* Crashing one of several shards loses real knowledge (remote LSDB
+     entries regress to the checkpoint) but never corrupts ground truth:
+     the run completes, the books balance, and the periodic checkpoints
+     and rollbacks are visible in the counters.  Deterministic, so run
+     twice and demand identical stats. *)
+  let r = run_with_crashes ~parts:3 ~crash_mean_gap:12.0 () in
+  let s = r.Shard_sim.stats in
+  Alcotest.(check bool) "crashes injected" true (s.Shard_sim.shard_crashes > 0);
+  Alcotest.(check bool) "periodic checkpoints taken" true
+    (s.Shard_sim.view_checkpoints > 0);
+  Alcotest.(check bool) "some LSDB entries rolled back" true
+    (s.Shard_sim.view_rollbacks > 0);
+  Alcotest.(check bool) "requests all answered" true
+    (s.Shard_sim.accepted + s.Shard_sim.rejected_no_route
+     + s.Shard_sim.lost_after_retries
+    <= s.Shard_sim.requests);
+  Alcotest.(check bool) "acceptance sane" true
+    (r.Shard_sim.acceptance >= 0.0 && r.Shard_sim.acceptance <= 1.0);
+  let r2 = run_with_crashes ~parts:3 ~crash_mean_gap:12.0 () in
+  Alcotest.(check bool) "crash-restart runs are deterministic" true
+    (r2.Shard_sim.stats = s
+    && r2.Shard_sim.acceptance = r.Shard_sim.acceptance
+    && r2.Shard_sim.avg_staleness = r.Shard_sim.avg_staleness)
+
 (* --- journal integration -------------------------------------------------- *)
 
 let test_shard_kinds_registered () =
@@ -303,6 +385,10 @@ let suite =
           test_pinned_crankback;
         Alcotest.test_case "divergence monotone in LSA interval" `Quick
           test_divergence_monotone_in_interval;
+        Alcotest.test_case "single-shard crash-restarts are harmless" `Quick
+          test_single_shard_crashes_harmless;
+        Alcotest.test_case "multi-shard crash-restart" `Quick
+          test_multi_shard_crash_restart;
         Alcotest.test_case "journal kinds registered" `Quick
           test_shard_kinds_registered;
       ] );
